@@ -1,0 +1,128 @@
+// Command tkcm-datagen emits the synthetic datasets of the evaluation as CSV
+// (header row of series names, one row per tick, "NaN" for missing values).
+// Optionally it erases a block of values from one series so the output can
+// be fed straight into tkcm-impute.
+//
+// Usage:
+//
+//	tkcm-datagen -dataset sbr1d -ticks 5760 > sbr1d.csv
+//	tkcm-datagen -dataset chlorine -erase j3:2000:288 > chlorine-with-gap.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tkcm/internal/dataset"
+	"tkcm/internal/timeseries"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "sbr", "dataset: sbr, sbr1d, flights, chlorine")
+		ticks  = flag.Int("ticks", 0, "series length in ticks (0 = dataset default)")
+		series = flag.Int("series", 0, "number of series (0 = dataset default)")
+		seed   = flag.Uint64("seed", 0, "generator seed (0 = dataset default)")
+		erase  = flag.String("erase", "", "erase a block: series:start:length (e.g. s0:4000:288)")
+		out    = flag.String("out", "-", "output CSV path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	frame, err := generate(*name, *ticks, *series, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tkcm-datagen:", err)
+		os.Exit(2)
+	}
+	if *erase != "" {
+		if err := eraseBlock(frame, *erase); err != nil {
+			fmt.Fprintln(os.Stderr, "tkcm-datagen:", err)
+			os.Exit(2)
+		}
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tkcm-datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, frame); err != nil {
+		fmt.Fprintln(os.Stderr, "tkcm-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(name string, ticks, series int, seed uint64) (*timeseries.Frame, error) {
+	switch strings.ToLower(name) {
+	case "sbr":
+		cfg := dataset.DefaultSBRConfig()
+		applySBR(&cfg, ticks, series, seed)
+		return dataset.SBR(cfg), nil
+	case "sbr1d", "sbr-1d":
+		cfg := dataset.DefaultSBRConfig()
+		applySBR(&cfg, ticks, series, seed)
+		return dataset.SBR1d(cfg), nil
+	case "flights":
+		cfg := dataset.DefaultFlightsConfig()
+		if ticks > 0 {
+			cfg.Ticks = ticks
+		}
+		if series > 0 {
+			cfg.Airports = series
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return dataset.Flights(cfg), nil
+	case "chlorine":
+		cfg := dataset.DefaultChlorineConfig()
+		if ticks > 0 {
+			cfg.Ticks = ticks
+		}
+		if series > 0 {
+			cfg.Junctions = series
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return dataset.Chlorine(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (sbr, sbr1d, flights, chlorine)", name)
+	}
+}
+
+func applySBR(cfg *dataset.SBRConfig, ticks, series int, seed uint64) {
+	if ticks > 0 {
+		cfg.Ticks = ticks
+	}
+	if series > 0 {
+		cfg.Stations = series
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+}
+
+func eraseBlock(frame *timeseries.Frame, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("erase spec %q is not series:start:length", spec)
+	}
+	start, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("erase start: %w", err)
+	}
+	length, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return fmt.Errorf("erase length: %w", err)
+	}
+	_, err = dataset.InjectBlock(frame, parts[0], start, length)
+	return err
+}

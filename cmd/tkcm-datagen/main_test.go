@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+
+	"tkcm/internal/timeseries"
+)
+
+func TestGenerateKnownDatasets(t *testing.T) {
+	cases := []struct {
+		name          string
+		ticks, series int
+		wantW, wantL  int
+	}{
+		{"sbr", 600, 3, 3, 600},
+		{"sbr1d", 600, 3, 3, 600},
+		{"SBR-1d", 600, 3, 3, 600}, // case-insensitive alias
+		{"flights", 1500, 4, 4, 1500},
+		{"chlorine", 600, 5, 5, 600},
+	}
+	for _, c := range cases {
+		f, err := generate(c.name, c.ticks, c.series, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if f.Width() != c.wantW || f.Len() != c.wantL {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", c.name, f.Width(), f.Len(), c.wantW, c.wantL)
+		}
+	}
+}
+
+func TestGenerateDefaultsApplied(t *testing.T) {
+	f, err := generate("flights", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Width() != 8 || f.Len() != 8801 {
+		t.Fatalf("flights defaults: %dx%d, want 8x8801", f.Width(), f.Len())
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	if _, err := generate("nope", 0, 0, 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestEraseBlockSpec(t *testing.T) {
+	f, err := generate("sbr", 500, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eraseBlock(f, "s0:100:50"); err != nil {
+		t.Fatal(err)
+	}
+	s := f.ByName("s0")
+	if s.CountMissing() != 50 || !s.MissingAt(100) || !s.MissingAt(149) {
+		t.Fatalf("erase wrong: %d missing", s.CountMissing())
+	}
+	for _, bad := range []string{"s0:100", "s0:x:50", "s0:100:y", "zz:0:10", "s0:490:50"} {
+		g, _ := generate("sbr", 500, 2, 1)
+		if err := eraseBlock(g, bad); err == nil {
+			t.Errorf("bad erase spec %q accepted", bad)
+		}
+	}
+}
+
+func TestGeneratedDataComplete(t *testing.T) {
+	for _, name := range []string{"sbr", "sbr1d", "flights", "chlorine"} {
+		f, err := generate(name, 400, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range f.Series {
+			if !s.Complete() {
+				t.Fatalf("%s emitted missing values", name)
+			}
+			for _, v := range s.Values {
+				if timeseries.IsMissing(v) {
+					t.Fatalf("%s emitted NaN", name)
+				}
+			}
+		}
+	}
+}

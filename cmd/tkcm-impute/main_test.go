@@ -1,0 +1,138 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tkcm/internal/dataset"
+	"tkcm/internal/stats"
+	"tkcm/internal/timeseries"
+)
+
+// writeTestCSV writes a small co-evolving frame with a gap in the target and
+// returns the input path, the erased truth, and the gap bounds.
+func writeTestCSV(t *testing.T) (path string, truth []float64, gapStart, gapLen int) {
+	t.Helper()
+	const period = 96
+	const n = 6 * period
+	s := make([]float64, n)
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		s[i] = math.Sin(ph) + 0.3*math.Sin(2*ph)
+		r1[i] = math.Sin(ph - 1.2)
+		r2[i] = math.Cos(ph + 0.4)
+	}
+	gapStart, gapLen = n-period, period/2
+	frame := timeseries.NewFrame(
+		timeseries.New("s", s),
+		timeseries.New("r1", r1),
+		timeseries.New("r2", r2),
+	)
+	truth = frame.ByName("s").EraseBlock(gapStart, gapLen)
+
+	path = filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, frame); err != nil {
+		t.Fatal(err)
+	}
+	return path, truth, gapStart, gapLen
+}
+
+func TestRunImputesGap(t *testing.T) {
+	in, truth, gapStart, gapLen := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run(in, out, 3, 12, 2, 4*96, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close()
+	frame, err := dataset.ReadCSV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := frame.ByName("s")
+	if s == nil || !s.Complete() {
+		t.Fatal("output target incomplete")
+	}
+	rec := s.Values[gapStart : gapStart+gapLen]
+	if rmse := stats.RMSE(truth, rec); rmse > 0.05 {
+		t.Fatalf("RMSE %v too high on clean periodic data", rmse)
+	}
+}
+
+func TestRunWeightedAndWindowDefault(t *testing.T) {
+	in, _, _, _ := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	// window=0 means "whole input"; weighted mean enabled.
+	if err := run(in, out, 3, 12, 2, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClampsD(t *testing.T) {
+	in, _, _, _ := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	// d exceeds available references; run must clamp, not fail.
+	if err := run(in, out, 2, 12, 99, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.csv")
+	if err := os.WriteFile(single, []byte("only\n1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(single, filepath.Join(dir, "o.csv"), 2, 3, 1, 0, false, false); err == nil {
+		t.Fatal("single-series input accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "-", 2, 3, 1, 0, false, false); err == nil {
+		t.Fatal("nonexistent input accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\n1,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "-", 2, 3, 1, 0, false, false); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	in, _, _, _ := writeTestCSV(t)
+	if err := run(in, "-", 0, 12, 2, 0, false, false); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := run(in, "-", 2, 0, 2, 0, false, false); err == nil {
+		t.Fatal("l=0 accepted")
+	}
+}
+
+func TestOutputPreservesHeader(t *testing.T) {
+	in, _, _, _ := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run(in, out, 2, 12, 2, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(string(b), "\n", 2)[0]
+	if first != "s,r1,r2" {
+		t.Fatalf("header = %q, want s,r1,r2", first)
+	}
+}

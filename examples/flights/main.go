@@ -1,0 +1,84 @@
+// Flights example: streaming dashboards for airborne departures. Airports in
+// different time zones report per-minute counts; one feed goes dark for six
+// hours and TKCM fills the dashboard in real time. The example also shows
+// how the pattern length changes the recovery quality on shifted streams
+// (the paper's Fig. 11/12 effect).
+//
+// Run with:
+//
+//	go run ./examples/flights
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tkcm"
+	"tkcm/internal/dataset"
+	"tkcm/internal/stats"
+	"tkcm/internal/timeseries"
+)
+
+func main() {
+	frame := dataset.Flights(dataset.FlightsConfig{
+		Airports: 6,
+		Ticks:    7 * 1440, // one week at 1-minute sampling
+		Seed:     3,
+	})
+
+	const target = "a0"
+	gapStart := 6*1440 + 480 // day 7, 08:00 — mid morning wave
+	gapLen := 360            // six hours dark
+
+	truth := frame.ByName(target).EraseBlock(gapStart, gapLen)
+
+	fmt.Println("feed a0 dark for 6h; recovery by pattern length:")
+	fmt.Printf("%-8s %s\n", "l", "RMSE (#flights)")
+	for _, l := range []int{1, 30, 60, 120} {
+		cfg := tkcm.DefaultConfig()
+		cfg.WindowLength = 5 * 1440
+		cfg.PatternLength = l
+		cfg.K = 4
+		cfg.D = 3
+		rec, err := recoverGap(frame, target, cfg, gapStart, gapLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %.3f\n", l, stats.RMSE(truth, rec))
+	}
+	fmt.Println("\nlonger patterns disambiguate the time-zone shifts between airports;")
+	fmt.Println("l = 1 matches raw counts and confuses morning with evening waves.")
+}
+
+// recoverGap imputes the gap tick by tick (continuous imputation) using the
+// other airports as references, in dashboard order. The frame itself is not
+// modified.
+func recoverGap(frame *timeseries.Frame, target string, cfg tkcm.Config, gapStart, gapLen int) ([]float64, error) {
+	work := frame.ByName(target).Clone()
+	refs := make([][]float64, 0, cfg.D)
+	for _, s := range frame.Series {
+		if s.Name == target || len(refs) == cfg.D {
+			continue
+		}
+		refs = append(refs, s.Values)
+	}
+	out := make([]float64, gapLen)
+	for off := 0; off < gapLen; off++ {
+		t := gapStart + off
+		lo := t - cfg.WindowLength + 1
+		if lo < 0 {
+			lo = 0
+		}
+		refWins := make([][]float64, len(refs))
+		for i, r := range refs {
+			refWins[i] = r[lo : t+1]
+		}
+		res, err := tkcm.Impute(cfg, work.Values[lo:t+1], refWins)
+		if err != nil {
+			return nil, err
+		}
+		work.Values[t] = res.Value
+		out[off] = res.Value
+	}
+	return out, nil
+}

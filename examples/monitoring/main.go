@@ -1,0 +1,108 @@
+// Monitoring example: using the ε diagnostic (Def. 5) to decide whether an
+// imputation is trustworthy. TKCM reports, for every recovered value, the
+// spread ε of the target series at the k chosen anchor points. Small ε means
+// the references pattern-determine the target at this tick — the consistency
+// precondition of Lemma 5.2 — while large ε flags situations the window has
+// not seen often enough, so a downstream alerting system (the paper's frost
+// warnings) can route those values to a human instead of acting on them.
+//
+// Run with:
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"tkcm"
+	"tkcm/internal/dataset"
+)
+
+func main() {
+	frame := dataset.SBR1d(dataset.SBRConfig{
+		Stations: 6,
+		Ticks:    20 * 288,
+		Seed:     3,
+		NoiseSD:  0.25,
+	})
+
+	cfg := tkcm.DefaultConfig()
+	cfg.WindowLength = 14 * 288
+	cfg.D = 3
+
+	refs := map[string]tkcm.ReferenceSet{
+		"s0": {Stream: "s0", Candidates: []string{"s1", "s2", "s3", "s4", "s5"}},
+	}
+	eng, err := tkcm.NewEngine(cfg, frame.Names(), refs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scatter individual sensor dropouts through the last three days.
+	failFrom := frame.Len() - 3*288
+	var observations []obs
+	for t := 0; t < frame.Len(); t++ {
+		row := frame.Row(t)
+		truth := row[0]
+		missing := t >= failFrom && t%3 == 0
+		if missing {
+			row[0] = tkcm.Missing
+		}
+		out, results, err := eng.Tick(row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if missing && results[0] != nil {
+			observations = append(observations, obs{
+				eps: results[0].Epsilon,
+				err: math.Abs(out[0] - truth),
+			})
+		}
+	}
+
+	// Split imputations by their ε and compare the actual errors: ε is only
+	// useful as a trust signal if low-ε imputations really are better.
+	sort.Slice(observations, func(i, j int) bool { return observations[i].eps < observations[j].eps })
+	half := len(observations) / 2
+	trusted, flagged := observations[:half], observations[half:]
+
+	fmt.Printf("imputations: %d  (ε median split at %.3f °C)\n\n", len(observations), observations[half].eps)
+	fmt.Printf("%-28s %-10s %s\n", "group", "mean |err|", "p90 |err|")
+	fmt.Printf("%-28s %-10s %s\n", "-----", "----------", "---------")
+	fmt.Printf("%-28s %-10.3f %.3f\n", "trusted  (low ε, auto-use)", meanErr(trusted), p90(trusted))
+	fmt.Printf("%-28s %-10.3f %.3f\n", "flagged  (high ε, review)", meanErr(flagged), p90(flagged))
+	fmt.Println("\nlow-ε imputations are measurably more reliable: ε is a usable")
+	fmt.Println("per-value confidence signal, not just a proof device (Lemma 5.2).")
+}
+
+// obs pairs one imputation's ε diagnostic with its realized absolute error.
+type obs struct {
+	eps float64
+	err float64
+}
+
+func meanErr(xs []obs) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, o := range xs {
+		sum += o.err
+	}
+	return sum / float64(len(xs))
+}
+
+func p90(xs []obs) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	errs := make([]float64, len(xs))
+	for i, o := range xs {
+		errs[i] = o.err
+	}
+	sort.Float64s(errs)
+	return errs[int(0.9*float64(len(errs)-1))]
+}

@@ -1,0 +1,116 @@
+// Water-quality example: the Chlorine scenario. Chlorine sensors at network
+// junctions see the source's daily dosing pattern at junction-specific
+// delays (phase shifts). A sensor drops out for a long block; TKCM recovers
+// it and the example compares against linear interpolation and kNNI — the
+// simple methods a practitioner would try first.
+//
+// Run with:
+//
+//	go run ./examples/waterquality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tkcm"
+	"tkcm/internal/baseline"
+	"tkcm/internal/dataset"
+	"tkcm/internal/stats"
+	"tkcm/internal/timeseries"
+)
+
+func main() {
+	frame := dataset.Chlorine(dataset.ChlorineConfig{
+		Junctions:     12,
+		Ticks:         10 * 288, // 10 days at 5-minute sampling
+		Seed:          7,
+		MaxDelayTicks: 288,
+	})
+
+	const target = "j5"
+	gapStart := 8 * 288
+	gapLen := 288 // one full day missing
+
+	// Keep the ground truth, then erase.
+	truth, err := erase(frame, target, gapStart, gapLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- TKCM ---
+	cfg := tkcm.DefaultConfig()
+	cfg.WindowLength = 7 * 288
+	cfg.PatternLength = 108 // 9-hour pattern
+	cfg.K = 5
+	cfg.D = 3
+	tkcmOut, err := imputeContinuously(frame, target, cfg, gapStart, gapLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Baselines on the same gap ---
+	s := frame.ByName(target)
+	interp := baseline.Interpolate(s.Values)[gapStart : gapStart+gapLen]
+
+	data := make([][]float64, frame.Len())
+	for t := range data {
+		data[t] = frame.Row(t)
+	}
+	knniAll := baseline.KNNI(baseline.KNNIConfig{K: 5, Weighted: true}, data, frame.IndexOf(target))
+	knni := knniAll[gapStart : gapStart+gapLen]
+
+	fmt.Printf("junctions: %d, gap: 1 day in %s\n\n", frame.Width(), target)
+	fmt.Printf("%-22s RMSE (mg/L)\n", "method")
+	fmt.Printf("%-22s -----------\n", "------")
+	fmt.Printf("%-22s %.5f\n", "TKCM (l=108, k=5, d=3)", stats.RMSE(truth, tkcmOut))
+	fmt.Printf("%-22s %.5f\n", "linear interpolation", stats.RMSE(truth, interp))
+	fmt.Printf("%-22s %.5f\n", "kNNI (k=5, weighted)", stats.RMSE(truth, knni))
+	fmt.Println("\nnote: kNNI scans the full matrix per tick and needs the other junctions")
+	fmt.Println("complete; TKCM streams with a fixed window and tolerates concurrent gaps.")
+}
+
+// erase removes [start, start+length) of the named series and returns the
+// removed ground truth.
+func erase(frame *timeseries.Frame, name string, start, length int) ([]float64, error) {
+	s := frame.ByName(name)
+	if s == nil {
+		return nil, fmt.Errorf("unknown series %q", name)
+	}
+	return s.EraseBlock(start, length), nil
+}
+
+// imputeContinuously recovers the gap in stream order with one TKCM call per
+// missing tick, mirroring the paper's continuous setting. It does not modify
+// the frame.
+func imputeContinuously(frame *timeseries.Frame, target string, cfg tkcm.Config, gapStart, gapLen int) ([]float64, error) {
+	work := frame.ByName(target).Clone()
+	histories := make(map[string][]float64, frame.Width())
+	for _, s := range frame.Series {
+		histories[s.Name] = s.Values[:gapStart]
+	}
+	ranked := tkcm.RankReferences(target, histories)
+	refs := make([][]float64, cfg.D)
+	for i := 0; i < cfg.D; i++ {
+		refs[i] = frame.ByName(ranked.Candidates[i]).Values
+	}
+	out := make([]float64, gapLen)
+	for off := 0; off < gapLen; off++ {
+		t := gapStart + off
+		lo := t - cfg.WindowLength + 1
+		if lo < 0 {
+			lo = 0
+		}
+		refWins := make([][]float64, len(refs))
+		for i, r := range refs {
+			refWins[i] = r[lo : t+1]
+		}
+		res, err := tkcm.Impute(cfg, work.Values[lo:t+1], refWins)
+		if err != nil {
+			return nil, err
+		}
+		work.Values[t] = res.Value
+		out[off] = res.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package tkcm_test
+
+import (
+	"math"
+	"testing"
+
+	"tkcm"
+	"tkcm/internal/dataset"
+	"tkcm/internal/stats"
+	"tkcm/internal/timeseries"
+)
+
+// TestEngineOnGeneratedDatasets streams each synthetic dataset through the
+// public engine with realistic failures (a block outage in one stream plus
+// scattered dropouts in another, overlapping in time) and checks that the
+// recovery error stays within a sane multiple of the measurement noise and
+// that the retained window never holds a missing value.
+func TestEngineOnGeneratedDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration streams are slow")
+	}
+	cases := []struct {
+		name    string
+		frame   *timeseries.Frame
+		window  int
+		pattern int
+		// maxRMSE is a loose sanity ceiling, not a tuned expectation.
+		maxRMSE float64
+	}{
+		{
+			name:    "SBR-1d",
+			frame:   dataset.SBR1d(dataset.SBRConfig{Stations: 6, Ticks: 16 * 288, Seed: 5, NoiseSD: 0.25}),
+			window:  12 * 288,
+			pattern: 48,
+			maxRMSE: 3.0,
+		},
+		{
+			name:    "Flights",
+			frame:   dataset.Flights(dataset.FlightsConfig{Airports: 6, Ticks: 7 * 1440, Seed: 5}),
+			window:  5 * 1440,
+			pattern: 48,
+			maxRMSE: 12,
+		},
+		{
+			name:    "Chlorine",
+			frame:   dataset.Chlorine(dataset.ChlorineConfig{Junctions: 8, Ticks: 8 * 288, Seed: 5, MaxDelayTicks: 144}),
+			window:  6 * 288,
+			pattern: 48,
+			maxRMSE: 0.05,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			names := tc.frame.Names()
+			cfg := tkcm.DefaultConfig()
+			cfg.WindowLength = tc.window
+			cfg.PatternLength = tc.pattern
+			cfg.K = 3
+			cfg.D = 2
+			eng, err := tkcm.NewEngine(cfg, names, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			n := tc.frame.Len()
+			blockFrom, blockTo := n-n/8, n-n/16 // outage in stream 0
+			var truth0, rec0 []float64
+			var truth1, rec1 []float64
+			for i := 0; i < n; i++ {
+				row := tc.frame.Row(i)
+				t0, t1 := row[0], row[1]
+				miss0 := i >= blockFrom && i < blockTo
+				miss1 := i >= blockFrom && i%11 == 0 // scattered dropouts, overlapping
+				if miss0 {
+					row[0] = tkcm.Missing
+				}
+				if miss1 {
+					row[1] = tkcm.Missing
+				}
+				out, _, err := eng.Tick(row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if miss0 {
+					truth0 = append(truth0, t0)
+					rec0 = append(rec0, out[0])
+				}
+				if miss1 {
+					truth1 = append(truth1, t1)
+					rec1 = append(rec1, out[1])
+				}
+				for j := 0; j < eng.Window().Width(); j++ {
+					if math.IsNaN(out[j]) {
+						t.Fatalf("tick %d: stream %d left missing", i, j)
+					}
+				}
+			}
+			if got := stats.RMSE(truth0, rec0); math.IsNaN(got) || got > tc.maxRMSE {
+				t.Fatalf("block recovery RMSE = %v, ceiling %v", got, tc.maxRMSE)
+			}
+			if got := stats.RMSE(truth1, rec1); math.IsNaN(got) || got > tc.maxRMSE {
+				t.Fatalf("scattered recovery RMSE = %v, ceiling %v", got, tc.maxRMSE)
+			}
+			if eng.Stats.Imputations == 0 {
+				t.Fatal("no TKCM imputations recorded")
+			}
+		})
+	}
+}

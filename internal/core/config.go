@@ -1,0 +1,167 @@
+// Package core implements Top-k Case Matching (TKCM), the paper's primary
+// contribution: continuous imputation of missing values in streams of
+// pattern-determining time series.
+//
+// To impute a missing value s(tn), TKCM
+//
+//  1. extracts the query pattern P(tn) — the last l values of each of the d
+//     reference time series (Def. 1),
+//  2. computes the dissimilarity of every candidate pattern in the streaming
+//     window to P(tn) (Def. 2),
+//  3. selects the k most similar non-overlapping anchor points via dynamic
+//     programming (Def. 3, Eq. 5), and
+//  4. imputes the missing value as the mean of s at those anchors (Def. 4).
+//
+// The package exposes both a slice-based imputation primitive (Impute) and a
+// ring-buffer streaming form mirroring the paper's Algorithm 1
+// (ImputeWindow), plus diagnostics for the pattern-determining property of
+// Sec. 5.3 and ablation variants (greedy selection, overlapping anchors,
+// alternative norms, weighted means) referenced by DESIGN.md.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Norm selects the dissimilarity aggregation between two patterns. The paper
+// uses the L2 norm (Def. 2); L1 and L∞ are the Sec. 8 future-work
+// alternatives, implemented here for the ablation benches.
+type Norm int
+
+const (
+	// L2 is the Euclidean pattern dissimilarity of Def. 2 (paper default).
+	L2 Norm = iota
+	// L1 sums absolute coordinate differences.
+	L1
+	// LInf takes the maximum absolute coordinate difference.
+	LInf
+)
+
+// String returns the conventional name of the norm.
+func (n Norm) String() string {
+	switch n {
+	case L2:
+		return "L2"
+	case L1:
+		return "L1"
+	case LInf:
+		return "LInf"
+	default:
+		return fmt.Sprintf("Norm(%d)", int(n))
+	}
+}
+
+// Selection chooses how the k anchors are picked from the dissimilarity
+// profile.
+type Selection int
+
+const (
+	// SelectDP is the paper's dynamic program (Eq. 5): the k non-overlapping
+	// patterns minimizing the sum of dissimilarities.
+	SelectDP Selection = iota
+	// SelectGreedy sorts anchors by dissimilarity and keeps the first k that
+	// do not overlap. Sec. 6.1 shows this fails to minimize the sum; it is
+	// retained as an ablation.
+	SelectGreedy
+	// SelectOverlapping picks the k smallest dissimilarities with no
+	// non-overlap constraint. Sec. 4.1 argues this collapses onto near
+	// duplicates; retained as an ablation.
+	SelectOverlapping
+)
+
+// String returns a short name for the selection strategy.
+func (s Selection) String() string {
+	switch s {
+	case SelectDP:
+		return "dp"
+	case SelectGreedy:
+		return "greedy"
+	case SelectOverlapping:
+		return "overlapping"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Config holds TKCM's parameters, named exactly as in Table 1.
+type Config struct {
+	// K is the number of anchor points (paper default 5, Sec. 7.2).
+	K int
+	// L is the pattern length l (paper default 72 ≙ 6h at 5-min sampling).
+	PatternLength int
+	// D is the number of reference time series consulted (paper default 3).
+	D int
+	// WindowLength is the streaming window length L (paper default 1 year =
+	// 105120 ticks at 5-minute sampling).
+	WindowLength int
+	// Norm is the pattern dissimilarity norm (default L2, Def. 2).
+	Norm Norm
+	// Selection is the anchor selection strategy (default SelectDP).
+	Selection Selection
+	// WeightedMean, when true, weights each anchor value by the inverse of
+	// its pattern dissimilarity instead of the plain mean of Def. 4
+	// (Troyanskaya-style weighting discussed in Sec. 2).
+	WeightedMean bool
+	// FastExtraction computes the L2 dissimilarity profile via FFT
+	// cross-correlation in O(d·L·log L) instead of the naive O(d·l·L) —
+	// the Sec. 8 future-work optimization of the pattern extraction phase.
+	// Mathematically identical to the naive profile (up to floating-point
+	// rounding in the last ulps); only applies to the L2 norm and the
+	// slice-based Impute path.
+	FastExtraction bool
+}
+
+// DefaultConfig returns the calibrated defaults of Sec. 7.2: d = 3 reference
+// series, k = 5 anchors, pattern length l = 72, window L = 1 year of 5-minute
+// ticks.
+func DefaultConfig() Config {
+	return Config{
+		K:             5,
+		PatternLength: 72,
+		D:             3,
+		WindowLength:  105120,
+		Norm:          L2,
+		Selection:     SelectDP,
+	}
+}
+
+// Validate reports the first violated constraint, or nil. The window must be
+// long enough to contain the query pattern plus k non-overlapping candidate
+// patterns: L ≥ (k+1)·l + (l-1) ⇒ candidates = L − 2l + 1 ≥ k·l − (l−1)
+// would be the tight bound; we enforce the simpler sufficient condition from
+// Def. 3 that at least k candidate anchors exist and k disjoint patterns fit.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", c.K)
+	}
+	if c.PatternLength <= 0 {
+		return fmt.Errorf("core: pattern length l must be positive, got %d", c.PatternLength)
+	}
+	if c.D <= 0 {
+		return fmt.Errorf("core: number of reference series d must be positive, got %d", c.D)
+	}
+	if c.WindowLength <= 0 {
+		return fmt.Errorf("core: window length L must be positive, got %d", c.WindowLength)
+	}
+	candidates := c.WindowLength - 2*c.PatternLength + 1
+	if candidates < 1 {
+		return fmt.Errorf("core: window length L=%d too short for pattern length l=%d (need L ≥ 2l)", c.WindowLength, c.PatternLength)
+	}
+	// k non-overlapping patterns of length l need (k-1)·l + 1 candidate
+	// anchor positions.
+	if candidates < (c.K-1)*c.PatternLength+1 {
+		return fmt.Errorf("core: window length L=%d cannot host k=%d non-overlapping patterns of length l=%d", c.WindowLength, c.K, c.PatternLength)
+	}
+	return nil
+}
+
+// ErrInsufficientHistory is returned when the streaming window does not yet
+// retain enough complete ticks to form the query pattern and k candidates.
+var ErrInsufficientHistory = errors.New("core: insufficient history in streaming window")
+
+// ErrMissingInQueryPattern is returned when a reference series lacks a value
+// inside the query pattern and no imputed value is available. Under
+// continuous imputation this cannot happen (older ticks are always imputed
+// first); it guards incorrect offline use.
+var ErrMissingInQueryPattern = errors.New("core: missing value inside query pattern")

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tkcm/internal/window"
+)
+
+// Engine performs continuous imputation over a set of co-evolving streams:
+// at every tick it records the new row of measurements and immediately
+// imputes every missing value using TKCM, so the retained window is always
+// complete (the paper's streaming setting, Sec. 3). Each incomplete stream
+// is imputed individually with its own reference set.
+type Engine struct {
+	cfg  Config
+	w    *window.Window
+	refs map[string]ReferenceSet
+	// fallback records per-stream last imputed/observed value, used only
+	// while the window is too short for TKCM (cold start).
+	last []float64
+	// Stats accumulates counters for observability.
+	Stats EngineStats
+}
+
+// EngineStats counts engine activity.
+type EngineStats struct {
+	Ticks            int // rows consumed
+	Imputations      int // TKCM imputations performed
+	ColdStartFills   int // missing values filled by cold-start carry-forward
+	ReferenceErrors  int // ticks where a stream lacked d usable references
+	InsufficientHist int // imputations skipped due to a short window
+}
+
+// NewEngine creates a continuous-imputation engine over the named streams.
+// refs maps stream name to its ordered candidate reference series; streams
+// without an entry get a correlation-ranked reference set lazily on their
+// first missing value (RankCandidates).
+func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if refs == nil {
+		refs = make(map[string]ReferenceSet)
+	}
+	e := &Engine{
+		cfg:  cfg,
+		w:    window.New(cfg.WindowLength, names...),
+		refs: refs,
+		last: make([]float64, len(names)),
+	}
+	for i := range e.last {
+		e.last[i] = math.NaN()
+	}
+	return e, nil
+}
+
+// Window exposes the engine's streaming window (read-mostly; imputers write
+// the current slot).
+func (e *Engine) Window() *window.Window { return e.w }
+
+// Config returns the engine's TKCM configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Tick consumes one row of measurements (one value per stream, NaN =
+// missing) and imputes every missing value. It returns the completed row
+// (imputed in place of NaN) and the per-stream imputation results for
+// streams that required TKCM (nil entries for streams that were present or
+// cold-start filled).
+func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
+	if len(row) != e.w.Width() {
+		return nil, nil, fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
+	}
+	e.w.Advance(row)
+	e.Stats.Ticks++
+	results := make([]*Result, len(row))
+	out := make([]float64, len(row))
+	copy(out, row)
+	for i, v := range row {
+		if !math.IsNaN(v) {
+			e.last[i] = v
+			out[i] = v
+			continue
+		}
+		res, err := e.imputeStream(i)
+		switch {
+		case err == nil:
+			results[i] = res
+			out[i] = res.Value
+			e.last[i] = res.Value
+		case err == ErrInsufficientHistory:
+			e.Stats.InsufficientHist++
+			out[i] = e.coldFill(i)
+		default:
+			e.Stats.ReferenceErrors++
+			out[i] = e.coldFill(i)
+		}
+	}
+	return out, results, nil
+}
+
+// imputeStream runs TKCM for the stream at index i at the current tick.
+func (e *Engine) imputeStream(i int) (*Result, error) {
+	name := e.w.Names()[i]
+	rs, ok := e.refs[name]
+	if !ok {
+		rs = e.rankFromWindow(name)
+		e.refs[name] = rs
+	}
+	refIdx, err := rs.Pick(e.w, e.cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ImputeWindow(e.cfg, e.w, i, refIdx)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.Imputations++
+	return res, nil
+}
+
+// coldFill fills a missing value while TKCM is not applicable: it carries
+// the last known value forward, falling back to the mean of the present
+// values in the current row, then to 0. The cold-start path exists only for
+// the first ticks of a stream's life; experiments always warm the window
+// before injecting missing blocks.
+func (e *Engine) coldFill(i int) float64 {
+	e.Stats.ColdStartFills++
+	v := e.last[i]
+	if !math.IsNaN(v) {
+		e.w.SetCurrent(i, v)
+		return v
+	}
+	sum, n := 0.0, 0
+	for j := 0; j < e.w.Width(); j++ {
+		if j == i {
+			continue
+		}
+		if cv := e.w.Current(j); !math.IsNaN(cv) {
+			sum += cv
+			n++
+		}
+	}
+	if n > 0 {
+		v = sum / float64(n)
+	} else {
+		v = 0
+	}
+	e.w.SetCurrent(i, v)
+	return v
+}
+
+// rankFromWindow builds a correlation-ranked reference set for name from the
+// retained window contents.
+func (e *Engine) rankFromWindow(name string) ReferenceSet {
+	histories := make(map[string][]float64, e.w.Width())
+	for j, n := range e.w.Names() {
+		histories[n] = e.w.Snapshot(j)
+	}
+	return RankCandidates(name, histories)
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tkcm/internal/window"
+)
+
+// newTable2Window loads the running example into a streaming window with
+// streams [s, r1, r2, r3] and s(14:20) missing.
+func newTable2Window(t *testing.T) *window.Window {
+	t.Helper()
+	w := window.New(12, "s", "r1", "r2", "r3")
+	for i := 0; i < 12; i++ {
+		sv := table2S[i]
+		if i == 11 {
+			sv = math.NaN()
+		}
+		w.Advance([]float64{sv, table2R1[i], table2R2[i], table2R3[i]})
+	}
+	return w
+}
+
+// TestReferencePick replicates Example 1: with candidates ⟨r1, r2, r3⟩ and
+// d = 2, the reference set is {r1, r2} when all are present, and {r1, r3}
+// when r2 is missing at the current time.
+func TestReferencePick(t *testing.T) {
+	rs := ReferenceSet{Stream: "s", Candidates: []string{"r1", "r2", "r3"}}
+
+	w := newTable2Window(t)
+	idx, err := rs.Pick(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != w.IndexOf("r1") || idx[1] != w.IndexOf("r2") {
+		t.Fatalf("picked %v, want [r1 r2]", idx)
+	}
+
+	// Now make r2's current value missing: the pick must fall through to r3.
+	w.SetCurrent(w.IndexOf("r2"), math.NaN())
+	idx, err = rs.Pick(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != w.IndexOf("r1") || idx[1] != w.IndexOf("r3") {
+		t.Fatalf("picked %v, want [r1 r3]", idx)
+	}
+}
+
+func TestReferencePickErrors(t *testing.T) {
+	w := newTable2Window(t)
+	rs := ReferenceSet{Stream: "s", Candidates: []string{"r1", "nope"}}
+	if _, err := rs.Pick(w, 2); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+	rs = ReferenceSet{Stream: "s", Candidates: []string{"r1"}}
+	if _, err := rs.Pick(w, 2); err == nil {
+		t.Fatal("too few candidates accepted")
+	}
+}
+
+func TestRankCandidates(t *testing.T) {
+	n := 200
+	target := make([]float64, n)
+	linear := make([]float64, n)
+	noisy := make([]float64, n)
+	anti := make([]float64, n)
+	state := uint64(42)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000)/500 - 1
+	}
+	for i := 0; i < n; i++ {
+		base := math.Sin(float64(i) / 7)
+		target[i] = base
+		linear[i] = 2*base + 1   // |ρ| = 1
+		anti[i] = -base          // |ρ| = 1 (negative correlation still useful)
+		noisy[i] = base + next() // weaker correlation
+	}
+	rs := RankCandidates("t", map[string][]float64{
+		"t": target, "linear": linear, "noisy": noisy, "anti": anti,
+	})
+	if rs.Stream != "t" || len(rs.Candidates) != 3 {
+		t.Fatalf("unexpected reference set %+v", rs)
+	}
+	// linear and anti tie at |ρ| = 1 and sort by name; noisy comes last.
+	if rs.Candidates[2] != "noisy" {
+		t.Fatalf("ranking = %v, want noisy last", rs.Candidates)
+	}
+	if rs.Candidates[0] != "anti" || rs.Candidates[1] != "linear" {
+		t.Fatalf("ranking = %v, want [anti linear ...] (tie broken by name)", rs.Candidates)
+	}
+}
+
+func TestRankCandidatesUnknownTarget(t *testing.T) {
+	rs := RankCandidates("missing", map[string][]float64{"a": {1, 2}})
+	if len(rs.Candidates) != 0 {
+		t.Fatalf("expected empty ranking, got %v", rs.Candidates)
+	}
+}
+
+// TestEngineContinuousImputation streams phase-shifted sines with scattered
+// missing values in the target and checks TKCM recovers them accurately once
+// the window is warm.
+func TestEngineContinuousImputation(t *testing.T) {
+	const period = 120
+	const n = 6 * period
+	cfg := Config{K: 3, PatternLength: 20, D: 2, WindowLength: 4 * period, Norm: L2, Selection: SelectDP}
+	refs := map[string]ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r1", "r2"}},
+	}
+	eng, err := NewEngine(cfg, []string{"s", "r1", "r2"}, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	imputations := 0
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		truth := math.Sin(ph)
+		sVal := truth
+		// Drop every 7th tick of s once the window holds k full periods, so
+		// k exact historical matches exist (Lemma 5.3 needs L ≥ kP + l).
+		missing := i >= cfg.WindowLength+period/2 && i%7 == 0
+		if missing {
+			sVal = math.NaN()
+		}
+		row := []float64{sVal, math.Sin(ph - 1), math.Cos(ph + 0.5)}
+		out, results, err := eng.Tick(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if missing && results[0] != nil {
+			imputations++
+			if e := math.Abs(out[0] - truth); e > worst {
+				worst = e
+			}
+		}
+	}
+	if imputations == 0 {
+		t.Fatal("engine never imputed")
+	}
+	if worst > 1e-6 {
+		t.Fatalf("worst imputation error %v, want ≈ 0 on noiseless sines", worst)
+	}
+	if eng.Stats.Imputations != imputations {
+		t.Fatalf("stats.Imputations = %d, want %d", eng.Stats.Imputations, imputations)
+	}
+}
+
+// TestEngineColdStart: missing values before the window is warm are filled
+// by carry-forward, not TKCM.
+func TestEngineColdStart(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 3, D: 1, WindowLength: 30, Norm: L2}
+	eng, err := NewEngine(cfg, []string{"s", "r"}, map[string]ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, results, err := eng.Tick([]float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 {
+		t.Fatalf("present value altered: %v", out[0])
+	}
+	out, results, err = eng.Tick([]float64{math.NaN(), 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != nil {
+		t.Fatal("TKCM ran without enough history")
+	}
+	if out[0] != 5 {
+		t.Fatalf("cold fill = %v, want carry-forward 5", out[0])
+	}
+	if eng.Stats.ColdStartFills != 1 || eng.Stats.InsufficientHist != 1 {
+		t.Fatalf("unexpected stats %+v", eng.Stats)
+	}
+}
+
+// TestEngineColdStartNoHistory: a stream that starts missing falls back to
+// the row mean of the other streams.
+func TestEngineColdStartNoHistory(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 3, D: 1, WindowLength: 30, Norm: L2}
+	eng, err := NewEngine(cfg, []string{"s", "a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := eng.Tick([]float64{math.NaN(), 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 6 {
+		t.Fatalf("fallback fill = %v, want row mean 6", out[0])
+	}
+}
+
+func TestEngineAutoRanksReferences(t *testing.T) {
+	const period = 60
+	cfg := Config{K: 2, PatternLength: 10, D: 1, WindowLength: 3 * period, Norm: L2}
+	eng, err := NewEngine(cfg, []string{"s", "good", "junk"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(9)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000)/500 - 1
+	}
+	for i := 0; i < 5*period; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		sv := math.Sin(ph)
+		if i == 5*period-1 {
+			sv = math.NaN()
+		}
+		if _, _, err := eng.Tick([]float64{sv, math.Sin(ph), next()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Stats.Imputations != 1 {
+		t.Fatalf("imputations = %d, want 1", eng.Stats.Imputations)
+	}
+	// The auto-ranked reference must be the correlated stream.
+	truth := math.Sin(2 * math.Pi * float64(5*period-1) / period)
+	got := eng.Window().Current(0)
+	if math.Abs(got-truth) > 0.05 {
+		t.Fatalf("imputed %v, want ≈ %v — auto-ranking likely picked the junk reference", got, truth)
+	}
+}
+
+func TestEngineRowWidthMismatch(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 3, D: 1, WindowLength: 30}
+	eng, err := NewEngine(cfg, []string{"a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Tick([]float64{1}); err == nil {
+		t.Fatal("row width mismatch accepted")
+	}
+}
+
+func TestNewEngineRejectsBadConfig(t *testing.T) {
+	if _, err := NewEngine(Config{}, []string{"a"}, nil); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tkcm/internal/window"
+)
+
+// TestImputeWindowEquivalence: on random data, the ring-buffer streaming
+// form (ImputeWindow) and the slice form (Impute) must produce identical
+// results — including after the window has wrapped, which exercises the
+// modular index arithmetic of Algorithm 1.
+func TestImputeWindowEquivalence(t *testing.T) {
+	f := func(seed int64, extraRaw uint8) bool {
+		const L = 60
+		cfg := Config{K: 3, PatternLength: 4, D: 2, WindowLength: L, Norm: L2, Selection: SelectDP}
+		extra := int(extraRaw)%100 + 1 // force wrap-around by over-filling
+
+		data := randomRefs(seed, 3, L+extra) // row 0 = s, rows 1-2 = refs
+		w := window.New(L, "s", "r1", "r2")
+		for i := 0; i < L+extra; i++ {
+			w.Advance([]float64{data[0][i], data[1][i], data[2][i]})
+		}
+		// Mark the newest value of s missing in both forms.
+		w.SetCurrent(0, math.NaN())
+		lo := extra
+		s := append([]float64(nil), data[0][lo:]...)
+		s[len(s)-1] = math.NaN()
+		refs := [][]float64{data[1][lo:], data[2][lo:]}
+
+		sliceRes, err1 := Impute(cfg, s, refs)
+		winRes, err2 := ImputeWindow(cfg, w, 0, []int{1, 2})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if sliceRes.Value != winRes.Value || sliceRes.Epsilon != winRes.Epsilon {
+			return false
+		}
+		if len(sliceRes.Anchors) != len(winRes.Anchors) {
+			return false
+		}
+		for i := range sliceRes.Anchors {
+			if sliceRes.Anchors[i] != winRes.Anchors[i] {
+				return false
+			}
+		}
+		// The window must now hold the imputed value at tn.
+		return w.Current(0) == sliceRes.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImputeWindowAllNorms runs the equivalence across every norm once.
+func TestImputeWindowAllNorms(t *testing.T) {
+	for _, norm := range []Norm{L2, L1, LInf} {
+		const L = 40
+		cfg := Config{K: 2, PatternLength: 3, D: 2, WindowLength: L, Norm: norm, Selection: SelectDP}
+		data := randomRefs(7, 3, L+13)
+		w := window.New(L, "s", "r1", "r2")
+		for i := range data[0] {
+			w.Advance([]float64{data[0][i], data[1][i], data[2][i]})
+		}
+		w.SetCurrent(0, math.NaN())
+		s := append([]float64(nil), data[0][13:]...)
+		s[len(s)-1] = math.NaN()
+		sliceRes, err := Impute(cfg, s, [][]float64{data[1][13:], data[2][13:]})
+		if err != nil {
+			t.Fatalf("%v slice: %v", norm, err)
+		}
+		winRes, err := ImputeWindow(cfg, w, 0, []int{1, 2})
+		if err != nil {
+			t.Fatalf("%v window: %v", norm, err)
+		}
+		if sliceRes.Value != winRes.Value {
+			t.Fatalf("%v: slice %v != window %v", norm, sliceRes.Value, winRes.Value)
+		}
+	}
+}
+
+// TestEngineWindowAlwaysComplete: after every tick, the retained window has
+// no missing values — the core invariant of continuous imputation (Sec. 3).
+func TestEngineWindowAlwaysComplete(t *testing.T) {
+	f := func(missMask uint64) bool {
+		const period = 48
+		cfg := Config{K: 2, PatternLength: 6, D: 1, WindowLength: 2 * period, Norm: L2}
+		eng, err := NewEngine(cfg, []string{"s", "r"}, map[string]ReferenceSet{
+			"s": {Stream: "s", Candidates: []string{"r"}},
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4*period; i++ {
+			ph := 2 * math.Pi * float64(i) / period
+			sv := math.Sin(ph)
+			if i >= 64 && missMask&(1<<(uint(i)%64)) != 0 {
+				sv = math.NaN()
+			}
+			if _, _, err := eng.Tick([]float64{sv, math.Cos(ph)}); err != nil {
+				return false
+			}
+			w := eng.Window()
+			for j := 0; j < w.Width(); j++ {
+				if w.Stream(j).CountMissing() != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineReferenceFailureInjection: when every candidate reference is
+// missing at the same tick as the target, the engine must fall back to a
+// cold fill rather than failing or leaving a hole.
+func TestEngineReferenceFailureInjection(t *testing.T) {
+	const period = 48
+	cfg := Config{K: 2, PatternLength: 6, D: 1, WindowLength: 2 * period, Norm: L2}
+	eng, err := NewEngine(cfg, []string{"s", "r"}, map[string]ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*period; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		row := []float64{math.Sin(ph), math.Cos(ph)}
+		if i == 3*period-1 {
+			row[0] = math.NaN()
+			row[1] = math.NaN() // the reference fails simultaneously
+		}
+		out, results, err := eng.Tick(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3*period-1 {
+			if results[0] != nil {
+				t.Fatal("TKCM ran without a usable reference")
+			}
+			if math.IsNaN(out[0]) {
+				t.Fatal("missing value left unfilled")
+			}
+		}
+	}
+	if eng.Stats.ReferenceErrors == 0 {
+		t.Fatal("reference failure not counted")
+	}
+	// The reference stream itself is never imputed by TKCM (it has no
+	// reference set entry and auto-ranking needs the target present), but
+	// the window must still be complete.
+	if eng.Window().Stream(1).CountMissing() != 0 {
+		t.Fatal("reference hole left in the window")
+	}
+}
+
+// TestEngineLongBlockFeedback: a multi-day gap is imputed tick by tick with
+// earlier imputations feeding later ones; the error must stay bounded on
+// periodic data (resilience to consecutively missing values, Sec. 7.3.2).
+func TestEngineLongBlockFeedback(t *testing.T) {
+	const period = 96
+	const n = 8 * period
+	cfg := Config{K: 3, PatternLength: 12, D: 2, WindowLength: 4 * period, Norm: L2}
+	eng, err := NewEngine(cfg, []string{"s", "r1", "r2"}, map[string]ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r1", "r2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockFrom := n - 2*period // the last two periods are one long gap
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		truth := math.Sin(ph) + 0.3*math.Sin(3*ph)
+		row := []float64{truth, math.Sin(ph - 1.1), math.Cos(ph + 0.4)}
+		if i >= blockFrom {
+			row[0] = math.NaN()
+		}
+		out, _, err := eng.Tick(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= blockFrom {
+			if e := math.Abs(out[0] - truth); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("worst error %v across a 2-period gap on noiseless data", worst)
+	}
+}

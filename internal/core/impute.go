@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+
+	"tkcm/internal/window"
+)
+
+// Result describes one imputation: the recovered value, the chosen anchors,
+// and the pattern-determining diagnostics of Sec. 5.3.
+type Result struct {
+	// Value is the imputed value sˆ(tn) (Def. 4).
+	Value float64
+	// Anchors are the window-local indices (0 = oldest retained tick) of the
+	// k most similar anchor points A, ascending.
+	Anchors []int
+	// AnchorValues are the values of s at the anchors, aligned with Anchors.
+	AnchorValues []float64
+	// Dissimilarities are δ(P(t), P(tn)) for each chosen anchor t.
+	Dissimilarities []float64
+	// SumDissimilarity is Σ δ over the chosen anchors — the quantity the DP
+	// minimizes (Def. 3 condition 3).
+	SumDissimilarity float64
+	// Epsilon is max_{t,t'∈A} |s(t) − s(t')|, the ε of Def. 5. Small ε means
+	// the reference series pattern-determine s at tn.
+	Epsilon float64
+}
+
+// PatternDetermining reports whether the imputation satisfied Def. 5 for the
+// given tolerance: every pair of anchor values of s lies within eps.
+func (r *Result) PatternDetermining(eps float64) bool { return r.Epsilon <= eps }
+
+// Impute recovers the missing value of series s at the last tick of the
+// supplied histories. s and every refs[i] hold the retained window (oldest
+// first, equal lengths, last element = current time tn); s's last element is
+// ignored (it is the missing value being recovered). The reference histories
+// must be complete over the window — under continuous imputation older ticks
+// were themselves imputed on arrival.
+//
+// This is the slice-based form used by the experiment harness; ImputeWindow
+// is the streaming ring-buffer form of Algorithm 1.
+func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l, k := cfg.PatternLength, cfg.K
+	filled := len(s)
+	for _, r := range refs {
+		if len(r) < filled {
+			filled = len(r)
+		}
+	}
+	nCand := filled - 2*l + 1
+	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
+		return nil, ErrInsufficientHistory
+	}
+	// Query pattern must be complete in every reference series.
+	for _, r := range refs {
+		for x := filled - l; x < filled; x++ {
+			if math.IsNaN(r[x]) {
+				return nil, ErrMissingInQueryPattern
+			}
+		}
+	}
+	var d []float64
+	if cfg.FastExtraction && cfg.Norm == L2 {
+		d = dissimilarityProfileFFT(refs, l, nil)
+	} else {
+		d = dissimilarityProfile(refs, l, cfg.Norm, nil)
+	}
+	return finishImputation(cfg, d, func(candidate int) float64 {
+		return s[candidate+l-1]
+	})
+}
+
+// ImputeWindow recovers the missing value of the stream at index sIdx of w at
+// the current time tn, reading reference histories from the ring buffers of
+// the streams at refIdx, and stores the imputed value back into the window
+// (Algorithm 1 line 26). It mirrors the paper's Algorithm 1 on ring buffers.
+func ImputeWindow(cfg Config, w *window.Window, sIdx int, refIdx []int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l, k := cfg.PatternLength, cfg.K
+	filled := w.Filled()
+	nCand := filled - 2*l + 1
+	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
+		return nil, ErrInsufficientHistory
+	}
+	// Query pattern completeness check.
+	for _, ri := range refIdx {
+		for x := filled - l; x < filled; x++ {
+			if math.IsNaN(w.At(ri, x)) {
+				return nil, ErrMissingInQueryPattern
+			}
+		}
+	}
+	d := profileFromWindow(w, refIdx, l, cfg.Norm)
+	res, err := finishImputation(cfg, d, func(candidate int) float64 {
+		return w.Stream(sIdx).At(candidate + l - 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.SetCurrent(sIdx, res.Value)
+	return res, nil
+}
+
+// profileFromWindow computes the dissimilarity profile directly from the
+// window's ring buffers.
+func profileFromWindow(w *window.Window, refIdx []int, l int, norm Norm) []float64 {
+	filled := w.Filled()
+	nCand := filled - 2*l + 1
+	d := make([]float64, nCand)
+	qStart := filled - l
+	for j := 0; j < nCand; j++ {
+		switch norm {
+		case L1:
+			sum := 0.0
+			for _, ri := range refIdx {
+				b := w.Stream(ri)
+				for x := 0; x < l; x++ {
+					sum += math.Abs(b.At(j+x) - b.At(qStart+x))
+				}
+			}
+			d[j] = sum
+		case LInf:
+			max := 0.0
+			for _, ri := range refIdx {
+				b := w.Stream(ri)
+				for x := 0; x < l; x++ {
+					if dd := math.Abs(b.At(j+x) - b.At(qStart+x)); dd > max {
+						max = dd
+					}
+				}
+			}
+			d[j] = max
+		default:
+			sum := 0.0
+			for _, ri := range refIdx {
+				b := w.Stream(ri)
+				for x := 0; x < l; x++ {
+					dd := b.At(j+x) - b.At(qStart+x)
+					sum += dd * dd
+				}
+			}
+			d[j] = math.Sqrt(sum)
+		}
+	}
+	return d
+}
+
+// finishImputation runs anchor selection on the dissimilarity profile and
+// aggregates the anchor values of s (Def. 4, optionally similarity-weighted).
+// valueAt returns s's value for a candidate index (anchor tick = candidate +
+// l − 1).
+func finishImputation(cfg Config, d []float64, valueAt func(candidate int) float64) (*Result, error) {
+	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection)
+	if !ok {
+		return nil, ErrInsufficientHistory
+	}
+	res := &Result{
+		Anchors:          make([]int, 0, len(idx)),
+		AnchorValues:     make([]float64, 0, len(idx)),
+		Dissimilarities:  make([]float64, 0, len(idx)),
+		SumDissimilarity: sum,
+	}
+	var (
+		plain          float64
+		weighted, wsum float64
+		n              int
+	)
+	for _, j := range idx {
+		v := valueAt(j)
+		res.Anchors = append(res.Anchors, j+cfg.PatternLength-1)
+		res.AnchorValues = append(res.AnchorValues, v)
+		res.Dissimilarities = append(res.Dissimilarities, d[j])
+		if math.IsNaN(v) {
+			// The anchor value of s itself is missing (can happen offline
+			// when s has other gaps); skip it in the aggregate.
+			continue
+		}
+		plain += v
+		w := 1.0 / (d[j] + 1e-9)
+		weighted += w * v
+		wsum += w
+		n++
+	}
+	if n == 0 {
+		return nil, ErrInsufficientHistory
+	}
+	if cfg.WeightedMean {
+		res.Value = weighted / wsum
+	} else {
+		res.Value = plain / float64(n)
+	}
+	// ε of Def. 5: max pairwise spread of the (non-missing) anchor values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range res.AnchorValues {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	res.Epsilon = hi - lo
+	return res, nil
+}

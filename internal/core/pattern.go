@@ -1,0 +1,128 @@
+package core
+
+import "math"
+
+// Pattern is the d×l matrix of Def. 1: row i holds the l consecutive values
+// of reference series i ending at the anchor time. Values[i][j] is
+// rᵢ(t_anchor − l + 1 + j), i.e. columns are in chronological order with the
+// anchor value in the last column.
+type Pattern struct {
+	// Anchor is the window-local index of the anchor tick (0 = oldest
+	// retained tick).
+	Anchor int
+	// Values holds one row per reference series.
+	Values [][]float64
+}
+
+// Dissimilarity computes δ(p, q) between two equally shaped patterns under
+// the given norm. For L2 this is Def. 2: the square root of the sum of
+// squared element-wise differences across all d rows and l columns.
+func Dissimilarity(p, q *Pattern, norm Norm) float64 {
+	switch norm {
+	case L1:
+		sum := 0.0
+		for i := range p.Values {
+			pi, qi := p.Values[i], q.Values[i]
+			for j := range pi {
+				sum += math.Abs(pi[j] - qi[j])
+			}
+		}
+		return sum
+	case LInf:
+		max := 0.0
+		for i := range p.Values {
+			pi, qi := p.Values[i], q.Values[i]
+			for j := range pi {
+				if d := math.Abs(pi[j] - qi[j]); d > max {
+					max = d
+				}
+			}
+		}
+		return max
+	default: // L2
+		sum := 0.0
+		for i := range p.Values {
+			pi, qi := p.Values[i], q.Values[i]
+			for j := range pi {
+				d := pi[j] - qi[j]
+				sum += d * d
+			}
+		}
+		return math.Sqrt(sum)
+	}
+}
+
+// ExtractPattern builds the pattern of length l anchored at window-local
+// index anchor over the given reference histories. refs[i] is the full
+// retained history (oldest first) of reference series i; all refs must be at
+// least anchor+1 long. The returned pattern owns its storage.
+func ExtractPattern(refs [][]float64, anchor, l int) *Pattern {
+	p := &Pattern{Anchor: anchor, Values: make([][]float64, len(refs))}
+	for i, r := range refs {
+		row := make([]float64, l)
+		copy(row, r[anchor-l+1:anchor+1])
+		p.Values[i] = row
+	}
+	return p
+}
+
+// dissimilarityProfile computes D[j] for every candidate anchor of the
+// window (Algorithm 1, lines 1–7), writing into dst (allocated if nil):
+// dst[j] = δ(P(anchor_j), P(tn)) for j = 0..n-1, where anchor_j is
+// window-local index l-1+j and the query pattern is anchored at index n-1 of
+// a window with filled ticks. refs[i] is the retained history of reference
+// series i (oldest first, length = filled window ticks). The number of
+// candidates is filled − 2l + 1: the first l−1 ticks cannot anchor a full
+// pattern and the last l ticks would overlap the query pattern (Def. 3
+// condition 1).
+//
+// The computation follows the paper exactly: per anchor, sum squared
+// differences over all d reference rows and l columns. For the alternate
+// norms the inner aggregation changes accordingly.
+func dissimilarityProfile(refs [][]float64, l int, norm Norm, dst []float64) []float64 {
+	filled := len(refs[0])
+	nCand := filled - 2*l + 1
+	if nCand < 0 {
+		nCand = 0
+	}
+	if dst == nil {
+		dst = make([]float64, nCand)
+	}
+	dst = dst[:nCand]
+	qStart := filled - l // query pattern occupies [filled-l, filled-1]
+	for j := 0; j < nCand; j++ {
+		aStart := j // candidate pattern occupies [j, j+l-1], anchor at j+l-1
+		switch norm {
+		case L1:
+			sum := 0.0
+			for _, r := range refs {
+				for x := 0; x < l; x++ {
+					sum += math.Abs(r[aStart+x] - r[qStart+x])
+				}
+			}
+			dst[j] = sum
+		case LInf:
+			max := 0.0
+			for _, r := range refs {
+				for x := 0; x < l; x++ {
+					if d := math.Abs(r[aStart+x] - r[qStart+x]); d > max {
+						max = d
+					}
+				}
+			}
+			dst[j] = max
+		default:
+			sum := 0.0
+			for _, r := range refs {
+				cand := r[aStart : aStart+l]
+				query := r[qStart : qStart+l]
+				for x := 0; x < l; x++ {
+					d := cand[x] - query[x]
+					sum += d * d
+				}
+			}
+			dst[j] = math.Sqrt(sum)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+
+	"tkcm/internal/fft"
+)
+
+// dissimilarityProfileFFT computes the L2 dissimilarity profile of
+// dissimilarityProfile in O(d · L · log L) instead of O(d · l · L),
+// implementing the paper's Sec. 8 future-work direction of speeding up the
+// pattern extraction phase. It decomposes each per-reference contribution
+//
+//	Σ_x (r[j+x] − q[x])² = E_r[j] + E_q − 2·(r ⋆ q)[j]
+//
+// into the sliding window energy E_r (prefix sums of squares), the constant
+// query energy E_q, and a cross-correlation computed via FFT. The result is
+// mathematically identical to the naive profile; floating-point rounding of
+// the FFT path differs in the last few ulps, which is why exact tie
+// resolution in the DP may occasionally pick a different but equally good
+// anchor set.
+func dissimilarityProfileFFT(refs [][]float64, l int, dst []float64) []float64 {
+	filled := len(refs[0])
+	for _, r := range refs {
+		if len(r) < filled {
+			filled = len(r)
+		}
+	}
+	nCand := filled - 2*l + 1
+	if nCand < 0 {
+		nCand = 0
+	}
+	if dst == nil {
+		dst = make([]float64, nCand)
+	}
+	dst = dst[:nCand]
+	for j := range dst {
+		dst[j] = 0
+	}
+	qStart := filled - l
+	for _, r := range refs {
+		r = r[:filled]
+		q := r[qStart:]
+		// Query energy.
+		eq := 0.0
+		for _, v := range q {
+			eq += v * v
+		}
+		// Sliding window energies via prefix sums of squares.
+		prefix := make([]float64, filled+1)
+		for i, v := range r {
+			prefix[i+1] = prefix[i] + v*v
+		}
+		// Sliding dot products via FFT. Only the first nCand lags are
+		// needed, but the correlation yields all filled−l+1 of them.
+		cross := fft.CrossCorrelate(r, q)
+		for j := 0; j < nCand; j++ {
+			er := prefix[j+l] - prefix[j]
+			contrib := er + eq - 2*cross[j]
+			if contrib < 0 {
+				contrib = 0 // guard FFT rounding below zero
+			}
+			dst[j] += contrib
+		}
+	}
+	for j := range dst {
+		dst[j] = math.Sqrt(dst[j])
+	}
+	return dst
+}

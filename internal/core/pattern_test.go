@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestExample3Dissimilarity checks δ(P(14:00), P(14:20)) on the running
+// example. The paper's prose reports 0.43, but summing the squared
+// differences it itself lists — (0.2² + 0.3² + 0.1²) for r1 and
+// (0.3² + 0.1² + 0²) for r2 — gives √0.24 ≈ 0.4899; we pin the value implied
+// by the listed terms.
+func TestExample3Dissimilarity(t *testing.T) {
+	refs := [][]float64{table2R1, table2R2}
+	q := ExtractPattern(refs, 11, 3) // P(14:20)
+	p := ExtractPattern(refs, 7, 3)  // P(14:00)
+	got := Dissimilarity(p, q, L2)
+	want := math.Sqrt(0.24)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("δ(P(14:00), P(14:20)) = %v, want %v", got, want)
+	}
+}
+
+func TestExtractPatternLayout(t *testing.T) {
+	refs := [][]float64{
+		{10, 11, 12, 13, 14},
+		{20, 21, 22, 23, 24},
+	}
+	p := ExtractPattern(refs, 3, 2) // anchor index 3, length 2 → ticks 2..3
+	if p.Anchor != 3 {
+		t.Fatalf("anchor = %d, want 3", p.Anchor)
+	}
+	if len(p.Values) != 2 || len(p.Values[0]) != 2 {
+		t.Fatalf("pattern shape = %dx%d, want 2x2", len(p.Values), len(p.Values[0]))
+	}
+	// Chronological columns: anchor value in the last column (Def. 1).
+	if p.Values[0][0] != 12 || p.Values[0][1] != 13 {
+		t.Errorf("row 0 = %v, want [12 13]", p.Values[0])
+	}
+	if p.Values[1][0] != 22 || p.Values[1][1] != 23 {
+		t.Errorf("row 1 = %v, want [22 23]", p.Values[1])
+	}
+}
+
+func TestExtractPatternCopies(t *testing.T) {
+	ref := []float64{1, 2, 3}
+	p := ExtractPattern([][]float64{ref}, 2, 2)
+	ref[1] = 99
+	if p.Values[0][0] != 2 {
+		t.Fatalf("pattern must own its storage; got %v after mutating source", p.Values[0])
+	}
+}
+
+func TestDissimilarityIdentity(t *testing.T) {
+	refs := [][]float64{table2R1, table2R2, table2R3}
+	p := ExtractPattern(refs, 5, 3)
+	for _, norm := range []Norm{L2, L1, LInf} {
+		if d := Dissimilarity(p, p, norm); d != 0 {
+			t.Errorf("δ(p, p) under %v = %v, want 0", norm, d)
+		}
+	}
+}
+
+func TestDissimilaritySymmetry(t *testing.T) {
+	refs := [][]float64{table2R1, table2R2}
+	p := ExtractPattern(refs, 4, 3)
+	q := ExtractPattern(refs, 9, 3)
+	for _, norm := range []Norm{L2, L1, LInf} {
+		if d1, d2 := Dissimilarity(p, q, norm), Dissimilarity(q, p, norm); d1 != d2 {
+			t.Errorf("δ not symmetric under %v: %v vs %v", norm, d1, d2)
+		}
+	}
+}
+
+func TestNormOrdering(t *testing.T) {
+	// For any pair: LInf ≤ L2 ≤ L1.
+	refs := [][]float64{table2R1, table2R2}
+	p := ExtractPattern(refs, 3, 3)
+	q := ExtractPattern(refs, 8, 3)
+	linf := Dissimilarity(p, q, LInf)
+	l2 := Dissimilarity(p, q, L2)
+	l1 := Dissimilarity(p, q, L1)
+	if !(linf <= l2+1e-12 && l2 <= l1+1e-12) {
+		t.Fatalf("norm ordering violated: LInf=%v L2=%v L1=%v", linf, l2, l1)
+	}
+}
+
+// TestLemma51Monotonicity verifies Lemma 5.1: for any threshold τ, the
+// number of candidate patterns within τ of the query does not increase when
+// the pattern length grows, on randomized reference series.
+func TestLemma51Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		refs := randomRefs(seed, 2, 120)
+		// Count candidates within τ for l and l+1. The candidate sets
+		// differ in size; Lemma 5.1 compares counts over the anchors valid
+		// for the longer pattern, where δ is monotonically non-decreasing
+		// in l. We verify the per-anchor monotonicity directly, which
+		// implies the count statement.
+		for l := 1; l <= 8; l++ {
+			dShort := dissimilarityProfile(refs, l, L2, nil)
+			dLong := dissimilarityProfile(refs, l+1, L2, nil)
+			// Candidate j of the longer profile anchors at tick j+l; the
+			// same anchor in the shorter profile is candidate j+1.
+			for j := 0; j < len(dLong); j++ {
+				if dLong[j] < dShort[j+1]-1e-9 {
+					t.Logf("l=%d anchor %d: δ_{l+1}=%v < δ_l=%v", l, j, dLong[j], dShort[j+1])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDissimilarityProfileMatchesPatternAPI(t *testing.T) {
+	refs := [][]float64{table2R1, table2R2}
+	for _, norm := range []Norm{L2, L1, LInf} {
+		profile := dissimilarityProfile(refs, 3, norm, nil)
+		q := ExtractPattern(refs, 11, 3)
+		if len(profile) != 7 {
+			t.Fatalf("profile length = %d, want 7", len(profile))
+		}
+		for j, got := range profile {
+			p := ExtractPattern(refs, j+2, 3)
+			want := Dissimilarity(p, q, norm)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%v profile[%d] = %v, want %v", norm, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDissimilarityProfileReuse(t *testing.T) {
+	refs := [][]float64{table2R1, table2R2}
+	buf := make([]float64, 32)
+	got := dissimilarityProfile(refs, 3, L2, buf)
+	if len(got) != 7 {
+		t.Fatalf("reused profile length = %d, want 7", len(got))
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("profile did not reuse the provided buffer")
+	}
+}
+
+// randomRefs builds deterministic pseudo-random reference histories for
+// property tests.
+func randomRefs(seed int64, d, n int) [][]float64 {
+	state := uint64(seed)*2654435761 + 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%2000)/100 - 10
+	}
+	refs := make([][]float64, d)
+	for i := range refs {
+		refs[i] = make([]float64, n)
+		for j := range refs[i] {
+			refs[i][j] = next()
+		}
+	}
+	return refs
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// PhaseTimings records where one imputation spent its time, mirroring the
+// performance breakdown of Sec. 7.4 (pattern extraction vs pattern
+// selection vs value imputation).
+type PhaseTimings struct {
+	PatternExtraction time.Duration
+	PatternSelection  time.Duration
+	ValueImputation   time.Duration
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimings) Total() time.Duration {
+	return p.PatternExtraction + p.PatternSelection + p.ValueImputation
+}
+
+// ExtractionFraction returns the share of time spent in pattern extraction,
+// the phase the paper reports at ~92% of runtime under default parameters.
+func (p PhaseTimings) ExtractionFraction() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.PatternExtraction) / float64(t)
+}
+
+// ImputeProfiled is Impute with per-phase wall-clock timing, used by the
+// perf-breakdown experiment. Semantics are identical to Impute.
+func ImputeProfiled(cfg Config, s []float64, refs [][]float64) (*Result, PhaseTimings, error) {
+	var pt PhaseTimings
+	if err := cfg.Validate(); err != nil {
+		return nil, pt, err
+	}
+	l, k := cfg.PatternLength, cfg.K
+	filled := len(s)
+	for _, r := range refs {
+		if len(r) < filled {
+			filled = len(r)
+		}
+	}
+	nCand := filled - 2*l + 1
+	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
+		return nil, pt, ErrInsufficientHistory
+	}
+	for _, r := range refs {
+		for x := filled - l; x < filled; x++ {
+			if math.IsNaN(r[x]) {
+				return nil, pt, ErrMissingInQueryPattern
+			}
+		}
+	}
+	t0 := time.Now()
+	d := dissimilarityProfile(refs, l, cfg.Norm, nil)
+	pt.PatternExtraction = time.Since(t0)
+
+	t1 := time.Now()
+	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection)
+	pt.PatternSelection = time.Since(t1)
+	if !ok {
+		return nil, pt, ErrInsufficientHistory
+	}
+
+	t2 := time.Now()
+	res := &Result{SumDissimilarity: sum}
+	var plain, weighted, wsum float64
+	n := 0
+	for _, j := range idx {
+		v := s[j+l-1]
+		res.Anchors = append(res.Anchors, j+l-1)
+		res.AnchorValues = append(res.AnchorValues, v)
+		res.Dissimilarities = append(res.Dissimilarities, d[j])
+		if math.IsNaN(v) {
+			continue
+		}
+		plain += v
+		w := 1.0 / (d[j] + 1e-9)
+		weighted += w * v
+		wsum += w
+		n++
+	}
+	if n == 0 {
+		return nil, pt, ErrInsufficientHistory
+	}
+	if cfg.WeightedMean {
+		res.Value = weighted / wsum
+	} else {
+		res.Value = plain / float64(n)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range res.AnchorValues {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	res.Epsilon = hi - lo
+	pt.ValueImputation = time.Since(t2)
+	return res, pt, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tkcm/internal/stats"
+	"tkcm/internal/window"
+)
+
+// ReferenceSet holds the ordered candidate reference time series of one
+// incomplete stream (Sec. 3): candidates are ranked by suitability (by
+// domain experts in the paper; RankCandidates offers a data-driven fallback)
+// and, at imputation time, the first d candidates with a present value at tn
+// become the reference set Rs.
+type ReferenceSet struct {
+	// Stream is the name of the incomplete series s.
+	Stream string
+	// Candidates is the ordered sequence ⟨r1, r2, ...⟩ of candidate
+	// reference stream names, best first.
+	Candidates []string
+}
+
+// Pick returns the window indices of the first d candidates whose value at
+// the current time is present (Sec. 3). It returns an error when fewer than
+// d candidates qualify or a candidate name is unknown.
+func (rs ReferenceSet) Pick(w *window.Window, d int) ([]int, error) {
+	out := make([]int, 0, d)
+	for _, name := range rs.Candidates {
+		i := w.IndexOf(name)
+		if i < 0 {
+			return nil, fmt.Errorf("core: unknown candidate reference series %q for stream %q", name, rs.Stream)
+		}
+		if math.IsNaN(w.Current(i)) {
+			continue // r(tn) = NIL: not usable at this tick
+		}
+		out = append(out, i)
+		if len(out) == d {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("core: stream %q has only %d of %d usable reference series at the current tick", rs.Stream, len(out), d)
+}
+
+// RankCandidates orders the candidate streams for target by descending
+// absolute Pearson correlation with the target over the provided aligned
+// histories. histories maps stream name to its retained values; the target's
+// own entry is ignored. This implements the "automatically determine the
+// best candidate reference time series" future-work direction of Sec. 8 and
+// substitutes for the paper's domain experts.
+func RankCandidates(target string, histories map[string][]float64) ReferenceSet {
+	tvals, ok := histories[target]
+	rs := ReferenceSet{Stream: target}
+	if !ok {
+		return rs
+	}
+	type scored struct {
+		name  string
+		score float64
+	}
+	var cands []scored
+	for name, vals := range histories {
+		if name == target {
+			continue
+		}
+		rho := stats.Pearson(tvals, vals)
+		score := math.Abs(rho)
+		if math.IsNaN(score) {
+			score = -1
+		}
+		cands = append(cands, scored{name, score})
+	}
+	// Insertion sort by descending score, name ascending for determinism.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if b.score > a.score || (b.score == a.score && b.name < a.name) {
+				cands[j-1], cands[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	for _, c := range cands {
+		rs.Candidates = append(rs.Candidates, c.name)
+	}
+	return rs
+}

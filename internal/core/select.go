@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// selectAnchors picks k anchors from the dissimilarity profile d (d[j] is
+// the dissimilarity of the j-th candidate pattern, whose anchor sits at
+// window-local index l-1+j) under the configured strategy. It returns the
+// chosen candidate indices (ascending) and the sum of their dissimilarities.
+// ok is false when fewer than k anchors can be selected under the strategy's
+// constraints.
+func selectAnchors(d []float64, k, l int, sel Selection) (idx []int, sum float64, ok bool) {
+	switch sel {
+	case SelectGreedy:
+		return selectGreedy(d, k, l)
+	case SelectOverlapping:
+		return selectOverlapping(d, k)
+	default:
+		return selectDP(d, k, l)
+	}
+}
+
+// selectDP implements the paper's dynamic program (Eq. 5).
+//
+// With candidates numbered j = 1..n (n = len(d)), M[i][j] is the minimum sum
+// of dissimilarities achievable by picking i mutually non-overlapping
+// patterns among the first j candidates. Two candidate patterns overlap iff
+// their anchor indices differ by less than l, so picking candidate j leaves
+// candidates 1..j−l available:
+//
+//	M[i][j] = 0                                       if i = 0
+//	M[i][j] = +inf                                    if i > j
+//	M[i][j] = min(M[i][j−1], D[j] + M[i−1][max(j−l,0)]) otherwise
+//
+// The answer is M[k][n]; backtracking recovers the chosen candidates
+// (Algorithm 1, lines 8–23).
+func selectDP(d []float64, k, l int) (idx []int, sum float64, ok bool) {
+	n := len(d)
+	if n == 0 || k <= 0 {
+		return nil, 0, k <= 0
+	}
+	// M is (k+1) × (n+1), rolled out flat. M[i][j] at m[i*(n+1)+j].
+	m := make([]float64, (k+1)*(n+1))
+	row := n + 1
+	for j := 0; j <= n; j++ {
+		m[0*row+j] = 0
+	}
+	for i := 1; i <= k; i++ {
+		for j := 0; j <= n; j++ {
+			if i > j {
+				m[i*row+j] = math.Inf(1)
+				continue
+			}
+			skip := m[i*row+j-1]
+			prev := j - l
+			if prev < 0 {
+				prev = 0
+			}
+			take := d[j-1] + m[(i-1)*row+prev]
+			if take < skip {
+				m[i*row+j] = take
+			} else {
+				m[i*row+j] = skip
+			}
+		}
+	}
+	sum = m[k*row+n]
+	if math.IsInf(sum, 1) {
+		return nil, 0, false
+	}
+	// Backtrack.
+	idx = make([]int, 0, k)
+	i, j := k, n
+	for i > 0 {
+		if j > i && m[i*row+j] == m[i*row+j-1] {
+			j--
+			continue
+		}
+		idx = append(idx, j-1) // 0-based candidate index
+		i--
+		j -= l
+		if j < 0 {
+			j = 0
+		}
+	}
+	// Reverse to ascending order.
+	for a, b := 0, len(idx)-1; a < b; a, b = a+1, b-1 {
+		idx[a], idx[b] = idx[b], idx[a]
+	}
+	return idx, sum, true
+}
+
+// selectGreedy sorts candidates by dissimilarity and keeps the first k that
+// do not overlap any already-kept candidate. Sec. 6.1 notes this fails to
+// minimize the total dissimilarity; it exists for the ablation bench.
+func selectGreedy(d []float64, k, l int) (idx []int, sum float64, ok bool) {
+	order := make([]int, len(d))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if d[order[a]] != d[order[b]] {
+			return d[order[a]] < d[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, j := range order {
+		overlap := false
+		for _, chosen := range idx {
+			if abs(chosen-j) < l {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		idx = append(idx, j)
+		sum += d[j]
+		if len(idx) == k {
+			break
+		}
+	}
+	if len(idx) < k {
+		return nil, 0, false
+	}
+	sort.Ints(idx)
+	return idx, sum, true
+}
+
+// selectOverlapping picks the k globally smallest dissimilarities with no
+// overlap constraint (the near-duplicate failure mode of Sec. 4.1).
+func selectOverlapping(d []float64, k int) (idx []int, sum float64, ok bool) {
+	if len(d) < k {
+		return nil, 0, false
+	}
+	order := make([]int, len(d))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if d[order[a]] != d[order[b]] {
+			return d[order[a]] < d[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	idx = append(idx, order[:k]...)
+	for _, j := range idx {
+		sum += d[j]
+	}
+	sort.Ints(idx)
+	return idx, sum, true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

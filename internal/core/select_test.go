@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig8Golden replays the paper's Fig. 8 worked example: profile
+// D = [0.5, 0.3, 2.1, 0.7, 4.0] with l = 3, k = 2 must select the patterns
+// P(t6) and P(t9) (candidate indices 0 and 3) with sum 1.2.
+func TestFig8Golden(t *testing.T) {
+	idx, sum, ok := selectDP(fig8D, 2, 3)
+	if !ok {
+		t.Fatal("selectDP reported infeasible")
+	}
+	if !reflect.DeepEqual(idx, []int{0, 3}) {
+		t.Fatalf("anchors = %v, want [0 3] (P(t6), P(t9))", idx)
+	}
+	if math.Abs(sum-1.2) > 1e-12 {
+		t.Fatalf("sum = %v, want 1.2", sum)
+	}
+}
+
+// TestFig8GreedyDiffers demonstrates the Sec. 6.1 claim on the Fig. 8 data:
+// greedy takes the smallest-dissimilarity candidate (index 1, D = 0.3),
+// which blocks index 0 and forces index 3, for a total of 1.0... and here
+// greedy actually wins? No: 0.3 overlaps candidates 0..3? With l = 3,
+// candidate 1 blocks candidates within |i−j| < 3, i.e. 0..3, leaving only
+// candidate 4 (D = 4.0): total 4.3 > 1.2. The DP avoids this trap.
+func TestFig8GreedyDiffers(t *testing.T) {
+	idx, sum, ok := selectGreedy(fig8D, 2, 3)
+	if !ok {
+		t.Fatal("greedy reported infeasible")
+	}
+	if !reflect.DeepEqual(idx, []int{1, 4}) {
+		t.Fatalf("greedy anchors = %v, want [1 4]", idx)
+	}
+	if math.Abs(sum-4.3) > 1e-12 {
+		t.Fatalf("greedy sum = %v, want 4.3", sum)
+	}
+	_, dpSum, _ := selectDP(fig8D, 2, 3)
+	if dpSum >= sum {
+		t.Fatalf("DP sum %v not better than greedy %v", dpSum, sum)
+	}
+}
+
+func TestSelectOverlapping(t *testing.T) {
+	idx, sum, ok := selectOverlapping([]float64{5, 1, 1.1, 9, 1.2}, 3)
+	if !ok {
+		t.Fatal("overlapping selection reported infeasible")
+	}
+	if !reflect.DeepEqual(idx, []int{1, 2, 4}) {
+		t.Fatalf("anchors = %v, want [1 2 4]", idx)
+	}
+	if math.Abs(sum-3.3) > 1e-12 {
+		t.Fatalf("sum = %v, want 3.3", sum)
+	}
+}
+
+func TestSelectDPInfeasible(t *testing.T) {
+	// 5 candidates, l = 3: at most 2 non-overlapping patterns fit.
+	if _, _, ok := selectDP(fig8D, 3, 3); ok {
+		t.Fatal("selectDP accepted an infeasible k")
+	}
+	if _, _, ok := selectGreedy(fig8D, 3, 3); ok {
+		t.Fatal("selectGreedy accepted an infeasible k")
+	}
+	if _, _, ok := selectOverlapping(fig8D, 6); ok {
+		t.Fatal("selectOverlapping accepted k > candidates")
+	}
+}
+
+func TestSelectDPSingleAnchor(t *testing.T) {
+	idx, sum, ok := selectDP([]float64{3, 1, 2}, 1, 5)
+	if !ok || !reflect.DeepEqual(idx, []int{1}) || sum != 1 {
+		t.Fatalf("got idx=%v sum=%v ok=%v, want [1] 1 true", idx, sum, ok)
+	}
+}
+
+func TestSelectDPNonOverlapInvariant(t *testing.T) {
+	f := func(seed int64, kRaw, lRaw uint8) bool {
+		n := 40
+		l := int(lRaw)%6 + 1
+		k := int(kRaw)%4 + 1
+		d := randomProfile(seed, n)
+		idx, _, ok := selectDP(d, k, l)
+		if !ok {
+			// Feasibility: n candidates host ⌈n/l⌉ disjoint patterns.
+			return (n-1)/l+1 < k
+		}
+		if len(idx) != k {
+			return false
+		}
+		for i := 1; i < len(idx); i++ {
+			if idx[i]-idx[i-1] < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectDPOptimal compares the DP against exhaustive search on small
+// random profiles: the DP must achieve the minimum sum over all k-subsets of
+// pairwise non-overlapping candidates (Def. 3 condition 3).
+func TestSelectDPOptimal(t *testing.T) {
+	f := func(seed int64, kRaw, lRaw uint8) bool {
+		n := 14
+		l := int(lRaw)%4 + 1
+		k := int(kRaw)%3 + 1
+		d := randomProfile(seed, n)
+		_, dpSum, dpOK := selectDP(d, k, l)
+		bestSum, found := bruteForceMin(d, k, l)
+		if dpOK != found {
+			return false
+		}
+		if !dpOK {
+			return true
+		}
+		return math.Abs(dpSum-bestSum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyNeverBeatsDP: on any profile, the greedy sum is ≥ the DP sum.
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		n := 30
+		l := int(lRaw)%5 + 1
+		k := 3
+		d := randomProfile(seed, n)
+		_, dpSum, dpOK := selectDP(d, k, l)
+		_, gSum, gOK := selectGreedy(d, k, l)
+		if !dpOK || !gOK {
+			return dpOK == gOK || dpOK // DP must be feasible whenever greedy is
+		}
+		return dpSum <= gSum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceMin enumerates all k-subsets of candidates with pairwise anchor
+// distance ≥ l and returns the minimal sum.
+func bruteForceMin(d []float64, k, l int) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	var rec func(start int, left int, sum float64)
+	rec = func(start, left int, sum float64) {
+		if left == 0 {
+			if sum < best {
+				best = sum
+			}
+			found = true
+			return
+		}
+		for j := start; j <= len(d)-1; j++ {
+			rec(j+l, left-1, sum+d[j])
+		}
+	}
+	rec(0, k, 0)
+	return best, found
+}
+
+func randomProfile(seed int64, n int) []float64 {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	out := make([]float64, n)
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = float64(state%1000) / 100
+	}
+	return out
+}

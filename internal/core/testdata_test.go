@@ -1,0 +1,28 @@
+package core
+
+// The running example of the paper (Table 2): twelve 5-minute measurements
+// from 13:25 to 14:20. s(14:20) is missing (NaN is injected by the tests
+// that need it). Index 0 = 13:25, index 11 = 14:20.
+var (
+	table2S  = []float64{22.8, 21.4, 21.8, 23.1, 23.5, 22.8, 21.2, 21.9, 23.5, 22.8, 21.2, 0}
+	table2R1 = []float64{16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5}
+	table2R2 = []float64{20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2}
+	table2R3 = []float64{14.0, 14.8, 13.6, 13.0, 14.5, 14.3, 14.0, 15.0, 13.0, 14.5, 14.3, 14.6}
+)
+
+// table2Config is the running example's parameterization: window L = 12,
+// pattern length l = 3, k = 2 anchors over d = 2 reference series.
+func table2Config() Config {
+	return Config{
+		K:             2,
+		PatternLength: 3,
+		D:             2,
+		WindowLength:  12,
+		Norm:          L2,
+		Selection:     SelectDP,
+	}
+}
+
+// fig8D is the dissimilarity profile of the paper's Fig. 8 example:
+// candidates P(t6)..P(t10) with l = 3 in a window of length L = 10.
+var fig8D = []float64{0.5, 0.3, 2.1, 0.7, 4.0}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tkcm/internal/timeseries"
+)
+
+// WriteCSV writes the frame as CSV: a header row of series names followed by
+// one row per tick. Missing values are written as "NaN" (an empty field
+// would make a single-column row entirely blank, and encoding/csv skips
+// blank lines on read).
+func WriteCSV(w io.Writer, f *timeseries.Frame) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	n := f.Len()
+	record := make([]string, f.Width())
+	for i := 0; i < n; i++ {
+		for j, s := range f.Series {
+			v := s.Values[i]
+			if timeseries.IsMissing(v) {
+				record[j] = "NaN"
+			} else {
+				record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a frame from CSV in the WriteCSV format. Empty fields and
+// the literal strings "NaN", "nan", and "NULL" denote missing values.
+func ReadCSV(r io.Reader) (*timeseries.Frame, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	cols := make([][]float64, len(header))
+	rowNum := 1
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row %d: %w", rowNum, err)
+		}
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, header has %d", rowNum, len(record), len(header))
+		}
+		for j, field := range record {
+			v, err := parseValue(field)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum, header[j], err)
+			}
+			cols[j] = append(cols[j], v)
+		}
+		rowNum++
+	}
+	frame := timeseries.NewFrame()
+	for j, name := range header {
+		frame.Add(timeseries.New(name, cols[j]))
+	}
+	return frame, nil
+}
+
+func parseValue(field string) (float64, error) {
+	switch field {
+	case "", "NaN", "nan", "NULL", "null", "NIL", "nil":
+		return timeseries.Missing, nil
+	}
+	return strconv.ParseFloat(field, 64)
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"fmt"
+
+	"tkcm/internal/timeseries"
+)
+
+// Block identifies a missing block injected into a series: which series, and
+// the erased ground truth at ticks [Start, Start+len(Truth)).
+type Block struct {
+	Series string
+	Start  int
+	Truth  []float64
+}
+
+// End returns the first tick after the block.
+func (b Block) End() int { return b.Start + len(b.Truth) }
+
+// Len returns the number of erased ticks.
+func (b Block) Len() int { return len(b.Truth) }
+
+// InjectBlock erases ticks [start, start+length) of the named series in the
+// frame (in place) and returns the ground truth. It mirrors the paper's
+// experimental protocol: simulate a sensor failure of a given duration and
+// impute each value in the block (Sec. 7).
+func InjectBlock(f *timeseries.Frame, series string, start, length int) (Block, error) {
+	s := f.ByName(series)
+	if s == nil {
+		return Block{}, fmt.Errorf("dataset: unknown series %q", series)
+	}
+	if start < 0 || start+length > s.Len() {
+		return Block{}, fmt.Errorf("dataset: block [%d,%d) out of range [0,%d)", start, start+length, s.Len())
+	}
+	truth := s.EraseBlock(start, length)
+	return Block{Series: series, Start: start, Truth: truth}, nil
+}
+
+// InjectRandomValues erases `count` individual values of the named series at
+// deterministic pseudo-random positions within [from, to), returning one
+// Block per erased tick. Used by tests that need scattered (non-block)
+// missingness.
+func InjectRandomValues(f *timeseries.Frame, series string, from, to, count int, seed uint64) ([]Block, error) {
+	s := f.ByName(series)
+	if s == nil {
+		return nil, fmt.Errorf("dataset: unknown series %q", series)
+	}
+	if from < 0 || to > s.Len() || from >= to {
+		return nil, fmt.Errorf("dataset: range [%d,%d) invalid for series of length %d", from, to, s.Len())
+	}
+	r := newRNG(seed)
+	seen := make(map[int]bool)
+	var blocks []Block
+	for len(blocks) < count {
+		pos := from + r.intn(to-from)
+		if seen[pos] || s.MissingAt(pos) {
+			if len(seen) >= to-from {
+				break
+			}
+			seen[pos] = true
+			continue
+		}
+		seen[pos] = true
+		truth := s.EraseBlock(pos, 1)
+		blocks = append(blocks, Block{Series: series, Start: pos, Truth: truth})
+	}
+	return blocks, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tkcm/internal/dtw"
+	"tkcm/internal/timeseries"
+)
+
+// AlignmentRow is one arm of the Sec. 8 future-work experiment: TKCM on the
+// shifted series with a long pattern, versus TKCM with l = 1 on series that
+// were first re-aligned by their estimated lags.
+type AlignmentRow struct {
+	Variant string // "shifted l=72", "aligned l=1", "aligned l=72", "shifted l=1"
+	RMSE    float64
+}
+
+// AlignmentExperiment runs the comparison the paper proposes in Sec. 8 on
+// the SBR-1d dataset: estimate each reference's lag against the target
+// (dtw.BestLag over the pre-block history), re-align the references, and
+// compare TKCM's accuracy with l = 1 on the aligned series against the
+// standard configuration on the shifted series.
+func AlignmentExperiment(scale Scale) ([]AlignmentRow, error) {
+	sp := scale.Spec(DSSBR1d)
+
+	run := func(align bool, l int) (float64, error) {
+		sc, err := NewSpecScenario(sp, "")
+		if err != nil {
+			return 0, err
+		}
+		if align {
+			target := sc.Frame.ByName(sc.Target)
+			maxLag := sp.TicksPerDay
+			for _, name := range sc.Refs[:sp.Cfg.D] {
+				ref := sc.Frame.ByName(name)
+				lag := dtw.BestLag(
+					target.Values[:sc.Block.Start],
+					ref.Values[:sc.Block.Start],
+					maxLag,
+				)
+				aligned := dtw.Align(ref.Values, lag)
+				copy(ref.Values, aligned)
+			}
+		}
+		cfg := sp.Cfg
+		cfg.PatternLength = l
+		rec, err := RunTKCM(sc, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return rec.RMSE, nil
+	}
+
+	arms := []struct {
+		name  string
+		align bool
+		l     int
+	}{
+		{"shifted l=1", false, 1},
+		{fmt.Sprintf("shifted l=%d", sp.Cfg.PatternLength), false, sp.Cfg.PatternLength},
+		{"aligned l=1", true, 1},
+		{fmt.Sprintf("aligned l=%d", sp.Cfg.PatternLength), true, sp.Cfg.PatternLength},
+	}
+	rows := make([]AlignmentRow, 0, len(arms))
+	for _, arm := range arms {
+		rmse, err := run(arm.align, arm.l)
+		if err != nil {
+			return nil, fmt.Errorf("alignment arm %q: %w", arm.name, err)
+		}
+		rows = append(rows, AlignmentRow{Variant: arm.name, RMSE: rmse})
+	}
+	return rows, nil
+}
+
+// estimateLags is a test hook exposing the per-reference lag estimation.
+func estimateLags(frame *timeseries.Frame, target string, refs []string, before, maxLag int) []int {
+	t := frame.ByName(target)
+	lags := make([]int, len(refs))
+	for i, name := range refs {
+		lags[i] = dtw.BestLag(t.Values[:before], frame.ByName(name).Values[:before], maxLag)
+	}
+	return lags
+}

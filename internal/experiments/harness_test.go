@@ -1,0 +1,542 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tkcm/internal/cd"
+	"tkcm/internal/core"
+	"tkcm/internal/dataset"
+	"tkcm/internal/muscles"
+	"tkcm/internal/spirit"
+	"tkcm/internal/timeseries"
+)
+
+// tinyScale is a miniature experiment scale for fast unit tests: 8 days of
+// 5-minute SBR-like data, a 4-day window, and half-day missing blocks. The
+// Flights and Chlorine entries are shrunk proportionally.
+func tinyScale() Scale {
+	base := func(window int) core.Config {
+		return core.Config{K: 3, PatternLength: 24, D: 2, WindowLength: window, Norm: core.L2, Selection: core.SelectDP}
+	}
+	sbrTicks := 14 * 288
+	return Scale{Name: "tiny", specs: map[string]Spec{
+		DSSBR: {
+			Dataset: DSSBR,
+			Generate: func() *timeseries.Frame {
+				return dataset.SBR(dataset.SBRConfig{Stations: 6, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.2})
+			},
+			Target: "s0", Targets: []string{"s0", "s1"},
+			Cfg: base(10 * 288), BlockStart: sbrTicks - 288, BlockLen: 144,
+			Width: 3, TicksPerDay: 288,
+		},
+		DSSBR1d: {
+			Dataset: DSSBR1d,
+			Generate: func() *timeseries.Frame {
+				return dataset.SBR1d(dataset.SBRConfig{Stations: 6, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.2})
+			},
+			Target: "s0", Targets: []string{"s0", "s1"},
+			Cfg: base(10 * 288), BlockStart: sbrTicks - 288, BlockLen: 144,
+			Width: 3, TicksPerDay: 288,
+		},
+		DSFlights: {
+			Dataset: DSFlights,
+			Generate: func() *timeseries.Frame {
+				return dataset.Flights(dataset.FlightsConfig{Airports: 5, Ticks: 7 * 1440, Seed: 7})
+			},
+			Target: "a0", Targets: []string{"a0", "a1"},
+			Cfg: base(5 * 1440), BlockStart: 7*1440 - 720, BlockLen: 360,
+			Width: 3, TicksPerDay: 1440,
+		},
+		DSChlorine: {
+			Dataset: DSChlorine,
+			Generate: func() *timeseries.Frame {
+				return dataset.Chlorine(dataset.ChlorineConfig{Junctions: 8, Ticks: 6 * 288, Seed: 13, MaxDelayTicks: 144})
+			},
+			Target: "j3", Targets: []string{"j3", "j5"},
+			Cfg: base(3 * 288), BlockStart: 6*288 - 288, BlockLen: 144,
+			Width: 3, TicksPerDay: 288,
+		},
+	}}
+}
+
+func TestNewScenario(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Target != "s0" || sc.Block.Len() != sp.BlockLen {
+		t.Fatalf("scenario meta wrong: %+v", sc.Block)
+	}
+	if len(sc.Refs) != 5 {
+		t.Fatalf("refs = %v, want the 5 other stations", sc.Refs)
+	}
+	target := sc.Frame.ByName("s0")
+	for i := sc.Block.Start; i < sc.Block.End(); i++ {
+		if !target.MissingAt(i) {
+			t.Fatalf("tick %d not erased", i)
+		}
+	}
+}
+
+func TestScaleSpecUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset accepted")
+		}
+	}()
+	tinyScale().Spec("nope")
+}
+
+func TestActiveScale(t *testing.T) {
+	t.Setenv("TKCM_FULL", "")
+	if got := ActiveScale().Name; got != "small" {
+		t.Fatalf("default scale = %q, want small", got)
+	}
+	t.Setenv("TKCM_FULL", "1")
+	if got := ActiveScale().Name; got != "paper" {
+		t.Fatalf("TKCM_FULL scale = %q, want paper", got)
+	}
+}
+
+func TestRunTKCMRecoversTinyBlock(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RunTKCM(sc, sp.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algorithm != AlgTKCM || len(rec.Imputed) != sp.BlockLen {
+		t.Fatalf("recovery meta wrong: %+v", rec)
+	}
+	if math.IsNaN(rec.RMSE) || rec.RMSE > 3 {
+		t.Fatalf("TKCM RMSE = %v on tiny SBR, want sane", rec.RMSE)
+	}
+	if rec.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestRunTKCMRefShortage(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sp.Cfg
+	cfg.D = 99
+	if _, err := RunTKCM(sc, cfg); err == nil {
+		t.Fatal("d beyond available references accepted")
+	}
+}
+
+func TestCompareAllProducesAllAlgorithms(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR1d)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, series, err := CompareAll(sc, sp.Cfg, sp.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{AlgTKCM: true, AlgSPIRIT: true, AlgMUSCLES: true, AlgCD: true}
+	for _, r := range rows {
+		if !want[r.Algorithm] {
+			t.Fatalf("unexpected algorithm %q", r.Algorithm)
+		}
+		delete(want, r.Algorithm)
+		if math.IsNaN(r.RMSE) {
+			t.Fatalf("%s RMSE is NaN", r.Algorithm)
+		}
+		if len(series[r.Algorithm]) != sc.Block.Len() {
+			t.Fatalf("%s series length %d", r.Algorithm, len(series[r.Algorithm]))
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing algorithms: %v", want)
+	}
+}
+
+func TestSimpleBaselineRunners(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := RunInterpolate(sc)
+	if interp.Algorithm != AlgInterpolate || math.IsNaN(interp.RMSE) {
+		t.Fatalf("interpolate recovery wrong: %+v", interp)
+	}
+	knni := RunKNNI(sc, 5, sp.Width)
+	if knni.Algorithm != AlgKNNI || math.IsNaN(knni.RMSE) {
+		t.Fatalf("kNNI recovery wrong: %+v", knni)
+	}
+}
+
+// TestHeadlineShapeOnShiftedData is the repository's miniature Fig. 16: on
+// the shifted SBR-1d data TKCM must beat SPIRIT, MUSCLES, and CD.
+func TestHeadlineShapeOnShiftedData(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR1d)
+	sc, err := NewSpecScenario(sp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sp.Cfg
+	cfg.PatternLength = 48 // give TKCM its trend-detection room
+	tk, err := RunTKCM(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spirit_, err := RunSPIRIT(sc, spirit.DefaultConfig(), sp.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mus, err := RunMUSCLES(sc, muscles.DefaultConfig(), sp.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdr, err := RunCD(sc, cd.DefaultConfig(), sp.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []*Recovery{spirit_, mus, cdr} {
+		if tk.RMSE >= comp.RMSE {
+			t.Errorf("TKCM (%.4f) does not beat %s (%.4f) on shifted data", tk.RMSE, comp.Algorithm, comp.RMSE)
+		}
+	}
+}
+
+// TestPatternLengthHelpsOnShiftedData is the miniature Fig. 11: on SBR-1d a
+// long pattern must beat l = 1 clearly.
+func TestPatternLengthHelpsOnShiftedData(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR1d)
+	run := func(l int) float64 {
+		sc, err := NewSpecScenario(sp, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sp.Cfg
+		cfg.PatternLength = l
+		rec, err := RunTKCM(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.RMSE
+	}
+	short, long := run(1), run(48)
+	if long >= short {
+		t.Fatalf("l=48 RMSE %v not better than l=1 RMSE %v on shifted data", long, short)
+	}
+}
+
+func TestOscillationMeasure(t *testing.T) {
+	flat := []float64{1, 1, 1, 1}
+	if got := oscillation(flat); got != 0 {
+		t.Fatalf("flat oscillation = %v", got)
+	}
+	jitter := []float64{1, -1, 1, -1, 1}
+	if oscillation(jitter) <= oscillation([]float64{1, 1.1, 1.2, 1.3, 1.4}) {
+		t.Fatal("jitter must oscillate more than a ramp")
+	}
+	if got := oscillation([]float64{5}); got != 0 {
+		t.Fatalf("single point oscillation = %v", got)
+	}
+}
+
+func TestAnalyzeSines(t *testing.T) {
+	a := AnalyzeSines()
+	if math.Abs(a.PearsonLinear-1) > 1e-9 {
+		t.Fatalf("ρ(s, r1) = %v, want 1", a.PearsonLinear)
+	}
+	if math.Abs(a.PearsonShifted) > 0.05 {
+		t.Fatalf("ρ(s, r2) = %v, want ≈ 0", a.PearsonShifted)
+	}
+	// Lemma 5.1 / Fig. 6: fewer near-zero patterns with the longer pattern.
+	if a.NearZeroR1L60 > a.NearZeroR1L1 || a.NearZeroR2L60 > a.NearZeroR2L1 {
+		t.Fatalf("near-zero counts must not grow with l: %+v", a)
+	}
+	if a.NearZeroR1L1 < 2 {
+		t.Fatalf("l=1 must find several exact matches on r1, got %d", a.NearZeroR1L1)
+	}
+	// Fig. 7: with l = 1 the shifted reference is ambiguous (spread ≈ 2·0.86),
+	// with l = 60 the ambiguity vanishes.
+	if a.SpreadR2L1 < 1 {
+		t.Fatalf("l=1 spread on shifted ref = %v, want the ±0.86 ambiguity", a.SpreadR2L1)
+	}
+	if a.SpreadR2L60 > 1e-6 {
+		t.Fatalf("l=60 spread on shifted ref = %v, want ≈ 0", a.SpreadR2L60)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	scale := tinyScale()
+	sel, err := AblationSelection(scale, DSSBR1d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selection ablation rows = %d", len(sel))
+	}
+	var dpSum, greedySum float64
+	for _, r := range sel {
+		switch r.Variant {
+		case "dp":
+			dpSum = r.SumDissimilarity
+		case "greedy":
+			greedySum = r.SumDissimilarity
+		}
+	}
+	if dpSum > greedySum+1e-9 {
+		t.Fatalf("DP mean dissimilarity sum %v exceeds greedy %v", dpSum, greedySum)
+	}
+	norms, err := AblationNorms(scale, DSSBR1d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norms) != 3 {
+		t.Fatalf("norm ablation rows = %d", len(norms))
+	}
+	weights, err := AblationWeighting(scale, DSSBR1d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 2 {
+		t.Fatalf("weighting ablation rows = %d", len(weights))
+	}
+}
+
+func TestFigureFunctionsTiny(t *testing.T) {
+	scale := tinyScale()
+
+	t.Run("fig11", func(t *testing.T) {
+		rows, err := Fig11PatternLength(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(AllDatasets)*len(Fig11LValues) {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for _, r := range rows {
+			if math.IsNaN(r.RMSE) {
+				t.Fatalf("NaN RMSE in %+v", r)
+			}
+		}
+	})
+
+	t.Run("fig12", func(t *testing.T) {
+		series, err := Fig12Recovery(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != len(AllDatasets) {
+			t.Fatalf("series = %d", len(series))
+		}
+		for _, s := range series {
+			if len(s.Truth) == 0 || len(s.ShortPattern) != len(s.Truth) || len(s.LongPattern) != len(s.Truth) {
+				t.Fatalf("series lengths wrong for %s", s.Dataset)
+			}
+		}
+	})
+
+	t.Run("fig13", func(t *testing.T) {
+		res, err := Fig13Epsilon(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(Fig11LValues) {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+		if math.IsNaN(res.PearsonTargetRef) {
+			t.Fatal("scatter correlation is NaN")
+		}
+	})
+
+	t.Run("fig14", func(t *testing.T) {
+		rows, err := Fig14BlockLength(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 6+5 {
+			t.Fatalf("rows = %d, want 6 SBR-1d + 5 Chlorine", len(rows))
+		}
+	})
+
+	t.Run("fig17", func(t *testing.T) {
+		rows, err := Fig17Runtime(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatal("no runtime rows")
+		}
+		for _, r := range rows {
+			if r.PerImputation <= 0 {
+				t.Fatalf("non-positive runtime in %+v", r)
+			}
+		}
+	})
+
+	t.Run("perf", func(t *testing.T) {
+		rows, err := PerfBreakdown(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for _, r := range rows {
+			if r.ExtractionFraction <= 0 || r.ExtractionFraction > 1 {
+				t.Fatalf("extraction fraction %v out of range", r.ExtractionFraction)
+			}
+		}
+		// Sec. 7.4: extraction dominates at small k; larger k grows the
+		// selection share.
+		if rows[0].ExtractionFraction < 0.5 {
+			t.Errorf("extraction fraction at k=5 = %v, expected dominant", rows[0].ExtractionFraction)
+		}
+		if rows[1].SelectionFraction < rows[0].SelectionFraction {
+			t.Errorf("selection share must grow with k: %v → %v", rows[0].SelectionFraction, rows[1].SelectionFraction)
+		}
+	})
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.25)
+	tbl.AddRow("b", 100)
+	var sb strings.Builder
+	if _, err := tbl.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "1.25", "100", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 2, 1, 0, 1}, 8)
+	if len([]rune(got)) != 8 {
+		t.Fatalf("sparkline length = %d, want 8 (%q)", len([]rune(got)), got)
+	}
+	// Constant input must render without panicking (zero range).
+	_ = Sparkline([]float64{5, 5, 5}, 3)
+	// Downsampling path.
+	if n := len([]rune(Sparkline(make([]float64, 100), 10))); n != 10 {
+		t.Fatalf("downsampled length = %d", n)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if got := MeanOf([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Fatalf("MeanOf = %v", got)
+	}
+	if got := MeanOf(nil); !math.IsNaN(got) {
+		t.Fatalf("empty MeanOf = %v", got)
+	}
+}
+
+func TestAlignmentExperiment(t *testing.T) {
+	rows, err := AlignmentExperiment(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 arms", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if math.IsNaN(r.RMSE) {
+			t.Fatalf("NaN RMSE in %+v", r)
+		}
+		byName[r.Variant] = r.RMSE
+	}
+	// Alignment must rescue the l = 1 configuration on shifted data
+	// (the Sec. 8 hypothesis).
+	if byName["aligned l=1"] >= byName["shifted l=1"] {
+		t.Errorf("alignment did not help l=1: aligned %v vs shifted %v",
+			byName["aligned l=1"], byName["shifted l=1"])
+	}
+}
+
+func TestEstimateLags(t *testing.T) {
+	sp := tinyScale().Spec(DSSBR1d)
+	frame := sp.Generate()
+	lags := estimateLags(frame, sp.Target, []string{"s1", "s2"}, frame.Len()/2, 288)
+	if len(lags) != 2 {
+		t.Fatalf("lags = %v", lags)
+	}
+	for _, lag := range lags {
+		if lag == 0 {
+			t.Log("warning: estimated zero lag on shifted data (possible but unlikely)")
+		}
+		if lag < -288 || lag > 288 {
+			t.Fatalf("lag %d outside [-288, 288]", lag)
+		}
+	}
+}
+
+func TestFig10CalibrationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	rows, err := Fig10Calibration(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three datasets × (d values that fit + 5 k values); every row finite.
+	if len(rows) == 0 {
+		t.Fatal("no calibration rows")
+	}
+	params := map[string]bool{}
+	for _, r := range rows {
+		if math.IsNaN(r.RMSE) || r.RMSE < 0 {
+			t.Fatalf("bad RMSE in %+v", r)
+		}
+		params[r.Param] = true
+	}
+	if !params["d"] || !params["k"] {
+		t.Fatalf("missing sweep dimension in %v", params)
+	}
+}
+
+func TestFig15And16Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison is slow")
+	}
+	series, err := Fig15Comparison(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(AllDatasets) {
+		t.Fatalf("fig15 datasets = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Rows) != 4 {
+			t.Fatalf("fig15 %s algorithms = %d, want 4", s.Dataset, len(s.Rows))
+		}
+	}
+	rows, err := Fig16Summary(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*len(AllDatasets) {
+		t.Fatalf("fig16 rows = %d, want %d", len(rows), 4*len(AllDatasets))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.RMSE) {
+			t.Fatalf("fig16 NaN RMSE for %s/%s", r.Dataset, r.Algorithm)
+		}
+	}
+}

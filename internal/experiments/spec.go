@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"tkcm/internal/core"
+	"tkcm/internal/dataset"
+	"tkcm/internal/timeseries"
+)
+
+// Dataset names used by the experiment index.
+const (
+	DSSBR      = "SBR"
+	DSSBR1d    = "SBR-1d"
+	DSFlights  = "Flights"
+	DSChlorine = "Chlorine"
+)
+
+// AllDatasets lists the four paper datasets in presentation order.
+var AllDatasets = []string{DSSBR, DSSBR1d, DSFlights, DSChlorine}
+
+// Spec fully describes how one dataset is exercised at a given scale: how to
+// generate it, which series to impute, the TKCM configuration, and the
+// missing-block geometry.
+type Spec struct {
+	Dataset string
+	// Generate builds a fresh frame (generators are deterministic, so every
+	// call yields identical data).
+	Generate func() *timeseries.Frame
+	// Target is the series the headline experiments impute. Fig. 16 imputes
+	// Targets (4 series per dataset).
+	Target  string
+	Targets []string
+	// Cfg is the TKCM configuration at this scale (l, k, d, L).
+	Cfg core.Config
+	// BlockStart/BlockLen is the default missing block.
+	BlockStart, BlockLen int
+	// Width is the number of streams handed to the matrix-based algorithms
+	// (target + references); the paper gives all algorithms the same data.
+	Width int
+	// TicksPerDay at the dataset's sampling rate (288 at 5-min, 1440 at
+	// 1-min); block-length sweeps are expressed in days.
+	TicksPerDay int
+}
+
+// Scale selects the experiment sizing. SmallScale keeps `go test -bench=.`
+// in CI territory; PaperScale restores the paper's dimensions (1-year SBR
+// window etc.) and is selected by setting TKCM_FULL=1.
+type Scale struct {
+	Name string
+	// specs keyed by dataset name.
+	specs map[string]Spec
+}
+
+// Spec returns the spec for the named dataset; it panics on unknown names
+// (programming error in the bench tables).
+func (sc Scale) Spec(name string) Spec {
+	sp, ok := sc.specs[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+	}
+	return sp
+}
+
+// ActiveScale returns PaperScale when TKCM_FULL=1 is set, else SmallScale.
+func ActiveScale() Scale {
+	if os.Getenv("TKCM_FULL") == "1" {
+		return PaperScale()
+	}
+	return SmallScale()
+}
+
+// SmallScale sizes every dataset so a full figure reproduction finishes in
+// seconds while preserving every structural property (the daily period fits
+// the window many times over; blocks span full days).
+func SmallScale() Scale {
+	sbrTicks := 20 * 288  // 20 days at 5-minute sampling
+	sbrWindow := 14 * 288 // 2-week streaming window
+	sbrBlockLen := 288    // 1 day missing
+	sbrBlockStart := sbrTicks - 2*288
+
+	flightsTicks := 8801 // paper size (already small)
+	chlTicks := 2448     // 8.5 days
+	chlJunctions := 24
+
+	mk := func(dataset string, gen func() *timeseries.Frame, target string, targets []string,
+		cfg core.Config, bs, bl, width, tpd int) Spec {
+		return Spec{
+			Dataset: dataset, Generate: gen, Target: target, Targets: targets,
+			Cfg: cfg, BlockStart: bs, BlockLen: bl, Width: width, TicksPerDay: tpd,
+		}
+	}
+	baseCfg := func(window int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.WindowLength = window
+		return cfg
+	}
+
+	return Scale{Name: "small", specs: map[string]Spec{
+		DSSBR: mk(DSSBR,
+			func() *timeseries.Frame {
+				return dataset.SBR(dataset.SBRConfig{Stations: 10, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.25})
+			},
+			"s0", []string{"s0", "s1", "s2", "s3"},
+			baseCfg(sbrWindow), sbrBlockStart, sbrBlockLen, 4, 288),
+		DSSBR1d: mk(DSSBR1d,
+			func() *timeseries.Frame {
+				return dataset.SBR1d(dataset.SBRConfig{Stations: 10, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.25})
+			},
+			"s0", []string{"s0", "s1", "s2", "s3"},
+			baseCfg(sbrWindow), sbrBlockStart, sbrBlockLen, 4, 288),
+		DSFlights: mk(DSFlights,
+			func() *timeseries.Frame {
+				return dataset.Flights(dataset.FlightsConfig{Airports: 8, Ticks: flightsTicks, Seed: 7})
+			},
+			"a0", []string{"a0", "a1", "a2", "a3"},
+			baseCfg(6000), 6200, 1440, 4, 1440),
+		DSChlorine: mk(DSChlorine,
+			func() *timeseries.Frame {
+				return dataset.Chlorine(dataset.ChlorineConfig{Junctions: chlJunctions, Ticks: chlTicks, Seed: 13, MaxDelayTicks: 288})
+			},
+			"j6", []string{"j6", "j2", "j12", "j18"},
+			// 20% of the dataset missing, as in the paper's Fig. 16 setup.
+			baseCfg(1700), chlTicks-chlTicks/5, chlTicks/5, 4, 288),
+	}}
+}
+
+// PaperScale restores the paper's dimensions: 1-year SBR/SBR-1d windows
+// (Sec. 7.2; the competitor comparison uses 6 months, Sec. 7.3.3), the full
+// Flights and Chlorine datasets, 1-week SBR blocks, and 20% blocks for the
+// small datasets.
+func PaperScale() Scale {
+	sbrTicks := 105120 + 7*288 // 1 year + room for the missing week
+	sbrWindow := 105120 / 2    // 6 months, the Fig. 16 setting
+	sbrBlockLen := 7 * 288     // 1 week
+	sbrBlockStart := 105120
+
+	flightsTicks := 8801
+	chlTicks := 4310
+	chlJunctions := 166
+
+	baseCfg := func(window int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.WindowLength = window
+		return cfg
+	}
+
+	return Scale{Name: "paper", specs: map[string]Spec{
+		DSSBR: {
+			Dataset: DSSBR,
+			Generate: func() *timeseries.Frame {
+				return dataset.SBR(dataset.SBRConfig{Stations: 10, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.25})
+			},
+			Target: "s0", Targets: []string{"s0", "s1", "s2", "s3"},
+			Cfg: baseCfg(sbrWindow), BlockStart: sbrBlockStart, BlockLen: sbrBlockLen,
+			Width: 4, TicksPerDay: 288,
+		},
+		DSSBR1d: {
+			Dataset: DSSBR1d,
+			Generate: func() *timeseries.Frame {
+				return dataset.SBR1d(dataset.SBRConfig{Stations: 10, Ticks: sbrTicks, Seed: 1, NoiseSD: 0.25})
+			},
+			Target: "s0", Targets: []string{"s0", "s1", "s2", "s3"},
+			Cfg: baseCfg(sbrWindow), BlockStart: sbrBlockStart, BlockLen: sbrBlockLen,
+			Width: 4, TicksPerDay: 288,
+		},
+		DSFlights: {
+			Dataset: DSFlights,
+			Generate: func() *timeseries.Frame {
+				return dataset.Flights(dataset.FlightsConfig{Airports: 8, Ticks: flightsTicks, Seed: 7})
+			},
+			Target: "a0", Targets: []string{"a0", "a1", "a2", "a3"},
+			Cfg: baseCfg(7000), BlockStart: 7040, BlockLen: flightsTicks / 5,
+			Width: 4, TicksPerDay: 1440,
+		},
+		DSChlorine: {
+			Dataset: DSChlorine,
+			Generate: func() *timeseries.Frame {
+				return dataset.Chlorine(dataset.ChlorineConfig{Junctions: chlJunctions, Ticks: chlTicks, Seed: 13, MaxDelayTicks: 288})
+			},
+			Target: "j6", Targets: []string{"j6", "j20", "j64", "j110"},
+			Cfg: baseCfg(3400), BlockStart: 3448, BlockLen: chlTicks / 5,
+			Width: 4, TicksPerDay: 288,
+		},
+	}}
+}
+
+// NewSpecScenario generates the spec's frame, injects the default block into
+// the given target (Spec.Target when target == ""), and returns the
+// scenario. References follow the paper's expert policy (frame order), not
+// correlation ranking — see NewScenarioExpert.
+func NewSpecScenario(sp Spec, target string) (*Scenario, error) {
+	if target == "" {
+		target = sp.Target
+	}
+	frame := sp.Generate()
+	return NewScenarioExpert(frame, target, sp.BlockStart, sp.BlockLen)
+}

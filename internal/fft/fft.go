@@ -1,0 +1,122 @@
+// Package fft provides a minimal iterative radix-2 fast Fourier transform
+// and the real-valued correlation built on it. It exists to accelerate
+// TKCM's pattern-extraction phase (the paper's Sec. 8 future-work item:
+// "future research must focus on speeding up the pattern extraction
+// phase"): the L2 dissimilarity profile decomposes into window energies
+// (prefix sums) and a sliding cross-correlation, and the latter drops from
+// O(l·L) to O(L·log L) with an FFT.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Transform computes the in-place radix-2 FFT of x. len(x) must be a power
+// of two; it panics otherwise. With invert = true it computes the inverse
+// transform (including the 1/n scaling).
+func Transform(x []complex128, invert bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		// Standard convention: forward kernel exp(−2πi/n), inverse +.
+		ang := -2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if invert {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)−1) computed via FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	Transform(fa, false)
+	Transform(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	Transform(fa, true)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// CrossCorrelate returns c with c[j] = Σ_x a[j+x]·q[x] for
+// j = 0..len(a)−len(q), the sliding dot products of the template q against
+// a. It panics when q is longer than a.
+func CrossCorrelate(a, q []float64) []float64 {
+	if len(q) > len(a) {
+		panic(fmt.Sprintf("fft: template length %d exceeds signal length %d", len(q), len(a)))
+	}
+	if len(q) == 0 {
+		return make([]float64, len(a)+1)
+	}
+	// Correlation = convolution with the reversed template.
+	rev := make([]float64, len(q))
+	for i, v := range q {
+		rev[len(q)-1-i] = v
+	}
+	conv := Convolve(a, rev)
+	out := make([]float64, len(a)-len(q)+1)
+	copy(out, conv[len(q)-1:len(q)-1+len(out)])
+	return out
+}

@@ -1,0 +1,176 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomComplex(seed, 64)
+		orig := append([]complex128(nil), x...)
+		Transform(x, false)
+		Transform(x, true)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformKnownSpectrum(t *testing.T) {
+	// A pure complex exponential concentrates in one bin.
+	n := 32
+	k := 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/float64(n)))
+	}
+	Transform(x, false)
+	for bin := range x {
+		mag := cmplx.Abs(x[bin])
+		if bin == k {
+			if math.Abs(mag-float64(n)) > 1e-9 {
+				t.Fatalf("bin %d magnitude %v, want %d", bin, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage %v in bin %d", mag, bin)
+		}
+	}
+}
+
+func TestTransformNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two length accepted")
+		}
+	}()
+	Transform(make([]complex128, 6), false)
+}
+
+func TestTransformEmpty(t *testing.T) {
+	Transform(nil, false) // must not panic
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{4, 5})
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("conv = %v, want %v", got, want)
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Fatal("empty convolution must be nil")
+	}
+}
+
+// TestConvolveMatchesNaive compares the FFT convolution against the direct
+// O(n·m) computation on random inputs.
+func TestConvolveMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		m := int(mRaw)%40 + 1
+		a := randomReal(seed, n)
+		b := randomReal(seed^0x77, m)
+		got := Convolve(a, b)
+		want := make([]float64, n+m-1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossCorrelateMatchesNaive compares the sliding dot products against
+// the direct computation.
+func TestCrossCorrelateMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw, lRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		l := int(lRaw)%n + 1
+		a := randomReal(seed, n)
+		q := randomReal(seed^0x55, l)
+		got := CrossCorrelate(a, q)
+		if len(got) != n-l+1 {
+			return false
+		}
+		for j := 0; j <= n-l; j++ {
+			want := 0.0
+			for x := 0; x < l; x++ {
+				want += a[j+x] * q[x]
+			}
+			if math.Abs(got[j]-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossCorrelateTemplateTooLong(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized template accepted")
+		}
+	}()
+	CrossCorrelate([]float64{1}, []float64{1, 2})
+}
+
+func randomComplex(seed int64, n int) []complex128 {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%2000)/100 - 10
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(next(), next())
+	}
+	return out
+}
+
+func randomReal(seed int64, n int) []float64 {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	out := make([]float64, n)
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = float64(state%2000)/100 - 10
+	}
+	return out
+}

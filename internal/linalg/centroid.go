@@ -1,0 +1,273 @@
+package linalg
+
+import "math"
+
+// CentroidComponent is one term of a centroid decomposition X ≈ Σ lᵢ rᵢᵀ:
+// a loading vector L (length Rows) and a unit relevance vector R (length
+// Cols), together with the centroid value (the norm that was factored out).
+type CentroidComponent struct {
+	L     []float64 // loading vector, X · r
+	R     []float64 // unit relevance vector
+	Value float64   // centroid value ‖Xᵀ z‖ at extraction time
+}
+
+// SSV computes a (local) maximizing sign vector z ∈ {−1,+1}^rows for
+// ‖Xᵀ z‖ using greedy sign flipping: starting from all ones, repeatedly flip
+// the single sign whose flip increases the objective most, until no flip
+// improves it. This is the standard scalable sign-vector heuristic used by
+// centroid decomposition implementations; it terminates because the
+// objective strictly increases at every flip and has finitely many states.
+func SSV(x *Matrix) []float64 {
+	n := x.Rows
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = 1
+	}
+	if n == 0 || x.Cols == 0 {
+		return z
+	}
+	// v = Xᵀ z, maintained incrementally.
+	v := x.TMulVec(z)
+	// Objective is ‖v‖²; flipping z_i changes v by -2 z_i x_i (row i).
+	for iter := 0; iter < 100*n; iter++ {
+		bestGain := 0.0
+		bestIdx := -1
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			// gain = ‖v - 2 z_i x_i‖² − ‖v‖² = -4 z_i ⟨v, x_i⟩ + 4 ⟨x_i, x_i⟩
+			dot := 0.0
+			norm := 0.0
+			for j, a := range row {
+				dot += v[j] * a
+				norm += a * a
+			}
+			gain := -4*z[i]*dot + 4*norm
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		row := x.Row(bestIdx)
+		for j, a := range row {
+			v[j] -= 2 * z[bestIdx] * a
+		}
+		z[bestIdx] = -z[bestIdx]
+	}
+	return z
+}
+
+// CentroidDecomposition factors x into at most k rank-one centroid
+// components (k ≤ min(rows, cols); pass k <= 0 for the full decomposition).
+// Each step finds a maximizing sign vector z, extracts the unit relevance
+// vector r = Xᵀz/‖Xᵀz‖ and loading l = X·r, and deflates X ← X − l rᵀ.
+func CentroidDecomposition(x *Matrix, k int) []CentroidComponent {
+	maxK := x.Rows
+	if x.Cols < maxK {
+		maxK = x.Cols
+	}
+	if k <= 0 || k > maxK {
+		k = maxK
+	}
+	work := x.Clone()
+	comps := make([]CentroidComponent, 0, k)
+	for c := 0; c < k; c++ {
+		z := SSV(work)
+		r := work.TMulVec(z)
+		norm := Norm2(r)
+		if norm < 1e-12 {
+			break
+		}
+		Scale(r, 1/norm)
+		l := work.MulVec(r)
+		comps = append(comps, CentroidComponent{L: l, R: r, Value: norm})
+		// Deflate: work ← work − l rᵀ.
+		for i := 0; i < work.Rows; i++ {
+			row := work.Row(i)
+			li := l[i]
+			for j := range row {
+				row[j] -= li * r[j]
+			}
+		}
+	}
+	return comps
+}
+
+// ReconstructCentroid sums the rank-one terms of comps into a rows×cols
+// matrix (the truncated reconstruction X̃ = Σ lᵢ rᵢᵀ).
+func ReconstructCentroid(comps []CentroidComponent, rows, cols int) *Matrix {
+	out := NewMatrix(rows, cols)
+	for _, c := range comps {
+		for i := 0; i < rows; i++ {
+			row := out.Row(i)
+			li := c.L[i]
+			if li == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				row[j] += li * c.R[j]
+			}
+		}
+	}
+	return out
+}
+
+// JacobiSVD computes the thin singular value decomposition X = U Σ Vᵀ of an
+// m×n matrix with m ≥ n using the one-sided Jacobi method. It returns U
+// (m×n, orthonormal columns), the singular values in descending order, and
+// V (n×n). For m < n, decompose the transpose and swap U and V.
+func JacobiSVD(x *Matrix) (u *Matrix, sigma []float64, v *Matrix) {
+	if x.Rows < x.Cols {
+		vt, s, ut := JacobiSVD(x.T())
+		return ut, s, vt
+	}
+	m, n := x.Rows, x.Cols
+	a := x.Clone()
+	v = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const tol = 1e-12
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Columns p and q of a.
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					ap := a.At(i, p)
+					aq := a.At(i, q)
+					alpha += ap * ap
+					beta += aq * aq
+					gamma += ap * aq
+				}
+				off += gamma * gamma
+				if math.Abs(gamma) < tol*math.Sqrt(alpha*beta)+1e-300 {
+					continue
+				}
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					ap := a.At(i, p)
+					aq := a.At(i, q)
+					a.Set(i, p, c*ap-s*aq)
+					a.Set(i, q, s*ap+c*aq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+	// Column norms are the singular values; normalize to get U.
+	sigma = make([]float64, n)
+	u = NewMatrix(m, n)
+	type pair struct {
+		s   float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += a.At(i, j) * a.At(i, j)
+		}
+		pairs[j] = pair{math.Sqrt(s), j}
+	}
+	// Selection sort descending (n is small in this codebase).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if pairs[j].s > pairs[best].s {
+				best = j
+			}
+		}
+		pairs[i], pairs[best] = pairs[best], pairs[i]
+	}
+	vOrdered := NewMatrix(n, n)
+	for rank, p := range pairs {
+		sigma[rank] = p.s
+		for i := 0; i < m; i++ {
+			if p.s > 1e-300 {
+				u.Set(i, rank, a.At(i, p.col)/p.s)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOrdered.Set(i, rank, v.At(i, p.col))
+		}
+	}
+	return u, sigma, vOrdered
+}
+
+// RLS is a recursive least squares estimator for a linear model y ≈ θᵀx with
+// exponential forgetting factor λ (λ = 1 disables forgetting, the setting
+// the paper found best for MUSCLES and SPIRIT in Sec. 7.1).
+type RLS struct {
+	Theta  []float64 // coefficient estimate
+	P      *Matrix   // inverse correlation matrix estimate
+	Lambda float64
+}
+
+// NewRLS returns an RLS estimator for dim features. delta scales the initial
+// inverse correlation matrix P = delta·I; a large delta (e.g. 1e4) encodes an
+// uninformative prior.
+func NewRLS(dim int, lambda, delta float64) *RLS {
+	p := NewMatrix(dim, dim)
+	for i := 0; i < dim; i++ {
+		p.Set(i, i, delta)
+	}
+	return &RLS{Theta: make([]float64, dim), P: p, Lambda: lambda}
+}
+
+// Predict returns θᵀx.
+func (r *RLS) Predict(x []float64) float64 { return Dot(r.Theta, x) }
+
+// Update incorporates the observation (x, y) using the standard RLS
+// rank-one update.
+func (r *RLS) Update(x []float64, y float64) {
+	n := len(r.Theta)
+	if len(x) != n {
+		panic("linalg: RLS feature dimension mismatch")
+	}
+	// k = P x / (λ + xᵀ P x)
+	px := r.P.MulVec(x)
+	denom := r.Lambda + Dot(x, px)
+	if denom == 0 {
+		return
+	}
+	k := make([]float64, n)
+	for i := range k {
+		k[i] = px[i] / denom
+	}
+	err := y - r.Predict(x)
+	for i := range r.Theta {
+		r.Theta[i] += k[i] * err
+	}
+	// P = (P − k xᵀ P) / λ
+	xp := r.P.TMulVec(x) // xᵀP as a vector (P symmetric in exact arithmetic)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.P.Set(i, j, (r.P.At(i, j)-k[i]*xp[j])/r.Lambda)
+		}
+	}
+	// Re-symmetrize to curb the floating-point drift that otherwise makes P
+	// lose positive-definiteness on long runs (λ = 1 never forgets, so the
+	// update count is unbounded in streaming use).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			avg := (r.P.At(i, j) + r.P.At(j, i)) / 2
+			r.P.Set(i, j, avg)
+			r.P.Set(j, i, avg)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSSVMaximizesObjective compares the greedy sign-vector search against
+// exhaustive enumeration on small random matrices: the greedy result must
+// reach the global maximum of ‖Xᵀ z‖ often enough to be useful, and must
+// always be a local maximum (no single flip improves it).
+func TestSSVLocalOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomMatrix(seed, 6, 3)
+		z := SSV(x)
+		v := x.TMulVec(z)
+		base := Dot(v, v)
+		// No single flip may improve the objective.
+		for i := 0; i < x.Rows; i++ {
+			z2 := append([]float64(nil), z...)
+			z2[i] = -z2[i]
+			v2 := x.TMulVec(z2)
+			if Dot(v2, v2) > base+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSVTrivialCases(t *testing.T) {
+	// All-positive rank-one matrix: all-ones is optimal.
+	x := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	z := SSV(x)
+	for i, zi := range z {
+		if zi != z[0] {
+			t.Fatalf("sign vector %v not aligned at %d for positively correlated rows", z, i)
+		}
+	}
+	// Empty matrix must not panic.
+	if got := SSV(NewMatrix(0, 0)); len(got) != 0 {
+		t.Fatalf("empty SSV = %v", got)
+	}
+}
+
+// TestCentroidDecompositionReconstructs: the full decomposition reproduces
+// the matrix (X = Σ lᵢ rᵢᵀ) on random inputs.
+func TestCentroidDecompositionReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomMatrix(seed, 6, 4)
+		comps := CentroidDecomposition(x, 0)
+		recon := ReconstructCentroid(comps, x.Rows, x.Cols)
+		return recon.Sub(x).FrobeniusNorm() < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidComponentsOrthonormalR(t *testing.T) {
+	x := randomMatrix(3, 8, 4)
+	comps := CentroidDecomposition(x, 0)
+	for i, c := range comps {
+		if math.Abs(Norm2(c.R)-1) > 1e-9 {
+			t.Fatalf("R[%d] not unit: %v", i, Norm2(c.R))
+		}
+	}
+	// Centroid values are non-increasing in well-behaved cases is not
+	// guaranteed by the greedy SSV, but they must be non-negative.
+	for i, c := range comps {
+		if c.Value < 0 {
+			t.Fatalf("negative centroid value %v at %d", c.Value, i)
+		}
+	}
+}
+
+func TestCentroidTruncationCapturesRankOne(t *testing.T) {
+	// A rank-one matrix is fully captured by one component.
+	u := []float64{1, 2, 3, 4}
+	v := []float64{2, -1, 0.5}
+	x := Outer(u, v)
+	comps := CentroidDecomposition(x, 1)
+	recon := ReconstructCentroid(comps, 4, 3)
+	if recon.Sub(x).FrobeniusNorm() > 1e-9 {
+		t.Fatal("rank-one matrix not captured by one centroid component")
+	}
+}
+
+func TestJacobiSVDKnown(t *testing.T) {
+	// Diagonal matrix: singular values are the absolute diagonal entries.
+	x := FromRows([][]float64{{3, 0}, {0, -2}, {0, 0}})
+	_, sigma, _ := JacobiSVD(x)
+	if math.Abs(sigma[0]-3) > 1e-9 || math.Abs(sigma[1]-2) > 1e-9 {
+		t.Fatalf("singular values = %v, want [3 2]", sigma)
+	}
+}
+
+// TestJacobiSVDProperties: U has orthonormal columns, V is orthogonal,
+// singular values descend, and U·diag(σ)·Vᵀ reconstructs X.
+func TestJacobiSVDProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomMatrix(seed, 7, 4)
+		u, sigma, v := JacobiSVD(x)
+		// Descending σ.
+		for i := 1; i < len(sigma); i++ {
+			if sigma[i] > sigma[i-1]+1e-9 {
+				return false
+			}
+		}
+		// U columns orthonormal.
+		for a := 0; a < u.Cols; a++ {
+			for b := a; b < u.Cols; b++ {
+				dot := Dot(u.Col(a), u.Col(b))
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if sigma[a] > 1e-9 && sigma[b] > 1e-9 && math.Abs(dot-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Reconstruction.
+		recon := NewMatrix(x.Rows, x.Cols)
+		for r := 0; r < len(sigma); r++ {
+			for i := 0; i < x.Rows; i++ {
+				for j := 0; j < x.Cols; j++ {
+					recon.Set(i, j, recon.At(i, j)+sigma[r]*u.At(i, r)*v.At(j, r))
+				}
+			}
+		}
+		return recon.Sub(x).FrobeniusNorm() < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJacobiSVDWide(t *testing.T) {
+	// m < n path: decompose the transpose internally.
+	x := FromRows([][]float64{{1, 2, 3, 4}, {4, 3, 2, 1}})
+	u, sigma, v := JacobiSVD(x)
+	recon := NewMatrix(2, 4)
+	for r := 0; r < len(sigma); r++ {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 4; j++ {
+				recon.Set(i, j, recon.At(i, j)+sigma[r]*u.At(i, r)*v.At(j, r))
+			}
+		}
+	}
+	if recon.Sub(x).FrobeniusNorm() > 1e-6 {
+		t.Fatal("wide-matrix SVD does not reconstruct")
+	}
+}
+
+// TestRLSRecoversLinearModel: RLS converges to the true coefficients of a
+// noiseless linear model.
+func TestRLSRecoversLinearModel(t *testing.T) {
+	theta := []float64{2, -1, 0.5}
+	rls := NewRLS(3, 1, 1e4)
+	state := uint64(99)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%2000)/100 - 10
+	}
+	for i := 0; i < 300; i++ {
+		x := []float64{1, next(), next()}
+		y := Dot(theta, x)
+		rls.Update(x, y)
+	}
+	for i, want := range theta {
+		if math.Abs(rls.Theta[i]-want) > 1e-6 {
+			t.Fatalf("θ[%d] = %v, want %v", i, rls.Theta[i], want)
+		}
+	}
+	x := []float64{1, 2, 3}
+	if math.Abs(rls.Predict(x)-Dot(theta, x)) > 1e-6 {
+		t.Fatal("prediction wrong after convergence")
+	}
+}
+
+func TestRLSForgetting(t *testing.T) {
+	// With λ < 1 the model tracks a coefficient change; with λ = 1 it is
+	// anchored by all history. After a switch, the forgetting model must be
+	// closer to the new regime.
+	gen := func(lambda float64) float64 {
+		rls := NewRLS(2, lambda, 1e4)
+		state := uint64(7)
+		next := func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state%2000)/100 - 10
+		}
+		for i := 0; i < 400; i++ {
+			x := []float64{1, next()}
+			coef := 1.0
+			if i >= 200 {
+				coef = 3.0
+			}
+			rls.Update(x, coef*x[1])
+		}
+		return rls.Theta[1]
+	}
+	if math.Abs(gen(0.95)-3) > math.Abs(gen(1)-3) {
+		t.Fatal("forgetting factor must track the regime change better than λ = 1")
+	}
+}
+
+func TestRLSDimensionMismatch(t *testing.T) {
+	rls := NewRLS(2, 1, 1e4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch accepted")
+		}
+	}()
+	rls.Update([]float64{1}, 2)
+}

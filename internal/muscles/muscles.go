@@ -1,0 +1,236 @@
+// Package muscles implements the MUSCLES baseline (Yi et al., ICDE 2000):
+// online imputation of a missing stream value via multivariate
+// autoregression whose coefficients are tracked with Recursive Least
+// Squares under an exponential forgetting factor λ.
+//
+// The estimate for the incomplete stream s at time t uses, as regressors,
+// the most recent p values of s itself and the values of every co-evolving
+// stream within the same tracking window p (the paper's Sec. 2 description).
+// After p consecutive missing values the model necessarily feeds on its own
+// imputations, which is the error-accumulation weakness the TKCM paper
+// exploits in the comparison (Sec. 7.3.3).
+//
+// Following the TKCM paper's experimental setup (Sec. 7.1): tracking window
+// p = 6 and forgetting factor λ = 1.
+package muscles
+
+import (
+	"fmt"
+	"math"
+
+	"tkcm/internal/linalg"
+)
+
+// Config parameterizes a MUSCLES tracker.
+type Config struct {
+	// P is the tracking window: how many past ticks of each stream feed the
+	// regression (paper setting: 6).
+	P int
+	// Lambda is the exponential forgetting factor (paper setting: 1).
+	Lambda float64
+	// Delta scales the RLS prior P₀ = Delta·I (uninformative prior).
+	Delta float64
+}
+
+// DefaultConfig returns the settings used in the TKCM paper's evaluation.
+func DefaultConfig() Config { return Config{P: 6, Lambda: 1, Delta: 1e4} }
+
+// Tracker imputes one target stream from n co-evolving streams.
+type Tracker struct {
+	cfg     Config
+	target  int
+	width   int
+	dim     int
+	rls     *linalg.RLS
+	history [][]float64 // history[i] = last P values of stream i, newest last
+	warm    int
+	// Running range of the *observed* target values; imputations are
+	// clamped to a widened version of it. Without the clamp, the
+	// imputed-feedback loop can diverge numerically on long gaps (the
+	// error-accumulation problem Sec. 2 describes), which would turn a
+	// qualitative weakness into a float overflow.
+	obsLo, obsHi float64
+	obsSeen      bool
+}
+
+// NewTracker creates a tracker for the stream at index target among width
+// co-evolving streams.
+func NewTracker(cfg Config, width, target int) (*Tracker, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("muscles: tracking window p must be positive, got %d", cfg.P)
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("muscles: forgetting factor λ must be in (0,1], got %g", cfg.Lambda)
+	}
+	if target < 0 || target >= width {
+		return nil, fmt.Errorf("muscles: target %d out of range [0,%d)", target, width)
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1e4
+	}
+	// Features: bias + p lags of the target + (p-1 lags + current) of every
+	// other stream.
+	dim := 1 + cfg.P + (width-1)*cfg.P
+	t := &Tracker{
+		cfg:    cfg,
+		target: target,
+		width:  width,
+		dim:    dim,
+		rls:    linalg.NewRLS(dim, cfg.Lambda, cfg.Delta),
+	}
+	t.history = make([][]float64, width)
+	for i := range t.history {
+		t.history[i] = make([]float64, 0, cfg.P)
+	}
+	return t, nil
+}
+
+// features assembles the regression vector for the current tick. current
+// holds the values of all streams at this tick; the target's entry is
+// ignored (it is the value being predicted).
+func (t *Tracker) features(current []float64) []float64 {
+	x := make([]float64, 0, t.dim)
+	x = append(x, 1) // bias
+	// p most recent past values of the target (newest first).
+	h := t.history[t.target]
+	for lag := 1; lag <= t.cfg.P; lag++ {
+		x = append(x, h[len(h)-lag])
+	}
+	// For every other stream: current value + p−1 most recent past values.
+	for i := 0; i < t.width; i++ {
+		if i == t.target {
+			continue
+		}
+		x = append(x, current[i])
+		hi := t.history[i]
+		for lag := 1; lag <= t.cfg.P-1; lag++ {
+			x = append(x, hi[len(hi)-lag])
+		}
+	}
+	return x
+}
+
+// Step consumes one tick. current holds all stream values at this tick; the
+// target entry may be NaN (missing). Other streams' missing values are
+// filled with their most recent known value before use. Step returns the
+// target's value for this tick: the observation when present, otherwise the
+// model's imputation. The returned value is also what the model trains on
+// when the observation is missing — the error-feedback loop characteristic
+// of MUSCLES.
+func (t *Tracker) Step(current []float64) float64 {
+	if len(current) != t.width {
+		panic(fmt.Sprintf("muscles: row width %d != %d", len(current), t.width))
+	}
+	row := make([]float64, t.width)
+	copy(row, current)
+	// Patch missing non-target values with last known.
+	for i := range row {
+		if i == t.target {
+			continue
+		}
+		if math.IsNaN(row[i]) {
+			row[i] = t.lastKnown(i)
+		}
+	}
+	if v := row[t.target]; !math.IsNaN(v) {
+		if !t.obsSeen || v < t.obsLo {
+			t.obsLo = v
+		}
+		if !t.obsSeen || v > t.obsHi {
+			t.obsHi = v
+		}
+		t.obsSeen = true
+	}
+	var out float64
+	if t.warm < t.cfg.P {
+		// Not enough lags yet: pass through, or carry forward when missing.
+		out = row[t.target]
+		if math.IsNaN(out) {
+			out = t.lastKnown(t.target)
+		}
+	} else {
+		x := t.features(row)
+		pred := t.clamp(t.rls.Predict(x))
+		if math.IsNaN(row[t.target]) {
+			out = pred
+		} else {
+			out = row[t.target]
+		}
+		// Train on the (possibly imputed) value.
+		t.rls.Update(x, out)
+	}
+	if math.IsNaN(out) {
+		out = 0
+	}
+	// Push into history.
+	for i := range t.history {
+		v := row[i]
+		if i == t.target {
+			v = out
+		}
+		if math.IsNaN(v) {
+			v = 0
+		}
+		t.history[i] = append(t.history[i], v)
+		if len(t.history[i]) > t.cfg.P {
+			t.history[i] = t.history[i][1:]
+		}
+	}
+	t.warm++
+	return out
+}
+
+// clamp bounds a prediction to the observed target range widened by half its
+// span on each side, preventing numeric runaway during long imputed-feedback
+// stretches.
+func (t *Tracker) clamp(v float64) float64 {
+	if !t.obsSeen || math.IsNaN(v) {
+		return v
+	}
+	span := t.obsHi - t.obsLo
+	if span == 0 {
+		span = math.Abs(t.obsHi)
+		if span == 0 {
+			span = 1
+		}
+	}
+	lo, hi := t.obsLo-span/2, t.obsHi+span/2
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// lastKnown returns the most recent non-NaN value in stream i's history,
+// or 0 if none exists.
+func (t *Tracker) lastKnown(i int) float64 {
+	h := t.history[i]
+	for j := len(h) - 1; j >= 0; j-- {
+		if !math.IsNaN(h[j]) {
+			return h[j]
+		}
+	}
+	return 0
+}
+
+// Recover imputes the missing values of the target column of data (rows =
+// ticks, one column per stream; NaN = missing) by streaming through it.
+// It returns the completed target series. This is the batch driver used by
+// the experiment harness.
+func Recover(cfg Config, data [][]float64, target int) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	tr, err := NewTracker(cfg, len(data[0]), target)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(data))
+	for i, row := range data {
+		out[i] = tr.Step(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package muscles
+
+import (
+	"math"
+	"testing"
+
+	"tkcm/internal/stats"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	cases := []Config{
+		{P: 0, Lambda: 1},
+		{P: 6, Lambda: 0},
+		{P: 6, Lambda: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := NewTracker(cfg, 3, 0); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := NewTracker(DefaultConfig(), 3, 3); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := NewTracker(DefaultConfig(), 3, -1); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestStepWidthMismatchPanics(t *testing.T) {
+	tr, err := NewTracker(DefaultConfig(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}()
+	tr.Step([]float64{1})
+}
+
+// TestLearnsLinearRelation: with the target an exact linear function of the
+// co-evolving streams, MUSCLES must recover missing values near-exactly —
+// the regime it is designed for.
+func TestLearnsLinearRelation(t *testing.T) {
+	const n = 1200
+	data := make([][]float64, n)
+	var truth []float64
+	for i := 0; i < n; i++ {
+		a := math.Sin(2 * math.Pi * float64(i) / 97)
+		b := math.Cos(2 * math.Pi * float64(i) / 61)
+		s := 2*a - 0.5*b + 1
+		row := []float64{s, a, b}
+		if i >= 900 && i < 960 {
+			truth = append(truth, s)
+			row[0] = math.NaN()
+		}
+		data[i] = row
+	}
+	out, err := Recover(DefaultConfig(), data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := out[900:960]
+	if rmse := stats.RMSE(truth, rec); rmse > 0.01 {
+		t.Fatalf("RMSE on exact linear relation = %v, want ≈ 0", rmse)
+	}
+}
+
+// TestDegradesOnShiftedStreams: with phase-shifted references and an
+// unpredictable amplitude modulation (so neither AR extrapolation nor the
+// linear combination of shifted references can track the target), MUSCLES
+// must degrade clearly relative to the same modulation with in-phase
+// references — the weakness the TKCM paper exploits. (With a *noiseless
+// deterministic* signal an AR(6) model is exact, so the test must inject
+// unpredictability to be meaningful.)
+func TestDegradesOnShiftedStreams(t *testing.T) {
+	const n = 1500
+	shape := func(x float64) float64 {
+		return math.Sin(x) + 0.5*math.Sin(2*x+0.7) + 0.3*math.Sin(3*x+1.3)
+	}
+	run := func(shift1, shift2 float64) float64 {
+		// Slow unpredictable amplitude modulation shared by all streams,
+		// each stream seeing it at its own phase shift.
+		state := uint64(11)
+		next := func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state%2000)/1000 - 1
+		}
+		mod := make([]float64, n+600)
+		level := 1.0
+		for i := range mod {
+			if i%24 == 0 {
+				level += 0.12 * next()
+				if level < 0.4 {
+					level = 0.4
+				}
+				if level > 1.6 {
+					level = 1.6
+				}
+			}
+			mod[i] = level
+		}
+		at := func(i int, shift float64) float64 {
+			ph := 2 * math.Pi * float64(i) / 288
+			lag := int(shift * 288 / (2 * math.Pi))
+			return mod[i+300-lag] * shape(ph-shift)
+		}
+		data := make([][]float64, n)
+		var truth []float64
+		for i := 0; i < n; i++ {
+			s := at(i, 0)
+			row := []float64{s, at(i, shift1), at(i, shift2)}
+			if i >= 1100 && i < 1388 {
+				truth = append(truth, s)
+				row[0] = math.NaN()
+			}
+			data[i] = row
+		}
+		out, err := Recover(DefaultConfig(), data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse := stats.RMSE(truth, out[1100:1388])
+		if math.IsNaN(rmse) || math.IsInf(rmse, 0) {
+			t.Fatalf("RMSE = %v; recovery must stay finite", rmse)
+		}
+		return rmse
+	}
+	inPhase := run(0, 0)      // references identical to the target
+	shifted := run(-1.9, 2.4) // references phase shifted
+	if shifted < 3*inPhase {
+		t.Fatalf("shifted RMSE %v not clearly worse than in-phase RMSE %v", shifted, inPhase)
+	}
+}
+
+// TestClampPreventsRunaway: a pathological long gap must not diverge —
+// every imputed value stays within the widened observed range.
+func TestClampPreventsRunaway(t *testing.T) {
+	const n = 3000
+	data := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := math.Sin(float64(i) / 10)
+		row := []float64{v, math.Sin(float64(i)/10 + 2), math.Cos(float64(i) / 7)}
+		if i >= 500 { // 83% of the stream missing
+			row[0] = math.NaN()
+		}
+		data[i] = row
+	}
+	out, err := Recover(DefaultConfig(), data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 10 {
+			t.Fatalf("tick %d: imputation %v escaped the clamp", i, v)
+		}
+	}
+}
+
+func TestPassThroughWhenPresent(t *testing.T) {
+	tr, err := NewTracker(DefaultConfig(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		got := tr.Step([]float64{v, v * 2})
+		if got != v {
+			t.Fatalf("tick %d: present value altered: %v", i, got)
+		}
+	}
+}
+
+func TestColdStartCarriesForward(t *testing.T) {
+	tr, err := NewTracker(Config{P: 4, Lambda: 1, Delta: 1e4}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Step([]float64{7, 1})
+	got := tr.Step([]float64{math.NaN(), 2})
+	if got != 7 {
+		t.Fatalf("cold-start fill = %v, want carry-forward 7", got)
+	}
+}
+
+func TestMissingReferencePatched(t *testing.T) {
+	// Missing non-target values must not poison the tracker.
+	tr, err := NewTracker(Config{P: 3, Lambda: 1, Delta: 1e4}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		row := []float64{float64(i), float64(2 * i)}
+		if i%5 == 0 {
+			row[1] = math.NaN()
+		}
+		got := tr.Step(row)
+		if math.IsNaN(got) {
+			t.Fatalf("tick %d produced NaN", i)
+		}
+	}
+}
+
+func TestRecoverEmpty(t *testing.T) {
+	out, err := Recover(DefaultConfig(), nil, 0)
+	if err != nil || out != nil {
+		t.Fatalf("empty recover = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package ring implements the fixed-capacity ring buffer that backs the
+// paper's streaming window (Sec. 6.2): one buffer of length L per time
+// series, with an offset O such that the value at the current time tn sits
+// at buf[O] and the oldest value at buf[(O+1)%L]. Advancing the stream is
+// O(1) (Lemma 6.1).
+package ring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffer is a fixed-capacity circular buffer of float64 measurements.
+// It mirrors the paper's layout: after Fill/Push operations the newest
+// value is at logical index L-1 and the oldest at logical index 0.
+//
+// The zero value is unusable; construct with New.
+type Buffer struct {
+	data []float64
+	// off is the physical index of the newest element (the paper's O).
+	off int
+	// n is the number of valid elements, at most len(data). The buffer
+	// reports logical length n until it first wraps, after which n == L.
+	n int
+}
+
+// New returns a buffer with capacity capacity. It panics if capacity <= 0.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ring: capacity must be positive, got %d", capacity))
+	}
+	return &Buffer{data: make([]float64, capacity), off: capacity - 1}
+}
+
+// FromSlice returns a full buffer holding the given values with values[len-1]
+// as the newest element. The slice is copied.
+func FromSlice(values []float64) *Buffer {
+	b := New(len(values))
+	for _, v := range values {
+		b.Push(v)
+	}
+	return b
+}
+
+// Cap returns the fixed capacity L.
+func (b *Buffer) Cap() int { return len(b.data) }
+
+// Len returns the number of values pushed so far, capped at the capacity.
+func (b *Buffer) Len() int { return b.n }
+
+// Full reports whether the buffer holds Cap() values.
+func (b *Buffer) Full() bool { return b.n == len(b.data) }
+
+// Push appends v as the newest value, evicting the oldest when full.
+// This is the paper's O(1) window advance.
+func (b *Buffer) Push(v float64) {
+	b.off = (b.off + 1) % len(b.data)
+	b.data[b.off] = v
+	if b.n < len(b.data) {
+		b.n++
+	}
+}
+
+// At returns the value at logical index i, where index Len()-1 is the newest
+// value and index 0 the oldest. It panics if i is out of range.
+func (b *Buffer) At(i int) float64 {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, b.n))
+	}
+	return b.data[b.physical(i)]
+}
+
+// Set overwrites the value at logical index i. The paper's Algorithm 1
+// stores the imputed value back into the buffer this way (s[O] ← ...).
+func (b *Buffer) Set(i int, v float64) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, b.n))
+	}
+	b.data[b.physical(i)] = v
+}
+
+// Newest returns the value at the current time tn (logical index Len()-1).
+func (b *Buffer) Newest() float64 {
+	if b.n == 0 {
+		panic("ring: Newest on empty buffer")
+	}
+	return b.data[b.off]
+}
+
+// SetNewest overwrites the value at the current time tn.
+func (b *Buffer) SetNewest(v float64) {
+	if b.n == 0 {
+		panic("ring: SetNewest on empty buffer")
+	}
+	b.data[b.off] = v
+}
+
+// Oldest returns the oldest retained value.
+func (b *Buffer) Oldest() float64 {
+	if b.n == 0 {
+		panic("ring: Oldest on empty buffer")
+	}
+	return b.data[b.physical(0)]
+}
+
+// physical maps a logical index (0 = oldest) to a position in data.
+func (b *Buffer) physical(i int) int {
+	L := len(b.data)
+	// The newest element is at off and has logical index n-1.
+	return ((b.off-(b.n-1)+i)%L + L) % L
+}
+
+// Snapshot copies the logical contents (oldest first) into dst, which must
+// have length Len(); it returns dst. If dst is nil a new slice is allocated.
+func (b *Buffer) Snapshot(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, b.n)
+	}
+	if len(dst) != b.n {
+		panic(fmt.Sprintf("ring: snapshot dst length %d != %d", len(dst), b.n))
+	}
+	for i := 0; i < b.n; i++ {
+		dst[i] = b.data[b.physical(i)]
+	}
+	return dst
+}
+
+// CountMissing returns how many retained values are NaN.
+func (b *Buffer) CountMissing() int {
+	m := 0
+	for i := 0; i < b.n; i++ {
+		if math.IsNaN(b.data[b.physical(i)]) {
+			m++
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package ring
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d accepted", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestPushBeforeFull(t *testing.T) {
+	b := New(4)
+	if b.Len() != 0 || b.Full() {
+		t.Fatal("fresh buffer must be empty")
+	}
+	b.Push(1)
+	b.Push(2)
+	if b.Len() != 2 || b.Full() {
+		t.Fatalf("len = %d, full = %v", b.Len(), b.Full())
+	}
+	if b.At(0) != 1 || b.At(1) != 2 {
+		t.Fatalf("contents = [%v %v]", b.At(0), b.At(1))
+	}
+	if b.Oldest() != 1 || b.Newest() != 2 {
+		t.Fatal("oldest/newest wrong before wrap")
+	}
+}
+
+func TestPushEvictsOldest(t *testing.T) {
+	b := New(3)
+	for i := 1; i <= 5; i++ {
+		b.Push(float64(i))
+	}
+	if !b.Full() || b.Cap() != 3 {
+		t.Fatal("buffer must be full at capacity 3")
+	}
+	want := []float64{3, 4, 5}
+	if got := b.Snapshot(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	if b.Oldest() != 3 || b.Newest() != 5 {
+		t.Fatalf("oldest/newest = %v/%v", b.Oldest(), b.Newest())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	b := FromSlice([]float64{7, 8, 9})
+	if b.Len() != 3 || b.At(0) != 7 || b.At(2) != 9 {
+		t.Fatalf("FromSlice wrong: %v", b.Snapshot(nil))
+	}
+}
+
+func TestSetAndSetNewest(t *testing.T) {
+	b := FromSlice([]float64{1, 2, 3})
+	b.Set(1, 20)
+	if b.At(1) != 20 {
+		t.Fatal("Set failed")
+	}
+	b.SetNewest(30)
+	if b.Newest() != 30 || b.At(2) != 30 {
+		t.Fatal("SetNewest failed")
+	}
+	// Behaviour after wrap: the logical indices stay consistent.
+	b.Push(4)
+	if b.At(0) != 20 || b.At(2) != 4 {
+		t.Fatalf("post-wrap contents = %v", b.Snapshot(nil))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	b := FromSlice([]float64{1, 2})
+	for _, idx := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("index %d accepted", idx)
+				}
+			}()
+			b.At(idx)
+		}()
+	}
+}
+
+func TestEmptyAccessorsPanic(t *testing.T) {
+	b := New(2)
+	for name, fn := range map[string]func(){
+		"Newest":    func() { b.Newest() },
+		"Oldest":    func() { b.Oldest() },
+		"SetNewest": func() { b.SetNewest(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty buffer did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshotReuse(t *testing.T) {
+	b := FromSlice([]float64{1, 2, 3})
+	dst := make([]float64, 3)
+	got := b.Snapshot(dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("snapshot must reuse dst")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-length dst accepted")
+			}
+		}()
+		b.Snapshot(make([]float64, 2))
+	}()
+}
+
+func TestCountMissing(t *testing.T) {
+	b := FromSlice([]float64{1, math.NaN(), 3, math.NaN()})
+	if got := b.CountMissing(); got != 2 {
+		t.Fatalf("missing = %d, want 2", got)
+	}
+}
+
+// TestRingMatchesSliceModel drives a ring buffer and a plain-slice reference
+// model with the same operations and compares their visible state — the key
+// correctness property of the paper's O(1) window maintenance.
+func TestRingMatchesSliceModel(t *testing.T) {
+	f := func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw)%8 + 1
+		b := New(capacity)
+		var model []float64
+		for _, op := range ops {
+			v := float64(op % 97)
+			b.Push(v)
+			model = append(model, v)
+			if len(model) > capacity {
+				model = model[1:]
+			}
+			if b.Len() != len(model) {
+				return false
+			}
+			for i, want := range model {
+				if b.At(i) != want {
+					return false
+				}
+			}
+			if len(model) > 0 && (b.Newest() != model[len(model)-1] || b.Oldest() != model[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

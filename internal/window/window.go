@@ -1,0 +1,137 @@
+// Package window maintains the streaming window W = {tn-L+1, ..., tn} over a
+// set of co-evolving streams. Each stream is backed by a ring.Buffer of
+// capacity L; advancing the current time is O(1) per stream (Lemma 6.1).
+//
+// The window is the substrate the TKCM imputer (internal/core) and the
+// streaming baselines operate on: at every tick each stream receives exactly
+// one value (possibly missing), and imputers overwrite the newest slot of
+// incomplete streams so the retained history is always complete.
+package window
+
+import (
+	"fmt"
+	"math"
+
+	"tkcm/internal/ring"
+)
+
+// Window holds the last L values of a fixed set of named streams.
+type Window struct {
+	length  int
+	names   []string
+	index   map[string]int
+	buffers []*ring.Buffer
+	// tick is the index of the current time tn, counted from the first
+	// Advance call (first tick is 0). It is -1 before any data arrives.
+	tick int
+}
+
+// New creates a window of length L over the given stream names.
+// It panics if L <= 0, if no names are given, or on duplicate names.
+func New(length int, names ...string) *Window {
+	if length <= 0 {
+		panic(fmt.Sprintf("window: length must be positive, got %d", length))
+	}
+	if len(names) == 0 {
+		panic("window: at least one stream is required")
+	}
+	w := &Window{
+		length: length,
+		names:  append([]string(nil), names...),
+		index:  make(map[string]int, len(names)),
+		tick:   -1,
+	}
+	for i, name := range names {
+		if _, dup := w.index[name]; dup {
+			panic(fmt.Sprintf("window: duplicate stream name %q", name))
+		}
+		w.index[name] = i
+		w.buffers = append(w.buffers, ring.New(length))
+	}
+	return w
+}
+
+// Length returns L, the number of ticks retained per stream.
+func (w *Window) Length() int { return w.length }
+
+// Width returns the number of streams.
+func (w *Window) Width() int { return len(w.buffers) }
+
+// Names returns the stream names in declaration order.
+func (w *Window) Names() []string { return w.names }
+
+// Tick returns the index of the current time tn (-1 before any Advance).
+func (w *Window) Tick() int { return w.tick }
+
+// Filled returns the number of ticks currently retained (≤ L).
+func (w *Window) Filled() int {
+	if len(w.buffers) == 0 {
+		return 0
+	}
+	return w.buffers[0].Len()
+}
+
+// Warm reports whether the window retains L full ticks.
+func (w *Window) Warm() bool { return w.Filled() == w.length }
+
+// Advance moves the current time to the next tick and records one value per
+// stream. row must have one entry per stream, in declaration order; NaN marks
+// a missing measurement. It returns the new tick index.
+func (w *Window) Advance(row []float64) int {
+	if len(row) != len(w.buffers) {
+		panic(fmt.Sprintf("window: row has %d values, window has %d streams", len(row), len(w.buffers)))
+	}
+	for i, v := range row {
+		w.buffers[i].Push(v)
+	}
+	w.tick++
+	return w.tick
+}
+
+// Stream returns the ring buffer of stream i. Mutating the buffer through
+// Set/SetNewest is how imputers write recovered values back (Algorithm 1
+// line 26 stores sˆ(tn) into s[O]).
+func (w *Window) Stream(i int) *ring.Buffer { return w.buffers[i] }
+
+// StreamByName returns the buffer for the named stream, or nil if unknown.
+func (w *Window) StreamByName(name string) *ring.Buffer {
+	if i, ok := w.index[name]; ok {
+		return w.buffers[i]
+	}
+	return nil
+}
+
+// IndexOf returns the position of the named stream, or -1 if unknown.
+func (w *Window) IndexOf(name string) int {
+	if i, ok := w.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// At returns the value of stream i at logical window index j (0 = oldest
+// retained tick, Filled()-1 = tn).
+func (w *Window) At(i, j int) float64 { return w.buffers[i].At(j) }
+
+// Current returns the value of stream i at the current time tn.
+func (w *Window) Current(i int) float64 { return w.buffers[i].Newest() }
+
+// CurrentMissing reports whether stream i is missing its value at tn.
+func (w *Window) CurrentMissing(i int) bool { return math.IsNaN(w.buffers[i].Newest()) }
+
+// SetCurrent overwrites the value of stream i at the current time tn.
+func (w *Window) SetCurrent(i int, v float64) { w.buffers[i].SetNewest(v) }
+
+// MissingNow returns the indices of all streams whose value at tn is missing.
+func (w *Window) MissingNow() []int {
+	var out []int
+	for i, b := range w.buffers {
+		if b.Len() > 0 && math.IsNaN(b.Newest()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Snapshot copies the retained history of stream i (oldest first).
+func (w *Window) Snapshot(i int) []float64 { return w.buffers[i].Snapshot(nil) }

@@ -1,0 +1,123 @@
+package window
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero length":    func() { New(0, "a") },
+		"no streams":     func() { New(3) },
+		"duplicate name": func() { New(3, "a", "a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdvanceAndAccessors(t *testing.T) {
+	w := New(3, "x", "y")
+	if w.Tick() != -1 || w.Filled() != 0 || w.Warm() {
+		t.Fatal("fresh window state wrong")
+	}
+	if got := w.Advance([]float64{1, 10}); got != 0 {
+		t.Fatalf("first tick = %d, want 0", got)
+	}
+	w.Advance([]float64{2, 20})
+	w.Advance([]float64{3, 30})
+	if !w.Warm() || w.Filled() != 3 || w.Tick() != 2 {
+		t.Fatalf("window not warm after L ticks: filled=%d tick=%d", w.Filled(), w.Tick())
+	}
+	w.Advance([]float64{4, 40})
+	if w.Tick() != 3 {
+		t.Fatalf("tick = %d, want 3", w.Tick())
+	}
+	if got := w.Snapshot(0); !reflect.DeepEqual(got, []float64{2, 3, 4}) {
+		t.Fatalf("x snapshot = %v", got)
+	}
+	if w.At(1, 0) != 20 || w.Current(1) != 40 {
+		t.Fatalf("y accessors wrong: oldest=%v current=%v", w.At(1, 0), w.Current(1))
+	}
+}
+
+func TestAdvanceWidthMismatch(t *testing.T) {
+	w := New(3, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row width mismatch accepted")
+		}
+	}()
+	w.Advance([]float64{1, 2})
+}
+
+func TestMissingDetection(t *testing.T) {
+	w := New(2, "a", "b", "c")
+	w.Advance([]float64{1, math.NaN(), math.NaN()})
+	if !w.CurrentMissing(1) || w.CurrentMissing(0) {
+		t.Fatal("CurrentMissing wrong")
+	}
+	if got := w.MissingNow(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("MissingNow = %v, want [1 2]", got)
+	}
+	w.SetCurrent(1, 5)
+	if got := w.MissingNow(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("after SetCurrent: %v, want [2]", got)
+	}
+}
+
+func TestNamesAndLookup(t *testing.T) {
+	w := New(2, "a", "b")
+	if !reflect.DeepEqual(w.Names(), []string{"a", "b"}) {
+		t.Fatalf("names = %v", w.Names())
+	}
+	if w.IndexOf("b") != 1 || w.IndexOf("zz") != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if w.StreamByName("a") != w.Stream(0) || w.StreamByName("zz") != nil {
+		t.Fatal("StreamByName wrong")
+	}
+	if w.Length() != 2 || w.Width() != 2 {
+		t.Fatal("shape accessors wrong")
+	}
+}
+
+// TestWindowMatchesSliceModel drives the window against a slice model per
+// stream under random advance sequences (testing/quick).
+func TestWindowMatchesSliceModel(t *testing.T) {
+	f := func(rows []uint32, lenRaw uint8) bool {
+		L := int(lenRaw)%6 + 2
+		w := New(L, "p", "q")
+		var mp, mq []float64
+		for _, r := range rows {
+			pv := float64(r & 0xffff)
+			qv := float64(r >> 16)
+			w.Advance([]float64{pv, qv})
+			mp = append(mp, pv)
+			mq = append(mq, qv)
+			if len(mp) > L {
+				mp, mq = mp[1:], mq[1:]
+			}
+			if w.Filled() != len(mp) {
+				return false
+			}
+			for i := range mp {
+				if w.At(0, i) != mp[i] || w.At(1, i) != mq[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

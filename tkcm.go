@@ -1,0 +1,109 @@
+// Package tkcm is a streaming missing-value imputation library implementing
+// Top-k Case Matching (Wellenzohn, Böhlen, Dignös, Gamper & Mitterer:
+// "Continuous Imputation of Missing Values in Streams of Pattern-Determining
+// Time Series", EDBT 2017), together with the baselines the paper evaluates
+// against (SPIRIT, MUSCLES, centroid decomposition, and classic single-series
+// imputers).
+//
+// # Quickstart
+//
+//	cfg := tkcm.DefaultConfig()
+//	cfg.WindowLength = 4032 // two weeks at 5-minute sampling
+//
+//	eng, err := tkcm.NewEngine(cfg, []string{"s", "r1", "r2", "r3"}, nil)
+//	if err != nil { ... }
+//	for rows.Next() {
+//		completed, results, err := eng.Tick(rows.Values()) // NaN = missing
+//		...
+//	}
+//
+// The engine keeps a ring-buffered window of the last L ticks per stream and
+// imputes every missing value the moment it arrives, so the retained history
+// is always complete (the paper's continuous-imputation setting). One-shot
+// imputation over slices is available via Impute.
+//
+// TKCM's key property: imputation quality does not depend on linear
+// correlation between streams. By matching a two-dimensional pattern of the
+// last l measurements across d reference streams, it recovers values
+// correctly even when references are phase shifted (Pearson ≈ 0), where
+// regression- and decomposition-based methods degrade.
+package tkcm
+
+import (
+	"tkcm/internal/core"
+	"tkcm/internal/timeseries"
+)
+
+// Missing is the missing-value marker (NaN). Feed it to Engine.Tick for
+// absent measurements.
+var Missing = timeseries.Missing
+
+// IsMissing reports whether v denotes a missing measurement.
+func IsMissing(v float64) bool { return timeseries.IsMissing(v) }
+
+// Config holds TKCM's parameters (paper Table 1): K anchor points,
+// PatternLength l, D reference series, WindowLength L, plus the dissimilarity
+// norm and anchor-selection strategy.
+type Config = core.Config
+
+// Norm selects the pattern dissimilarity norm.
+type Norm = core.Norm
+
+// Dissimilarity norms. L2 is the paper's Def. 2; L1 and LInf are the Sec. 8
+// future-work alternatives.
+const (
+	L2   = core.L2
+	L1   = core.L1
+	LInf = core.LInf
+)
+
+// Selection selects the anchor-selection strategy.
+type Selection = core.Selection
+
+// Anchor selection strategies. SelectDP is the paper's dynamic program;
+// the others are ablations.
+const (
+	SelectDP          = core.SelectDP
+	SelectGreedy      = core.SelectGreedy
+	SelectOverlapping = core.SelectOverlapping
+)
+
+// Result describes one imputation: the value, the chosen anchor points, and
+// the pattern-determining diagnostics (ε of Def. 5).
+type Result = core.Result
+
+// ReferenceSet is the ordered candidate reference series of one stream.
+type ReferenceSet = core.ReferenceSet
+
+// Engine performs continuous imputation over a set of co-evolving streams.
+type Engine = core.Engine
+
+// EngineStats counts engine activity.
+type EngineStats = core.EngineStats
+
+// DefaultConfig returns the paper's calibrated defaults (Sec. 7.2):
+// d = 3, k = 5, l = 72, L = 105120 (one year at 5-minute sampling).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewEngine creates a continuous-imputation engine over the named streams.
+// refs maps a stream name to its ordered candidate reference series (best
+// first); streams without an entry get a correlation-ranked reference set
+// automatically on their first missing value.
+func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engine, error) {
+	return core.NewEngine(cfg, names, refs)
+}
+
+// Impute recovers the missing last value of series s. s and every refs[i]
+// hold the retained window (oldest first, equal lengths); the last element
+// of s is the missing value being recovered and is ignored. The reference
+// windows must be complete.
+func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
+	return core.Impute(cfg, s, refs)
+}
+
+// RankReferences orders the candidate streams for target by descending
+// absolute Pearson correlation with it over the supplied aligned histories —
+// a data-driven substitute for the paper's expert-provided rankings.
+func RankReferences(target string, histories map[string][]float64) ReferenceSet {
+	return core.RankCandidates(target, histories)
+}

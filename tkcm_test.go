@@ -1,0 +1,134 @@
+package tkcm_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tkcm"
+)
+
+// TestPublicImputeRunningExample exercises the public façade on the paper's
+// Table 2 running example.
+func TestPublicImputeRunningExample(t *testing.T) {
+	s := []float64{22.8, 21.4, 21.8, 23.1, 23.5, 22.8, 21.2, 21.9, 23.5, 22.8, 21.2, tkcm.Missing}
+	r1 := []float64{16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5}
+	r2 := []float64{20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2}
+
+	cfg := tkcm.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 12}
+	res, err := tkcm.Impute(cfg, s, [][]float64{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-21.85) > 1e-9 {
+		t.Fatalf("imputed %v, want 21.85 (paper Example 4)", res.Value)
+	}
+}
+
+func TestMissingHelpers(t *testing.T) {
+	if !tkcm.IsMissing(tkcm.Missing) {
+		t.Fatal("Missing must be missing")
+	}
+	if tkcm.IsMissing(1.5) {
+		t.Fatal("1.5 is not missing")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := tkcm.DefaultConfig()
+	if cfg.K != 5 || cfg.PatternLength != 72 || cfg.D != 3 || cfg.WindowLength != 105120 {
+		t.Fatalf("defaults %+v do not match Sec. 7.2", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankReferences(t *testing.T) {
+	n := 100
+	tgt := make([]float64, n)
+	good := make([]float64, n)
+	bad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tgt[i] = math.Sin(float64(i) / 5)
+		good[i] = 3 * tgt[i]
+		bad[i] = float64(i % 7)
+	}
+	rs := tkcm.RankReferences("t", map[string][]float64{"t": tgt, "good": good, "bad": bad})
+	if len(rs.Candidates) != 2 || rs.Candidates[0] != "good" {
+		t.Fatalf("ranking = %v", rs.Candidates)
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	const period = 96
+	cfg := tkcm.Config{K: 2, PatternLength: 12, D: 1, WindowLength: 3 * period}
+	eng, err := tkcm.NewEngine(cfg, []string{"s", "r"}, map[string]tkcm.ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 5*period; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		truth := math.Sin(ph)
+		sv := truth
+		missing := i > 4*period && i%5 == 0
+		if missing {
+			sv = tkcm.Missing
+		}
+		out, _, err := eng.Tick([]float64{sv, math.Cos(ph)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if missing {
+			if e := math.Abs(out[0] - truth); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("worst error %v on noiseless shifted sines", worst)
+	}
+}
+
+// ExampleImpute recovers the missing value of the paper's running example
+// (Table 2).
+func ExampleImpute() {
+	s := []float64{22.8, 21.4, 21.8, 23.1, 23.5, 22.8, 21.2, 21.9, 23.5, 22.8, 21.2, tkcm.Missing}
+	r1 := []float64{16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5}
+	r2 := []float64{20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2}
+
+	cfg := tkcm.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 12}
+	res, err := tkcm.Impute(cfg, s, [][]float64{r1, r2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("imputed %.2f °C from anchors %v\n", res.Value, res.Anchors)
+	// Output: imputed 21.85 °C from anchors [2 7]
+}
+
+// ExampleNewEngine streams two phase-shifted sines and imputes a dropped
+// measurement on arrival.
+func ExampleNewEngine() {
+	cfg := tkcm.Config{K: 2, PatternLength: 8, D: 1, WindowLength: 128}
+	eng, _ := tkcm.NewEngine(cfg, []string{"s", "r"}, map[string]tkcm.ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r"}},
+	})
+	const period = 32
+	var lastImputed float64
+	for i := 0; i < 4*period; i++ {
+		ph := 2 * math.Pi * float64(i) / period
+		sv := math.Sin(ph)
+		if i == 4*period-1 {
+			sv = tkcm.Missing // the newest measurement is lost
+		}
+		out, _, _ := eng.Tick([]float64{sv, math.Cos(ph)})
+		lastImputed = out[0]
+	}
+	truth := math.Sin(2 * math.Pi * float64(4*period-1) / period)
+	fmt.Printf("error below 1e-9: %v\n", math.Abs(lastImputed-truth) < 1e-9)
+	// Output: error below 1e-9: true
+}
