@@ -12,6 +12,7 @@ package tkcm_test
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -346,9 +347,16 @@ func BenchmarkImputeLongPatternFFT(b *testing.B) {
 }
 
 // BenchmarkEngineTick times the O(1) streaming advance plus imputation of
-// one missing value through the public engine.
+// one missing value through the public engine (default configuration, i.e.
+// the incremental profiler).
 func BenchmarkEngineTick(b *testing.B) {
-	cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 4032}
+	benchEngineTick(b, tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 4032})
+}
+
+// benchEngineTick streams warm SBR-1d data with the target missing every
+// bench iteration.
+func benchEngineTick(b *testing.B, cfg tkcm.Config) {
+	b.Helper()
 	eng, err := tkcm.NewEngine(cfg, []string{"s", "r1", "r2", "r3"}, map[string]tkcm.ReferenceSet{
 		"s": {Stream: "s", Candidates: []string{"r1", "r2", "r3"}},
 	})
@@ -366,6 +374,29 @@ func BenchmarkEngineTick(b *testing.B) {
 			frame.Series[3].Values[t],
 		}
 	}
+	if cfg.WindowLength+512 > len(rows) {
+		// The window outgrows the generated dataset (e.g. the L = 8760
+		// profiler benches at the small scale): extend with deterministic
+		// daily-periodic rows so every configuration warms fully.
+		n := cfg.WindowLength + 2048
+		rows = make([][]float64, n)
+		state := uint64(17)
+		noise := func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state%1000) / 2000
+		}
+		for t := range rows {
+			ph := 2 * math.Pi * float64(t) / 288
+			rows[t] = []float64{
+				math.Sin(ph) + noise(),
+				math.Sin(ph-1.0) + noise(),
+				math.Cos(ph+0.4) + noise(),
+				math.Sin(2*ph) + noise(),
+			}
+		}
+	}
 	// Warm the window completely.
 	for t := 0; t < cfg.WindowLength; t++ {
 		if _, _, err := eng.Tick(rows[t]); err != nil {
@@ -377,6 +408,110 @@ func BenchmarkEngineTick(b *testing.B) {
 		t := cfg.WindowLength + i%(len(rows)-cfg.WindowLength)
 		row := []float64{tkcm.Missing, rows[t][1], rows[t][2], rows[t][3]}
 		if _, _, err := eng.Tick(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTickProfilers contrasts the three extraction strategies on
+// the streaming hot path at the paper's default pattern length (l = 72) and
+// a year-of-hours window (L = 8760): the per-tick cost drops from the naive
+// O(d·l·L) recompute to the incremental O(d·L) maintenance.
+func BenchmarkEngineTickProfilers(b *testing.B) {
+	for _, kind := range []tkcm.ProfilerKind{tkcm.ProfilerNaive, tkcm.ProfilerFFT, tkcm.ProfilerIncremental} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 8760, Profiler: kind}
+			benchEngineTick(b, cfg)
+		})
+	}
+}
+
+// benchEngineTickParallel streams eight co-evolving streams and drops four
+// of them on every bench iteration, so one Tick carries four imputations
+// for the worker pool to fan out. It pins the naive profiler: with
+// incremental extraction the per-imputation work is already tiny and the
+// serial state maintenance dominates, so fan-out has nothing to win there.
+func benchEngineTickParallel(b *testing.B, workers int) {
+	b.Helper()
+	const width = 8
+	cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 4032, Workers: workers, Profiler: tkcm.ProfilerNaive}
+	names := make([]string, width)
+	refs := make(map[string]tkcm.ReferenceSet, 4)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	// Streams 0-3 are targets referencing the always-present streams 4-7.
+	for i := 0; i < 4; i++ {
+		refs[names[i]] = tkcm.ReferenceSet{Stream: names[i], Candidates: names[4:]}
+	}
+	eng, err := tkcm.NewEngine(cfg, names, refs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := benchScale.Spec(experiments.DSSBR1d)
+	frame := sp.Generate()
+	nSeries := len(frame.Series)
+	row := make([]float64, width)
+	fill := func(t int) {
+		for j := 0; j < width; j++ {
+			s := frame.Series[j%nSeries].Values
+			row[j] = s[t%len(s)] + float64(j)
+		}
+	}
+	for t := 0; t < cfg.WindowLength; t++ {
+		fill(t)
+		if _, _, err := eng.Tick(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill(cfg.WindowLength + i)
+		for j := 0; j < 4; j++ {
+			row[j] = tkcm.Missing
+		}
+		if _, _, err := eng.Tick(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTickSerial vs BenchmarkEngineTickParallel measure the
+// worker-pool fan-out of one Tick's imputations across missing streams.
+func BenchmarkEngineTickSerial(b *testing.B)   { benchEngineTickParallel(b, 1) }
+func BenchmarkEngineTickParallel(b *testing.B) { benchEngineTickParallel(b, 4) }
+
+// BenchmarkEngineTickBatch measures bulk ingest through TickBatch at the
+// default (incremental) configuration.
+func BenchmarkEngineTickBatch(b *testing.B) {
+	cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 4032}
+	eng, err := tkcm.NewEngine(cfg, []string{"s", "r1", "r2", "r3"}, map[string]tkcm.ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r1", "r2", "r3"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := benchScale.Spec(experiments.DSSBR1d)
+	frame := sp.Generate()
+	rows := make([][]float64, frame.Len())
+	for t := range rows {
+		rows[t] = []float64{
+			frame.Series[0].Values[t],
+			frame.Series[1].Values[t],
+			frame.Series[2].Values[t],
+			frame.Series[3].Values[t],
+		}
+		if t >= cfg.WindowLength && t%5 == 0 {
+			rows[t][0] = tkcm.Missing
+		}
+	}
+	if _, _, err := eng.TickBatch(rows[:cfg.WindowLength]); err != nil {
+		b.Fatal(err)
+	}
+	batch := rows[cfg.WindowLength:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.TickBatch(batch); err != nil {
 			b.Fatal(err)
 		}
 	}

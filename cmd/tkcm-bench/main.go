@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"tkcm/internal/core"
 	"tkcm/internal/experiments"
 )
 
@@ -29,6 +30,12 @@ type experiment struct {
 	about string
 	run   func(experiments.Scale) error
 }
+
+// Flags consumed by the engine-throughput experiment.
+var (
+	profilerFlag = flag.String("profiler", "", "pin the engine experiment to one extraction strategy: naive|fft|incremental (default: sweep all)")
+	parallelFlag = flag.Int("parallel", 0, "pin the engine experiment to one Tick worker count (default: sweep 1 and 4)")
+)
 
 func main() {
 	var (
@@ -84,9 +91,53 @@ func allExperiments() []experiment {
 		{"fig16", "Fig. 16: RMSE summary comparison (headline result)", runFig16},
 		{"fig17", "Fig. 17: runtime linearity in l, d, k, L", runFig17},
 		{"perf", "Sec. 7.4: runtime breakdown of TKCM's phases", runPerf},
+		{"engine", "streaming-engine throughput: naive vs FFT vs incremental extraction, serial vs parallel ticks", runEngine},
 		{"ablation", "DESIGN.md §4: DP vs greedy vs overlapping, norms, weighting", runAblation},
 		{"alignment", "Sec. 8 future work: DTW-aligned series + l=1 vs shifted series + l>1", runAlignment},
 	}
+}
+
+func runEngine(scale experiments.Scale) error {
+	kinds := []core.ProfilerKind{core.ProfilerNaive, core.ProfilerFFT, core.ProfilerIncremental}
+	if *profilerFlag != "" {
+		k, err := core.ParseProfilerKind(*profilerFlag)
+		if err != nil {
+			return err
+		}
+		kinds = []core.ProfilerKind{k}
+	}
+	workers := []int{1, 4}
+	if *parallelFlag > 0 {
+		workers = []int{*parallelFlag}
+	}
+	const missingStreams = 4
+	tbl := experiments.NewTable(
+		"Streaming engine throughput on SBR-1d (targets dropped every 5th tick)",
+		"profiler", "workers", "missing", "ticks", "imputations", "ticks/s", "per imputation")
+	var baseline float64
+	var speedups []string
+	for _, k := range kinds {
+		for _, w := range workers {
+			row, err := experiments.EngineThroughput(scale, k, w, missingStreams)
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(row.Profiler, row.Workers, row.MissingStreams, row.Ticks, row.Imputations,
+				fmt.Sprintf("%.0f", row.TicksPerSec), row.PerImputation.Round(time.Microsecond))
+			if baseline == 0 {
+				baseline = row.TicksPerSec
+			} else {
+				speedups = append(speedups, fmt.Sprintf("%s/w%d %.1fx", row.Profiler, row.Workers, row.TicksPerSec/baseline))
+			}
+		}
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if len(speedups) > 0 {
+		fmt.Printf("speedup vs first row: %s\n", strings.Join(speedups, ", "))
+	}
+	return nil
 }
 
 func runAlignment(scale experiments.Scale) error {

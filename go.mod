@@ -1,0 +1,3 @@
+module tkcm
+
+go 1.24

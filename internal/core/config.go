@@ -103,12 +103,26 @@ type Config struct {
 	// its pattern dissimilarity instead of the plain mean of Def. 4
 	// (Troyanskaya-style weighting discussed in Sec. 2).
 	WeightedMean bool
+	// Profiler selects the pattern-extraction strategy — the implementation
+	// of the dissimilarity profile (Def. 2) that dominates TKCM's runtime
+	// (Sec. 7.4 reports ~92%). ProfilerAuto (zero value) picks the
+	// incremental profiler in the streaming engine and the naive loop for
+	// one-shot slice imputations; see ProfilerKind for the full matrix.
+	// Non-L2 norms always degrade to the naive loop, the only
+	// implementation that supports them.
+	Profiler ProfilerKind
+	// Workers bounds the goroutines one Engine.Tick uses to impute missing
+	// streams in parallel. 0 or 1 keeps the serial tick; values above 1
+	// fan imputeStream out across the tick's missing streams (reference
+	// sets are resolved serially first, so parallel ticks never use a
+	// value imputed in the same tick as a reference — see Engine.Tick).
+	Workers int
 	// FastExtraction computes the L2 dissimilarity profile via FFT
 	// cross-correlation in O(d·L·log L) instead of the naive O(d·l·L) —
 	// the Sec. 8 future-work optimization of the pattern extraction phase.
-	// Mathematically identical to the naive profile (up to floating-point
-	// rounding in the last ulps); only applies to the L2 norm and the
-	// slice-based Impute path.
+	//
+	// Deprecated: FastExtraction is an alias for Profiler =
+	// ProfilerFFT, honored only while Profiler is ProfilerAuto.
 	FastExtraction bool
 }
 
@@ -152,6 +166,12 @@ func (c Config) Validate() error {
 	// anchor positions.
 	if candidates < (c.K-1)*c.PatternLength+1 {
 		return fmt.Errorf("core: window length L=%d cannot host k=%d non-overlapping patterns of length l=%d", c.WindowLength, c.K, c.PatternLength)
+	}
+	if c.Profiler < ProfilerAuto || c.Profiler > ProfilerIncremental {
+		return fmt.Errorf("core: unknown profiler kind %d", int(c.Profiler))
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"tkcm/internal/window"
 )
@@ -12,6 +14,13 @@ import (
 // imputes every missing value using TKCM, so the retained window is always
 // complete (the paper's streaming setting, Sec. 3). Each incomplete stream
 // is imputed individually with its own reference set.
+//
+// Pattern extraction — the dominant phase (Sec. 7.4) — runs through the
+// profiler Config.Profiler selects. The default (ProfilerAuto under L2) is
+// the incremental profiler, which maintains per-stream profile aggregates
+// across ticks in O(L) instead of recomputing O(d·l·L) per imputation.
+// With Config.Workers > 1, the per-stream imputations of one tick fan out
+// across a bounded worker pool.
 type Engine struct {
 	cfg  Config
 	w    *window.Window
@@ -19,6 +28,14 @@ type Engine struct {
 	// fallback records per-stream last imputed/observed value, used only
 	// while the window is too short for TKCM (cold start).
 	last []float64
+	// prof is the resolved extraction strategy; inc aliases it when it is
+	// the stateful incremental profiler.
+	prof Profiler
+	inc  *IncrementalProfiler
+	// scratch backs the serial tick's profile and snapshot buffers; the
+	// parallel path keeps one scratch per worker.
+	scratch       imputeScratch
+	workerScratch []imputeScratch
 	// Stats accumulates counters for observability.
 	Stats EngineStats
 }
@@ -49,6 +66,15 @@ func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engin
 		refs: refs,
 		last: make([]float64, len(names)),
 	}
+	switch cfg.engineProfilerKind() {
+	case ProfilerFFT:
+		e.prof = FFTProfiler{}
+	case ProfilerIncremental:
+		e.inc = NewIncrementalProfiler(cfg.PatternLength, len(names), cfg.WindowLength)
+		e.prof = e.inc
+	default:
+		e.prof = NaiveProfiler{}
+	}
 	for i := range e.last {
 		e.last[i] = math.NaN()
 	}
@@ -62,11 +88,21 @@ func (e *Engine) Window() *window.Window { return e.w }
 // Config returns the engine's TKCM configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Profiler returns the resolved pattern-extraction strategy the engine runs.
+func (e *Engine) Profiler() Profiler { return e.prof }
+
 // Tick consumes one row of measurements (one value per stream, NaN =
 // missing) and imputes every missing value. It returns the completed row
 // (imputed in place of NaN) and the per-stream imputation results for
 // streams that required TKCM (nil entries for streams that were present or
 // cold-start filled).
+//
+// With Config.Workers > 1 and several streams missing at once, the
+// imputations run concurrently: reference sets are resolved up front against
+// the tick's raw row, so a value imputed in this tick is never consulted as
+// a reference in the same tick (the serial tick permits that cascade for
+// streams at lower indices; in practice references must be present at tn
+// anyway for the paper's reference-selection rule).
 func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	if len(row) != e.w.Width() {
 		return nil, nil, fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
@@ -76,12 +112,59 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	results := make([]*Result, len(row))
 	out := make([]float64, len(row))
 	copy(out, row)
+	var missing []int
 	for i, v := range row {
-		if !math.IsNaN(v) {
-			e.last[i] = v
-			out[i] = v
+		if math.IsNaN(v) {
+			missing = append(missing, i)
 			continue
 		}
+		e.last[i] = v
+		e.advanceState(i)
+	}
+	if len(missing) == 0 {
+		return out, results, nil
+	}
+	if e.cfg.Workers > 1 && len(missing) > 1 {
+		e.imputeMissingParallel(missing, out, results)
+	} else {
+		e.imputeMissingSerial(missing, out, results)
+	}
+	return out, results, nil
+}
+
+// TickBatch consumes a batch of rows through Tick, preserving its semantics
+// tick for tick, and returns the completed rows and per-row results. On
+// error it returns the rows completed so far together with the failing row's
+// index wrapped in the error.
+func (e *Engine) TickBatch(rows [][]float64) ([][]float64, [][]*Result, error) {
+	outs := make([][]float64, 0, len(rows))
+	ress := make([][]*Result, 0, len(rows))
+	for t, row := range rows {
+		out, res, err := e.Tick(row)
+		if err != nil {
+			return outs, ress, fmt.Errorf("core: batch row %d: %w", t, err)
+		}
+		outs = append(outs, out)
+		ress = append(ress, res)
+	}
+	return outs, ress, nil
+}
+
+// advanceState feeds stream i's now-final value for the current tick into
+// the incremental profiler (no-op for stateless profilers). It must run
+// exactly once per stream per tick, after the stream's value is final.
+func (e *Engine) advanceState(i int) {
+	if e.inc == nil {
+		return
+	}
+	e.inc.Advance(i, e.w.Stream(i).Newest())
+}
+
+// imputeMissingSerial is the classic tick: missing streams are imputed in
+// index order, so an earlier imputation may serve as a reference value for a
+// later stream in the same tick.
+func (e *Engine) imputeMissingSerial(missing []int, out []float64, results []*Result) {
+	for _, i := range missing {
 		res, err := e.imputeStream(i)
 		switch {
 		case err == nil:
@@ -95,23 +178,101 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 			e.Stats.ReferenceErrors++
 			out[i] = e.coldFill(i)
 		}
+		e.advanceState(i)
 	}
-	return out, results, nil
 }
 
-// imputeStream runs TKCM for the stream at index i at the current tick.
-func (e *Engine) imputeStream(i int) (*Result, error) {
+// imputeMissingParallel fans the tick's imputations out across a bounded
+// worker pool. Reference picking, stats, cold fills, and incremental-state
+// advances stay serial; only the profile computation and anchor selection —
+// the ~92% phase — run concurrently. Each worker owns its scratch, each job
+// writes only its own stream's buffer, and reference buffers are read-only
+// for the duration of the fan-out, so the ticks are race-free.
+func (e *Engine) imputeMissingParallel(missing []int, out []float64, results []*Result) {
+	type job struct {
+		stream int
+		refIdx []int
+	}
+	jobs := make([]job, 0, len(missing))
+	for _, i := range missing {
+		refIdx, err := e.pickRefs(i)
+		if err != nil {
+			e.Stats.ReferenceErrors++
+			out[i] = e.coldFill(i)
+			e.advanceState(i)
+			continue
+		}
+		jobs = append(jobs, job{i, refIdx})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	nw := e.cfg.Workers
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	for len(e.workerScratch) < nw {
+		e.workerScratch = append(e.workerScratch, imputeScratch{})
+	}
+	type jobOut struct {
+		res *Result
+		err error
+	}
+	outs := make([]jobOut, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < nw; wk++ {
+		wg.Add(1)
+		go func(sc *imputeScratch) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(jobs) {
+					return
+				}
+				outs[j].res, outs[j].err = imputeWindowWith(e.cfg, e.w, jobs[j].stream, jobs[j].refIdx, e.prof, sc)
+			}
+		}(&e.workerScratch[wk])
+	}
+	wg.Wait()
+	for j, jb := range jobs {
+		i := jb.stream
+		switch o := outs[j]; {
+		case o.err == nil:
+			e.Stats.Imputations++
+			results[i] = o.res
+			out[i] = o.res.Value
+			e.last[i] = o.res.Value
+		case o.err == ErrInsufficientHistory:
+			e.Stats.InsufficientHist++
+			out[i] = e.coldFill(i)
+		default:
+			e.Stats.ReferenceErrors++
+			out[i] = e.coldFill(i)
+		}
+		e.advanceState(i)
+	}
+}
+
+// pickRefs resolves the reference set for the stream at index i, ranking
+// candidates from the retained window on first use.
+func (e *Engine) pickRefs(i int) ([]int, error) {
 	name := e.w.Names()[i]
 	rs, ok := e.refs[name]
 	if !ok {
 		rs = e.rankFromWindow(name)
 		e.refs[name] = rs
 	}
-	refIdx, err := rs.Pick(e.w, e.cfg.D)
+	return rs.Pick(e.w, e.cfg.D)
+}
+
+// imputeStream runs TKCM for the stream at index i at the current tick.
+func (e *Engine) imputeStream(i int) (*Result, error) {
+	refIdx, err := e.pickRefs(i)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ImputeWindow(e.cfg, e.w, i, refIdx)
+	res, err := imputeWindowWith(e.cfg, e.w, i, refIdx, e.prof, &e.scratch)
 	if err != nil {
 		return nil, err
 	}

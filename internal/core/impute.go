@@ -43,13 +43,11 @@ func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l, k := cfg.PatternLength, cfg.K
-	filled := len(s)
-	for _, r := range refs {
-		if len(r) < filled {
-			filled = len(r)
-		}
+	if len(refs) == 0 {
+		return nil, ErrInsufficientHistory
 	}
+	l, k := cfg.PatternLength, cfg.K
+	s, refs, filled := alignNewest(s, refs)
 	nCand := filled - 2*l + 1
 	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
 		return nil, ErrInsufficientHistory
@@ -62,43 +60,84 @@ func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
 			}
 		}
 	}
-	var d []float64
-	if cfg.FastExtraction && cfg.Norm == L2 {
-		d = dissimilarityProfileFFT(refs, l, nil)
-	} else {
-		d = dissimilarityProfile(refs, l, cfg.Norm, nil)
-	}
+	d := cfg.sliceProfiler().Profile(refs, l, cfg.Norm, nil)
 	return finishImputation(cfg, d, func(candidate int) float64 {
 		return s[candidate+l-1]
-	})
+	}, nil)
 }
 
 // ImputeWindow recovers the missing value of the stream at index sIdx of w at
 // the current time tn, reading reference histories from the ring buffers of
 // the streams at refIdx, and stores the imputed value back into the window
 // (Algorithm 1 line 26). It mirrors the paper's Algorithm 1 on ring buffers.
+// The dissimilarity profile is computed by the profiler Config.Profiler
+// selects (the incremental profiler has no state here and degrades to FFT).
 func ImputeWindow(cfg Config, w *window.Window, sIdx int, refIdx []int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return imputeWindowWith(cfg, w, sIdx, refIdx, cfg.sliceProfiler(), nil)
+}
+
+// imputeScratch holds the per-caller reusable buffers of imputeWindowWith:
+// one snapshot per reference slot plus profile storage. The zero value is
+// ready to use; buffers grow on first use and are reused afterwards.
+type imputeScratch struct {
+	refs [][]float64
+	prof []float64
+	dp   []float64
+}
+
+// profileDst returns a length-n profile buffer backed by the scratch.
+func (sc *imputeScratch) profileDst(n int) []float64 {
+	if cap(sc.prof) < n {
+		sc.prof = make([]float64, n)
+	}
+	sc.prof = sc.prof[:n]
+	return sc.prof
+}
+
+// imputeWindowWith is the scratch-reusing core of ImputeWindow, shared by the
+// standalone call (sc == nil, fresh buffers) and the engine's hot path. A
+// stateful IncrementalProfiler assembles the profile straight from its
+// maintained aggregates; every other profiler runs over reference snapshots
+// materialized into the scratch (plain slices, no per-element ring calls).
+func imputeWindowWith(cfg Config, w *window.Window, sIdx int, refIdx []int, prof Profiler, sc *imputeScratch) (*Result, error) {
 	l, k := cfg.PatternLength, cfg.K
 	filled := w.Filled()
 	nCand := filled - 2*l + 1
 	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
 		return nil, ErrInsufficientHistory
 	}
-	// Query pattern completeness check.
-	for _, ri := range refIdx {
-		for x := filled - l; x < filled; x++ {
-			if math.IsNaN(w.At(ri, x)) {
-				return nil, ErrMissingInQueryPattern
+	if sc == nil {
+		sc = &imputeScratch{}
+	}
+	var d []float64
+	if ip, ok := prof.(*IncrementalProfiler); ok && cfg.Norm == L2 {
+		// Engine fast path: the aggregates already cover this tick, and the
+		// continuous-imputation invariant keeps the retained window complete,
+		// so no query-completeness scan is needed.
+		d = ip.ProfileWindow(refIdx, sc.profileDst(nCand))
+	} else {
+		for len(sc.refs) < len(refIdx) {
+			sc.refs = append(sc.refs, nil)
+		}
+		refs := sc.refs[:len(refIdx)]
+		for x, ri := range refIdx {
+			sc.refs[x] = w.SnapshotInto(ri, sc.refs[x])
+			refs[x] = sc.refs[x]
+			// Query pattern completeness check (Algorithm 1 precondition).
+			for _, v := range refs[x][filled-l:] {
+				if math.IsNaN(v) {
+					return nil, ErrMissingInQueryPattern
+				}
 			}
 		}
+		d = prof.Profile(refs, l, cfg.Norm, sc.profileDst(nCand))
 	}
-	d := profileFromWindow(w, refIdx, l, cfg.Norm)
 	res, err := finishImputation(cfg, d, func(candidate int) float64 {
 		return w.Stream(sIdx).At(candidate + l - 1)
-	})
+	}, &sc.dp)
 	if err != nil {
 		return nil, err
 	}
@@ -106,56 +145,12 @@ func ImputeWindow(cfg Config, w *window.Window, sIdx int, refIdx []int) (*Result
 	return res, nil
 }
 
-// profileFromWindow computes the dissimilarity profile directly from the
-// window's ring buffers.
-func profileFromWindow(w *window.Window, refIdx []int, l int, norm Norm) []float64 {
-	filled := w.Filled()
-	nCand := filled - 2*l + 1
-	d := make([]float64, nCand)
-	qStart := filled - l
-	for j := 0; j < nCand; j++ {
-		switch norm {
-		case L1:
-			sum := 0.0
-			for _, ri := range refIdx {
-				b := w.Stream(ri)
-				for x := 0; x < l; x++ {
-					sum += math.Abs(b.At(j+x) - b.At(qStart+x))
-				}
-			}
-			d[j] = sum
-		case LInf:
-			max := 0.0
-			for _, ri := range refIdx {
-				b := w.Stream(ri)
-				for x := 0; x < l; x++ {
-					if dd := math.Abs(b.At(j+x) - b.At(qStart+x)); dd > max {
-						max = dd
-					}
-				}
-			}
-			d[j] = max
-		default:
-			sum := 0.0
-			for _, ri := range refIdx {
-				b := w.Stream(ri)
-				for x := 0; x < l; x++ {
-					dd := b.At(j+x) - b.At(qStart+x)
-					sum += dd * dd
-				}
-			}
-			d[j] = math.Sqrt(sum)
-		}
-	}
-	return d
-}
-
 // finishImputation runs anchor selection on the dissimilarity profile and
 // aggregates the anchor values of s (Def. 4, optionally similarity-weighted).
 // valueAt returns s's value for a candidate index (anchor tick = candidate +
 // l − 1).
-func finishImputation(cfg Config, d []float64, valueAt func(candidate int) float64) (*Result, error) {
-	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection)
+func finishImputation(cfg Config, d []float64, valueAt func(candidate int) float64, dpScratch *[]float64) (*Result, error) {
+	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection, dpScratch)
 	if !ok {
 		return nil, ErrInsufficientHistory
 	}

@@ -138,6 +138,60 @@ func TestLemma52Consistency(t *testing.T) {
 	}
 }
 
+// TestImputeUnequalReferenceLengths: histories of unequal length must align
+// at the newest tick. The seed code computed filled = min(len(s), len(refs))
+// but passed the untruncated refs to the profile, which re-derived the
+// window from len(refs[0]) — mis-anchoring the query pattern when refs[0]
+// was longer and panicking when it was shorter.
+func TestImputeUnequalReferenceLengths(t *testing.T) {
+	cfg := table2Config()
+	s := append([]float64(nil), table2S...)
+	s[11] = math.NaN()
+	want, err := Impute(cfg, s, [][]float64{table2R1, table2R2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Case 1: refs longer than s (extra old history) — must impute as if the
+	// extra prefix were never retained.
+	longR1 := append([]float64{99, -99, 42}, table2R1...)
+	res, err := Impute(cfg, s, [][]float64{longR1, table2R2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want.Value {
+		t.Fatalf("long refs[0]: imputed %v, want %v", res.Value, want.Value)
+	}
+	if len(res.Anchors) != len(want.Anchors) {
+		t.Fatalf("long refs[0]: anchors %v, want %v", res.Anchors, want.Anchors)
+	}
+	for i := range want.Anchors {
+		if res.Anchors[i] != want.Anchors[i] {
+			t.Fatalf("long refs[0]: anchors %v, want %v", res.Anchors, want.Anchors)
+		}
+	}
+
+	// Case 2: refs[0] longer than refs[1] — the seed panicked indexing the
+	// shorter series past its end.
+	res, err = Impute(cfg, append([]float64(nil), s...), [][]float64{longR1, table2R2[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want.Value {
+		t.Fatalf("mixed ref lengths: imputed %v, want %v", res.Value, want.Value)
+	}
+
+	// Case 3: s longer than the refs — s must be end-aligned too.
+	longS := append([]float64{1, 2}, s...)
+	res, err = Impute(cfg, longS, [][]float64{table2R1, table2R2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want.Value {
+		t.Fatalf("long s: imputed %v, want %v", res.Value, want.Value)
+	}
+}
+
 func TestImputeValidation(t *testing.T) {
 	bad := []Config{
 		{K: 0, PatternLength: 3, D: 1, WindowLength: 12},

@@ -66,21 +66,72 @@ func ExtractPattern(refs [][]float64, anchor, l int) *Pattern {
 	return p
 }
 
+// alignNewest truncates s and every reference history to the newest `filled`
+// ticks, where filled is the shortest length among them: histories of
+// unequal length align at the newest tick (the last element is always the
+// current time tn). The returned refs never alias the caller's slice header
+// storage unless no trimming was needed.
+func alignNewest(s []float64, refs [][]float64) ([]float64, [][]float64, int) {
+	filled := len(s)
+	for _, r := range refs {
+		if len(r) < filled {
+			filled = len(r)
+		}
+	}
+	s = s[len(s)-filled:]
+	for _, r := range refs {
+		if len(r) != filled {
+			t := make([][]float64, len(refs))
+			for i, ri := range refs {
+				t[i] = ri[len(ri)-filled:]
+			}
+			refs = t
+			break
+		}
+	}
+	return s, refs, filled
+}
+
+// trimToNewest aligns reference histories of unequal length at the newest
+// tick (the current time is always the last element), returning end-anchored
+// views of length min over the inputs. Equal-length inputs are returned
+// unchanged with no allocation.
+func trimToNewest(refs [][]float64) ([][]float64, int) {
+	filled := len(refs[0])
+	equal := true
+	for _, r := range refs[1:] {
+		if len(r) != filled {
+			equal = false
+			if len(r) < filled {
+				filled = len(r)
+			}
+		}
+	}
+	if equal {
+		return refs, filled
+	}
+	trimmed := make([][]float64, len(refs))
+	for i, r := range refs {
+		trimmed[i] = r[len(r)-filled:]
+	}
+	return trimmed, filled
+}
+
 // dissimilarityProfile computes D[j] for every candidate anchor of the
 // window (Algorithm 1, lines 1–7), writing into dst (allocated if nil):
 // dst[j] = δ(P(anchor_j), P(tn)) for j = 0..n-1, where anchor_j is
 // window-local index l-1+j and the query pattern is anchored at index n-1 of
 // a window with filled ticks. refs[i] is the retained history of reference
-// series i (oldest first, length = filled window ticks). The number of
-// candidates is filled − 2l + 1: the first l−1 ticks cannot anchor a full
-// pattern and the last l ticks would overlap the query pattern (Def. 3
-// condition 1).
+// series i (oldest first, length = filled window ticks); unequal lengths are
+// aligned at the newest tick. The number of candidates is filled − 2l + 1:
+// the first l−1 ticks cannot anchor a full pattern and the last l ticks
+// would overlap the query pattern (Def. 3 condition 1).
 //
 // The computation follows the paper exactly: per anchor, sum squared
 // differences over all d reference rows and l columns. For the alternate
 // norms the inner aggregation changes accordingly.
 func dissimilarityProfile(refs [][]float64, l int, norm Norm, dst []float64) []float64 {
-	filled := len(refs[0])
+	refs, filled := trimToNewest(refs)
 	nCand := filled - 2*l + 1
 	if nCand < 0 {
 		nCand = 0

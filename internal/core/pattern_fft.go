@@ -20,12 +20,7 @@ import (
 // resolution in the DP may occasionally pick a different but equally good
 // anchor set.
 func dissimilarityProfileFFT(refs [][]float64, l int, dst []float64) []float64 {
-	filled := len(refs[0])
-	for _, r := range refs {
-		if len(r) < filled {
-			filled = len(r)
-		}
-	}
+	refs, filled := trimToNewest(refs)
 	nCand := filled - 2*l + 1
 	if nCand < 0 {
 		nCand = 0
@@ -39,7 +34,6 @@ func dissimilarityProfileFFT(refs [][]float64, l int, dst []float64) []float64 {
 	}
 	qStart := filled - l
 	for _, r := range refs {
-		r = r[:filled]
 		q := r[qStart:]
 		// Query energy.
 		eq := 0.0

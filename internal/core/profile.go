@@ -7,11 +7,20 @@ import (
 
 // PhaseTimings records where one imputation spent its time, mirroring the
 // performance breakdown of Sec. 7.4 (pattern extraction vs pattern
-// selection vs value imputation).
+// selection vs value imputation). Alongside the wall-clock durations it
+// reports deterministic operation counts for the two dominant phases, so
+// tests can assert the structural claim (extraction, at O(d·l·L), dwarfs
+// selection's O(k·L)) without flaking on machine speed.
 type PhaseTimings struct {
 	PatternExtraction time.Duration
 	PatternSelection  time.Duration
 	ValueImputation   time.Duration
+	// ExtractionOps counts the element operations of the naive Def. 2
+	// profile: d reference rows × l columns × (L − 2l + 1) anchors.
+	ExtractionOps int64
+	// SelectionOps counts the DP cell updates of anchor selection (Eq. 5):
+	// k rows × (L − 2l + 1) candidate anchors.
+	SelectionOps int64
 }
 
 // Total returns the summed phase time.
@@ -37,12 +46,7 @@ func ImputeProfiled(cfg Config, s []float64, refs [][]float64) (*Result, PhaseTi
 		return nil, pt, err
 	}
 	l, k := cfg.PatternLength, cfg.K
-	filled := len(s)
-	for _, r := range refs {
-		if len(r) < filled {
-			filled = len(r)
-		}
-	}
+	s, refs, filled := alignNewest(s, refs)
 	nCand := filled - 2*l + 1
 	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
 		return nil, pt, ErrInsufficientHistory
@@ -57,9 +61,11 @@ func ImputeProfiled(cfg Config, s []float64, refs [][]float64) (*Result, PhaseTi
 	t0 := time.Now()
 	d := dissimilarityProfile(refs, l, cfg.Norm, nil)
 	pt.PatternExtraction = time.Since(t0)
+	pt.ExtractionOps = int64(len(refs)) * int64(l) * int64(nCand)
+	pt.SelectionOps = int64(k) * int64(nCand)
 
 	t1 := time.Now()
-	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection)
+	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection, nil)
 	pt.PatternSelection = time.Since(t1)
 	if !ok {
 		return nil, pt, ErrInsufficientHistory

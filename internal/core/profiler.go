@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfilerKind selects the pattern-extraction strategy — the implementation
+// that computes the dissimilarity profile of Def. 2, the phase the paper
+// measures at ~92% of TKCM's runtime (Sec. 7.4).
+type ProfilerKind int
+
+const (
+	// ProfilerAuto picks the fastest correct implementation for the call
+	// site: the incremental profiler in the streaming engine under the L2
+	// norm, the FFT profiler for one-shot slice imputations when
+	// FastExtraction is set, and the naive profiler otherwise.
+	ProfilerAuto ProfilerKind = iota
+	// ProfilerNaive is the paper's Def. 2 loop: O(d·l·L) per profile,
+	// supports every norm.
+	ProfilerNaive
+	// ProfilerFFT computes the L2 profile via FFT cross-correlation in
+	// O(d·L·log L) (Sec. 8 future work). Non-L2 norms fall back to naive.
+	ProfilerFFT
+	// ProfilerIncremental maintains the L2 profile across consecutive engine
+	// ticks in O(d·L) per tick, exploiting that the streaming window shifts
+	// by one column per tick (a STOMP-style diagonal update). Outside the
+	// engine (one-shot slice imputation, non-L2 norms) it falls back to the
+	// FFT or naive profiler.
+	ProfilerIncremental
+)
+
+// String returns the flag-friendly name of the kind.
+func (k ProfilerKind) String() string {
+	switch k {
+	case ProfilerAuto:
+		return "auto"
+	case ProfilerNaive:
+		return "naive"
+	case ProfilerFFT:
+		return "fft"
+	case ProfilerIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("ProfilerKind(%d)", int(k))
+	}
+}
+
+// ParseProfilerKind maps a flag value ("auto", "naive", "fft",
+// "incremental") back to its ProfilerKind.
+func ParseProfilerKind(s string) (ProfilerKind, error) {
+	for _, k := range []ProfilerKind{ProfilerAuto, ProfilerNaive, ProfilerFFT, ProfilerIncremental} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return ProfilerAuto, fmt.Errorf("core: unknown profiler %q (want auto, naive, fft or incremental)", s)
+}
+
+// Profiler computes the dissimilarity profile D[j] = δ(P(anchor_j), P(tn))
+// over plain reference histories (oldest first, equal lengths), writing into
+// dst (allocated when nil). All implementations agree with the Def. 2 loop
+// up to floating-point rounding; equivalence is enforced by tests.
+type Profiler interface {
+	// Name identifies the implementation in benches and logs.
+	Name() string
+	// Profile computes the dissimilarity profile for pattern length l under
+	// the given norm. refs must be non-empty with equal-length rows.
+	Profile(refs [][]float64, l int, norm Norm, dst []float64) []float64
+}
+
+// NaiveProfiler is the paper's Def. 2 loop over all candidate anchors:
+// O(d·l·L) per profile, every norm supported.
+type NaiveProfiler struct{}
+
+// Name implements Profiler.
+func (NaiveProfiler) Name() string { return "naive" }
+
+// Profile implements Profiler via the direct per-anchor loop.
+func (NaiveProfiler) Profile(refs [][]float64, l int, norm Norm, dst []float64) []float64 {
+	return dissimilarityProfile(refs, l, norm, dst)
+}
+
+// FFTProfiler computes the L2 profile via FFT cross-correlation in
+// O(d·L·log L); other norms fall back to the naive loop (the energy/
+// cross-correlation decomposition only exists for L2).
+type FFTProfiler struct{}
+
+// Name implements Profiler.
+func (FFTProfiler) Name() string { return "fft" }
+
+// Profile implements Profiler.
+func (FFTProfiler) Profile(refs [][]float64, l int, norm Norm, dst []float64) []float64 {
+	if norm != L2 {
+		return dissimilarityProfile(refs, l, norm, dst)
+	}
+	return dissimilarityProfileFFT(refs, l, dst)
+}
+
+// incRebuildEvery bounds floating-point drift of the incremental updates: a
+// full O(d·l·L) rebuild every incRebuildEvery ticks costs O(d·l) amortized
+// per tick and keeps the maintained profile within ~1e-9 of the naive one.
+const incRebuildEvery = 8192
+
+// incStreamState holds the per-reference sliding aggregates of one stream.
+// With v the stream's retained window (oldest first, m ticks), qs = m − l:
+//
+//	eq        = Σ_{x<l} v[qs+x]²           (query pattern energy)
+//	energy[j] = Σ_{x<l} v[j+x]²            (candidate pattern energy)
+//	cross[j]  = Σ_{x<l} v[j+x]·v[qs+x]     (candidate·query dot product)
+//
+// so the stream's L2 profile contribution at anchor j is
+// energy[j] + eq − 2·cross[j]. When the window advances by one tick, every
+// cross entry moves along a diagonal of the dot-product matrix (candidate
+// and query both shift by one), which updates it with one subtraction and
+// one addition — the same observation that powers the STOMP matrix-profile
+// algorithm.
+//
+// The state keeps its own contiguous copy of the window in hist, slid with
+// amortized-O(1) compaction (backing of capacity 2L, shifted to the front
+// when the right edge is reached), so the hot loops run over one plain slice
+// with no per-tick snapshot. The candidate energies shift by exactly one
+// slot per steady-state tick, so they live in the same kind of backing and
+// the shift is a start-offset bump instead of a memmove.
+type incStreamState struct {
+	hist   []float64 // backing, len 2L; window = hist[start : start+m]
+	start  int
+	m      int // filled ticks, ≤ L
+	cross  []float64
+	energy []float64 // backing, len 2L; entries = energy[estart : estart+nCand]
+	estart int
+	nCand  int
+	eq     float64
+	ticks        int // engine ticks absorbed
+	sinceRebuild int
+}
+
+// IncrementalProfiler maintains per-stream profile aggregates inside the
+// engine, replacing the O(d·l·L) per-tick recompute with an O(d·L) update
+// (pattern length drops out of the per-tick cost entirely). It is stateful:
+// the engine calls Advance exactly once per stream per tick, after that
+// stream's value for the tick is final, and assembles profiles for any
+// reference subset via ProfileWindow. The aggregates are per stream, not per
+// target, so every imputation in a tick shares them.
+//
+// Its stateless Profile method (the Profiler interface) delegates to the FFT
+// profiler — one-shot slice imputations have no tick-to-tick state to exploit.
+type IncrementalProfiler struct {
+	l       int
+	winLen  int
+	states  []*incStreamState
+	fallbak FFTProfiler
+}
+
+// NewIncrementalProfiler creates the engine-side incremental profiler for
+// pattern length l over width streams of a window with capacity winLen.
+func NewIncrementalProfiler(l, width, winLen int) *IncrementalProfiler {
+	p := &IncrementalProfiler{l: l, winLen: winLen, states: make([]*incStreamState, width)}
+	for i := range p.states {
+		p.states[i] = &incStreamState{}
+	}
+	return p
+}
+
+// Name implements Profiler.
+func (p *IncrementalProfiler) Name() string { return "incremental" }
+
+// Profile implements Profiler for one-shot slice histories (no streaming
+// state available) by delegating to the FFT fast path.
+func (p *IncrementalProfiler) Profile(refs [][]float64, l int, norm Norm, dst []float64) []float64 {
+	return p.fallbak.Profile(refs, l, norm, dst)
+}
+
+// Advance absorbs one tick of stream i whose finalized value (observed or
+// imputed) is v. It must be called exactly once per stream per engine tick,
+// in tick order.
+func (p *IncrementalProfiler) Advance(i int, v float64) {
+	st := p.states[i]
+	l, L := p.l, p.winLen
+	if st.hist == nil {
+		st.hist = make([]float64, 2*L)
+		st.energy = make([]float64, 2*L)
+	}
+	st.ticks++
+	wasFull := st.m == L
+	var evicted float64
+	if wasFull {
+		// Slide: compact the backing when the right edge is reached, then
+		// drop the oldest and append v. The evicted value stays addressable
+		// at hist[start-1] for the diagonal update below.
+		if st.start+st.m == len(st.hist) {
+			copy(st.hist, st.hist[st.start:st.start+st.m])
+			st.start = 0
+		}
+		evicted = st.hist[st.start]
+		st.hist[st.start+st.m] = v
+		st.start++
+	} else {
+		st.hist[st.start+st.m] = v
+		st.m++
+	}
+	nv := st.hist[st.start : st.start+st.m]
+	m := st.m
+
+	// Query energy: first computable at m == l, then maintained with the
+	// entering/leaving value pair.
+	switch {
+	case m < l:
+		return
+	case m == l:
+		st.eq = 0
+		for _, val := range nv[m-l:] {
+			st.eq += val * val
+		}
+	default:
+		st.eq += nv[m-1]*nv[m-1] - nv[m-1-l]*nv[m-1-l]
+	}
+
+	nCand := m - 2*l + 1
+	if nCand <= 0 {
+		return
+	}
+	qs := m - l
+	nOld := st.nCand
+	expectOld := nCand
+	if !wasFull {
+		expectOld = nCand - 1
+	}
+	// Rebuild when the incremental relations have no predecessor to extend:
+	// state shape mismatch, the first candidate of a warming window, a
+	// window too short for the neighbor updates, or the periodic
+	// drift-bounding refresh.
+	if nOld != expectOld || expectOld == 0 || nCand < 2 || st.sinceRebuild >= incRebuildEvery {
+		st.rebuild(nv, l)
+		return
+	}
+	st.sinceRebuild++
+	st.nCand = nCand
+	vNew := nv[m-1]
+	if wasFull {
+		// Steady state: candidate starts stay index-aligned; each cross
+		// entry slides along its diagonal. The value left of candidate 0 is
+		// the evicted one.
+		qold := nv[qs-1]
+		left := evicted
+		cross := st.cross[:nCand]
+		anchors := nv[l-1 : l-1+nCand]
+		for j := range cross {
+			cross[j] += anchors[j]*vNew - left*qold
+			left = nv[j]
+		}
+		// Candidate energies shift down one slot (a start-offset bump) and
+		// the newest candidate's energy extends its neighbor by one pair.
+		if st.estart+nCand == len(st.energy) {
+			copy(st.energy, st.energy[st.estart:st.estart+nCand])
+			st.estart = 0
+		}
+		st.estart++
+		last := st.estart + nCand - 1
+		lastStart := nCand - 1 // window-local start index of the newest candidate
+		st.energy[last] = st.energy[last-1] - nv[lastStart-1]*nv[lastStart-1] + nv[lastStart-1+l]*nv[lastStart-1+l]
+		return
+	}
+	// Warm-up (window still growing): one candidate appears per tick. Old
+	// entry j-1 slides diagonally into new entry j; entry 0 is computed
+	// fresh in O(l).
+	if cap(st.cross) < nCand {
+		grown := make([]float64, nCand, p.winLen-2*l+1)
+		copy(grown, st.cross)
+		st.cross = grown
+	} else {
+		st.cross = st.cross[:nCand]
+	}
+	for j := nCand - 1; j >= 1; j-- {
+		st.cross[j] = st.cross[j-1] - nv[j-1]*nv[qs-1] + nv[j-1+l]*vNew
+	}
+	c0 := 0.0
+	for x := 0; x < l; x++ {
+		c0 += nv[x] * nv[qs+x]
+	}
+	st.cross[0] = c0
+	last := st.estart + nCand - 1
+	lastStart := nCand - 1
+	st.energy[last] = st.energy[last-1] - nv[lastStart-1]*nv[lastStart-1] + nv[lastStart-1+l]*nv[lastStart-1+l]
+}
+
+// rebuild recomputes all aggregates exactly from the current window.
+func (st *incStreamState) rebuild(nv []float64, l int) {
+	m := len(nv)
+	nCand := m - 2*l + 1
+	qs := m - l
+	st.sinceRebuild = 0
+	st.nCand = nCand
+	st.estart = 0
+	st.eq = 0
+	for _, v := range nv[qs:] {
+		st.eq += v * v
+	}
+	if cap(st.cross) < nCand {
+		grown := make([]float64, nCand)
+		st.cross = grown
+	} else {
+		st.cross = st.cross[:nCand]
+	}
+	// Candidate energies roll in O(m); cross products are O(l) each.
+	e := 0.0
+	for x := 0; x < l; x++ {
+		e += nv[x] * nv[x]
+	}
+	for j := 0; j < nCand; j++ {
+		st.energy[j] = e
+		if j+1 < nCand {
+			e += nv[j+l]*nv[j+l] - nv[j]*nv[j]
+		}
+		c := 0.0
+		for x := 0; x < l; x++ {
+			c += nv[j+x] * nv[qs+x]
+		}
+		st.cross[j] = c
+	}
+}
+
+// ProfileWindow assembles the L2 dissimilarity profile over the reference
+// streams refIdx from the maintained aggregates in O(d·L), writing into dst
+// (allocated when nil). All referenced states must be advanced to the same
+// tick and hold the same candidate count; it panics otherwise (an engine
+// sequencing bug, not a data condition).
+func (p *IncrementalProfiler) ProfileWindow(refIdx []int, dst []float64) []float64 {
+	if len(refIdx) == 0 {
+		panic("core: ProfileWindow needs at least one reference stream")
+	}
+	first := p.states[refIdx[0]]
+	nCand := len(first.cross)
+	tick := first.ticks
+	if dst == nil {
+		dst = make([]float64, nCand)
+	}
+	dst = dst[:nCand]
+	for x, ri := range refIdx {
+		st := p.states[ri]
+		if st.ticks != tick || len(st.cross) != nCand {
+			panic(fmt.Sprintf("core: incremental state for stream %d out of sync (tick %d/%d, candidates %d/%d)",
+				ri, st.ticks, tick, len(st.cross), nCand))
+		}
+		energy := st.energy[st.estart : st.estart+nCand]
+		cross := st.cross[:nCand]
+		eq := st.eq
+		if x == 0 {
+			for j := range dst {
+				dst[j] = energy[j] + eq - 2*cross[j]
+			}
+			continue
+		}
+		for j := range dst {
+			dst[j] += energy[j] + eq - 2*cross[j]
+		}
+	}
+	for j, v := range dst {
+		if v < 0 {
+			v = 0 // guard incremental rounding below zero
+		}
+		dst[j] = math.Sqrt(v)
+	}
+	return dst
+}
+
+// sliceProfiler resolves the profiler used for one-shot slice imputations
+// (Impute). The deprecated FastExtraction flag is an alias for ProfilerFFT.
+func (c Config) sliceProfiler() Profiler {
+	switch c.Profiler {
+	case ProfilerNaive:
+		return NaiveProfiler{}
+	case ProfilerFFT, ProfilerIncremental:
+		return FFTProfiler{}
+	default:
+		if c.FastExtraction {
+			return FFTProfiler{}
+		}
+		return NaiveProfiler{}
+	}
+}
+
+// engineProfilerKind resolves the streaming engine's extraction strategy.
+// Auto prefers the incremental profiler under L2 (the norm it supports);
+// every kind degrades to naive for non-L2 norms, matching the slice path.
+func (c Config) engineProfilerKind() ProfilerKind {
+	k := c.Profiler
+	if k == ProfilerAuto {
+		if c.FastExtraction {
+			k = ProfilerFFT
+		} else {
+			k = ProfilerIncremental
+		}
+	}
+	if c.Norm != L2 && k != ProfilerNaive {
+		return ProfilerNaive
+	}
+	return k
+}

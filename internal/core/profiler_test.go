@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tkcm/internal/ring"
+	"tkcm/internal/window"
+)
+
+// profileTol is the agreement tolerance between profiler implementations.
+// The FFT and incremental paths reassociate the floating-point sums, so they
+// differ from the naive loop in the last ulps; the acceptance bound for
+// imputed values is 1e-6 and the profiles themselves stay far inside it.
+const profileTol = 1e-6
+
+// TestProfilerSliceEquivalence: on random slice histories, every Profiler
+// implementation must agree with the naive Def. 2 loop across norms,
+// pattern lengths and reference counts.
+func TestProfilerSliceEquivalence(t *testing.T) {
+	profilers := []Profiler{NaiveProfiler{}, FFTProfiler{}, NewIncrementalProfiler(1, 1, 1)}
+	for _, norm := range []Norm{L2, L1, LInf} {
+		for _, l := range []int{1, 3, 8, 17} {
+			for _, d := range []int{1, 2, 4} {
+				n := 6*l + 11
+				refs := randomRefs(int64(100*l+10*d+int(norm)), d, n)
+				want := dissimilarityProfile(refs, l, norm, nil)
+				for _, p := range profilers {
+					got := p.Profile(refs, l, norm, nil)
+					if len(got) != len(want) {
+						t.Fatalf("%s norm=%v l=%d d=%d: profile length %d != %d", p.Name(), norm, l, d, len(got), len(want))
+					}
+					for j := range want {
+						if math.Abs(got[j]-want[j]) > profileTol {
+							t.Fatalf("%s norm=%v l=%d d=%d: profile[%d] = %v, want %v", p.Name(), norm, l, d, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalProfilerMatchesNaive drives the stateful incremental
+// profiler tick by tick through warm-up, steady state and hundreds of ring
+// wraps, checking the maintained L2 profile against a from-scratch naive
+// profile at every tick.
+func TestIncrementalProfilerMatchesNaive(t *testing.T) {
+	const (
+		L     = 64
+		l     = 5
+		ticks = 500
+		d     = 3
+	)
+	data := randomRefs(42, d, ticks)
+	bufs := make([]*ring.Buffer, d)
+	for i := range bufs {
+		bufs[i] = ring.New(L)
+	}
+	p := NewIncrementalProfiler(l, d, L)
+	refIdx := []int{0, 1, 2}
+	snaps := make([][]float64, d)
+	for n := 0; n < ticks; n++ {
+		for i, b := range bufs {
+			b.Push(data[i][n])
+			p.Advance(i, data[i][n])
+		}
+		m := bufs[0].Len()
+		if m < 2*l {
+			continue
+		}
+		for i, b := range bufs {
+			snaps[i] = b.Snapshot(nil)
+		}
+		want := dissimilarityProfile(snaps, l, L2, nil)
+		got := p.ProfileWindow(refIdx, nil)
+		if len(got) != len(want) {
+			t.Fatalf("tick %d: %d candidates, want %d", n, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > profileTol {
+				t.Fatalf("tick %d: profile[%d] = %v, want %v (diff %g)", n, j, got[j], want[j], got[j]-want[j])
+			}
+		}
+	}
+}
+
+// TestIncrementalProfilerSubsetAssembly: profiles assembled over a subset of
+// the maintained streams must match the naive profile over that subset (the
+// aggregates are per stream, shared by every imputation of a tick).
+func TestIncrementalProfilerSubsetAssembly(t *testing.T) {
+	const (
+		L = 48
+		l = 4
+		d = 4
+	)
+	data := randomRefs(7, d, 3*L)
+	bufs := make([]*ring.Buffer, d)
+	for i := range bufs {
+		bufs[i] = ring.New(L)
+	}
+	p := NewIncrementalProfiler(l, d, L)
+	for n := 0; n < 3*L; n++ {
+		for i, b := range bufs {
+			b.Push(data[i][n])
+			p.Advance(i, data[i][n])
+		}
+	}
+	for _, subset := range [][]int{{0}, {2}, {1, 3}, {3, 0, 2}} {
+		snaps := make([][]float64, len(subset))
+		for x, i := range subset {
+			snaps[x] = bufs[i].Snapshot(nil)
+		}
+		want := dissimilarityProfile(snaps, l, L2, nil)
+		got := p.ProfileWindow(subset, nil)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > profileTol {
+				t.Fatalf("subset %v: profile[%d] = %v, want %v", subset, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// streamEngines runs identically configured engines over the same row
+// sequence and asserts their completed rows agree within tol wherever a
+// value was missing.
+func streamEngines(t *testing.T, cfgs []Config, labels []string, tol float64) {
+	t.Helper()
+	const (
+		period = 48
+		n      = 6 * period
+		width  = 4
+	)
+	names := []string{"s", "r1", "r2", "r3"}
+	refs := func() map[string]ReferenceSet {
+		return map[string]ReferenceSet{
+			"s":  {Stream: "s", Candidates: []string{"r1", "r2", "r3"}},
+			"r1": {Stream: "r1", Candidates: []string{"r2", "r3", "s"}},
+		}
+	}
+	engines := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		eng, err := NewEngine(cfg, names, refs())
+		if err != nil {
+			t.Fatalf("%s: %v", labels[i], err)
+		}
+		engines[i] = eng
+	}
+	state := uint64(11)
+	noise := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000) / 5000
+	}
+	for tick := 0; tick < n; tick++ {
+		ph := 2 * math.Pi * float64(tick) / period
+		row := make([]float64, width)
+		row[0] = math.Sin(ph) + noise()
+		row[1] = math.Sin(ph-1.0) + noise()
+		row[2] = math.Cos(ph+0.4) + noise()
+		row[3] = math.Sin(2*ph) + noise()
+		// Scattered single and double losses once the window is warm.
+		if tick > 3*period {
+			if tick%5 == 0 {
+				row[0] = math.NaN()
+			}
+			if tick%7 == 0 {
+				row[1] = math.NaN()
+			}
+		}
+		outs := make([][]float64, len(engines))
+		for i, eng := range engines {
+			rowCopy := append([]float64(nil), row...)
+			out, _, err := eng.Tick(rowCopy)
+			if err != nil {
+				t.Fatalf("%s tick %d: %v", labels[i], tick, err)
+			}
+			outs[i] = out
+		}
+		for i := 1; i < len(engines); i++ {
+			for j := range outs[0] {
+				if !math.IsNaN(row[j]) {
+					continue
+				}
+				if math.Abs(outs[i][j]-outs[0][j]) > tol {
+					t.Fatalf("tick %d stream %d: %s imputed %v, %s imputed %v (diff %g)",
+						tick, j, labels[i], outs[i][j], labels[0], outs[0][j], outs[i][j]-outs[0][j])
+				}
+			}
+		}
+	}
+	for i := 1; i < len(engines); i++ {
+		if engines[i].Stats.Imputations != engines[0].Stats.Imputations {
+			t.Fatalf("%s performed %d imputations, %s performed %d",
+				labels[i], engines[i].Stats.Imputations, labels[0], engines[0].Stats.Imputations)
+		}
+	}
+}
+
+// TestEngineProfilerEquivalence: the streaming engine must impute the same
+// values (within FFT/incremental rounding) whichever profiler drives
+// pattern extraction — the end-to-end equivalence the refactor promises.
+func TestEngineProfilerEquivalence(t *testing.T) {
+	base := Config{K: 3, PatternLength: 12, D: 2, WindowLength: 4 * 48, Norm: L2, Selection: SelectDP}
+	var cfgs []Config
+	var labels []string
+	for _, kind := range []ProfilerKind{ProfilerNaive, ProfilerFFT, ProfilerIncremental} {
+		cfg := base
+		cfg.Profiler = kind
+		cfgs = append(cfgs, cfg)
+		labels = append(labels, kind.String())
+	}
+	streamEngines(t, cfgs, labels, 1e-6)
+}
+
+// TestEngineParallelEquivalence: a parallel tick must produce the same
+// imputations as the serial tick when no stream references another stream
+// that is missing in the same tick (the only case where serial order
+// matters, which parallel ticks intentionally forgo).
+func TestEngineParallelEquivalence(t *testing.T) {
+	for _, kind := range []ProfilerKind{ProfilerNaive, ProfilerIncremental} {
+		t.Run(kind.String(), func(t *testing.T) {
+			serial := Config{K: 3, PatternLength: 12, D: 2, WindowLength: 4 * 48, Norm: L2, Profiler: kind}
+			parallel := serial
+			parallel.Workers = 4
+			streamEngines(t, []Config{serial, parallel}, []string{"serial", "parallel"}, 0)
+		})
+	}
+}
+
+// TestEngineNonL2FallsBackToNaive: non-L2 norms have no FFT/incremental
+// decomposition; every kind must degrade to the naive loop and still impute.
+func TestEngineNonL2FallsBackToNaive(t *testing.T) {
+	for _, kind := range []ProfilerKind{ProfilerAuto, ProfilerFFT, ProfilerIncremental} {
+		cfg := Config{K: 2, PatternLength: 6, D: 1, WindowLength: 96, Norm: L1, Profiler: kind}
+		eng, err := NewEngine(cfg, []string{"s", "r"}, map[string]ReferenceSet{
+			"s": {Stream: "s", Candidates: []string{"r"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name := eng.Profiler().Name(); name != "naive" {
+			t.Fatalf("kind %v under L1 resolved to %q, want naive", kind, name)
+		}
+		for i := 0; i < 120; i++ {
+			ph := 2 * math.Pi * float64(i) / 48
+			sv := math.Sin(ph)
+			if i == 119 {
+				sv = math.NaN()
+			}
+			out, _, err := eng.Tick([]float64{sv, math.Cos(ph)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(out[0]) {
+				t.Fatalf("tick %d left NaN", i)
+			}
+		}
+		if eng.Stats.Imputations != 1 {
+			t.Fatalf("imputations = %d, want 1", eng.Stats.Imputations)
+		}
+	}
+}
+
+// TestTickBatchMatchesTick: batch ingest is tick-for-tick identical to the
+// loop it replaces.
+func TestTickBatchMatchesTick(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 6, D: 1, WindowLength: 96}
+	mk := func() *Engine {
+		eng, err := NewEngine(cfg, []string{"s", "r"}, map[string]ReferenceSet{
+			"s": {Stream: "s", Candidates: []string{"r"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk(), mk()
+	rows := make([][]float64, 300)
+	for i := range rows {
+		ph := 2 * math.Pi * float64(i) / 48
+		sv := math.Sin(ph)
+		if i > 200 && i%9 == 0 {
+			sv = math.NaN()
+		}
+		rows[i] = []float64{sv, math.Cos(ph)}
+	}
+	outs, ress, err := a.TickBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(rows) || len(ress) != len(rows) {
+		t.Fatalf("batch returned %d/%d rows, want %d", len(outs), len(ress), len(rows))
+	}
+	for i, row := range rows {
+		out, res, err := b.Tick(append([]float64(nil), row...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			if out[j] != outs[i][j] {
+				t.Fatalf("row %d stream %d: batch %v != tick %v", i, j, outs[i][j], out[j])
+			}
+		}
+		if (res[0] == nil) != (ress[i][0] == nil) {
+			t.Fatalf("row %d: result presence differs", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestTickBatchWidthError: a malformed row aborts the batch with its index.
+func TestTickBatchWidthError(t *testing.T) {
+	eng, err := NewEngine(Config{K: 2, PatternLength: 3, D: 1, WindowLength: 30}, []string{"s", "r"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err := eng.TickBatch([][]float64{{1, 2}, {3}})
+	if err == nil {
+		t.Fatal("want error for short row")
+	}
+	if len(outs) != 1 {
+		t.Fatalf("completed rows = %d, want 1", len(outs))
+	}
+}
+
+// TestParseProfilerKind round-trips every kind and rejects junk.
+func TestParseProfilerKind(t *testing.T) {
+	for _, k := range []ProfilerKind{ProfilerAuto, ProfilerNaive, ProfilerFFT, ProfilerIncremental} {
+		got, err := ParseProfilerKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, err %v", k, got, err)
+		}
+	}
+	if _, err := ParseProfilerKind("stomp"); err == nil {
+		t.Fatal("want error for unknown profiler name")
+	}
+}
+
+// TestImputeWindowHonorsProfilerConfig: the streaming one-shot path must
+// produce equivalent results under every profiler kind, including the FFT
+// fast path that was previously slice-only.
+func TestImputeWindowHonorsProfilerConfig(t *testing.T) {
+	const L = 60
+	data := randomRefs(3, 3, L+17)
+	mkWindow := func() *window.Window {
+		w := window.New(L, "s", "r1", "r2")
+		for i := range data[0] {
+			w.Advance([]float64{data[0][i], data[1][i], data[2][i]})
+		}
+		w.SetCurrent(0, math.NaN())
+		return w
+	}
+	var want *Result
+	for _, kind := range []ProfilerKind{ProfilerNaive, ProfilerFFT, ProfilerIncremental} {
+		cfg := Config{K: 3, PatternLength: 4, D: 2, WindowLength: L, Profiler: kind}
+		res, err := ImputeWindow(cfg, mkWindow(), 0, []int{1, 2})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if math.Abs(res.Value-want.Value) > profileTol {
+			t.Fatalf("%v imputed %v, want %v", kind, res.Value, want.Value)
+		}
+	}
+}
+
+func BenchmarkIncrementalAdvance(b *testing.B) {
+	for _, L := range []int{4032, 8760} {
+		b.Run(fmt.Sprintf("L%d", L), func(b *testing.B) {
+			data := randomRefs(5, 1, 2*L)[0]
+			p := NewIncrementalProfiler(72, 1, L)
+			for n := 0; n < L; n++ {
+				p.Advance(0, data[n])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Advance(0, data[L+i%L])
+			}
+		})
+	}
+}

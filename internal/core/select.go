@@ -11,14 +11,16 @@ import (
 // chosen candidate indices (ascending) and the sum of their dissimilarities.
 // ok is false when fewer than k anchors can be selected under the strategy's
 // constraints.
-func selectAnchors(d []float64, k, l int, sel Selection) (idx []int, sum float64, ok bool) {
+// scratch, when non-nil, provides reusable storage for the DP table so hot
+// callers avoid a (k+1)·(n+1) allocation per imputation.
+func selectAnchors(d []float64, k, l int, sel Selection, scratch *[]float64) (idx []int, sum float64, ok bool) {
 	switch sel {
 	case SelectGreedy:
 		return selectGreedy(d, k, l)
 	case SelectOverlapping:
 		return selectOverlapping(d, k)
 	default:
-		return selectDP(d, k, l)
+		return selectDPInto(d, k, l, scratch)
 	}
 }
 
@@ -37,12 +39,27 @@ func selectAnchors(d []float64, k, l int, sel Selection) (idx []int, sum float64
 // The answer is M[k][n]; backtracking recovers the chosen candidates
 // (Algorithm 1, lines 8–23).
 func selectDP(d []float64, k, l int) (idx []int, sum float64, ok bool) {
+	return selectDPInto(d, k, l, nil)
+}
+
+// selectDPInto is selectDP with caller-provided table storage (grown in
+// place and reused across calls when scratch is non-nil).
+func selectDPInto(d []float64, k, l int, scratch *[]float64) (idx []int, sum float64, ok bool) {
 	n := len(d)
 	if n == 0 || k <= 0 {
 		return nil, 0, k <= 0
 	}
 	// M is (k+1) × (n+1), rolled out flat. M[i][j] at m[i*(n+1)+j].
-	m := make([]float64, (k+1)*(n+1))
+	size := (k + 1) * (n + 1)
+	var m []float64
+	if scratch != nil && cap(*scratch) >= size {
+		m = (*scratch)[:size]
+	} else {
+		m = make([]float64, size)
+		if scratch != nil {
+			*scratch = m
+		}
+	}
 	row := n + 1
 	for j := 0; j <= n; j++ {
 		m[0*row+j] = 0

@@ -514,6 +514,11 @@ type BreakdownRow struct {
 	K                  int
 	ExtractionFraction float64
 	SelectionFraction  float64
+	// ExtractionOps / SelectionOps are the deterministic operation counts of
+	// the two phases (naive profile element ops vs DP cell updates), immune
+	// to machine speed — tests assert dominance on these, not on wall clock.
+	ExtractionOps int64
+	SelectionOps  int64
 }
 
 // PerfBreakdown reproduces the Sec. 7.4 phase breakdown on SBR-1d.
@@ -559,12 +564,16 @@ func PerfBreakdown(scale Scale) ([]BreakdownRow, error) {
 			agg.PatternExtraction += pt.PatternExtraction
 			agg.PatternSelection += pt.PatternSelection
 			agg.ValueImputation += pt.ValueImputation
+			agg.ExtractionOps += pt.ExtractionOps
+			agg.SelectionOps += pt.SelectionOps
 		}
 		total := agg.Total()
 		rows = append(rows, BreakdownRow{
 			K:                  k,
 			ExtractionFraction: float64(agg.PatternExtraction) / float64(total),
 			SelectionFraction:  float64(agg.PatternSelection) / float64(total),
+			ExtractionOps:      agg.ExtractionOps,
+			SelectionOps:       agg.SelectionOps,
 		})
 	}
 	return rows, nil

@@ -396,12 +396,18 @@ func TestFigureFunctionsTiny(t *testing.T) {
 			}
 		}
 		// Sec. 7.4: extraction dominates at small k; larger k grows the
-		// selection share.
-		if rows[0].ExtractionFraction < 0.5 {
-			t.Errorf("extraction fraction at k=5 = %v, expected dominant", rows[0].ExtractionFraction)
+		// selection share. Wall-clock fractions flake on fast machines at
+		// tiny scale, so the dominance claims are asserted on the
+		// deterministic operation counts instead.
+		if rows[0].ExtractionOps <= rows[0].SelectionOps {
+			t.Errorf("extraction ops at k=5 = %d not dominant over selection ops %d",
+				rows[0].ExtractionOps, rows[0].SelectionOps)
 		}
-		if rows[1].SelectionFraction < rows[0].SelectionFraction {
-			t.Errorf("selection share must grow with k: %v → %v", rows[0].SelectionFraction, rows[1].SelectionFraction)
+		selShare := func(r BreakdownRow) float64 {
+			return float64(r.SelectionOps) / float64(r.ExtractionOps+r.SelectionOps)
+		}
+		if selShare(rows[1]) <= selShare(rows[0]) {
+			t.Errorf("selection op share must grow with k: %v → %v", selShare(rows[0]), selShare(rows[1]))
 		}
 	})
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tkcm/internal/core"
+)
+
+// ThroughputRow reports one streaming-engine throughput measurement: the
+// profiler and worker count it ran with, the work done, and the rates.
+type ThroughputRow struct {
+	Profiler string
+	Workers  int
+	// MissingStreams is the actual number of target streams dropped per
+	// missing tick (the request is clamped to leave d references present).
+	MissingStreams int
+	Ticks          int
+	Imputations    int
+	Elapsed        time.Duration
+	// TicksPerSec is the end-to-end ingest rate (every tick advances the
+	// window; some ticks also impute).
+	TicksPerSec float64
+	// PerImputation is the mean wall-clock per TKCM imputation, measured
+	// over the imputing ticks only (impute-free window advances are not
+	// charged to it).
+	PerImputation time.Duration
+}
+
+// EngineThroughput streams the SBR-1d dataset through the continuous
+// engine with the given extraction strategy and worker count, dropping a
+// fixed fraction of target measurements once the window is warm, and
+// measures the ingest rate. missingStreams targets are dropped together on
+// missing ticks so worker pools have intra-tick parallelism to exploit.
+func EngineThroughput(scale Scale, kind core.ProfilerKind, workers, missingStreams int) (ThroughputRow, error) {
+	sp := scale.Spec(DSSBR1d)
+	frame := sp.Generate()
+	names := frame.Names()
+	cfg := sp.Cfg
+	cfg.Profiler = kind
+	cfg.Workers = workers
+	if missingStreams < 1 {
+		missingStreams = 1
+	}
+	if missingStreams > len(names)-cfg.D {
+		missingStreams = len(names) - cfg.D
+	}
+	refs := make(map[string]core.ReferenceSet, missingStreams)
+	for i := 0; i < missingStreams; i++ {
+		var cands []string
+		for j := missingStreams; j < len(names); j++ {
+			cands = append(cands, names[j])
+		}
+		refs[names[i]] = core.ReferenceSet{Stream: names[i], Candidates: cands}
+	}
+	eng, err := core.NewEngine(cfg, names, refs)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	n := frame.Len()
+	warm := cfg.WindowLength
+	if warm >= n {
+		return ThroughputRow{}, fmt.Errorf("experiments: dataset too short (%d ticks) for window %d", n, warm)
+	}
+	row := make([]float64, len(names))
+	fill := func(t int) {
+		for j, s := range frame.Series {
+			row[j] = s.Values[t]
+		}
+	}
+	for t := 0; t < warm; t++ {
+		fill(t)
+		if _, _, err := eng.Tick(row); err != nil {
+			return ThroughputRow{}, err
+		}
+	}
+	start := time.Now()
+	var imputing time.Duration
+	for t := warm; t < n; t++ {
+		fill(t)
+		drop := t%5 == 0 // drop the targets on every 5th tick
+		if drop {
+			for i := 0; i < missingStreams; i++ {
+				row[i] = math.NaN()
+			}
+		}
+		tickStart := time.Now()
+		if _, _, err := eng.Tick(row); err != nil {
+			return ThroughputRow{}, err
+		}
+		if drop {
+			imputing += time.Since(tickStart)
+		}
+	}
+	elapsed := time.Since(start)
+	measured := n - warm
+	out := ThroughputRow{
+		Profiler:       eng.Profiler().Name(),
+		Workers:        cfg.Workers,
+		MissingStreams: missingStreams,
+		Ticks:          measured,
+		Imputations:    eng.Stats.Imputations,
+		Elapsed:        elapsed,
+		TicksPerSec:    float64(measured) / elapsed.Seconds(),
+	}
+	if eng.Stats.Imputations > 0 {
+		out.PerImputation = imputing / time.Duration(eng.Stats.Imputations)
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+
+	"tkcm/internal/core"
+)
+
+// TestEngineThroughputSmoke runs one incremental-profiler throughput
+// measurement at the small scale and sanity-checks the reported rates.
+func TestEngineThroughputSmoke(t *testing.T) {
+	row, err := EngineThroughput(SmallScale(), core.ProfilerIncremental, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Profiler != "incremental" || row.Workers != 2 {
+		t.Fatalf("row misreports configuration: %+v", row)
+	}
+	if row.MissingStreams < 1 {
+		t.Fatalf("missing streams = %d", row.MissingStreams)
+	}
+	if row.Ticks <= 0 || row.Imputations <= 0 {
+		t.Fatalf("no work measured: %+v", row)
+	}
+	if row.TicksPerSec <= 0 || row.PerImputation <= 0 {
+		t.Fatalf("non-positive rates: %+v", row)
+	}
+	// Every 5th tick drops MissingStreams targets.
+	want := (row.Ticks + 4) / 5 * row.MissingStreams
+	if diff := row.Imputations - want; diff < -row.MissingStreams || diff > row.MissingStreams {
+		t.Fatalf("imputations = %d, want ≈ %d", row.Imputations, want)
+	}
+}

@@ -110,8 +110,27 @@ func (b *Buffer) physical(i int) int {
 	return ((b.off-(b.n-1)+i)%L + L) % L
 }
 
+// Views returns the retained contents as at most two contiguous segments of
+// the underlying storage, oldest first: logically the window is the
+// concatenation a ++ b, with b empty while the buffer has not wrapped. The
+// segments alias the buffer — they are valid until the next Push and must not
+// be written through. This is the zero-copy substrate for profile loops that
+// want plain slices instead of per-element At calls (Lemma 6.1 keeps the
+// advance O(1); Views keeps the scan O(L) with no copies).
+func (b *Buffer) Views() (a, v []float64) {
+	if b.n == 0 {
+		return nil, nil
+	}
+	start := b.physical(0)
+	if start+b.n <= len(b.data) {
+		return b.data[start : start+b.n], nil
+	}
+	return b.data[start:], b.data[:b.n-(len(b.data)-start)]
+}
+
 // Snapshot copies the logical contents (oldest first) into dst, which must
 // have length Len(); it returns dst. If dst is nil a new slice is allocated.
+// The copy runs segment-wise (at most two copies) rather than per element.
 func (b *Buffer) Snapshot(dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, b.n)
@@ -119,9 +138,9 @@ func (b *Buffer) Snapshot(dst []float64) []float64 {
 	if len(dst) != b.n {
 		panic(fmt.Sprintf("ring: snapshot dst length %d != %d", len(dst), b.n))
 	}
-	for i := 0; i < b.n; i++ {
-		dst[i] = b.data[b.physical(i)]
-	}
+	a, v := b.Views()
+	copy(dst, a)
+	copy(dst[len(a):], v)
 	return dst
 }
 

@@ -128,6 +128,41 @@ func TestSnapshotReuse(t *testing.T) {
 	}()
 }
 
+// TestViewsMatchLogicalOrder: the two zero-copy segments concatenate to the
+// logical contents (oldest first) at every fill level and wrap position.
+func TestViewsMatchLogicalOrder(t *testing.T) {
+	const L = 5
+	b := New(L)
+	if a, v := b.Views(); a != nil || v != nil {
+		t.Fatal("empty buffer must return nil views")
+	}
+	for i := 0; i < 3*L; i++ {
+		b.Push(float64(i))
+		a, v := b.Views()
+		if len(a)+len(v) != b.Len() {
+			t.Fatalf("push %d: views cover %d values, want %d", i, len(a)+len(v), b.Len())
+		}
+		joined := append(append([]float64(nil), a...), v...)
+		for j, got := range joined {
+			if want := b.At(j); got != want {
+				t.Fatalf("push %d: views[%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestViewsAlias: views alias the live storage — a SetNewest is visible
+// through them without re-fetching.
+func TestViewsAlias(t *testing.T) {
+	b := FromSlice([]float64{1, 2, 3})
+	a, v := b.Views()
+	b.SetNewest(42)
+	joined := append(append([]float64(nil), a...), v...)
+	if joined[len(joined)-1] != 42 {
+		t.Fatal("views must alias the buffer storage")
+	}
+}
+
 func TestCountMissing(t *testing.T) {
 	b := FromSlice([]float64{1, math.NaN(), 3, math.NaN()})
 	if got := b.CountMissing(); got != 2 {

@@ -135,3 +135,20 @@ func (w *Window) MissingNow() []int {
 
 // Snapshot copies the retained history of stream i (oldest first).
 func (w *Window) Snapshot(i int) []float64 { return w.buffers[i].Snapshot(nil) }
+
+// SnapshotInto copies the retained history of stream i (oldest first) into
+// dst, reusing its storage when it is large enough; it returns the filled
+// slice of length Filled(). Imputers use this to materialize reference
+// histories into per-engine scratch without allocating per tick.
+func (w *Window) SnapshotInto(i int, dst []float64) []float64 {
+	n := w.buffers[i].Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	return w.buffers[i].Snapshot(dst[:n])
+}
+
+// Views returns the retained history of stream i as at most two contiguous
+// segments of the backing ring storage, oldest first (see ring.Buffer.Views).
+// The segments alias the buffer and are valid until the next Advance.
+func (w *Window) Views(i int) (a, b []float64) { return w.buffers[i].Views() }

@@ -90,6 +90,49 @@ func TestNamesAndLookup(t *testing.T) {
 	}
 }
 
+// TestSnapshotIntoReusesStorage: SnapshotInto must grow once and then reuse
+// the caller's buffer, returning the logical contents oldest-first.
+func TestSnapshotIntoReusesStorage(t *testing.T) {
+	w := New(3, "a", "b")
+	w.Advance([]float64{1, 10})
+	w.Advance([]float64{2, 20})
+	got := w.SnapshotInto(1, nil)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("snapshot = %v, want [10 20]", got)
+	}
+	w.Advance([]float64{3, 30})
+	w.Advance([]float64{4, 40}) // wrapped
+	buf := make([]float64, 0, 8)
+	got = w.SnapshotInto(1, buf)
+	if len(got) != 3 || got[0] != 20 || got[1] != 30 || got[2] != 40 {
+		t.Fatalf("snapshot = %v, want [20 30 40]", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("SnapshotInto must reuse the provided buffer's storage")
+	}
+}
+
+// TestWindowViews: the zero-copy segments concatenate to the retained
+// history of each stream.
+func TestWindowViews(t *testing.T) {
+	w := New(3, "a", "b")
+	for i := 0; i < 5; i++ {
+		w.Advance([]float64{float64(i), float64(10 * i)})
+	}
+	for s := 0; s < 2; s++ {
+		a, b := w.Views(s)
+		joined := append(append([]float64(nil), a...), b...)
+		if len(joined) != w.Filled() {
+			t.Fatalf("stream %d: views cover %d, want %d", s, len(joined), w.Filled())
+		}
+		for j, got := range joined {
+			if want := w.At(s, j); got != want {
+				t.Fatalf("stream %d: views[%d] = %v, want %v", s, j, got, want)
+			}
+		}
+	}
+}
+
 // TestWindowMatchesSliceModel drives the window against a slice model per
 // stream under random advance sequences (testing/quick).
 func TestWindowMatchesSliceModel(t *testing.T) {

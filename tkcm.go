@@ -20,7 +20,28 @@
 // The engine keeps a ring-buffered window of the last L ticks per stream and
 // imputes every missing value the moment it arrives, so the retained history
 // is always complete (the paper's continuous-imputation setting). One-shot
-// imputation over slices is available via Impute.
+// imputation over slices is available via Impute; bulk ingest via
+// Engine.TickBatch.
+//
+// # Pattern extraction strategies
+//
+// Computing the dissimilarity profile (pattern extraction) dominates TKCM's
+// runtime — the paper measures it at ~92% (Sec. 7.4) and names speeding it
+// up as the main future-work direction (Sec. 8). Config.Profiler selects
+// the implementation:
+//
+//   - ProfilerNaive — the paper's Def. 2 loop, O(d·l·L) per profile, all
+//     norms.
+//   - ProfilerFFT — FFT cross-correlation, O(d·L·log L), L2 only.
+//   - ProfilerIncremental — engine-maintained aggregates updated in O(d·L)
+//     per tick (the pattern length drops out entirely), L2 only.
+//   - ProfilerAuto (default) — incremental in the streaming engine, naive
+//     for one-shot slice imputations.
+//
+// All implementations produce identical imputations up to floating-point
+// rounding; equivalence is enforced by tests. Config.Workers > 1
+// additionally fans a tick's imputations out across a bounded worker pool
+// when several streams are missing at once.
 //
 // TKCM's key property: imputation quality does not depend on linear
 // correlation between streams. By matching a two-dimensional pattern of the
@@ -57,6 +78,24 @@ const (
 	LInf = core.LInf
 )
 
+// ProfilerKind selects the pattern-extraction strategy (see the package
+// documentation); set it via Config.Profiler.
+type ProfilerKind = core.ProfilerKind
+
+// Pattern-extraction strategies. ProfilerAuto picks the incremental
+// profiler in the streaming engine and the naive Def. 2 loop for one-shot
+// slice imputations; non-L2 norms always degrade to naive.
+const (
+	ProfilerAuto        = core.ProfilerAuto
+	ProfilerNaive       = core.ProfilerNaive
+	ProfilerFFT         = core.ProfilerFFT
+	ProfilerIncremental = core.ProfilerIncremental
+)
+
+// ParseProfilerKind maps a flag value ("auto", "naive", "fft",
+// "incremental") to its ProfilerKind.
+func ParseProfilerKind(s string) (ProfilerKind, error) { return core.ParseProfilerKind(s) }
+
 // Selection selects the anchor-selection strategy.
 type Selection = core.Selection
 
@@ -76,6 +115,9 @@ type Result = core.Result
 type ReferenceSet = core.ReferenceSet
 
 // Engine performs continuous imputation over a set of co-evolving streams.
+// Feed it one row per tick (Tick) or many at once (TickBatch); select the
+// extraction strategy with Config.Profiler and intra-tick parallelism with
+// Config.Workers.
 type Engine = core.Engine
 
 // EngineStats counts engine activity.
