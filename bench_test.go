@@ -413,16 +413,57 @@ func benchEngineTick(b *testing.B, cfg tkcm.Config) {
 	}
 }
 
-// BenchmarkEngineTickProfilers contrasts the three extraction strategies on
-// the streaming hot path at the paper's default pattern length (l = 72) and
-// a year-of-hours window (L = 8760): the per-tick cost drops from the naive
-// O(d·l·L) recompute to the incremental O(d·L) maintenance.
+// BenchmarkEngineTickProfilers contrasts the extraction strategies on the
+// streaming hot path at the paper's default pattern length (l = 72) and a
+// year-of-hours window (L = 8760): the per-tick cost drops from the naive
+// O(d·l·L) recompute to incremental maintenance, and the demand-driven
+// default ("incremental") defers even that until a stream is consulted,
+// unlike the eager PR 1-style variant.
 func BenchmarkEngineTickProfilers(b *testing.B) {
 	for _, kind := range []tkcm.ProfilerKind{tkcm.ProfilerNaive, tkcm.ProfilerFFT, tkcm.ProfilerIncremental} {
 		b.Run(kind.String(), func(b *testing.B) {
 			cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 8760, Profiler: kind}
 			benchEngineTick(b, cfg)
 		})
+	}
+	b.Run("incremental-eager", func(b *testing.B) {
+		cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 8760,
+			Profiler: tkcm.ProfilerIncremental, EagerProfiler: true}
+		benchEngineTick(b, cfg)
+	})
+}
+
+// BenchmarkEngineWide streams the wide-engine scenario (W = 256 streams,
+// 5% missing per tick, shared reference pool — the same generator behind
+// `tkcm-bench -experiment wide`) through the public engine at the
+// demand-driven default in throughput mode. The full eager-vs-lazy sweep,
+// including W = 1024, runs via the tkcm-bench experiment.
+func BenchmarkEngineWide(b *testing.B) {
+	const width = 256
+	sc, err := experiments.NewWideScenario(width, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: 4032, SkipDiagnostics: true}
+	eng, err := tkcm.NewEngine(cfg, sc.Names(), sc.Refs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	row := make([]float64, width)
+	for t := 0; t < cfg.WindowLength; t++ {
+		sc.FillRow(t, row)
+		if _, _, err := eng.Tick(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.FillRow(cfg.WindowLength+i, row)
+		sc.MarkMissing(i, row)
+		if _, _, err := eng.Tick(row); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -448,6 +489,7 @@ func benchEngineTickParallel(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer eng.Close()
 	sp := benchScale.Spec(experiments.DSSBR1d)
 	frame := sp.Generate()
 	nSeries := len(frame.Series)

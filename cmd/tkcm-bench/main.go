@@ -14,9 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -31,15 +33,57 @@ type experiment struct {
 	run   func(experiments.Scale) error
 }
 
-// Flags consumed by the engine-throughput experiment.
+// Flags consumed by the engine-throughput experiments.
 var (
 	profilerFlag = flag.String("profiler", "", "pin the engine experiment to one extraction strategy: naive|fft|incremental (default: sweep all)")
 	parallelFlag = flag.Int("parallel", 0, "pin the engine experiment to one Tick worker count (default: sweep 1 and 4)")
+	widthFlag    = flag.Int("width", 0, "pin the wide experiment to one stream count (default: sweep 256, plus 1024 at -full)")
+	wideTicks    = flag.Int("wide-ticks", 0, "measured steady-state ticks of the wide experiment (default 300, 200 at -full)")
+	jsonFlag     = flag.String("json", "", "write machine-readable engine/wide results to this file (e.g. BENCH_engine.json)")
 )
+
+// benchRecord is one machine-readable measurement row of the -json output.
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	Row        any    `json:"row"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	Schema    string        `json:"schema"`
+	Scale     string        `json:"scale"`
+	Go        string        `json:"go"`
+	NumCPU    int           `json:"num_cpu"`
+	Timestamp string        `json:"timestamp"`
+	Rows      []benchRecord `json:"rows"`
+}
+
+// jsonRows collects engine/wide measurements for the -json report.
+var jsonRows []benchRecord
+
+func recordJSON(experiment string, row any) {
+	jsonRows = append(jsonRows, benchRecord{Experiment: experiment, Row: row})
+}
+
+func writeJSON(path, scale string) error {
+	report := benchReport{
+		Schema:    "tkcm-bench/engine-v1",
+		Scale:     scale,
+		Go:        runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Rows:      jsonRows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
 func main() {
 	var (
-		expID = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		expID = flag.String("experiment", "all", "experiment id (see -list), comma-separated ids, or 'all'")
 		full  = flag.Bool("full", false, "use paper-scale dimensions (slow; equivalent to TKCM_FULL=1)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -58,14 +102,27 @@ func main() {
 	scale := experiments.ActiveScale()
 	fmt.Printf("# TKCM benchmark suite — scale %q\n\n", scale.Name)
 
+	known := make(map[string]bool, len(exps))
+	for _, e := range exps {
+		known[e.id] = true
+	}
+	wanted := make(map[string]bool)
+	for _, id := range strings.Split(*expID, ",") {
+		id = strings.TrimSpace(id)
+		if id != "all" && !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		wanted[id] = true
+	}
 	selected := exps[:0:0]
 	for _, e := range exps {
-		if *expID == "all" || e.id == *expID {
+		if wanted["all"] || wanted[e.id] {
 			selected = append(selected, e)
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+		fmt.Fprintf(os.Stderr, "no experiment selected; use -list\n")
 		os.Exit(2)
 	}
 	for _, e := range selected {
@@ -76,6 +133,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonFlag != "" {
+		if err := writeJSON(*jsonFlag, scale.Name); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d machine-readable rows to %s\n", len(jsonRows), *jsonFlag)
 	}
 }
 
@@ -92,6 +156,7 @@ func allExperiments() []experiment {
 		{"fig17", "Fig. 17: runtime linearity in l, d, k, L", runFig17},
 		{"perf", "Sec. 7.4: runtime breakdown of TKCM's phases", runPerf},
 		{"engine", "streaming-engine throughput: naive vs FFT vs incremental extraction, serial vs parallel ticks", runEngine},
+		{"wide", "wide-engine throughput: eager vs demand-driven state over 256+ streams with sparse missingness", runWide},
 		{"ablation", "DESIGN.md §4: DP vs greedy vs overlapping, norms, weighting", runAblation},
 		{"alignment", "Sec. 8 future work: DTW-aligned series + l=1 vs shifted series + l>1", runAlignment},
 	}
@@ -113,7 +178,7 @@ func runEngine(scale experiments.Scale) error {
 	const missingStreams = 4
 	tbl := experiments.NewTable(
 		"Streaming engine throughput on SBR-1d (targets dropped every 5th tick)",
-		"profiler", "workers", "missing", "ticks", "imputations", "ticks/s", "per imputation")
+		"profiler", "workers", "missing", "ticks", "imputations", "ticks/s", "allocs/tick", "per imputation")
 	var baseline float64
 	var speedups []string
 	for _, k := range kinds {
@@ -122,8 +187,10 @@ func runEngine(scale experiments.Scale) error {
 			if err != nil {
 				return err
 			}
+			recordJSON("engine", row)
 			tbl.AddRow(row.Profiler, row.Workers, row.MissingStreams, row.Ticks, row.Imputations,
-				fmt.Sprintf("%.0f", row.TicksPerSec), row.PerImputation.Round(time.Microsecond))
+				fmt.Sprintf("%.0f", row.TicksPerSec), fmt.Sprintf("%.1f", row.AllocsPerTick),
+				row.PerImputation.Round(time.Microsecond))
 			if baseline == 0 {
 				baseline = row.TicksPerSec
 			} else {
@@ -136,6 +203,62 @@ func runEngine(scale experiments.Scale) error {
 	}
 	if len(speedups) > 0 {
 		fmt.Printf("speedup vs first row: %s\n", strings.Join(speedups, ", "))
+	}
+	return nil
+}
+
+// runWide measures the production-scale workload the demand-driven profiler
+// state targets: hundreds to thousands of co-evolving streams with ≤5% of
+// them missing per tick, references drawn from a small shared pool. The
+// "eager" row is the PR 1-style default (every stream's aggregates
+// maintained every tick); "lazy" is the demand-driven default; "lazy+lean"
+// additionally skips Result diagnostics (throughput mode).
+func runWide(scale experiments.Scale) error {
+	widths := []int{256}
+	winLen := 4032
+	ticks := 300
+	if scale.Name == "paper" {
+		widths = []int{256, 1024}
+		winLen = 8760
+		ticks = 200
+	}
+	if *widthFlag > 0 {
+		widths = []int{*widthFlag}
+	}
+	if *wideTicks > 0 {
+		ticks = *wideTicks
+	}
+	tbl := experiments.NewTable(
+		fmt.Sprintf("Wide-engine throughput (L=%d, 5%% of streams missing per tick, shared reference pool)", winLen),
+		"mode", "width", "missing", "workers", "ticks/s", "ns/tick", "allocs/tick")
+	var summaries []string
+	for _, width := range widths {
+		var baseline float64
+		var speedups []string
+		for _, wc := range experiments.WideCases() {
+			row, err := experiments.WideEngineThroughput(width, winLen, ticks, 0.05, wc)
+			if err != nil {
+				return err
+			}
+			recordJSON("wide", row)
+			tbl.AddRow(row.Mode, row.Width, row.MissingPerTick, row.Workers,
+				fmt.Sprintf("%.0f", row.TicksPerSec), fmt.Sprintf("%.0f", row.NsPerTick),
+				fmt.Sprintf("%.1f", row.AllocsPerTick))
+			if baseline == 0 {
+				baseline = row.NsPerTick
+			} else {
+				speedups = append(speedups, fmt.Sprintf("%s %.1fx", row.Mode, baseline/row.NsPerTick))
+			}
+		}
+		if len(speedups) > 0 {
+			summaries = append(summaries, fmt.Sprintf("width %d speedup vs eager: %s", width, strings.Join(speedups, ", ")))
+		}
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	for _, s := range summaries {
+		fmt.Println(s)
 	}
 	return nil
 }

@@ -113,10 +113,29 @@ type Config struct {
 	Profiler ProfilerKind
 	// Workers bounds the goroutines one Engine.Tick uses to impute missing
 	// streams in parallel. 0 or 1 keeps the serial tick; values above 1
-	// fan imputeStream out across the tick's missing streams (reference
-	// sets are resolved serially first, so parallel ticks never use a
-	// value imputed in the same tick as a reference — see Engine.Tick).
+	// start a persistent worker pool on first use and fan imputeStream out
+	// across the tick's missing streams (reference sets are resolved
+	// serially first, so parallel ticks never use a value imputed in the
+	// same tick as a reference — see Engine.Tick). Call Engine.Close to
+	// stop the pool when discarding an engine.
 	Workers int
+	// EagerProfiler restores the maintain-every-stream-every-tick behavior
+	// of the incremental profiler: aggregates of all streams are updated on
+	// every tick (O(L) per stream per tick). The default (false) is
+	// demand-driven: recording a tick is O(1) per stream and aggregates are
+	// caught up only when a stream is consulted as a reference, so on wide
+	// stream sets with sparse missingness untouched streams cost nothing.
+	// Both modes produce identical imputations; the knob exists for
+	// workloads where nearly every stream is referenced every tick and for
+	// A/B measurement.
+	EagerProfiler bool
+	// SkipDiagnostics skips allocating the per-imputation Result (anchors,
+	// anchor values, dissimilarities, ε) on the engine tick path: Tick then
+	// reports every imputed value in its completed row but leaves all
+	// results entries nil. Throughput mode for callers that only consume
+	// the imputed values. One-shot Impute/ImputeWindow calls always build
+	// full diagnostics.
+	SkipDiagnostics bool
 	// FastExtraction computes the L2 dissimilarity profile via FFT
 	// cross-correlation in O(d·L·log L) instead of the naive O(d·l·L) —
 	// the Sec. 8 future-work optimization of the pattern extraction phase.

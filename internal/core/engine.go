@@ -3,8 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
+	"slices"
 
 	"tkcm/internal/window"
 )
@@ -17,10 +16,12 @@ import (
 //
 // Pattern extraction — the dominant phase (Sec. 7.4) — runs through the
 // profiler Config.Profiler selects. The default (ProfilerAuto under L2) is
-// the incremental profiler, which maintains per-stream profile aggregates
-// across ticks in O(L) instead of recomputing O(d·l·L) per imputation.
-// With Config.Workers > 1, the per-stream imputations of one tick fan out
-// across a bounded worker pool.
+// the incremental profiler with demand-driven state: recording a tick costs
+// O(1) per stream and profile aggregates are caught up only for streams
+// actually consulted as references, so per-tick cost scales with the missing
+// work, not the stream count (Config.EagerProfiler restores per-tick
+// maintenance of every stream). With Config.Workers > 1, the per-stream
+// imputations of one tick fan out across a persistent worker pool.
 type Engine struct {
 	cfg  Config
 	w    *window.Window
@@ -36,6 +37,31 @@ type Engine struct {
 	// parallel path keeps one scratch per worker.
 	scratch       imputeScratch
 	workerScratch []imputeScratch
+	// Tick-owned result buffers, handed to the caller and valid until the
+	// next Tick: the completed row, the per-stream results, the missing
+	// indices, and the serial path's reference-index scratch.
+	out     []float64
+	results []*Result
+	missing []int
+	refIdx  []int
+	// tick counts Tick calls; unlike the exported (caller-resettable)
+	// Stats.Ticks it is private, so cache invalidation below can rely on it
+	// increasing monotonically.
+	tick int
+	// selCache shares anchor selections within a tick: the dissimilarity
+	// profile depends only on the reference set, never on the target, so
+	// missing streams with identical reference sets reuse one profile +
+	// selection and only aggregate their own anchor values (O(k) each).
+	// Entries [0:selCacheLen) are valid for tick selCacheTick.
+	selCache     []anchorCacheEntry
+	selCacheLen  int
+	selCacheTick int
+	// Parallel tick state: one job per distinct reference set, the target
+	// streams mapped onto those jobs, and the persistent pool feeding the
+	// jobs to workers.
+	jobs    []tickJob
+	targets []tickTarget
+	pool    *tickPool
 	// Stats accumulates counters for observability.
 	Stats EngineStats
 }
@@ -71,6 +97,7 @@ func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engin
 		e.prof = FFTProfiler{}
 	case ProfilerIncremental:
 		e.inc = NewIncrementalProfiler(cfg.PatternLength, len(names), cfg.WindowLength)
+		e.inc.SetEager(cfg.EagerProfiler)
 		e.prof = e.inc
 	default:
 		e.prof = NaiveProfiler{}
@@ -94,25 +121,37 @@ func (e *Engine) Profiler() Profiler { return e.prof }
 // Tick consumes one row of measurements (one value per stream, NaN =
 // missing) and imputes every missing value. It returns the completed row
 // (imputed in place of NaN) and the per-stream imputation results for
-// streams that required TKCM (nil entries for streams that were present or
-// cold-start filled).
+// streams that required TKCM (nil entries for streams that were present,
+// cold-start filled, or imputed with Config.SkipDiagnostics set).
+//
+// The returned slices are owned by the engine and valid until the next call
+// to Tick or TickBatch; callers that retain them across ticks must copy.
+// A steady-state tick with no missing values performs no allocations.
 //
 // With Config.Workers > 1 and several streams missing at once, the
-// imputations run concurrently: reference sets are resolved up front against
-// the tick's raw row, so a value imputed in this tick is never consulted as
-// a reference in the same tick (the serial tick permits that cascade for
-// streams at lower indices; in practice references must be present at tn
-// anyway for the paper's reference-selection rule).
+// imputations run concurrently on the engine's persistent worker pool:
+// reference sets are resolved up front against the tick's raw row, so a
+// value imputed in this tick is never consulted as a reference in the same
+// tick (the serial tick permits that cascade for streams at lower indices;
+// in practice references must be present at tn anyway for the paper's
+// reference-selection rule).
 func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	if len(row) != e.w.Width() {
 		return nil, nil, fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
 	}
 	e.w.Advance(row)
+	e.tick++
 	e.Stats.Ticks++
-	results := make([]*Result, len(row))
-	out := make([]float64, len(row))
+	if e.out == nil {
+		e.out = make([]float64, len(row))
+		e.results = make([]*Result, len(row))
+	}
+	out, results := e.out, e.results
 	copy(out, row)
-	var missing []int
+	for i := range results {
+		results[i] = nil
+	}
+	missing := e.missing[:0]
 	for i, v := range row {
 		if math.IsNaN(v) {
 			missing = append(missing, i)
@@ -121,6 +160,7 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 		e.last[i] = v
 		e.advanceState(i)
 	}
+	e.missing = missing
 	if len(missing) == 0 {
 		return out, results, nil
 	}
@@ -133,9 +173,10 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 }
 
 // TickBatch consumes a batch of rows through Tick, preserving its semantics
-// tick for tick, and returns the completed rows and per-row results. On
-// error it returns the rows completed so far together with the failing row's
-// index wrapped in the error.
+// tick for tick, and returns the completed rows and per-row results (copied
+// out of the engine-owned tick buffers, so they stay valid indefinitely).
+// On error it returns the rows completed so far together with the failing
+// row's index wrapped in the error.
 func (e *Engine) TickBatch(rows [][]float64) ([][]float64, [][]*Result, error) {
 	outs := make([][]float64, 0, len(rows))
 	ress := make([][]*Result, 0, len(rows))
@@ -144,8 +185,8 @@ func (e *Engine) TickBatch(rows [][]float64) ([][]float64, [][]*Result, error) {
 		if err != nil {
 			return outs, ress, fmt.Errorf("core: batch row %d: %w", t, err)
 		}
-		outs = append(outs, out)
-		ress = append(ress, res)
+		outs = append(outs, append([]float64(nil), out...))
+		ress = append(ress, append([]*Result(nil), res...))
 	}
 	return outs, ress, nil
 }
@@ -165,12 +206,12 @@ func (e *Engine) advanceState(i int) {
 // later stream in the same tick.
 func (e *Engine) imputeMissingSerial(missing []int, out []float64, results []*Result) {
 	for _, i := range missing {
-		res, err := e.imputeStream(i)
+		val, res, err := e.imputeStream(i)
 		switch {
 		case err == nil:
 			results[i] = res
-			out[i] = res.Value
-			e.last[i] = res.Value
+			out[i] = val
+			e.last[i] = val
 		case err == ErrInsufficientHistory:
 			e.Stats.InsufficientHist++
 			out[i] = e.coldFill(i)
@@ -182,68 +223,73 @@ func (e *Engine) imputeMissingSerial(missing []int, out []float64, results []*Re
 	}
 }
 
-// imputeMissingParallel fans the tick's imputations out across a bounded
-// worker pool. Reference picking, stats, cold fills, and incremental-state
-// advances stay serial; only the profile computation and anchor selection —
-// the ~92% phase — run concurrently. Each worker owns its scratch, each job
-// writes only its own stream's buffer, and reference buffers are read-only
-// for the duration of the fan-out, so the ticks are race-free.
+// imputeMissingParallel fans the tick's extraction + selection work out
+// across the persistent worker pool (started on first use). Reference
+// picking, deduplication, stats, cold fills, incremental catch-up and
+// contribution caching, value aggregation, and incremental-state advances
+// stay serial; only profile assembly and anchor selection — the ~92% phase
+// — run concurrently, with exactly one job per distinct reference set
+// (targets sharing references share the job). Each worker owns its scratch
+// and writes only its own job's selection slot, and the reference
+// aggregates are prepared (caught up and cached) before the fan-out, so the
+// concurrent profile reads are race-free.
 func (e *Engine) imputeMissingParallel(missing []int, out []float64, results []*Result) {
-	type job struct {
-		stream int
-		refIdx []int
-	}
-	jobs := make([]job, 0, len(missing))
+	nJobs := 0
+	tgts := e.targets[:0]
 	for _, i := range missing {
-		refIdx, err := e.pickRefs(i)
+		refIdx, err := e.pickRefsInto(i, e.refIdx[:0])
+		e.refIdx = refIdx
 		if err != nil {
 			e.Stats.ReferenceErrors++
 			out[i] = e.coldFill(i)
 			e.advanceState(i)
 			continue
 		}
-		jobs = append(jobs, job{i, refIdx})
+		j := -1
+		for x := 0; x < nJobs; x++ {
+			if slices.Equal(e.jobs[x].refIdx, refIdx) {
+				j = x
+				break
+			}
+		}
+		if j < 0 {
+			if nJobs == len(e.jobs) {
+				e.jobs = append(e.jobs, tickJob{})
+			}
+			j = nJobs
+			e.jobs[j].refIdx = append(e.jobs[j].refIdx[:0], refIdx...)
+			nJobs++
+		}
+		tgts = append(tgts, tickTarget{stream: i, job: j})
 	}
-	if len(jobs) == 0 {
+	e.targets = tgts
+	if nJobs == 0 {
 		return
 	}
-	nw := e.cfg.Workers
-	if nw > len(jobs) {
-		nw = len(jobs)
+	if e.inc != nil {
+		// Catch up and cache every referenced stream's contribution vector
+		// serially, so the workers' ProfileWindow calls are pure reads.
+		for j := 0; j < nJobs; j++ {
+			e.inc.Prepare(e.jobs[j].refIdx)
+		}
 	}
-	for len(e.workerScratch) < nw {
-		e.workerScratch = append(e.workerScratch, imputeScratch{})
-	}
-	type jobOut struct {
-		res *Result
-		err error
-	}
-	outs := make([]jobOut, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for wk := 0; wk < nw; wk++ {
-		wg.Add(1)
-		go func(sc *imputeScratch) {
-			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= len(jobs) {
-					return
-				}
-				outs[j].res, outs[j].err = imputeWindowWith(e.cfg, e.w, jobs[j].stream, jobs[j].refIdx, e.prof, sc)
-			}
-		}(&e.workerScratch[wk])
-	}
-	wg.Wait()
-	for j, jb := range jobs {
-		i := jb.stream
-		switch o := outs[j]; {
-		case o.err == nil:
+	e.dispatch(nJobs)
+	for _, t := range tgts {
+		i := t.stream
+		jb := &e.jobs[t.job]
+		err := jb.err
+		var val float64
+		var res *Result
+		if err == nil {
+			val, res, err = aggregateWindow(e.cfg, e.w, i, &jb.sel, e.cfg.SkipDiagnostics)
+		}
+		switch {
+		case err == nil:
 			e.Stats.Imputations++
-			results[i] = o.res
-			out[i] = o.res.Value
-			e.last[i] = o.res.Value
-		case o.err == ErrInsufficientHistory:
+			results[i] = res
+			out[i] = val
+			e.last[i] = val
+		case err == ErrInsufficientHistory:
 			e.Stats.InsufficientHist++
 			out[i] = e.coldFill(i)
 		default:
@@ -254,30 +300,72 @@ func (e *Engine) imputeMissingParallel(missing []int, out []float64, results []*
 	}
 }
 
-// pickRefs resolves the reference set for the stream at index i, ranking
-// candidates from the retained window on first use.
-func (e *Engine) pickRefs(i int) ([]int, error) {
+// pickRefsInto resolves the reference set for the stream at index i into dst
+// (reusing its storage), ranking candidates from the retained window on
+// first use.
+func (e *Engine) pickRefsInto(i int, dst []int) ([]int, error) {
 	name := e.w.Names()[i]
 	rs, ok := e.refs[name]
 	if !ok {
 		rs = e.rankFromWindow(name)
 		e.refs[name] = rs
 	}
-	return rs.Pick(e.w, e.cfg.D)
+	return rs.PickInto(e.w, e.cfg.D, dst)
 }
 
-// imputeStream runs TKCM for the stream at index i at the current tick.
-func (e *Engine) imputeStream(i int) (*Result, error) {
-	refIdx, err := e.pickRefs(i)
+// imputeStream runs TKCM for the stream at index i at the current tick,
+// sharing the profile + anchor selection with any earlier imputation of the
+// tick that used the same reference set.
+func (e *Engine) imputeStream(i int) (float64, *Result, error) {
+	refIdx, err := e.pickRefsInto(i, e.refIdx[:0])
+	e.refIdx = refIdx
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	res, err := imputeWindowWith(e.cfg, e.w, i, refIdx, e.prof, &e.scratch)
+	sel, err := e.cachedSelection(refIdx)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
+	}
+	val, res, err := aggregateWindow(e.cfg, e.w, i, sel, e.cfg.SkipDiagnostics)
+	if err != nil {
+		return 0, nil, err
 	}
 	e.Stats.Imputations++
-	return res, nil
+	return val, res, nil
+}
+
+// anchorCacheEntry memoizes one reference set's selection for the current
+// tick. Sharing is sound because a stream's value at tn is written at most
+// once per tick (present values never change; a missing stream is imputed
+// once), so a reference set resolves to the same histories wherever it
+// appears within the tick.
+type anchorCacheEntry struct {
+	refIdx []int
+	sel    anchorSelection
+	err    error
+}
+
+// cachedSelection returns the profile + anchor selection for refIdx at the
+// current tick, computing and memoizing it on first use.
+func (e *Engine) cachedSelection(refIdx []int) (*anchorSelection, error) {
+	if e.selCacheTick != e.tick {
+		e.selCacheTick = e.tick
+		e.selCacheLen = 0
+	}
+	for x := 0; x < e.selCacheLen; x++ {
+		ent := &e.selCache[x]
+		if slices.Equal(ent.refIdx, refIdx) {
+			return &ent.sel, ent.err
+		}
+	}
+	if e.selCacheLen == len(e.selCache) {
+		e.selCache = append(e.selCache, anchorCacheEntry{})
+	}
+	ent := &e.selCache[e.selCacheLen]
+	e.selCacheLen++
+	ent.refIdx = append(ent.refIdx[:0], refIdx...)
+	ent.err = profileSelectWindow(e.cfg, e.w, refIdx, e.prof, &e.scratch, &ent.sel)
+	return &ent.sel, ent.err
 }
 
 // coldFill fills a missing value while TKCM is not applicable: it carries

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -232,6 +233,88 @@ func TestEngineAutoRanksReferences(t *testing.T) {
 	got := eng.Window().Current(0)
 	if math.Abs(got-truth) > 0.05 {
 		t.Fatalf("imputed %v, want ≈ %v — auto-ranking likely picked the junk reference", got, truth)
+	}
+}
+
+// warmEngine builds an engine over width streams (first half targets with
+// reference sets into the always-present second half) and streams warm ticks
+// until the window is full.
+func warmEngine(t testing.TB, cfg Config, width int) (*Engine, []float64) {
+	t.Helper()
+	names := make([]string, width)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	refs := make(map[string]ReferenceSet, width/2)
+	for i := 0; i < width/2; i++ {
+		refs[names[i]] = ReferenceSet{Stream: names[i], Candidates: names[width/2:]}
+	}
+	eng, err := NewEngine(cfg, names, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, width)
+	for tick := 0; tick < cfg.WindowLength+8; tick++ {
+		ph := 2 * math.Pi * float64(tick) / 48
+		for j := range row {
+			row[j] = math.Sin(ph + 0.3*float64(j))
+		}
+		if _, _, err := eng.Tick(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, row
+}
+
+// TestTickNothingMissingZeroAllocs pins the nothing-missing fast path: a
+// steady-state Tick over a complete row must not allocate, whatever the
+// profiler, so impute-free ingest is pure ring-buffer work.
+func TestTickNothingMissingZeroAllocs(t *testing.T) {
+	for _, kind := range []ProfilerKind{ProfilerIncremental, ProfilerNaive} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{K: 3, PatternLength: 6, D: 2, WindowLength: 144, Profiler: kind}
+			eng, row := warmEngine(t, cfg, 8)
+			defer eng.Close()
+			if allocs := testing.AllocsPerRun(200, func() {
+				if _, _, err := eng.Tick(row); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Fatalf("nothing-missing Tick performed %v allocations, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTickSkipDiagnosticsZeroAllocs pins the throughput mode end to end:
+// with SkipDiagnostics set, even a tick that imputes missing values through
+// the incremental profiler stays allocation-free once the scratch buffers
+// are warm (serial path; the pool path additionally pays only channel
+// traffic).
+func TestTickSkipDiagnosticsZeroAllocs(t *testing.T) {
+	cfg := Config{K: 3, PatternLength: 6, D: 2, WindowLength: 144, Profiler: ProfilerIncremental, SkipDiagnostics: true}
+	eng, row := warmEngine(t, cfg, 8)
+	defer eng.Close()
+	missingRow := append([]float64(nil), row...)
+	missingRow[0] = math.NaN()
+	missingRow[2] = math.NaN()
+	// One warm run to grow every scratch buffer.
+	if _, _, err := eng.Tick(missingRow); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		out, results, err := eng.Tick(missingRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(out[0]) || math.IsNaN(out[2]) {
+			t.Fatal("missing values left unfilled")
+		}
+		if results[0] != nil {
+			t.Fatal("diagnostics allocated despite SkipDiagnostics")
+		}
+	}); allocs != 0 {
+		t.Fatalf("SkipDiagnostics Tick performed %v allocations, want 0", allocs)
 	}
 }
 

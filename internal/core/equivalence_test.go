@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -159,6 +160,171 @@ func TestEngineReferenceFailureInjection(t *testing.T) {
 	// the window must still be complete.
 	if eng.Window().Stream(1).CountMissing() != 0 {
 		t.Fatal("reference hole left in the window")
+	}
+}
+
+// wideScenario streams a randomized wide/sparse missing pattern through a
+// set of identically fed engines and returns, per engine, the imputed value
+// of every (tick, stream) that was missing, in a fixed order. The first half
+// of the streams are targets that may go missing; the second half is an
+// always-present reference pool, so reference values never depend on
+// same-tick imputation order and serial vs parallel ticks are exactly
+// comparable.
+func wideScenario(t *testing.T, cfgs []Config, labels []string, seed uint64) [][]float64 {
+	t.Helper()
+	const (
+		width   = 12
+		targets = width / 2
+		period  = 48
+		n       = 7 * period
+	)
+	names := make([]string, width)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	refs := make(map[string]ReferenceSet, targets)
+	for i := 0; i < targets; i++ {
+		// Overlapping reference sets drawn from the always-present pool, so
+		// the per-tick contribution cache sees shared reference streams.
+		refs[names[i]] = ReferenceSet{Stream: names[i], Candidates: []string{
+			names[targets+i%(width-targets)],
+			names[targets+(i+2)%(width-targets)],
+			names[targets+(i+4)%(width-targets)],
+		}}
+	}
+	engines := make([]*Engine, len(cfgs))
+	for x, cfg := range cfgs {
+		eng, err := NewEngine(cfg, names, cloneRefs(refs))
+		if err != nil {
+			t.Fatalf("%s: %v", labels[x], err)
+		}
+		defer eng.Close()
+		engines[x] = eng
+	}
+	imputed := make([][]float64, len(engines))
+	state := seed*6364136223846793005 + 1442695040888963407
+	rnd := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	row := make([]float64, width)
+	for tick := 0; tick < n; tick++ {
+		ph := 2 * math.Pi * float64(tick) / period
+		for j := range row {
+			row[j] = math.Sin(ph+0.37*float64(j)) + 0.2*math.Cos(2*ph+float64(j)) +
+				float64(rnd()%1000)/12000
+		}
+		if tick > 4*period {
+			// Sparse randomized losses: each target independently missing
+			// with probability 1/4, occasionally a wide burst losing every
+			// target at once.
+			burst := rnd()%23 == 0
+			for j := 0; j < targets; j++ {
+				if burst || rnd()%4 == 0 {
+					row[j] = math.NaN()
+				}
+			}
+		}
+		for x, eng := range engines {
+			rowCopy := append([]float64(nil), row...)
+			out, _, err := eng.Tick(rowCopy)
+			if err != nil {
+				t.Fatalf("%s tick %d: %v", labels[x], tick, err)
+			}
+			for j := 0; j < targets; j++ {
+				if math.IsNaN(row[j]) {
+					imputed[x] = append(imputed[x], out[j])
+				}
+			}
+		}
+	}
+	if len(imputed[0]) == 0 {
+		t.Fatal("scenario produced no imputations")
+	}
+	for x := 1; x < len(engines); x++ {
+		if engines[x].Stats.Imputations != engines[0].Stats.Imputations {
+			t.Fatalf("%s performed %d imputations, %s performed %d",
+				labels[x], engines[x].Stats.Imputations, labels[0], engines[0].Stats.Imputations)
+		}
+	}
+	return imputed
+}
+
+func cloneRefs(refs map[string]ReferenceSet) map[string]ReferenceSet {
+	out := make(map[string]ReferenceSet, len(refs))
+	for k, v := range refs {
+		out[k] = v
+	}
+	return out
+}
+
+// TestEngineLazyEagerNaiveEquivalence: on randomized wide/sparse missing
+// patterns, the demand-driven incremental engine, the eager incremental
+// engine (PR 1 behavior), and the naive-profiler engine must produce
+// identical imputations within 1e-6 — the end-to-end guarantee of the lazy
+// catch-up refactor.
+func TestEngineLazyEagerNaiveEquivalence(t *testing.T) {
+	base := Config{K: 3, PatternLength: 7, D: 2, WindowLength: 3 * 48, Norm: L2}
+	lazy := base
+	lazy.Profiler = ProfilerIncremental
+	eager := lazy
+	eager.EagerProfiler = true
+	naive := base
+	naive.Profiler = ProfilerNaive
+	f := func(seed uint64) bool {
+		vals := wideScenario(t, []Config{naive, eager, lazy}, []string{"naive", "eager", "lazy"}, seed)
+		for x := 1; x < len(vals); x++ {
+			if len(vals[x]) != len(vals[0]) {
+				return false
+			}
+			for i := range vals[0] {
+				if math.Abs(vals[x][i]-vals[0][i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Lazy and eager run the same arithmetic (modulo rebuild points) and
+		// must agree with each other especially tightly.
+		for i := range vals[1] {
+			if math.Abs(vals[2][i]-vals[1][i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineSerialPoolEquivalence: ticks fanned out across the persistent
+// worker pool must impute exactly what the serial tick imputes whenever no
+// target references another same-tick-missing stream (guaranteed here by
+// the always-present reference pool).
+func TestEngineSerialPoolEquivalence(t *testing.T) {
+	base := Config{K: 3, PatternLength: 7, D: 2, WindowLength: 3 * 48, Norm: L2, Profiler: ProfilerIncremental}
+	pool := base
+	pool.Workers = 4
+	poolLean := pool
+	poolLean.SkipDiagnostics = true
+	f := func(seed uint64) bool {
+		vals := wideScenario(t, []Config{base, pool, poolLean}, []string{"serial", "pool", "pool-lean"}, seed)
+		for x := 1; x < len(vals); x++ {
+			if len(vals[x]) != len(vals[0]) {
+				return false
+			}
+			for i := range vals[0] {
+				if vals[x][i] != vals[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -61,9 +61,14 @@ func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
 		}
 	}
 	d := cfg.sliceProfiler().Profile(refs, l, cfg.Norm, nil)
-	return finishImputation(cfg, d, func(candidate int) float64 {
+	var sel anchorSelection
+	if !sel.fill(cfg, d, nil) {
+		return nil, ErrInsufficientHistory
+	}
+	_, res, err := aggregateAnchors(cfg, &sel, func(candidate int) float64 {
 		return s[candidate+l-1]
-	}, nil)
+	}, false)
+	return res, err
 }
 
 // ImputeWindow recovers the missing value of the stream at index sIdx of w at
@@ -72,20 +77,24 @@ func Impute(cfg Config, s []float64, refs [][]float64) (*Result, error) {
 // (Algorithm 1 line 26). It mirrors the paper's Algorithm 1 on ring buffers.
 // The dissimilarity profile is computed by the profiler Config.Profiler
 // selects (the incremental profiler has no state here and degrades to FFT).
+// It always builds full diagnostics; Config.SkipDiagnostics only applies to
+// the engine tick path.
 func ImputeWindow(cfg Config, w *window.Window, sIdx int, refIdx []int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return imputeWindowWith(cfg, w, sIdx, refIdx, cfg.sliceProfiler(), nil)
+	_, res, err := imputeWindowWith(cfg, w, sIdx, refIdx, cfg.sliceProfiler(), nil, false)
+	return res, err
 }
 
 // imputeScratch holds the per-caller reusable buffers of imputeWindowWith:
-// one snapshot per reference slot plus profile storage. The zero value is
-// ready to use; buffers grow on first use and are reused afterwards.
+// one snapshot per reference slot, profile storage, and the anchor-selection
+// scratch. The zero value is ready to use; buffers grow on first use and are
+// reused afterwards.
 type imputeScratch struct {
 	refs [][]float64
 	prof []float64
-	dp   []float64
+	sel  selectScratch
 }
 
 // profileDst returns a length-n profile buffer backed by the scratch.
@@ -97,20 +106,50 @@ func (sc *imputeScratch) profileDst(n int) []float64 {
 	return sc.prof
 }
 
-// imputeWindowWith is the scratch-reusing core of ImputeWindow, shared by the
-// standalone call (sc == nil, fresh buffers) and the engine's hot path. A
-// stateful IncrementalProfiler assembles the profile straight from its
-// maintained aggregates; every other profiler runs over reference snapshots
-// materialized into the scratch (plain slices, no per-element ring calls).
-func imputeWindowWith(cfg Config, w *window.Window, sIdx int, refIdx []int, prof Profiler, sc *imputeScratch) (*Result, error) {
+// anchorSelection is the target-independent outcome of pattern extraction
+// plus anchor selection for one reference set: the chosen candidate indices,
+// their dissimilarities, and the minimized sum. The profile depends only on
+// the reference histories, never on the imputed stream, so one selection
+// serves every missing stream of a tick that shares the reference set —
+// each remaining target only aggregates its own k anchor values. Storage is
+// caller-owned and reused via fill.
+type anchorSelection struct {
+	idx   []int
+	dvals []float64
+	sum   float64
+}
+
+// fill runs anchor selection on the dissimilarity profile d and stores the
+// outcome, reusing the selection's storage. It reports whether a feasible
+// selection exists.
+func (sel *anchorSelection) fill(cfg Config, d []float64, sc *selectScratch) bool {
+	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection, sc)
+	if !ok {
+		return false
+	}
+	sel.idx = append(sel.idx[:0], idx...)
+	sel.dvals = sel.dvals[:0]
+	for _, j := range idx {
+		sel.dvals = append(sel.dvals, d[j])
+	}
+	sel.sum = sum
+	return true
+}
+
+// profileSelectWindow computes the dissimilarity profile over the reference
+// streams refIdx of w and runs anchor selection, storing the outcome into
+// sel (reusing its storage). It is the target-independent half of Algorithm
+// 1; aggregateWindow finishes an imputation from it. A stateful
+// IncrementalProfiler assembles the profile straight from its maintained
+// aggregates (catching the referenced streams up on demand); every other
+// profiler runs over reference snapshots materialized into the scratch
+// (plain slices, no per-element ring calls).
+func profileSelectWindow(cfg Config, w *window.Window, refIdx []int, prof Profiler, sc *imputeScratch, sel *anchorSelection) error {
 	l, k := cfg.PatternLength, cfg.K
 	filled := w.Filled()
 	nCand := filled - 2*l + 1
 	if nCand < 1 || nCand < (k-1)*l+1 && cfg.Selection != SelectOverlapping || nCand < k && cfg.Selection == SelectOverlapping {
-		return nil, ErrInsufficientHistory
-	}
-	if sc == nil {
-		sc = &imputeScratch{}
+		return ErrInsufficientHistory
 	}
 	var d []float64
 	if ip, ok := prof.(*IncrementalProfiler); ok && cfg.Norm == L2 {
@@ -129,72 +168,88 @@ func imputeWindowWith(cfg Config, w *window.Window, sIdx int, refIdx []int, prof
 			// Query pattern completeness check (Algorithm 1 precondition).
 			for _, v := range refs[x][filled-l:] {
 				if math.IsNaN(v) {
-					return nil, ErrMissingInQueryPattern
+					return ErrMissingInQueryPattern
 				}
 			}
 		}
 		d = prof.Profile(refs, l, cfg.Norm, sc.profileDst(nCand))
 	}
-	res, err := finishImputation(cfg, d, func(candidate int) float64 {
-		return w.Stream(sIdx).At(candidate + l - 1)
-	}, &sc.dp)
-	if err != nil {
-		return nil, err
+	if !sel.fill(cfg, d, &sc.sel) {
+		return ErrInsufficientHistory
 	}
-	w.SetCurrent(sIdx, res.Value)
-	return res, nil
+	return nil
 }
 
-// finishImputation runs anchor selection on the dissimilarity profile and
-// aggregates the anchor values of s (Def. 4, optionally similarity-weighted).
-// valueAt returns s's value for a candidate index (anchor tick = candidate +
-// l − 1).
-func finishImputation(cfg Config, d []float64, valueAt func(candidate int) float64, dpScratch *[]float64) (*Result, error) {
-	idx, sum, ok := selectAnchors(d, cfg.K, cfg.PatternLength, cfg.Selection, dpScratch)
-	if !ok {
-		return nil, ErrInsufficientHistory
+// aggregateWindow finishes one imputation from a prior selection: it
+// averages the target stream's values at the selected anchors (Def. 4,
+// optionally similarity-weighted) and stores the imputed value back into
+// the window (Algorithm 1 line 26). Diagnostics are skipped (nil Result)
+// when skipDiag is set.
+func aggregateWindow(cfg Config, w *window.Window, sIdx int, sel *anchorSelection, skipDiag bool) (float64, *Result, error) {
+	val, res, err := aggregateAnchors(cfg, sel, func(candidate int) float64 {
+		return w.Stream(sIdx).At(candidate + cfg.PatternLength - 1)
+	}, skipDiag)
+	if err != nil {
+		return 0, nil, err
 	}
-	res := &Result{
-		Anchors:          make([]int, 0, len(idx)),
-		AnchorValues:     make([]float64, 0, len(idx)),
-		Dissimilarities:  make([]float64, 0, len(idx)),
-		SumDissimilarity: sum,
+	w.SetCurrent(sIdx, val)
+	return val, res, nil
+}
+
+// imputeWindowWith runs the full imputation — profile, selection,
+// aggregation — for one stream, as the one-shot ImputeWindow path does.
+func imputeWindowWith(cfg Config, w *window.Window, sIdx int, refIdx []int, prof Profiler, sc *imputeScratch, skipDiag bool) (float64, *Result, error) {
+	if sc == nil {
+		sc = &imputeScratch{}
+	}
+	var sel anchorSelection
+	if err := profileSelectWindow(cfg, w, refIdx, prof, sc, &sel); err != nil {
+		return 0, nil, err
+	}
+	return aggregateWindow(cfg, w, sIdx, &sel, skipDiag)
+}
+
+// aggregateAnchors computes the imputed value from the target's values at
+// the selected anchors. valueAt returns s's value for a candidate index
+// (anchor tick = candidate + l − 1). The imputed value is always returned;
+// the allocated *Result with its diagnostic slices is omitted (nil) when
+// skipDiag is set, keeping the throughput path allocation-free.
+func aggregateAnchors(cfg Config, sel *anchorSelection, valueAt func(candidate int) float64, skipDiag bool) (float64, *Result, error) {
+	var res *Result
+	if !skipDiag {
+		res = &Result{
+			Anchors:          make([]int, 0, len(sel.idx)),
+			AnchorValues:     make([]float64, 0, len(sel.idx)),
+			Dissimilarities:  make([]float64, 0, len(sel.idx)),
+			SumDissimilarity: sel.sum,
+		}
 	}
 	var (
 		plain          float64
 		weighted, wsum float64
 		n              int
 	)
-	for _, j := range idx {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for x, j := range sel.idx {
 		v := valueAt(j)
-		res.Anchors = append(res.Anchors, j+cfg.PatternLength-1)
-		res.AnchorValues = append(res.AnchorValues, v)
-		res.Dissimilarities = append(res.Dissimilarities, d[j])
+		dj := sel.dvals[x]
+		if res != nil {
+			res.Anchors = append(res.Anchors, j+cfg.PatternLength-1)
+			res.AnchorValues = append(res.AnchorValues, v)
+			res.Dissimilarities = append(res.Dissimilarities, dj)
+		}
 		if math.IsNaN(v) {
 			// The anchor value of s itself is missing (can happen offline
 			// when s has other gaps); skip it in the aggregate.
 			continue
 		}
 		plain += v
-		w := 1.0 / (d[j] + 1e-9)
+		w := 1.0 / (dj + 1e-9)
 		weighted += w * v
 		wsum += w
 		n++
-	}
-	if n == 0 {
-		return nil, ErrInsufficientHistory
-	}
-	if cfg.WeightedMean {
-		res.Value = weighted / wsum
-	} else {
-		res.Value = plain / float64(n)
-	}
-	// ε of Def. 5: max pairwise spread of the (non-missing) anchor values.
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range res.AnchorValues {
-		if math.IsNaN(v) {
-			continue
-		}
+		// ε of Def. 5: max pairwise spread of the (non-missing) anchor
+		// values.
 		if v < lo {
 			lo = v
 		}
@@ -202,6 +257,18 @@ func finishImputation(cfg Config, d []float64, valueAt func(candidate int) float
 			hi = v
 		}
 	}
-	res.Epsilon = hi - lo
-	return res, nil
+	if n == 0 {
+		return 0, nil, ErrInsufficientHistory
+	}
+	var val float64
+	if cfg.WeightedMean {
+		val = weighted / wsum
+	} else {
+		val = plain / float64(n)
+	}
+	if res != nil {
+		res.Value = val
+		res.Epsilon = hi - lo
+	}
+	return val, res, nil
 }

@@ -22,11 +22,14 @@ const (
 	// ProfilerFFT computes the L2 profile via FFT cross-correlation in
 	// O(d·L·log L) (Sec. 8 future work). Non-L2 norms fall back to naive.
 	ProfilerFFT
-	// ProfilerIncremental maintains the L2 profile across consecutive engine
-	// ticks in O(d·L) per tick, exploiting that the streaming window shifts
-	// by one column per tick (a STOMP-style diagonal update). Outside the
-	// engine (one-shot slice imputation, non-L2 norms) it falls back to the
-	// FFT or naive profiler.
+	// ProfilerIncremental maintains per-stream L2 profile aggregates across
+	// consecutive engine ticks (a STOMP-style diagonal update). State is
+	// demand-driven: recording a tick is O(1) per stream, and a stream's
+	// aggregates are caught up only when it is consulted as a reference, so
+	// untouched streams cost nothing (Config.EagerProfiler restores the
+	// maintain-every-stream-every-tick behavior). Outside the engine
+	// (one-shot slice imputation, non-L2 norms) it falls back to the FFT or
+	// naive profiler.
 	ProfilerIncremental
 )
 
@@ -98,12 +101,13 @@ func (FFTProfiler) Profile(refs [][]float64, l int, norm Norm, dst []float64) []
 }
 
 // incRebuildEvery bounds floating-point drift of the incremental updates: a
-// full O(d·l·L) rebuild every incRebuildEvery ticks costs O(d·l) amortized
-// per tick and keeps the maintained profile within ~1e-9 of the naive one.
+// full rebuild at least every incRebuildEvery absorbed ticks keeps the
+// maintained profile within ~1e-9 of the naive one.
 const incRebuildEvery = 8192
 
-// incStreamState holds the per-reference sliding aggregates of one stream.
-// With v the stream's retained window (oldest first, m ticks), qs = m − l:
+// incStreamState holds one stream's retained history plus its (possibly
+// stale) sliding profile aggregates. With v the stream's window (oldest
+// first, m ticks) and qs = m − l:
 //
 //	eq        = Σ_{x<l} v[qs+x]²           (query pattern energy)
 //	energy[j] = Σ_{x<l} v[j+x]²            (candidate pattern energy)
@@ -116,38 +120,65 @@ const incRebuildEvery = 8192
 // one addition — the same observation that powers the STOMP matrix-profile
 // algorithm.
 //
-// The state keeps its own contiguous copy of the window in hist, slid with
-// amortized-O(1) compaction (backing of capacity 2L, shifted to the front
-// when the right edge is reached), so the hot loops run over one plain slice
-// with no per-tick snapshot. The candidate energies shift by exactly one
-// slot per steady-state tick, so they live in the same kind of backing and
-// the shift is a start-offset bump instead of a memmove.
+// The history lives in a contiguous backing of capacity 2L, slid with
+// amortized-O(1) compaction (shifted to the front when the right edge is
+// reached), so the hot loops run over plain slices. Aggregates are
+// demand-driven: Advance only appends, and sync catches the aggregates up to
+// the current tick when the stream is actually consulted — replaying the
+// deferred diagonal updates tick by tick when that is cheaper, rebuilding
+// from scratch otherwise. syncStart/syncM record the window geometry at the
+// last sync so the replay can reconstruct every intermediate window directly
+// from the backing.
 type incStreamState struct {
-	hist   []float64 // backing, len 2L; window = hist[start : start+m]
-	start  int
-	m      int // filled ticks, ≤ L
-	cross  []float64
+	hist  []float64 // backing, len 2L; window = hist[start : start+m]
+	start int
+	m     int // filled ticks, ≤ L
+	ticks int // engine ticks absorbed
+
+	// Aggregates; valid only while aggOK, and then describe the window as it
+	// was `deferred` ticks ago.
+	aggOK        bool
+	deferred     int // ticks absorbed since the last sync
+	syncStart    int // start at the last sync (adjusted on compaction)
+	syncM        int // m at the last sync
+	sinceRebuild int // synced ticks since the last full rebuild
+
+	cross  []float64 // len = candidate count at last sync, cap maxCand
 	energy []float64 // backing, len 2L; entries = energy[estart : estart+nCand]
 	estart int
-	nCand  int
 	eq     float64
-	ticks        int // engine ticks absorbed
-	sinceRebuild int
+
+	// contrib caches the stream's profile contribution vector
+	// energy[j] + eq − 2·cross[j] for the tick it was computed at, so ticks
+	// whose missing streams share reference streams compute it once.
+	contrib     []float64
+	contribTick int
 }
 
 // IncrementalProfiler maintains per-stream profile aggregates inside the
-// engine, replacing the O(d·l·L) per-tick recompute with an O(d·L) update
-// (pattern length drops out of the per-tick cost entirely). It is stateful:
-// the engine calls Advance exactly once per stream per tick, after that
-// stream's value for the tick is final, and assembles profiles for any
-// reference subset via ProfileWindow. The aggregates are per stream, not per
-// target, so every imputation in a tick shares them.
+// engine, replacing the O(d·l·L) per-tick recompute with demand-driven
+// incremental maintenance. It is stateful: the engine calls Advance exactly
+// once per stream per tick, after that stream's value for the tick is final,
+// and assembles profiles for any reference subset via ProfileWindow.
+//
+// Advance is O(1): it only appends to the stream's history. A stream's
+// aggregates are caught up when it is first consulted in a tick, choosing
+// the cheaper of replaying the t deferred diagonal updates (O(t·L)) and a
+// full rebuild (O(l·L)), so per-tick engine cost scales with the streams
+// that actually serve as references, not with the total width. SetEager
+// restores the maintain-everything-every-tick behavior.
+//
+// The aggregates are per stream, not per target, and each consulted stream's
+// contribution vector is computed at most once per tick, so every imputation
+// in a tick shares both.
 //
 // Its stateless Profile method (the Profiler interface) delegates to the FFT
 // profiler — one-shot slice imputations have no tick-to-tick state to exploit.
 type IncrementalProfiler struct {
 	l       int
 	winLen  int
+	maxCand int
+	eager   bool
 	states  []*incStreamState
 	fallbak FFTProfiler
 }
@@ -155,12 +186,20 @@ type IncrementalProfiler struct {
 // NewIncrementalProfiler creates the engine-side incremental profiler for
 // pattern length l over width streams of a window with capacity winLen.
 func NewIncrementalProfiler(l, width, winLen int) *IncrementalProfiler {
-	p := &IncrementalProfiler{l: l, winLen: winLen, states: make([]*incStreamState, width)}
+	maxCand := winLen - 2*l + 1
+	if maxCand < 0 {
+		maxCand = 0
+	}
+	p := &IncrementalProfiler{l: l, winLen: winLen, maxCand: maxCand, states: make([]*incStreamState, width)}
 	for i := range p.states {
-		p.states[i] = &incStreamState{}
+		p.states[i] = &incStreamState{contribTick: -1}
 	}
 	return p
 }
+
+// SetEager switches between demand-driven catch-up (false, the default) and
+// the eager mode that syncs every stream's aggregates on every Advance.
+func (p *IncrementalProfiler) SetEager(eager bool) { p.eager = eager }
 
 // Name implements Profiler.
 func (p *IncrementalProfiler) Name() string { return "incremental" }
@@ -173,115 +212,159 @@ func (p *IncrementalProfiler) Profile(refs [][]float64, l int, norm Norm, dst []
 
 // Advance absorbs one tick of stream i whose finalized value (observed or
 // imputed) is v. It must be called exactly once per stream per engine tick,
-// in tick order.
+// in tick order. It is O(1): aggregate maintenance is deferred until the
+// stream is consulted (unless SetEager(true)).
 func (p *IncrementalProfiler) Advance(i int, v float64) {
 	st := p.states[i]
-	l, L := p.l, p.winLen
+	L := p.winLen
 	if st.hist == nil {
 		st.hist = make([]float64, 2*L)
-		st.energy = make([]float64, 2*L)
 	}
 	st.ticks++
-	wasFull := st.m == L
-	var evicted float64
-	if wasFull {
+	if st.m == L {
 		// Slide: compact the backing when the right edge is reached, then
-		// drop the oldest and append v. The evicted value stays addressable
-		// at hist[start-1] for the diagonal update below.
+		// append v. Values left of the window stay addressable, so deferred
+		// diagonal updates can be replayed against them.
 		if st.start+st.m == len(st.hist) {
 			copy(st.hist, st.hist[st.start:st.start+st.m])
+			// The whole history shifted down by `start`; keep the sync
+			// anchor pointing at the same values (it goes negative when the
+			// sync point predates the surviving values, which sync detects).
+			st.syncStart -= st.start
 			st.start = 0
 		}
-		evicted = st.hist[st.start]
 		st.hist[st.start+st.m] = v
 		st.start++
 	} else {
 		st.hist[st.start+st.m] = v
 		st.m++
 	}
-	nv := st.hist[st.start : st.start+st.m]
-	m := st.m
-
-	// Query energy: first computable at m == l, then maintained with the
-	// entering/leaving value pair.
-	switch {
-	case m < l:
-		return
-	case m == l:
-		st.eq = 0
-		for _, val := range nv[m-l:] {
-			st.eq += val * val
-		}
-	default:
-		st.eq += nv[m-1]*nv[m-1] - nv[m-1-l]*nv[m-1-l]
+	if st.aggOK {
+		st.deferred++
 	}
+	if p.eager {
+		p.sync(st)
+	}
+}
 
-	nCand := m - 2*l + 1
+// sync brings st's aggregates up to the current tick. It replays the
+// deferred per-tick diagonal updates when the aggregates are recent enough
+// for that to beat a rebuild (t deferred ticks cost O(t·L) vs the rebuild's
+// O(l·L)), and rebuilds from the raw window otherwise.
+func (p *IncrementalProfiler) sync(st *incStreamState) {
+	if st.aggOK && st.deferred == 0 {
+		return
+	}
+	l := p.l
+	nCand := st.m - 2*l + 1
 	if nCand <= 0 {
+		// Window too short for any candidate; nothing to maintain yet.
+		st.aggOK = false
 		return
 	}
+	if st.energy == nil {
+		// Aggregate storage is allocated on first consult, not on first
+		// Advance, so never-referenced streams only pay for their history.
+		st.energy = make([]float64, len(st.hist))
+		st.cross = make([]float64, 0, p.maxCand)
+	}
+	grow := st.m - st.syncM
+	slide := st.start - st.syncStart
+	// Replay needs: valid aggregates that already covered ≥ 1 candidate, a
+	// deferral expressible as growth-then-slide steps over values still in
+	// the backing, staying under the drift-rebuild budget — and it must be
+	// cheaper than the O(m + nCand·l) rebuild.
+	replay := st.aggOK &&
+		st.syncM-2*l+1 >= 1 &&
+		st.syncStart >= 0 && grow >= 0 && slide >= 0 && grow+slide == st.deferred &&
+		st.sinceRebuild+st.deferred < incRebuildEvery &&
+		st.deferred*(nCand+l) <= st.m+nCand*l
+	if !replay {
+		st.rebuild(st.hist[st.start:st.start+st.m], l)
+		st.syncStart = st.start
+		st.syncM = st.m
+		st.deferred = 0
+		st.aggOK = true
+		return
+	}
+	for g := 1; g <= grow; g++ {
+		st.replayGrowth(st.syncM+g, l)
+	}
+	for s := st.syncStart + 1; s <= st.start; s++ {
+		st.replaySlide(s, st.m, l)
+	}
+	st.sinceRebuild += st.deferred
+	st.syncStart = st.start
+	st.syncM = st.m
+	st.deferred = 0
+}
+
+// replayGrowth replays one deferred warm-up tick: the window grew from m-1
+// to m values (start unchanged at 0 during warm-up), adding one candidate.
+// Old cross entry j-1 slides diagonally into entry j; entry 0 is computed
+// fresh in O(l); the new candidate's energy extends its neighbor by one
+// pair.
+func (st *incStreamState) replayGrowth(m, l int) {
+	w := st.hist[st.syncStart : st.syncStart+m]
+	nCand := m - 2*l + 1
 	qs := m - l
-	nOld := st.nCand
-	expectOld := nCand
-	if !wasFull {
-		expectOld = nCand - 1
-	}
-	// Rebuild when the incremental relations have no predecessor to extend:
-	// state shape mismatch, the first candidate of a warming window, a
-	// window too short for the neighbor updates, or the periodic
-	// drift-bounding refresh.
-	if nOld != expectOld || expectOld == 0 || nCand < 2 || st.sinceRebuild >= incRebuildEvery {
-		st.rebuild(nv, l)
-		return
-	}
-	st.sinceRebuild++
-	st.nCand = nCand
-	vNew := nv[m-1]
-	if wasFull {
-		// Steady state: candidate starts stay index-aligned; each cross
-		// entry slides along its diagonal. The value left of candidate 0 is
-		// the evicted one.
-		qold := nv[qs-1]
-		left := evicted
-		cross := st.cross[:nCand]
-		anchors := nv[l-1 : l-1+nCand]
-		for j := range cross {
-			cross[j] += anchors[j]*vNew - left*qold
-			left = nv[j]
-		}
-		// Candidate energies shift down one slot (a start-offset bump) and
-		// the newest candidate's energy extends its neighbor by one pair.
-		if st.estart+nCand == len(st.energy) {
-			copy(st.energy, st.energy[st.estart:st.estart+nCand])
-			st.estart = 0
-		}
-		st.estart++
-		last := st.estart + nCand - 1
-		lastStart := nCand - 1 // window-local start index of the newest candidate
-		st.energy[last] = st.energy[last-1] - nv[lastStart-1]*nv[lastStart-1] + nv[lastStart-1+l]*nv[lastStart-1+l]
-		return
-	}
-	// Warm-up (window still growing): one candidate appears per tick. Old
-	// entry j-1 slides diagonally into new entry j; entry 0 is computed
-	// fresh in O(l).
-	if cap(st.cross) < nCand {
-		grown := make([]float64, nCand, p.winLen-2*l+1)
-		copy(grown, st.cross)
-		st.cross = grown
-	} else {
-		st.cross = st.cross[:nCand]
-	}
+	vNew := w[m-1]
+	qold := w[qs-1]
+	st.cross = st.cross[:nCand]
+	cross := st.cross
 	for j := nCand - 1; j >= 1; j-- {
-		st.cross[j] = st.cross[j-1] - nv[j-1]*nv[qs-1] + nv[j-1+l]*vNew
+		cross[j] = cross[j-1] - w[j-1]*qold + w[j-1+l]*vNew
 	}
 	c0 := 0.0
 	for x := 0; x < l; x++ {
-		c0 += nv[x] * nv[qs+x]
+		c0 += w[x] * w[qs+x]
 	}
-	st.cross[0] = c0
+	cross[0] = c0
 	last := st.estart + nCand - 1
-	lastStart := nCand - 1
-	st.energy[last] = st.energy[last-1] - nv[lastStart-1]*nv[lastStart-1] + nv[lastStart-1+l]*nv[lastStart-1+l]
+	ls := nCand - 1 // window-local start of the newest candidate
+	st.energy[last] = st.energy[last-1] - w[ls-1]*w[ls-1] + w[ls-1+l]*w[ls-1+l]
+	st.eq += vNew*vNew - w[m-1-l]*w[m-1-l]
+}
+
+// replaySlide replays one deferred steady-state tick: the full window slid
+// by one, so that its backing position after the tick was hist[s : s+m].
+// Candidate starts stay index-aligned; each cross entry slides along its
+// diagonal with one fused multiply-subtract pair, the candidate energies
+// shift by a start-offset bump plus one fresh entry, and the query energy
+// exchanges its entering/leaving values.
+func (st *incStreamState) replaySlide(s, m, l int) {
+	nCand := m - 2*l + 1
+	qs := m - l
+	hist := st.hist
+	vNew := hist[s+m-1]
+	qold := hist[s+qs-1]
+	cross := st.cross[:nCand]
+	anchors := hist[s+l-1 : s+l-1+nCand]
+	lefts := hist[s-1 : s-1+nCand]
+	// The diagonal update, 4-way unrolled (bounds hoisted by the re-slices
+	// above).
+	j := 0
+	for ; j+4 <= nCand; j += 4 {
+		cross[j] += anchors[j]*vNew - lefts[j]*qold
+		cross[j+1] += anchors[j+1]*vNew - lefts[j+1]*qold
+		cross[j+2] += anchors[j+2]*vNew - lefts[j+2]*qold
+		cross[j+3] += anchors[j+3]*vNew - lefts[j+3]*qold
+	}
+	for ; j < nCand; j++ {
+		cross[j] += anchors[j]*vNew - lefts[j]*qold
+	}
+	// Candidate energies shift down one slot (a start-offset bump) and the
+	// newest candidate's energy extends its neighbor by one pair.
+	if st.estart+nCand == len(st.energy) {
+		copy(st.energy, st.energy[st.estart:st.estart+nCand])
+		st.estart = 0
+	}
+	st.estart++
+	last := st.estart + nCand - 1
+	e0 := hist[s+nCand-2]
+	e1 := hist[s+nCand-2+l]
+	st.energy[last] = st.energy[last-1] - e0*e0 + e1*e1
+	st.eq += vNew*vNew - qold*qold
 }
 
 // rebuild recomputes all aggregates exactly from the current window.
@@ -290,15 +373,13 @@ func (st *incStreamState) rebuild(nv []float64, l int) {
 	nCand := m - 2*l + 1
 	qs := m - l
 	st.sinceRebuild = 0
-	st.nCand = nCand
 	st.estart = 0
 	st.eq = 0
 	for _, v := range nv[qs:] {
 		st.eq += v * v
 	}
 	if cap(st.cross) < nCand {
-		grown := make([]float64, nCand)
-		st.cross = grown
+		st.cross = make([]float64, nCand)
 	} else {
 		st.cross = st.cross[:nCand]
 	}
@@ -320,39 +401,87 @@ func (st *incStreamState) rebuild(nv []float64, l int) {
 	}
 }
 
+// syncContrib catches st up to the current tick and returns its contribution
+// vector energy[j] + eq − 2·cross[j], computing it at most once per tick.
+func (p *IncrementalProfiler) syncContrib(st *incStreamState) []float64 {
+	p.sync(st)
+	nCand := len(st.cross)
+	if st.contribTick == st.ticks && len(st.contrib) == nCand {
+		return st.contrib
+	}
+	if cap(st.contrib) < nCand {
+		n := p.maxCand
+		if n < nCand {
+			n = nCand
+		}
+		st.contrib = make([]float64, n)
+	}
+	st.contrib = st.contrib[:nCand]
+	contrib := st.contrib[:nCand:nCand]
+	energy := st.energy[st.estart : st.estart+nCand : st.estart+nCand]
+	cross := st.cross[:nCand:nCand]
+	eq := st.eq
+	j := 0
+	for ; j+4 <= nCand; j += 4 {
+		contrib[j] = energy[j] + eq - 2*cross[j]
+		contrib[j+1] = energy[j+1] + eq - 2*cross[j+1]
+		contrib[j+2] = energy[j+2] + eq - 2*cross[j+2]
+		contrib[j+3] = energy[j+3] + eq - 2*cross[j+3]
+	}
+	for ; j < nCand; j++ {
+		contrib[j] = energy[j] + eq - 2*cross[j]
+	}
+	st.contribTick = st.ticks
+	return st.contrib
+}
+
+// Prepare catches up every referenced stream and fills its per-tick
+// contribution cache. The engine calls it serially before fanning a tick's
+// imputations out across workers, so the concurrent ProfileWindow calls are
+// pure reads of the cached vectors.
+func (p *IncrementalProfiler) Prepare(refIdx []int) {
+	for _, ri := range refIdx {
+		p.syncContrib(p.states[ri])
+	}
+}
+
 // ProfileWindow assembles the L2 dissimilarity profile over the reference
-// streams refIdx from the maintained aggregates in O(d·L), writing into dst
-// (allocated when nil). All referenced states must be advanced to the same
-// tick and hold the same candidate count; it panics otherwise (an engine
-// sequencing bug, not a data condition).
+// streams refIdx from the maintained aggregates, writing into dst (allocated
+// when nil). Streams not yet consulted this tick are caught up on demand
+// (catch-up mutates state — concurrent callers must Prepare their reference
+// streams first, as the engine does). All referenced states must be advanced
+// to the same tick and hold the same candidate count; it panics otherwise
+// (an engine sequencing bug, not a data condition).
 func (p *IncrementalProfiler) ProfileWindow(refIdx []int, dst []float64) []float64 {
 	if len(refIdx) == 0 {
 		panic("core: ProfileWindow needs at least one reference stream")
 	}
 	first := p.states[refIdx[0]]
-	nCand := len(first.cross)
+	c0 := p.syncContrib(first)
+	nCand := len(c0)
 	tick := first.ticks
 	if dst == nil {
 		dst = make([]float64, nCand)
 	}
-	dst = dst[:nCand]
-	for x, ri := range refIdx {
+	dst = dst[:nCand:nCand]
+	copy(dst, c0)
+	for _, ri := range refIdx[1:] {
 		st := p.states[ri]
-		if st.ticks != tick || len(st.cross) != nCand {
+		c := p.syncContrib(st)
+		if st.ticks != tick || len(c) != nCand {
 			panic(fmt.Sprintf("core: incremental state for stream %d out of sync (tick %d/%d, candidates %d/%d)",
-				ri, st.ticks, tick, len(st.cross), nCand))
+				ri, st.ticks, tick, len(c), nCand))
 		}
-		energy := st.energy[st.estart : st.estart+nCand]
-		cross := st.cross[:nCand]
-		eq := st.eq
-		if x == 0 {
-			for j := range dst {
-				dst[j] = energy[j] + eq - 2*cross[j]
-			}
-			continue
+		c = c[:nCand:nCand]
+		j := 0
+		for ; j+4 <= nCand; j += 4 {
+			dst[j] += c[j]
+			dst[j+1] += c[j+1]
+			dst[j+2] += c[j+2]
+			dst[j+3] += c[j+3]
 		}
-		for j := range dst {
-			dst[j] += energy[j] + eq - 2*cross[j]
+		for ; j < nCand; j++ {
+			dst[j] += c[j]
 		}
 	}
 	for j, v := range dst {

@@ -372,18 +372,28 @@ func TestImputeWindowHonorsProfilerConfig(t *testing.T) {
 	}
 }
 
+// BenchmarkIncrementalAdvance contrasts the demand-driven O(1) Advance
+// (aggregates caught up only on consult) with the eager per-tick
+// maintenance it replaced as the engine default.
 func BenchmarkIncrementalAdvance(b *testing.B) {
-	for _, L := range []int{4032, 8760} {
-		b.Run(fmt.Sprintf("L%d", L), func(b *testing.B) {
-			data := randomRefs(5, 1, 2*L)[0]
-			p := NewIncrementalProfiler(72, 1, L)
-			for n := 0; n < L; n++ {
-				p.Advance(0, data[n])
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				p.Advance(0, data[L+i%L])
-			}
-		})
+	for _, eager := range []bool{false, true} {
+		mode := "lazy"
+		if eager {
+			mode = "eager"
+		}
+		for _, L := range []int{4032, 8760} {
+			b.Run(fmt.Sprintf("%s/L%d", mode, L), func(b *testing.B) {
+				data := randomRefs(5, 1, 2*L)[0]
+				p := NewIncrementalProfiler(72, 1, L)
+				p.SetEager(eager)
+				for n := 0; n < L; n++ {
+					p.Advance(0, data[n])
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Advance(0, data[L+i%L])
+				}
+			})
+		}
 	}
 }

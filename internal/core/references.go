@@ -25,11 +25,26 @@ type ReferenceSet struct {
 // the current time is present (Sec. 3). It returns an error when fewer than
 // d candidates qualify or a candidate name is unknown.
 func (rs ReferenceSet) Pick(w *window.Window, d int) ([]int, error) {
-	out := make([]int, 0, d)
+	idx, err := rs.PickInto(w, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// PickInto is Pick with caller-provided storage: the picked indices are
+// appended to dst (its length is reset first), so hot callers reuse one
+// buffer across ticks. On error the returned slice still carries dst's
+// storage (holding any partial pick), so callers can keep reusing it.
+func (rs ReferenceSet) PickInto(w *window.Window, d int, dst []int) ([]int, error) {
+	out := dst[:0]
+	if cap(out) < d {
+		out = make([]int, 0, d)
+	}
 	for _, name := range rs.Candidates {
 		i := w.IndexOf(name)
 		if i < 0 {
-			return nil, fmt.Errorf("core: unknown candidate reference series %q for stream %q", name, rs.Stream)
+			return out, fmt.Errorf("core: unknown candidate reference series %q for stream %q", name, rs.Stream)
 		}
 		if math.IsNaN(w.Current(i)) {
 			continue // r(tn) = NIL: not usable at this tick
@@ -39,7 +54,7 @@ func (rs ReferenceSet) Pick(w *window.Window, d int) ([]int, error) {
 			return out, nil
 		}
 	}
-	return nil, fmt.Errorf("core: stream %q has only %d of %d usable reference series at the current tick", rs.Stream, len(out), d)
+	return out, fmt.Errorf("core: stream %q has only %d of %d usable reference series at the current tick", rs.Stream, len(out), d)
 }
 
 // RankCandidates orders the candidate streams for target by descending

@@ -2,8 +2,60 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
+
+// orderByDissimilarity sorts order ascending by d (index ascending on
+// ties — a total order, so stability is irrelevant) without the
+// reflection-closure allocations of sort.Slice.
+func orderByDissimilarity(order []int, d []float64) {
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case d[a] < d[b]:
+			return -1
+		case d[a] > d[b]:
+			return 1
+		default:
+			return a - b
+		}
+	})
+}
+
+// selectScratch provides reusable storage for anchor selection so hot
+// callers avoid per-imputation allocations: the flat DP table, the
+// sort-order permutation of the greedy/overlapping strategies, and the
+// chosen-index slice every strategy returns. The zero value is ready to use;
+// buffers grow on first use and are reused afterwards. Selections performed
+// with the same scratch overwrite each other's returned index slice.
+type selectScratch struct {
+	dp    []float64
+	order []int
+	idx   []int
+}
+
+// idxBuf returns a length-0, capacity-≥k index slice backed by the scratch
+// (freshly allocated when sc is nil).
+func (sc *selectScratch) idxBuf(k int) []int {
+	if sc == nil {
+		return make([]int, 0, k)
+	}
+	if cap(sc.idx) < k {
+		sc.idx = make([]int, 0, k)
+	}
+	return sc.idx[:0]
+}
+
+// orderBuf returns a length-n order slice backed by the scratch.
+func (sc *selectScratch) orderBuf(n int) []int {
+	if sc == nil {
+		return make([]int, n)
+	}
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+	}
+	return sc.order[:n]
+}
 
 // selectAnchors picks k anchors from the dissimilarity profile d (d[j] is
 // the dissimilarity of the j-th candidate pattern, whose anchor sits at
@@ -11,16 +63,17 @@ import (
 // chosen candidate indices (ascending) and the sum of their dissimilarities.
 // ok is false when fewer than k anchors can be selected under the strategy's
 // constraints.
-// scratch, when non-nil, provides reusable storage for the DP table so hot
-// callers avoid a (k+1)·(n+1) allocation per imputation.
-func selectAnchors(d []float64, k, l int, sel Selection, scratch *[]float64) (idx []int, sum float64, ok bool) {
+// sc, when non-nil, provides reusable storage for the DP table, the sort
+// order, and the returned index slice (which then aliases the scratch and is
+// valid until the next selection with the same scratch).
+func selectAnchors(d []float64, k, l int, sel Selection, sc *selectScratch) (idx []int, sum float64, ok bool) {
 	switch sel {
 	case SelectGreedy:
-		return selectGreedy(d, k, l)
+		return selectGreedy(d, k, l, sc)
 	case SelectOverlapping:
-		return selectOverlapping(d, k)
+		return selectOverlapping(d, k, sc)
 	default:
-		return selectDPInto(d, k, l, scratch)
+		return selectDPInto(d, k, l, sc)
 	}
 }
 
@@ -43,8 +96,8 @@ func selectDP(d []float64, k, l int) (idx []int, sum float64, ok bool) {
 }
 
 // selectDPInto is selectDP with caller-provided table storage (grown in
-// place and reused across calls when scratch is non-nil).
-func selectDPInto(d []float64, k, l int, scratch *[]float64) (idx []int, sum float64, ok bool) {
+// place and reused across calls when sc is non-nil).
+func selectDPInto(d []float64, k, l int, sc *selectScratch) (idx []int, sum float64, ok bool) {
 	n := len(d)
 	if n == 0 || k <= 0 {
 		return nil, 0, k <= 0
@@ -52,12 +105,12 @@ func selectDPInto(d []float64, k, l int, scratch *[]float64) (idx []int, sum flo
 	// M is (k+1) × (n+1), rolled out flat. M[i][j] at m[i*(n+1)+j].
 	size := (k + 1) * (n + 1)
 	var m []float64
-	if scratch != nil && cap(*scratch) >= size {
-		m = (*scratch)[:size]
+	if sc != nil && cap(sc.dp) >= size {
+		m = sc.dp[:size]
 	} else {
 		m = make([]float64, size)
-		if scratch != nil {
-			*scratch = m
+		if sc != nil {
+			sc.dp = m
 		}
 	}
 	row := n + 1
@@ -88,7 +141,7 @@ func selectDPInto(d []float64, k, l int, scratch *[]float64) (idx []int, sum flo
 		return nil, 0, false
 	}
 	// Backtrack.
-	idx = make([]int, 0, k)
+	idx = sc.idxBuf(k)
 	i, j := k, n
 	for i > 0 {
 		if j > i && m[i*row+j] == m[i*row+j-1] {
@@ -112,17 +165,13 @@ func selectDPInto(d []float64, k, l int, scratch *[]float64) (idx []int, sum flo
 // selectGreedy sorts candidates by dissimilarity and keeps the first k that
 // do not overlap any already-kept candidate. Sec. 6.1 notes this fails to
 // minimize the total dissimilarity; it exists for the ablation bench.
-func selectGreedy(d []float64, k, l int) (idx []int, sum float64, ok bool) {
-	order := make([]int, len(d))
+func selectGreedy(d []float64, k, l int, sc *selectScratch) (idx []int, sum float64, ok bool) {
+	order := sc.orderBuf(len(d))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if d[order[a]] != d[order[b]] {
-			return d[order[a]] < d[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	orderByDissimilarity(order, d)
+	idx = sc.idxBuf(k)
 	for _, j := range order {
 		overlap := false
 		for _, chosen := range idx {
@@ -149,21 +198,16 @@ func selectGreedy(d []float64, k, l int) (idx []int, sum float64, ok bool) {
 
 // selectOverlapping picks the k globally smallest dissimilarities with no
 // overlap constraint (the near-duplicate failure mode of Sec. 4.1).
-func selectOverlapping(d []float64, k int) (idx []int, sum float64, ok bool) {
+func selectOverlapping(d []float64, k int, sc *selectScratch) (idx []int, sum float64, ok bool) {
 	if len(d) < k {
 		return nil, 0, false
 	}
-	order := make([]int, len(d))
+	order := sc.orderBuf(len(d))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if d[order[a]] != d[order[b]] {
-			return d[order[a]] < d[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	idx = append(idx, order[:k]...)
+	orderByDissimilarity(order, d)
+	idx = append(sc.idxBuf(k), order[:k]...)
 	for _, j := range idx {
 		sum += d[j]
 	}

@@ -30,7 +30,7 @@ func TestFig8Golden(t *testing.T) {
 // candidate 1 blocks candidates within |i−j| < 3, i.e. 0..3, leaving only
 // candidate 4 (D = 4.0): total 4.3 > 1.2. The DP avoids this trap.
 func TestFig8GreedyDiffers(t *testing.T) {
-	idx, sum, ok := selectGreedy(fig8D, 2, 3)
+	idx, sum, ok := selectGreedy(fig8D, 2, 3, nil)
 	if !ok {
 		t.Fatal("greedy reported infeasible")
 	}
@@ -47,7 +47,7 @@ func TestFig8GreedyDiffers(t *testing.T) {
 }
 
 func TestSelectOverlapping(t *testing.T) {
-	idx, sum, ok := selectOverlapping([]float64{5, 1, 1.1, 9, 1.2}, 3)
+	idx, sum, ok := selectOverlapping([]float64{5, 1, 1.1, 9, 1.2}, 3, nil)
 	if !ok {
 		t.Fatal("overlapping selection reported infeasible")
 	}
@@ -64,10 +64,10 @@ func TestSelectDPInfeasible(t *testing.T) {
 	if _, _, ok := selectDP(fig8D, 3, 3); ok {
 		t.Fatal("selectDP accepted an infeasible k")
 	}
-	if _, _, ok := selectGreedy(fig8D, 3, 3); ok {
+	if _, _, ok := selectGreedy(fig8D, 3, 3, nil); ok {
 		t.Fatal("selectGreedy accepted an infeasible k")
 	}
-	if _, _, ok := selectOverlapping(fig8D, 6); ok {
+	if _, _, ok := selectOverlapping(fig8D, 6, nil); ok {
 		t.Fatal("selectOverlapping accepted k > candidates")
 	}
 }
@@ -137,7 +137,7 @@ func TestGreedyNeverBeatsDP(t *testing.T) {
 		k := 3
 		d := randomProfile(seed, n)
 		_, dpSum, dpOK := selectDP(d, k, l)
-		_, gSum, gOK := selectGreedy(d, k, l)
+		_, gSum, gOK := selectGreedy(d, k, l, nil)
 		if !dpOK || !gOK {
 			return dpOK == gOK || dpOK // DP must be feasible whenever greedy is
 		}

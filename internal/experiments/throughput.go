@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"tkcm/internal/core"
@@ -11,21 +12,25 @@ import (
 // ThroughputRow reports one streaming-engine throughput measurement: the
 // profiler and worker count it ran with, the work done, and the rates.
 type ThroughputRow struct {
-	Profiler string
-	Workers  int
+	Profiler string `json:"profiler"`
+	Workers  int    `json:"workers"`
 	// MissingStreams is the actual number of target streams dropped per
 	// missing tick (the request is clamped to leave d references present).
-	MissingStreams int
-	Ticks          int
-	Imputations    int
-	Elapsed        time.Duration
+	MissingStreams int           `json:"missing_streams"`
+	Ticks          int           `json:"ticks"`
+	Imputations    int           `json:"imputations"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
 	// TicksPerSec is the end-to-end ingest rate (every tick advances the
 	// window; some ticks also impute).
-	TicksPerSec float64
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// NsPerTick is the mean wall-clock per tick over the measured run.
+	NsPerTick float64 `json:"ns_per_tick"`
+	// AllocsPerTick is the mean heap-allocation count per tick.
+	AllocsPerTick float64 `json:"allocs_per_tick"`
 	// PerImputation is the mean wall-clock per TKCM imputation, measured
 	// over the imputing ticks only (impute-free window advances are not
 	// charged to it).
-	PerImputation time.Duration
+	PerImputation time.Duration `json:"per_imputation_ns"`
 }
 
 // EngineThroughput streams the SBR-1d dataset through the continuous
@@ -58,6 +63,7 @@ func EngineThroughput(scale Scale, kind core.ProfilerKind, workers, missingStrea
 	if err != nil {
 		return ThroughputRow{}, err
 	}
+	defer eng.Close()
 	n := frame.Len()
 	warm := cfg.WindowLength
 	if warm >= n {
@@ -75,6 +81,8 @@ func EngineThroughput(scale Scale, kind core.ProfilerKind, workers, missingStrea
 			return ThroughputRow{}, err
 		}
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var imputing time.Duration
 	for t := warm; t < n; t++ {
@@ -94,6 +102,7 @@ func EngineThroughput(scale Scale, kind core.ProfilerKind, workers, missingStrea
 		}
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	measured := n - warm
 	out := ThroughputRow{
 		Profiler:       eng.Profiler().Name(),
@@ -103,6 +112,8 @@ func EngineThroughput(scale Scale, kind core.ProfilerKind, workers, missingStrea
 		Imputations:    eng.Stats.Imputations,
 		Elapsed:        elapsed,
 		TicksPerSec:    float64(measured) / elapsed.Seconds(),
+		NsPerTick:      float64(elapsed.Nanoseconds()) / float64(measured),
+		AllocsPerTick:  float64(ms1.Mallocs-ms0.Mallocs) / float64(measured),
 	}
 	if eng.Stats.Imputations > 0 {
 		out.PerImputation = imputing / time.Duration(eng.Stats.Imputations)

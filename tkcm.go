@@ -33,15 +33,28 @@
 //   - ProfilerNaive — the paper's Def. 2 loop, O(d·l·L) per profile, all
 //     norms.
 //   - ProfilerFFT — FFT cross-correlation, O(d·L·log L), L2 only.
-//   - ProfilerIncremental — engine-maintained aggregates updated in O(d·L)
-//     per tick (the pattern length drops out entirely), L2 only.
+//   - ProfilerIncremental — engine-maintained aggregates, demand-driven:
+//     recording a tick is O(1) per stream, and a stream's aggregates are
+//     caught up only when it is consulted as a reference, so on wide stream
+//     sets untouched streams cost nothing (Config.EagerProfiler restores
+//     per-tick maintenance of every stream). L2 only.
 //   - ProfilerAuto (default) — incremental in the streaming engine, naive
 //     for one-shot slice imputations.
 //
 // All implementations produce identical imputations up to floating-point
-// rounding; equivalence is enforced by tests. Config.Workers > 1
-// additionally fans a tick's imputations out across a bounded worker pool
-// when several streams are missing at once.
+// rounding; equivalence is enforced by tests.
+//
+// # Engine hot path
+//
+// Within one tick, profile contributions and anchor selections are shared:
+// missing streams with identical reference sets run pattern extraction and
+// the selection DP once and only aggregate their own anchor values.
+// Config.Workers > 1 fans a tick's extraction + selection jobs out across a
+// persistent worker pool (call Engine.Close when discarding such an
+// engine). Engine.Tick returns engine-owned buffers (valid until the next
+// tick) and performs zero allocations when nothing is missing;
+// Config.SkipDiagnostics additionally skips per-imputation Result
+// diagnostics for allocation-free throughput ingest.
 //
 // TKCM's key property: imputation quality does not depend on linear
 // correlation between streams. By matching a two-dimensional pattern of the
