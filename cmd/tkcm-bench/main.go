@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -48,14 +49,46 @@ type benchRecord struct {
 	Row        any    `json:"row"`
 }
 
-// benchReport is the top-level -json document.
+// benchReport is the top-level -json document. The run metadata (Go
+// version, GOOS/GOARCH, GOMAXPROCS, CPU count, VCS commit) makes
+// BENCH_*.json trajectories comparable across machines and revisions.
 type benchReport struct {
-	Schema    string        `json:"schema"`
-	Scale     string        `json:"scale"`
-	Go        string        `json:"go"`
-	NumCPU    int           `json:"num_cpu"`
-	Timestamp string        `json:"timestamp"`
-	Rows      []benchRecord `json:"rows"`
+	Schema     string        `json:"schema"`
+	Scale      string        `json:"scale"`
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Commit     string        `json:"commit"`
+	Timestamp  string        `json:"timestamp"`
+	Rows       []benchRecord `json:"rows"`
+}
+
+// vcsCommit reports the VCS revision stamped into the binary (suffixed
+// "+dirty" for modified working trees), or "unknown" when built without VCS
+// information (e.g. go run from a non-repo).
+func vcsCommit() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // jsonRows collects engine/wide measurements for the -json report.
@@ -67,12 +100,16 @@ func recordJSON(experiment string, row any) {
 
 func writeJSON(path, scale string) error {
 	report := benchReport{
-		Schema:    "tkcm-bench/engine-v1",
-		Scale:     scale,
-		Go:        runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Rows:      jsonRows,
+		Schema:     "tkcm-bench/engine-v2",
+		Scale:      scale,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     vcsCommit(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Rows:       jsonRows,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,123 @@
+// Command tkcm-serve runs the sharded multi-tenant imputation service: the
+// TKCM streaming engine (internal/core) behind the shard manager
+// (internal/shard) and the HTTP/NDJSON API (internal/server).
+//
+// Usage:
+//
+//	tkcm-serve -addr :8080 -shards 8 -checkpoint-dir /var/lib/tkcm
+//
+// Create a tenant and stream ticks:
+//
+//	curl -X POST localhost:8080/v1/tenants/plant-a -d '{
+//	    "streams": ["s", "r1", "r2", "r3"],
+//	    "config": {"k": 5, "pattern_length": 72, "d": 3, "window_length": 4032}}'
+//	printf '%s\n' '{"values": [21.3, null, 19.8, 20.1]}' |
+//	    curl -sN -X POST --data-binary @- localhost:8080/v1/tenants/plant-a/ticks
+//
+// With -checkpoint-dir set, every tenant's engine is snapshotted
+// periodically and on shutdown, and restored on the next start, so a
+// restart resumes imputation where it left off. SIGINT/SIGTERM trigger a
+// graceful shutdown: the HTTP server drains in-flight tick streams, a final
+// checkpoint is written, and the shards close their engines.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tkcm/internal/server"
+	"tkcm/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tkcm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is cancelled, then shuts down
+// gracefully. ready, when non-nil, receives the bound listen address once
+// the server accepts connections (used by tests and the serving example).
+func run(ctx context.Context, args []string, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("tkcm-serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "HTTP listen address")
+		shards     = fs.Int("shards", 4, "engine shards (single-goroutine tenant hosts)")
+		queue      = fs.Int("queue", 64, "bounded request queue length per shard")
+		ckDir      = fs.String("checkpoint-dir", "", "directory for tenant snapshots (empty = no persistence)")
+		ckEvery    = fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval")
+		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log := slog.Default()
+
+	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue})
+	srv := server.New(server.Options{
+		Manager:            m,
+		CheckpointDir:      *ckDir,
+		CheckpointInterval: *ckEvery,
+		Log:                log,
+	})
+	if *ckDir != "" {
+		n, err := srv.RestoreFromCheckpoints(ctx)
+		if err != nil {
+			return fmt.Errorf("restoring checkpoints: %w", err)
+		}
+		log.Info("checkpoint restore", "dir", *ckDir, "tenants", n)
+	}
+	srv.StartCheckpointLoop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Info("tkcm-serve listening", "addr", ln.Addr().String(), "shards", *shards, "queue", *queue)
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down", "grace", *drainGrace)
+	// Order matters for the no-acked-row-lost guarantee: (1) BeginDrain
+	// makes every streaming /ticks handler terminate before applying its
+	// next row, (2) hs.Shutdown waits for those handlers (so every acked
+	// row has been applied), (3) the final checkpoint captures them. A
+	// client stalled mid-line can still hold its connection past the grace
+	// budget; hs.Close force-closes it — such a client never got an ack for
+	// an unapplied row, so replaying from its last acked tick is lossless.
+	srv.BeginDrain()
+	httpCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Error("http shutdown", "err", err)
+		}
+		hs.Close()
+	}
+	// The final checkpoint gets its own budget — httpCtx may already be
+	// spent, and an expired context would abort the snapshot writes.
+	ckCtx, cancel2 := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel2()
+	return srv.Shutdown(ckCtx)
+}

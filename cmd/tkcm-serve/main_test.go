@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the full binary path (flags → shards → HTTP), creates
+// a tenant, streams ticks, then shuts down via context cancellation and
+// verifies the final checkpoint landed.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx,
+			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-checkpoint-dir", dir, "-checkpoint-every", "1h"},
+			func(a net.Addr) { addrc <- a },
+		)
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	body := `{"streams": ["s", "r1", "r2", "r3"], "config": {"k": 2, "pattern_length": 3, "d": 2, "window_length": 24}}`
+	resp, err := http.Post(base+"/v1/tenants/smoke", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Stream 30 ticks as one complete NDJSON body (no lock-step needed for
+	// the smoke test), one missing value per row past warmup.
+	var sb strings.Builder
+	for tk := 0; tk < 30; tk++ {
+		a, b, c, d := "20.1", "19.2", "21.4", "20.9"
+		if tk > 15 {
+			a = "null"
+		}
+		fmt.Fprintf(&sb, `{"values": [%s, %s, %s, %s]}`+"\n", a, b, c, d)
+	}
+	tr, err := http.Post(base+"/v1/tenants/smoke/ticks", "application/x-ndjson", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("ticks: %d", tr.StatusCode)
+	}
+	out, err := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(out, []byte("\n")); lines != 30 {
+		t.Fatalf("streamed %d response lines, want 30:\n%s", lines, out)
+	}
+	if bytes.Contains(out, []byte(`"error"`)) {
+		t.Fatalf("stream contained an error line:\n%s", out)
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hr.StatusCode)
+	}
+	hr.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "smoke.tkcm")); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Serving example: run the tkcm-serve subsystem in-process, stream NDJSON
+// ticks to it over HTTP, and print the imputations it sends back.
+//
+// This is the service-shaped version of examples/quickstart: the same
+// phase-shifted streams, but the engine lives behind the sharded
+// multi-tenant HTTP API (internal/server + internal/shard) instead of being
+// called as a library, exactly as a fleet of sensor gateways would use a
+// deployed tkcm-serve.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"tkcm/internal/server"
+	"tkcm/internal/shard"
+)
+
+const (
+	period = 288 // one day of 5-minute ticks
+	warm   = 2 * period
+	live   = 48 // streamed live ticks, some with the monitored value lost
+)
+
+func value(stream, tick int) float64 {
+	ph := 2 * math.Pi * float64(tick) / period
+	shape := func(x float64) float64 { return math.Sin(x) + 0.4*math.Sin(2*x+0.7) }
+	switch stream {
+	case 0:
+		return 20 + 5*shape(ph)
+	case 1:
+		return 15 + 4*shape(ph-2.1) // phase shifted: Pearson ≈ 0 against s
+	default:
+		return 18 + 6*shape(ph+1.3)
+	}
+}
+
+func main() {
+	// 1. Boot the serving subsystem in-process: 2 shards behind the HTTP API.
+	slog.SetLogLoggerLevel(slog.LevelWarn)
+	mgr := shard.New(shard.Options{Shards: 2})
+	srv := server.New(server.Options{Manager: mgr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 2. Create a tenant: one monitored stream s, two phase-shifted
+	//    references, a two-day window.
+	create := fmt.Sprintf(`{
+		"streams": ["s", "r1", "r2"],
+		"config": {"k": 2, "pattern_length": 36, "d": 2, "window_length": %d},
+		"refs": {"s": ["r1", "r2"]}
+	}`, 2*period)
+	resp, err := http.Post(ts.URL+"/v1/tenants/plant-a", "application/json", strings.NewReader(create))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("create tenant: %s: %s", resp.Status, b)
+	}
+	resp.Body.Close()
+	fmt.Printf("tenant plant-a created on %s\n\n", ts.URL)
+
+	// 3. Open one long-lived NDJSON tick stream and drive it in lock-step:
+	//    write a row, read the completed row.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/tenants/plant-a/ticks", pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	respc := make(chan *http.Response, 1)
+	go func() {
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		respc <- r
+	}()
+	enc := json.NewEncoder(pw)
+
+	type tickIn struct {
+		Values []*f64 `json:"values"`
+	}
+	type tickOut struct {
+		Tick    int       `json:"tick"`
+		Values  []float64 `json:"values"`
+		Imputed []int     `json:"imputed"`
+	}
+	var sc *bufio.Scanner
+	var body io.ReadCloser
+	send := func(vals []*f64) tickOut {
+		if err := enc.Encode(tickIn{Values: vals}); err != nil {
+			log.Fatal(err)
+		}
+		if sc == nil {
+			r := <-respc
+			body = r.Body
+			sc = bufio.NewScanner(r.Body)
+		}
+		if !sc.Scan() {
+			log.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var out tickOut
+		if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+			log.Fatalf("bad line %q: %v", sc.Bytes(), err)
+		}
+		return out
+	}
+
+	// Warm the window with complete rows.
+	for t := 0; t < warm; t++ {
+		send(row(value(0, t), value(1, t), value(2, t)))
+	}
+
+	// 4. Live phase: the monitored sensor drops out every third tick; the
+	//    service imputes it from the phase-shifted references.
+	fmt.Println("tick   truth    imputed  |err|   refs at tick")
+	var worst float64
+	for t := warm; t < warm+live; t++ {
+		truth := value(0, t)
+		vals := row(truth, value(1, t), value(2, t))
+		lost := t%3 == 0
+		if lost {
+			vals[0] = nil // NDJSON null = missing
+		}
+		out := send(vals)
+		if !lost {
+			continue
+		}
+		got := out.Values[0]
+		err := math.Abs(got - truth)
+		if err > worst {
+			worst = err
+		}
+		fmt.Printf("%5d  %7.3f  %7.3f  %5.3f   r1=%.3f r2=%.3f\n",
+			out.Tick, truth, got, err, *vals[1], *vals[2])
+	}
+	fmt.Printf("\nworst absolute error over %d imputations: %.4f\n", live/3, worst)
+
+	// 5. Tear down: close the stream, then the server.
+	pw.Close()
+	if body != nil {
+		io.Copy(io.Discard, body)
+		body.Close()
+	}
+	srv.Shutdown(req.Context())
+}
+
+// f64 aliases float64 for pointer-literal brevity.
+type f64 = float64
+
+func row(vs ...float64) []*f64 {
+	out := make([]*f64, len(vs))
+	for i := range vs {
+		v := vs[i]
+		out[i] = &v
+	}
+	return out
+}

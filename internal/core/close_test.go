@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCloseIdempotent: calling Close repeatedly, including before any pool
+// ever started, must be a no-op.
+func TestCloseIdempotent(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 3, D: 2, WindowLength: 16, Workers: 4}
+	eng, err := NewEngine(cfg, []string{"a", "b", "c", "d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close()
+	row := []float64{1, 2, 3, 4}
+	if _, _, err := eng.Tick(row); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close()
+}
+
+// TestCloseConcurrentWithTick is the regression test for the Close/Tick
+// race: one goroutine drives ticks with several streams missing (forcing
+// the parallel dispatch path to start and use the pool) while others
+// hammer Close. Run under -race this exercises the poolMu discipline; the
+// engine must keep producing correct completed rows throughout, restarting
+// its pool transparently after every Close.
+func TestCloseConcurrentWithTick(t *testing.T) {
+	cfg := Config{K: 2, PatternLength: 3, D: 2, WindowLength: 24, Workers: 3}
+	eng, err := NewEngine(cfg, []string{"a", "b", "c", "d", "e", "f"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const ticks = 400
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					eng.Close()
+				}
+			}
+		}()
+	}
+
+	row := make([]float64, 6)
+	for tk := 0; tk < ticks; tk++ {
+		for i := range row {
+			row[i] = 5 + math.Sin(float64(tk)/4+float64(i))
+		}
+		if tk > 40 && tk%3 == 0 {
+			// Three missing streams with disjoint reference sets → several
+			// parallel jobs per tick.
+			row[0] = math.NaN()
+			row[2] = math.NaN()
+			row[4] = math.NaN()
+		}
+		out, _, err := eng.Tick(row)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+		for i, v := range out {
+			if math.IsNaN(v) {
+				t.Fatalf("tick %d: stream %d left missing", tk, i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if eng.Stats.Imputations == 0 {
+		t.Fatal("parallel imputation path never ran")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"tkcm/internal/window"
 )
@@ -58,9 +59,12 @@ type Engine struct {
 	selCacheTick int
 	// Parallel tick state: one job per distinct reference set, the target
 	// streams mapped onto those jobs, and the persistent pool feeding the
-	// jobs to workers.
+	// jobs to workers. poolMu guards the pool's lifecycle (start, dispatch,
+	// Close) so Close is idempotent and safe to call while a Tick is
+	// mid-dispatch.
 	jobs    []tickJob
 	targets []tickTarget
+	poolMu  sync.Mutex
 	pool    *tickPool
 	// Stats accumulates counters for observability.
 	Stats EngineStats
@@ -138,6 +142,15 @@ func (e *Engine) Profiler() Profiler { return e.prof }
 func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	if len(row) != e.w.Width() {
 		return nil, nil, fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
+	}
+	// Validate before mutating any state, so a rejected row leaves the
+	// engine exactly as it was (service boundaries retry or drop the row).
+	// NaN is the missing-value marker and passes; ±Inf is never a valid
+	// measurement and would poison the window aggregates.
+	for i, v := range row {
+		if math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("core: row[%d] (stream %q): non-finite measurement %v (use NaN for missing)", i, e.w.Names()[i], v)
+		}
 	}
 	e.w.Advance(row)
 	e.tick++

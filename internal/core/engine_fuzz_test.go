@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzEngineTick hardens the engine against hostile rows at the service
+// boundary: arbitrary widths (wrong-width rows must be rejected without
+// state changes), ±Inf (rejected), NaN (missing marker, imputed or
+// cold-filled), and arbitrary bit patterns. The engine must never panic, a
+// rejected row must leave the tick counter untouched, and an accepted row
+// must come back fully finite.
+func FuzzEngineTick(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 0x3f, 1, 2, 3})
+	// One Inf, one NaN, one negative zero among plain values.
+	seed := make([]byte, 0, 2+5*8)
+	seed = append(seed, 4)
+	for _, v := range []float64{math.Inf(1), math.NaN(), math.Copysign(0, -1), 3.5} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const width = 4
+		cfg := Config{K: 2, PatternLength: 3, D: 2, WindowLength: 16}
+		eng, err := NewEngine(cfg, []string{"a", "b", "c", "d"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the window with clean rows so imputation paths actually run.
+		for tk := 0; tk < 20; tk++ {
+			row := make([]float64, width)
+			for i := range row {
+				row[i] = math.Sin(float64(tk)/3 + float64(i))
+			}
+			if _, _, err := eng.Tick(row); err != nil {
+				t.Fatalf("warmup tick %d: %v", tk, err)
+			}
+		}
+
+		for len(data) > 0 {
+			// First byte picks the row width (0..8); the rest supplies value
+			// bits, zero-padded when the input runs dry.
+			n := int(data[0] % 9)
+			data = data[1:]
+			row := make([]float64, n)
+			for i := range row {
+				var bits uint64
+				if len(data) >= 8 {
+					bits = binary.LittleEndian.Uint64(data)
+					data = data[8:]
+				} else {
+					for j, b := range data {
+						bits |= uint64(b) << (8 * j)
+					}
+					data = nil
+				}
+				row[i] = math.Float64frombits(bits)
+			}
+
+			before := eng.Stats.Ticks
+			wantErr := n != width
+			for _, v := range row {
+				if math.IsInf(v, 0) {
+					wantErr = true
+				}
+			}
+			out, _, err := eng.Tick(row)
+			if wantErr {
+				if err == nil {
+					t.Fatalf("row %v (len %d) accepted, want rejection", row, n)
+				}
+				if eng.Stats.Ticks != before {
+					t.Fatalf("rejected row advanced the tick counter %d -> %d", before, eng.Stats.Ticks)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("valid row %v rejected: %v", row, err)
+			}
+			if eng.Stats.Ticks != before+1 {
+				t.Fatalf("accepted row moved tick counter %d -> %d", before, eng.Stats.Ticks)
+			}
+			for i, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("completed row[%d] = %v not finite (in %v)", i, v, row)
+				}
+			}
+		}
+	})
+}

@@ -86,15 +86,25 @@ func (e *Engine) startPool() {
 // first use) and blocks until every job's selection slot is filled. The
 // happens-before edges of the channel sends publish the job contents to the
 // workers; wg.Wait publishes the selections back.
+//
+// poolMu is held across the sends so a concurrent Close cannot close the
+// job channel mid-dispatch; a Close that arrives first simply makes this
+// dispatch start a fresh pool, and one that arrives after the sends lets
+// the workers drain the already-queued jobs before they exit (stop only
+// closes the channel — buffered jobs are still received and completed, so
+// wg.Wait always returns).
 func (e *Engine) dispatch(n int) {
+	e.poolMu.Lock()
 	if e.pool == nil {
 		e.startPool()
 	}
-	e.pool.wg.Add(n)
+	p := e.pool
+	p.wg.Add(n)
 	for j := 0; j < n; j++ {
-		e.pool.jobs <- &e.jobs[j]
+		p.jobs <- &e.jobs[j]
 	}
-	e.pool.wg.Wait()
+	e.poolMu.Unlock()
+	p.wg.Wait()
 }
 
 // Close stops the engine's persistent worker pool, if one was started. The
@@ -102,10 +112,16 @@ func (e *Engine) dispatch(n int) {
 // pool). Close is optional — an abandoned engine's pool is stopped by a GC
 // cleanup — but deterministic: call it when discarding an engine whose
 // Config.Workers exceeded 1 to release the worker goroutines immediately.
-// It must not race with an in-flight Tick.
+//
+// Close is idempotent and safe to call concurrently with itself and with an
+// in-flight Tick: the tick's already-dispatched jobs still complete (the
+// workers drain the closed channel), and its next parallel tick transparently
+// starts a fresh pool.
 func (e *Engine) Close() {
+	e.poolMu.Lock()
 	if e.pool != nil {
 		e.pool.stop()
 		e.pool = nil
 	}
+	e.poolMu.Unlock()
 }

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Snapshot format v1 — a self-describing binary image of one engine:
+//
+//	"TKCMSNAP"          8-byte magic
+//	version             uint32 LE (currently 1)
+//	payloadLen          uint64 LE
+//	payload             payloadLen bytes (layout below)
+//	crc                 uint32 LE, IEEE CRC-32 of the payload
+//
+// The payload encodes, in order: the Config, the stream names, the
+// (possibly lazily ranked) reference sets, the engine and window tick
+// counters, the Stats counters, the per-stream cold-start fallback values,
+// and finally the retained window of every stream (oldest first). Integers
+// are varints, floats are IEEE-754 bits LE, strings are uvarint-length
+// prefixed UTF-8.
+//
+// The incremental profiler's aggregates are deliberately NOT serialized:
+// they are demand-driven derived state (see IncrementalProfiler), exactly
+// reconstructible from the retained windows, so RestoreEngine replays the
+// windows through the profiler and lets the first consult rebuild the
+// aggregates. This keeps the format independent of profiler internals —
+// a snapshot taken with one Config.Profiler restores under any other.
+const (
+	snapMagic   = "TKCMSNAP"
+	snapVersion = 1
+)
+
+// Snapshot writes a versioned binary image of the engine's state — config,
+// reference sets, retained windows, counters — to w, restorable with
+// RestoreEngine. It must not run concurrently with Tick or TickBatch (take
+// snapshots between ticks; a single-goroutine owner, like a serving shard,
+// satisfies this for free).
+func (e *Engine) Snapshot(w io.Writer) error {
+	enc := &snapEncoder{}
+	enc.encodeConfig(e.cfg)
+
+	names := e.w.Names()
+	enc.uint(uint64(len(names)))
+	for _, n := range names {
+		enc.str(n)
+	}
+
+	// Reference sets, sorted by stream name so identical engines produce
+	// byte-identical snapshots (map iteration order is randomized).
+	keys := make([]string, 0, len(e.refs))
+	for k := range e.refs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.uint(uint64(len(keys)))
+	for _, k := range keys {
+		rs := e.refs[k]
+		enc.str(k)
+		enc.str(rs.Stream)
+		enc.uint(uint64(len(rs.Candidates)))
+		for _, c := range rs.Candidates {
+			enc.str(c)
+		}
+	}
+
+	enc.int(int64(e.tick))
+	enc.int(int64(e.w.Tick()))
+	enc.int(int64(e.Stats.Ticks))
+	enc.int(int64(e.Stats.Imputations))
+	enc.int(int64(e.Stats.ColdStartFills))
+	enc.int(int64(e.Stats.ReferenceErrors))
+	enc.int(int64(e.Stats.InsufficientHist))
+
+	for _, v := range e.last {
+		enc.float(v)
+	}
+
+	filled := e.w.Filled()
+	enc.uint(uint64(filled))
+	hist := make([]float64, filled)
+	for i := 0; i < e.w.Width(); i++ {
+		for _, v := range e.w.SnapshotInto(i, hist) {
+			enc.float(v)
+		}
+	}
+
+	payload := enc.buf.Bytes()
+	var hdr [20]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreEngine reconstructs an engine from a Snapshot image. The restored
+// engine continues exactly where the snapshotted one left off: same config,
+// reference sets, retained windows, tick counters, and cold-start state.
+// Profiler aggregates are rebuilt from the windows on first use, so
+// subsequent imputations match an uninterrupted engine to within the
+// incremental profiler's rebuild tolerance (~1e-9).
+func RestoreEngine(r io.Reader) (*Engine, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: restore: reading header: %w", err)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return nil, fmt.Errorf("core: restore: bad magic %q (not a TKCM snapshot)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapVersion {
+		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d (want %d)", v, snapVersion)
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:20])
+	const maxPayload = 1 << 36 // 64 GiB: generous sanity bound against corrupt lengths
+	if n > maxPayload {
+		return nil, fmt.Errorf("core: restore: implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("core: restore: reading payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, fmt.Errorf("core: restore: reading checksum: %w", err)
+	}
+	if want, got := binary.LittleEndian.Uint32(crc[:]), crc32.ChecksumIEEE(payload); want != got {
+		return nil, fmt.Errorf("core: restore: checksum mismatch (snapshot corrupt)")
+	}
+
+	dec := &snapDecoder{b: payload}
+	cfg := dec.decodeConfig()
+	// Bound the decoded dimensions before any size computed from them is
+	// allocated or handed to the window constructor: the CRC only catches
+	// accidental corruption, not crafted images, and the public restore API
+	// must return errors, never panic or OOM.
+	if dec.err == nil && (cfg.WindowLength < 0 || cfg.WindowLength > 1<<31) {
+		dec.fail(fmt.Errorf("implausible window length %d", cfg.WindowLength))
+	}
+
+	nNames := int(dec.uint())
+	if dec.err == nil && (nNames <= 0 || nNames > 1<<24) {
+		dec.fail(fmt.Errorf("implausible stream count %d", nNames))
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: restore: %w", dec.err)
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		names[i] = dec.str()
+	}
+
+	nRefs := int(dec.uint())
+	refs := make(map[string]ReferenceSet, nRefs)
+	for i := 0; i < nRefs && dec.err == nil; i++ {
+		key := dec.str()
+		rs := ReferenceSet{Stream: dec.str()}
+		nc := int(dec.uint())
+		for j := 0; j < nc && dec.err == nil; j++ {
+			rs.Candidates = append(rs.Candidates, dec.str())
+		}
+		refs[key] = rs
+	}
+
+	tick := int(dec.int())
+	wTick := int(dec.int())
+	var stats EngineStats
+	stats.Ticks = int(dec.int())
+	stats.Imputations = int(dec.int())
+	stats.ColdStartFills = int(dec.int())
+	stats.ReferenceErrors = int(dec.int())
+	stats.InsufficientHist = int(dec.int())
+
+	last := make([]float64, nNames)
+	for i := range last {
+		last[i] = dec.float()
+	}
+
+	filled := int(dec.uint())
+	if dec.err == nil && (filled < 0 || filled > cfg.WindowLength) {
+		dec.fail(fmt.Errorf("retained length %d exceeds window length %d", filled, cfg.WindowLength))
+	}
+	// A valid payload must still contain 8 bytes per retained value, so the
+	// remaining length bounds the allocation (and rules out nNames*filled
+	// overflowing, since both factors were bounded above).
+	if rem := len(dec.b) - dec.off; dec.err == nil && filled > 0 && filled > rem/(8*nNames) {
+		dec.fail(fmt.Errorf("retained window (%d streams × %d ticks) exceeds the %d payload bytes", nNames, filled, rem))
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: restore: %w", dec.err)
+	}
+	hist := make([]float64, nNames*filled)
+	for i := range hist {
+		hist[i] = dec.float()
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: restore: %w", dec.err)
+	}
+	if dec.off != len(dec.b) {
+		return nil, fmt.Errorf("core: restore: %d trailing bytes after payload", len(dec.b)-dec.off)
+	}
+	if wTick < filled-1 || tick < filled {
+		return nil, fmt.Errorf("core: restore: tick counters (%d, %d) predate the %d retained values", tick, wTick, filled)
+	}
+
+	e, err := NewEngine(cfg, names, refs)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	// Replay the retained ticks through the window and the incremental
+	// profiler: the values are already imputed, so this rebuilds exactly the
+	// state a live engine would hold, with the aggregates left to the
+	// demand-driven catch-up.
+	row := make([]float64, nNames)
+	for t := 0; t < filled; t++ {
+		for i := range row {
+			row[i] = hist[i*filled+t]
+		}
+		e.w.Advance(row)
+		if e.inc != nil {
+			for i, v := range row {
+				e.inc.Advance(i, v)
+			}
+		}
+	}
+	e.tick = tick
+	e.w.SetTick(wTick)
+	e.Stats = stats
+	copy(e.last, last)
+	return e, nil
+}
+
+// snapEncoder accumulates the snapshot payload.
+type snapEncoder struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *snapEncoder) uint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *snapEncoder) int(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *snapEncoder) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf.WriteByte(b)
+}
+
+func (e *snapEncoder) float(v float64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], math.Float64bits(v))
+	e.buf.Write(e.scratch[:8])
+}
+
+func (e *snapEncoder) str(s string) {
+	e.uint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *snapEncoder) encodeConfig(c Config) {
+	e.int(int64(c.K))
+	e.int(int64(c.PatternLength))
+	e.int(int64(c.D))
+	e.int(int64(c.WindowLength))
+	e.int(int64(c.Norm))
+	e.int(int64(c.Selection))
+	e.int(int64(c.Profiler))
+	e.int(int64(c.Workers))
+	e.bool(c.WeightedMean)
+	e.bool(c.EagerProfiler)
+	e.bool(c.SkipDiagnostics)
+	e.bool(c.FastExtraction)
+}
+
+// snapDecoder parses a payload with a sticky error: after the first failure
+// every accessor returns a zero value, so call sites stay linear.
+type snapDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *snapDecoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated varint at offset %d", d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *snapDecoder) int() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated varint at offset %d", d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *snapDecoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail(fmt.Errorf("truncated bool at offset %d", d.off))
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *snapDecoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail(fmt.Errorf("truncated float at offset %d", d.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *snapDecoder) str() string {
+	n := int(d.uint())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(fmt.Errorf("truncated string at offset %d", d.off))
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *snapDecoder) decodeConfig() Config {
+	var c Config
+	c.K = int(d.int())
+	c.PatternLength = int(d.int())
+	c.D = int(d.int())
+	c.WindowLength = int(d.int())
+	c.Norm = Norm(d.int())
+	c.Selection = Selection(d.int())
+	c.Profiler = ProfilerKind(d.int())
+	c.Workers = int(d.int())
+	c.WeightedMean = d.bool()
+	c.EagerProfiler = d.bool()
+	c.SkipDiagnostics = d.bool()
+	c.FastExtraction = d.bool()
+	return c
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// snapTestConfig is a small but non-trivial configuration for the snapshot
+// tests: short window so it wraps, parallel workers, incremental profiler.
+func snapTestConfig() Config {
+	return Config{
+		K:             3,
+		PatternLength: 6,
+		D:             2,
+		WindowLength:  64,
+		Norm:          L2,
+		Selection:     SelectDP,
+		Workers:       2,
+	}
+}
+
+// snapTestRow synthesizes tick t of width streams: phase-shifted harmonics
+// (TKCM's home turf), with streams {1, 3} missing on every 7th tick once the
+// window has warmed.
+func snapTestRow(t, width int, row []float64) []float64 {
+	row = row[:0]
+	for i := 0; i < width; i++ {
+		ph := 2*math.Pi*float64(t)/48 + 0.9*float64(i)
+		v := 10 + 3*math.Sin(ph) + 1.2*math.Sin(2*ph+0.3)
+		if t > 80 && t%7 == 0 && (i == 1 || i == 3) {
+			v = math.NaN()
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+func snapTestNames(width int) []string {
+	names := make([]string, width)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	return names
+}
+
+// TestSnapshotRestoreRoundTrip drives an engine mid-stream, snapshots it,
+// restores a second engine from the bytes, and checks that both produce
+// imputations within 1e-9 of each other on the same subsequent rows — the
+// kill-and-restore scenario of a checkpointing server.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	const width, warm, tail = 5, 150, 120
+	cfg := snapTestConfig()
+	orig, err := NewEngine(cfg, snapTestNames(width), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	var row []float64
+	for tk := 0; tk < warm; tk++ {
+		row = snapTestRow(tk, width, row)
+		if _, _, err := orig.Tick(row); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(bytes.NewReader(bytes.Clone(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	if got, want := restored.Stats, orig.Stats; got != want {
+		t.Errorf("restored stats %+v, want %+v", got, want)
+	}
+	if got, want := restored.Window().Tick(), orig.Window().Tick(); got != want {
+		t.Errorf("restored window tick %d, want %d", got, want)
+	}
+	if got, want := restored.Window().Filled(), orig.Window().Filled(); got != want {
+		t.Errorf("restored filled %d, want %d", got, want)
+	}
+
+	// The uninterrupted engine and the restored one must agree on every
+	// subsequent completed row.
+	var row2 []float64
+	for tk := warm; tk < warm+tail; tk++ {
+		row = snapTestRow(tk, width, row)
+		row2 = append(row2[:0], row...)
+		outA, _, errA := orig.Tick(row)
+		outB, _, errB := restored.Tick(row2)
+		if errA != nil || errB != nil {
+			t.Fatalf("tick %d: orig err %v, restored err %v", tk, errA, errB)
+		}
+		for i := range outA {
+			if d := math.Abs(outA[i] - outB[i]); !(d <= 1e-9) {
+				t.Fatalf("tick %d stream %d: orig %v, restored %v (|Δ|=%g)", tk, i, outA[i], outB[i], d)
+			}
+		}
+	}
+	if orig.Stats.Imputations == 0 {
+		t.Fatal("test exercised no imputations")
+	}
+	if restored.Stats != orig.Stats {
+		t.Errorf("post-tail stats diverged: restored %+v, orig %+v", restored.Stats, orig.Stats)
+	}
+}
+
+// TestSnapshotDeterministic: snapshotting the same engine twice must produce
+// byte-identical images (reference sets are sorted, no timestamps).
+func TestSnapshotDeterministic(t *testing.T) {
+	cfg := snapTestConfig()
+	e, err := NewEngine(cfg, snapTestNames(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var row []float64
+	for tk := 0; tk < 100; tk++ {
+		row = snapTestRow(tk, 5, row)
+		if _, _, err := e.Tick(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := e.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same engine differ")
+	}
+}
+
+// TestSnapshotColdEngine round-trips an engine that has never ticked.
+func TestSnapshotColdEngine(t *testing.T) {
+	cfg := snapTestConfig()
+	e, err := NewEngine(cfg, snapTestNames(4), map[string]ReferenceSet{
+		"a": {Stream: "a", Candidates: []string{"b", "c", "d"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Window().Filled() != 0 {
+		t.Fatalf("cold restore has %d filled ticks", r.Window().Filled())
+	}
+	if _, _, err := r.Tick([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsCorruption flips bytes across the image and expects every
+// corruption to be caught (checksum or structural validation), never a panic
+// or a silently wrong engine.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	cfg := snapTestConfig()
+	e, err := NewEngine(cfg, snapTestNames(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row []float64
+	for tk := 0; tk < 90; tk++ {
+		row = snapTestRow(tk, 4, row)
+		if _, _, err := e.Tick(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	if _, err := RestoreEngine(bytes.NewReader(img[:len(img)/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	for _, off := range []int{0, 9, 15, 25, len(img) / 2, len(img) - 2} {
+		cp := bytes.Clone(img)
+		cp[off] ^= 0x5a
+		if _, err := RestoreEngine(bytes.NewReader(cp)); err == nil {
+			t.Errorf("corruption at offset %d accepted", off)
+		}
+	}
+}
+
+// wrapSnapImage frames a raw payload the way Snapshot does (magic, version,
+// length, CRC), for crafting hostile-but-checksum-valid images.
+func wrapSnapImage(payload []byte) []byte {
+	img := make([]byte, 0, len(payload)+24)
+	img = append(img, snapMagic...)
+	img = binary.LittleEndian.AppendUint32(img, snapVersion)
+	img = binary.LittleEndian.AppendUint64(img, uint64(len(payload)))
+	img = append(img, payload...)
+	img = binary.LittleEndian.AppendUint32(img, crc32.ChecksumIEEE(payload))
+	return img
+}
+
+// TestRestoreRejectsCraftedDimensions: a crafted image (valid CRC) claiming
+// window dimensions far beyond its actual payload must fail with an error —
+// never allocate from the claimed sizes, panic, or OOM.
+func TestRestoreRejectsCraftedDimensions(t *testing.T) {
+	// Case 1: implausible window length.
+	enc := &snapEncoder{}
+	cfg := snapTestConfig()
+	cfg.WindowLength = 1 << 40
+	enc.encodeConfig(cfg)
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("window length 2^40 accepted")
+	}
+
+	// Case 2: plausible config but a retained-window claim (4 × 2^20 floats)
+	// that the byte-counted payload cannot possibly hold.
+	enc = &snapEncoder{}
+	cfg = snapTestConfig()
+	cfg.WindowLength = 1 << 21
+	enc.encodeConfig(cfg)
+	enc.uint(4)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		enc.str(n)
+	}
+	enc.uint(0)              // no reference sets
+	enc.int(1 << 20)         // engine tick
+	enc.int(1<<20 - 1)       // window tick
+	for i := 0; i < 5; i++ { // stats
+		enc.int(0)
+	}
+	for i := 0; i < 4; i++ { // last values
+		enc.float(0)
+	}
+	enc.uint(1 << 20) // filled: claims 32 MiB of floats that are not there
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("retained-window claim beyond payload accepted")
+	}
+}

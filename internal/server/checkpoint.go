@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tkcm/internal/core"
+	"tkcm/internal/shard"
+)
+
+// checkpointExt is the on-disk suffix of tenant snapshots: <dir>/<id>.tkcm.
+const checkpointExt = ".tkcm"
+
+// CheckpointAll snapshots every hosted tenant into the checkpoint directory,
+// one atomically-renamed file per tenant. It returns how many tenants were
+// written; on partial failure it keeps going and returns the first error
+// alongside the successful count.
+func (s *Server) CheckpointAll(ctx context.Context) (int, error) {
+	if s.dir == "" {
+		return 0, errors.New("server: no checkpoint directory configured")
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return 0, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	infos, err := s.m.Tenants(ctx)
+	if err != nil {
+		return 0, err
+	}
+	var firstErr error
+	n := 0
+	for _, info := range infos {
+		if err := s.checkpointTenant(ctx, info.ID); err != nil {
+			s.checkpointErrs.Add(1)
+			s.log.Error("checkpoint failed", "tenant", info.ID, "err", err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.checkpoints.Add(1)
+		n++
+	}
+	return n, firstErr
+}
+
+// checkpointTenant writes one tenant's snapshot via temp file + rename, so a
+// crash mid-write never clobbers the previous good checkpoint.
+func (s *Server) checkpointTenant(ctx context.Context, id string) error {
+	f, err := os.CreateTemp(s.dir, id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = s.m.Snapshot(ctx, id, f)
+	if err == nil {
+		// Flush to stable storage before the rename: without the fsync a
+		// power loss could materialize the rename but not the data, tearing
+		// the previous good checkpoint.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, id+checkpointExt))
+}
+
+// RestoreFromCheckpoints scans the checkpoint directory and re-hosts every
+// saved tenant (file <id>.tkcm → tenant id). Returns how many tenants were
+// restored. A tenant that already exists (e.g. hot-restart overlap) is
+// skipped; an unreadable snapshot aborts with an error, since silently
+// serving a fresh engine under a tenant id that has durable state would be
+// data loss.
+func (s *Server) RestoreFromCheckpoints(ctx context.Context) (int, error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: reading checkpoint dir: %w", err)
+	}
+	n := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, checkpointExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, checkpointExt)
+		if !tenantIDPattern.MatchString(id) {
+			s.log.Warn("skipping checkpoint with invalid tenant id", "file", name)
+			continue
+		}
+		eng, err := s.restoreOne(filepath.Join(s.dir, name))
+		if err != nil {
+			return n, fmt.Errorf("server: restoring tenant %q: %w", id, err)
+		}
+		if err := s.m.Attach(ctx, id, eng); err != nil {
+			if errors.Is(err, shard.ErrTenantExists) {
+				eng.Close()
+				continue
+			}
+			eng.Close()
+			return n, err
+		}
+		s.log.Info("tenant restored from checkpoint", "tenant", id, "ticks", eng.Stats.Ticks)
+		n++
+	}
+	return n, nil
+}
+
+func (s *Server) restoreOne(path string) (*core.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.RestoreEngine(f)
+}
+
+// StartCheckpointLoop launches the periodic checkpointer (no-op without a
+// checkpoint directory). Stop it via Shutdown.
+func (s *Server) StartCheckpointLoop() {
+	if s.dir == "" {
+		return
+	}
+	s.ckWG.Add(1)
+	go func() {
+		defer s.ckWG.Done()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopCk:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), s.interval)
+				n, err := s.CheckpointAll(ctx)
+				cancel()
+				if err != nil {
+					s.log.Error("periodic checkpoint", "written", n, "err", err)
+				} else {
+					s.log.Debug("periodic checkpoint", "written", n)
+				}
+			}
+		}
+	}()
+}
+
+// BeginDrain tells every long-lived tick stream to terminate before its
+// next row (with an NDJSON error line instructing the client to replay from
+// its last acked tick). Call it before http.Server.Shutdown so streaming
+// connections end promptly and every acked row precedes the final
+// checkpoint. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Shutdown finishes the serving subsystem: it begins the drain (if
+// BeginDrain wasn't already called), stops the checkpoint loop, takes a
+// final checkpoint of every tenant (call it after the HTTP server has
+// drained, so in-flight ticks are already applied), and closes the shard
+// manager, which drains its queues and closes every engine. Idempotent:
+// later calls return the first call's outcome. Pass a live ctx — an
+// already-expired one would make the final checkpoint fail.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.BeginDrain()
+		s.stopOnce.Do(func() { close(s.stopCk) })
+		s.ckWG.Wait()
+		if s.dir != "" {
+			n, err := s.CheckpointAll(ctx)
+			if err != nil {
+				s.log.Error("final checkpoint", "written", n, "err", err)
+				s.shutErr = err
+			} else {
+				s.log.Info("final checkpoint", "written", n)
+			}
+		}
+		s.m.Close()
+	})
+	return s.shutErr
+}

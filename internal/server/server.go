@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkcm/internal/core"
+	"tkcm/internal/shard"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Manager hosts the tenant engines. Required.
+	Manager *shard.Manager
+	// CheckpointDir, when non-empty, enables snapshot persistence:
+	// restore-on-start, the periodic checkpoint loop, and the final
+	// checkpoint during Shutdown.
+	CheckpointDir string
+	// CheckpointInterval is the period of the background checkpoint loop
+	// (default 30s; ignored without CheckpointDir).
+	CheckpointInterval time.Duration
+	// Log receives request and checkpoint events (default slog.Default()).
+	Log *slog.Logger
+}
+
+// Server is the HTTP face of the sharded imputation service. Create with
+// New, mount Handler, and call Shutdown to drain and checkpoint.
+type Server struct {
+	m        *shard.Manager
+	mux      *http.ServeMux
+	log      *slog.Logger
+	dir      string
+	interval time.Duration
+
+	started time.Time
+
+	// Checkpoint loop and shutdown lifecycle. draining tells long-lived
+	// tick streams to terminate so the HTTP server can finish Shutdown
+	// before the final checkpoint is taken.
+	stopCk    chan struct{}
+	stopOnce  sync.Once
+	ckWG      sync.WaitGroup
+	draining  chan struct{}
+	drainOnce sync.Once
+	shutOnce  sync.Once
+	shutErr   error
+
+	// Service-level counters surfaced on /metrics.
+	requests       atomic.Uint64
+	tickRows       atomic.Uint64
+	checkpoints    atomic.Uint64
+	checkpointErrs atomic.Uint64
+}
+
+// tenantIDPattern bounds tenant ids to names that are safe as path segments
+// and checkpoint file names.
+var tenantIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// New builds a server over opts.Manager. Call StartCheckpointLoop (or let
+// cmd/tkcm-serve do it) to begin periodic persistence.
+func New(opts Options) *Server {
+	if opts.Manager == nil {
+		panic("server: Options.Manager is required")
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	interval := opts.CheckpointInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	s := &Server{
+		m:        opts.Manager,
+		mux:      http.NewServeMux(),
+		log:      log,
+		dir:      opts.CheckpointDir,
+		interval: interval,
+		started:  time.Now(),
+		stopCk:   make(chan struct{}),
+		draining: make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	s.mux.HandleFunc("POST /v1/tenants/{id}", s.handleCreateTenant)
+	s.mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
+	s.mux.HandleFunc("POST /v1/tenants/{id}/ticks", s.handleTicks)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps manager errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, shard.ErrNoTenant):
+		return http.StatusNotFound
+	case errors.Is(err, shard.ErrTenantExists):
+		return http.StatusConflict
+	case errors.Is(err, shard.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	tenants := int64(0)
+	for _, st := range s.m.Stats() {
+		tenants += st.Tenants
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"shards":         s.m.Shards(),
+		"tenants":        tenants,
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.m.Tenants(r.Context())
+	if err != nil {
+		writeError(w, statusFor(err), "listing tenants: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": infos})
+}
+
+// apiConfig is the JSON shape of a tenant's TKCM configuration. Zero fields
+// keep the paper's calibrated defaults (core.DefaultConfig).
+type apiConfig struct {
+	K               int    `json:"k"`
+	PatternLength   int    `json:"pattern_length"`
+	D               int    `json:"d"`
+	WindowLength    int    `json:"window_length"`
+	Workers         int    `json:"workers"`
+	Profiler        string `json:"profiler"`
+	WeightedMean    bool   `json:"weighted_mean"`
+	SkipDiagnostics bool   `json:"skip_diagnostics"`
+}
+
+// toCore overlays the request config onto the defaults.
+func (a *apiConfig) toCore() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if a == nil {
+		return cfg, nil
+	}
+	if a.K > 0 {
+		cfg.K = a.K
+	}
+	if a.PatternLength > 0 {
+		cfg.PatternLength = a.PatternLength
+	}
+	if a.D > 0 {
+		cfg.D = a.D
+	}
+	if a.WindowLength > 0 {
+		cfg.WindowLength = a.WindowLength
+	}
+	if a.Workers > 0 {
+		cfg.Workers = a.Workers
+	}
+	if a.Profiler != "" {
+		k, err := core.ParseProfilerKind(a.Profiler)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Profiler = k
+	}
+	cfg.WeightedMean = a.WeightedMean
+	cfg.SkipDiagnostics = a.SkipDiagnostics
+	return cfg, nil
+}
+
+type createRequest struct {
+	Streams []string            `json:"streams"`
+	Config  *apiConfig          `json:"config"`
+	Refs    map[string][]string `json:"refs"`
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !tenantIDPattern.MatchString(id) {
+		writeError(w, http.StatusBadRequest, "invalid tenant id %q (want %s)", id, tenantIDPattern)
+		return
+	}
+	var req createRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Streams) == 0 {
+		writeError(w, http.StatusBadRequest, "streams must be non-empty")
+		return
+	}
+	cfg, err := req.Config.toCore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	var refs map[string]core.ReferenceSet
+	if len(req.Refs) > 0 {
+		refs = make(map[string]core.ReferenceSet, len(req.Refs))
+		for stream, cands := range req.Refs {
+			refs[stream] = core.ReferenceSet{Stream: stream, Candidates: cands}
+		}
+	}
+	if err := s.m.Create(r.Context(), id, cfg, req.Streams, refs); err != nil {
+		writeError(w, statusFor(err), "creating tenant %q: %v", id, err)
+		return
+	}
+	s.log.Info("tenant created", "tenant", id, "streams", len(req.Streams), "window", cfg.WindowLength)
+	writeJSON(w, http.StatusCreated, map[string]any{"tenant": id, "streams": req.Streams})
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Delete(r.Context(), id); err != nil {
+		writeError(w, statusFor(err), "deleting tenant %q: %v", id, err)
+		return
+	}
+	s.log.Info("tenant deleted", "tenant", id)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// tickIn is one NDJSON input line: values with null marking missing.
+type tickIn struct {
+	Values []*float64 `json:"values"`
+}
+
+// tickOut is one NDJSON output line: the completed row.
+type tickOut struct {
+	Tick    int       `json:"tick"`
+	Values  []float64 `json:"values"`
+	Imputed []int     `json:"imputed"`
+}
+
+// maxTickLine bounds one NDJSON input line (1 MiB ≈ a few tens of thousands
+// of streams per row), so a hostile line cannot force unbounded allocation
+// before the engine's width check runs.
+const maxTickLine = 1 << 20
+
+func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// The stream interleaves reads of the request body with writes of the
+	// response; without full duplex the HTTP/1 server would first drain the
+	// (still-open) request body before the first write and deadlock against
+	// a lock-step client.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxTickLine)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+
+	var (
+		rsp      shard.TickResponse
+		row      []float64
+		streamed bool
+		out      tickOut
+	)
+	fail := func(status int, format string, args ...any) {
+		// Before the first output line the status code is still ours to
+		// choose; afterwards the error becomes a terminal NDJSON line.
+		if !streamed {
+			writeError(w, status, format, args...)
+			return
+		}
+		enc.Encode(apiError{Error: fmt.Sprintf(format, args...)})
+	}
+	for {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				fail(http.StatusBadRequest, "reading tick line: %v", err)
+			}
+			return
+		}
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var in tickIn
+		if err := json.Unmarshal(line, &in); err != nil {
+			fail(http.StatusBadRequest, "decoding tick line: %v", err)
+			return
+		}
+		// A drain (graceful shutdown) terminates the stream before the next
+		// row is applied, so every row acked below is covered by the final
+		// checkpoint; the client replays from its last acked tick.
+		select {
+		case <-s.draining:
+			fail(http.StatusServiceUnavailable, "server draining; replay from the last acked tick")
+			return
+		default:
+		}
+		row = row[:0]
+		for _, v := range in.Values {
+			if v == nil {
+				row = append(row, math.NaN())
+			} else {
+				row = append(row, *v)
+			}
+		}
+		if err := s.m.Tick(r.Context(), id, row, &rsp); err != nil {
+			fail(statusFor(err), "tick: %v", err)
+			return
+		}
+		s.tickRows.Add(1)
+		if !streamed {
+			streamed = true
+			w.WriteHeader(http.StatusOK)
+		}
+		out.Tick = rsp.Tick
+		out.Values = rsp.Row
+		out.Imputed = rsp.Imputed
+		if err := enc.Encode(&out); err != nil {
+			return // client gone
+		}
+		rc.Flush()
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".tkcm"))
+	if err := s.m.Snapshot(r.Context(), id, w); err != nil {
+		// Headers may be gone already; best effort.
+		writeError(w, statusFor(err), "snapshot of %q: %v", id, err)
+	}
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.dir == "" {
+		writeError(w, http.StatusPreconditionFailed, "no checkpoint directory configured")
+		return
+	}
+	n, err := s.CheckpointAll(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": n})
+}
+
+// handleMetrics writes a Prometheus text exposition of the service, shard,
+// and checkpoint counters (hand-rolled: the repo takes no dependencies).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	stats := s.m.Stats()
+	var tenants int64
+	var ticks, imputations, backpressure, processed uint64
+	for _, st := range stats {
+		tenants += st.Tenants
+		ticks += st.Ticks
+		imputations += st.Imputations
+		backpressure += st.Backpressure
+		processed += st.Processed
+	}
+	fmt.Fprintf(w, "# HELP tkcm_tenants Hosted tenant engines.\n# TYPE tkcm_tenants gauge\ntkcm_tenants %d\n", tenants)
+	fmt.Fprintf(w, "# HELP tkcm_shards Engine shards.\n# TYPE tkcm_shards gauge\ntkcm_shards %d\n", len(stats))
+	fmt.Fprintf(w, "# HELP tkcm_ticks_total Rows ingested across all tenants.\n# TYPE tkcm_ticks_total counter\ntkcm_ticks_total %d\n", ticks)
+	fmt.Fprintf(w, "# HELP tkcm_imputations_total Missing values imputed.\n# TYPE tkcm_imputations_total counter\ntkcm_imputations_total %d\n", imputations)
+	fmt.Fprintf(w, "# HELP tkcm_shard_requests_total Requests processed per shard.\n# TYPE tkcm_shard_requests_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_requests_total{shard=\"%d\"} %d\n", st.Shard, st.Processed)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_queue_depth Instantaneous queued requests per shard.\n# TYPE tkcm_shard_queue_depth gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_queue_depth{shard=\"%d\"} %d\n", st.Shard, st.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_backpressure_total Submissions that found a full shard queue.\n# TYPE tkcm_shard_backpressure_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_backpressure_total{shard=\"%d\"} %d\n", st.Shard, st.Backpressure)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_http_requests_total HTTP requests served.\n# TYPE tkcm_http_requests_total counter\ntkcm_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
+	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
+	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
+}

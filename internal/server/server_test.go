@@ -1,0 +1,510 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tkcm/internal/core"
+	"tkcm/internal/shard"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	m := shard.New(shard.Options{Shards: 3, QueueLen: 16})
+	s := New(Options{Manager: m, CheckpointDir: dir, Log: quietLog()})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func createTenant(t *testing.T, base, id string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/tenants/"+id, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+const testTenantBody = `{
+	"streams": ["s", "r1", "r2", "r3"],
+	"config": {"k": 2, "pattern_length": 3, "d": 2, "window_length": 24}
+}`
+
+func testCoreConfig() core.Config {
+	return core.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 24}
+}
+
+// tickStream drives one NDJSON /ticks request in lock-step: send a row, read
+// the completed row. The Go HTTP transport's split read/write loops make the
+// request fully duplex.
+type tickStream struct {
+	t    *testing.T
+	pw   *io.PipeWriter
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+	resp *http.Response
+	rc   chan *http.Response
+	ec   chan error
+}
+
+func openTickStream(t *testing.T, base, tenant string) *tickStream {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", base+"/v1/tenants/"+tenant+"/ticks", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	st := &tickStream{t: t, pw: pw, enc: json.NewEncoder(pw), rc: make(chan *http.Response, 1), ec: make(chan error, 1)}
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			st.ec <- err
+			return
+		}
+		st.rc <- resp
+	}()
+	return st
+}
+
+// send writes one row (NaN → null) and returns the server's completed row.
+func (st *tickStream) send(row []float64) (tickOut, error) {
+	vals := make([]*float64, len(row))
+	for i := range row {
+		if !math.IsNaN(row[i]) {
+			v := row[i]
+			vals[i] = &v
+		}
+	}
+	if err := st.enc.Encode(tickIn{Values: vals}); err != nil {
+		return tickOut{}, err
+	}
+	if st.resp == nil {
+		select {
+		case st.resp = <-st.rc:
+		case err := <-st.ec:
+			return tickOut{}, err
+		case <-time.After(10 * time.Second):
+			st.t.Fatal("timeout waiting for response headers")
+		}
+		st.sc = bufio.NewScanner(st.resp.Body)
+		st.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	}
+	if !st.sc.Scan() {
+		if err := st.sc.Err(); err != nil {
+			return tickOut{}, err
+		}
+		return tickOut{}, io.EOF
+	}
+	line := st.sc.Bytes()
+	var e apiError
+	if json.Unmarshal(line, &e) == nil && e.Error != "" {
+		return tickOut{}, fmt.Errorf("server error line: %s", e.Error)
+	}
+	var out tickOut
+	if err := json.Unmarshal(line, &out); err != nil {
+		return tickOut{}, fmt.Errorf("bad line %q: %w", line, err)
+	}
+	return out, nil
+}
+
+func (st *tickStream) close() {
+	st.pw.Close()
+	if st.resp == nil {
+		select {
+		case st.resp = <-st.rc:
+		case err := <-st.ec:
+			st.t.Logf("stream close: %v", err)
+			return
+		case <-time.After(10 * time.Second):
+			st.t.Fatal("timeout closing stream")
+		}
+	}
+	io.Copy(io.Discard, st.resp.Body)
+	st.resp.Body.Close()
+}
+
+// e2eRow synthesizes tick t for a 4-stream tenant; offset decorrelates
+// tenants so they exercise different values.
+func e2eRow(t int, offset float64) []float64 {
+	row := make([]float64, 4)
+	for i := range row {
+		ph := 2*math.Pi*float64(t)/16 + 1.1*float64(i) + offset
+		row[i] = 10 + 3*math.Sin(ph) + math.Sin(2*ph)
+	}
+	if t > 10 && t%4 == 0 {
+		row[0] = math.NaN()
+	}
+	if t > 10 && t%6 == 0 {
+		row[2] = math.NaN()
+	}
+	return row
+}
+
+// TestEndToEndTwoTenantsMatchDirectEngines is the tentpole acceptance test:
+// two tenants streamed concurrently over HTTP must produce responses
+// numerically identical to directly-driven engines on the same rows.
+func TestEndToEndTwoTenantsMatchDirectEngines(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	for _, id := range []string{"alpha", "beta"} {
+		resp := createTenant(t, ts.URL, id, testTenantBody)
+		if resp.StatusCode != http.StatusCreated {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("create %s: %d %s", id, resp.StatusCode, b)
+		}
+		resp.Body.Close()
+	}
+
+	const ticks = 200
+	var wg sync.WaitGroup
+	for ti, id := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			offset := 0.7 * float64(ti)
+			direct, err := core.NewEngine(testCoreConfig(), []string{"s", "r1", "r2", "r3"}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer direct.Close()
+			st := openTickStream(t, ts.URL, id)
+			defer st.close()
+			for tk := 0; tk < ticks; tk++ {
+				row := e2eRow(tk, offset)
+				want, _, err := direct.Tick(append([]float64(nil), row...))
+				if err != nil {
+					t.Errorf("%s direct tick %d: %v", id, tk, err)
+					return
+				}
+				got, err := st.send(row)
+				if err != nil {
+					t.Errorf("%s stream tick %d: %v", id, tk, err)
+					return
+				}
+				if got.Tick != tk {
+					t.Errorf("%s tick index %d, want %d", id, got.Tick, tk)
+					return
+				}
+				for i := range want {
+					if got.Values[i] != want[i] {
+						t.Errorf("%s tick %d stream %d: served %v, direct %v", id, tk, i, got.Values[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The metrics endpoint must reflect the streamed work.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte(fmt.Sprintf("tkcm_ticks_total %d", 2*ticks))) {
+		t.Errorf("metrics missing tick totals:\n%s", body)
+	}
+	if !bytes.Contains(body, []byte("tkcm_tenants 2")) {
+		t.Errorf("metrics missing tenant gauge:\n%s", body)
+	}
+}
+
+// TestCheckpointRestoreMidStream kills a serving process mid-stream (no
+// graceful shutdown) and restores a fresh one from the last checkpoint; a
+// client replaying from the checkpointed tick must then see imputations
+// matching an uninterrupted engine within 1e-9 — the snapshot/restore
+// acceptance criterion end to end.
+func TestCheckpointRestoreMidStream(t *testing.T) {
+	dir := t.TempDir()
+	const preCk, lost, post = 120, 7, 80
+
+	sA, tsA := newTestServer(t, dir)
+	resp := createTenant(t, tsA.URL, "ten", testTenantBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	stA := openTickStream(t, tsA.URL, "ten")
+	for tk := 0; tk < preCk; tk++ {
+		if _, err := stA.send(e2eRow(tk, 0)); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+	}
+	// Force a checkpoint, then stream a few more rows that will be lost in
+	// the "crash".
+	cr, err := http.Post(tsA.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d", cr.StatusCode)
+	}
+	cr.Body.Close()
+	for tk := preCk; tk < preCk+lost; tk++ {
+		if _, err := stA.send(e2eRow(tk, 0)); err != nil {
+			t.Fatalf("post-checkpoint tick %d: %v", tk, err)
+		}
+	}
+	stA.close()
+	tsA.Close() // kill: no Shutdown, no final checkpoint
+	_ = sA
+
+	// New process: restore from the checkpoint directory.
+	sB, tsB := newTestServer(t, dir)
+	n, err := sB.RestoreFromCheckpoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d tenants, want 1", n)
+	}
+
+	// Uninterrupted reference: the rows the restored engine has actually
+	// seen — everything up to the checkpoint, then the replayed tail.
+	direct, err := core.NewEngine(testCoreConfig(), []string{"s", "r1", "r2", "r3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	for tk := 0; tk < preCk; tk++ {
+		if _, _, err := direct.Tick(e2eRow(tk, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stB := openTickStream(t, tsB.URL, "ten")
+	defer stB.close()
+	imputed := 0
+	for tk := preCk; tk < preCk+post; tk++ {
+		row := e2eRow(tk, 0)
+		want, _, err := direct.Tick(append([]float64(nil), row...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stB.send(row)
+		if err != nil {
+			t.Fatalf("restored tick %d: %v", tk, err)
+		}
+		if got.Tick != tk {
+			t.Fatalf("restored tick index %d, want %d (checkpoint lost ticks?)", got.Tick, tk)
+		}
+		imputed += len(got.Imputed)
+		for i := range want {
+			if d := math.Abs(got.Values[i] - want[i]); !(d <= 1e-9) {
+				t.Fatalf("tick %d stream %d: restored %v, uninterrupted %v (|Δ|=%g)", tk, i, got.Values[i], want[i], d)
+			}
+		}
+	}
+	if imputed == 0 {
+		t.Fatal("restored stream exercised no imputations")
+	}
+}
+
+// TestGracefulShutdownWritesFinalSnapshot: Shutdown after the HTTP layer
+// drains must persist every applied tick, restorable with full state.
+func TestGracefulShutdownWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir)
+	resp := createTenant(t, ts.URL, "tg", testTenantBody)
+	resp.Body.Close()
+
+	const ticks = 60
+	st := openTickStream(t, ts.URL, "tg")
+	for tk := 0; tk < ticks; tk++ {
+		if _, err := st.send(e2eRow(tk, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.close()
+	ts.Close() // HTTP layer drained (httptest.Close waits for handlers)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, "tg.tkcm"))
+	if err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	defer f.Close()
+	eng, err := core.RestoreEngine(f)
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	if eng.Stats.Ticks != ticks {
+		t.Fatalf("final checkpoint holds %d ticks, want %d", eng.Stats.Ticks, ticks)
+	}
+}
+
+// TestBeginDrainTerminatesStream: once a drain starts, an open tick stream
+// must end with a terminal error line before applying another row, so every
+// acked row is covered by the final checkpoint.
+func TestBeginDrainTerminatesStream(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	resp := createTenant(t, ts.URL, "dr", testTenantBody)
+	resp.Body.Close()
+
+	st := openTickStream(t, ts.URL, "dr")
+	defer st.close()
+	const applied = 20
+	for tk := 0; tk < applied; tk++ {
+		if _, err := st.send(e2eRow(tk, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.BeginDrain()
+	if _, err := st.send(e2eRow(applied, 0)); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("post-drain send: err = %v, want draining error line", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(s.dir, "dr.tkcm"))
+	if err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	defer f.Close()
+	eng, err := core.RestoreEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats.Ticks != applied {
+		t.Fatalf("final checkpoint holds %d ticks, want %d (acked rows must all be checkpointed)", eng.Stats.Ticks, applied)
+	}
+}
+
+// TestAPIValidation covers the non-streaming surface: bad ids, bad bodies,
+// unknown tenants, delete, list, health, snapshot download.
+func TestAPIValidation(t *testing.T) {
+	_, ts := newTestServer(t, "")
+
+	if resp := createTenant(t, ts.URL, "bad..%2f..id!", testTenantBody); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("hostile id: %d", resp.StatusCode)
+	}
+	if resp := createTenant(t, ts.URL, "x", `{"streams": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty streams: %d", resp.StatusCode)
+	}
+	if resp := createTenant(t, ts.URL, "x", `{"streams": ["a","b"], "config": {"profiler": "warp"}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad profiler: %d", resp.StatusCode)
+	}
+	if resp := createTenant(t, ts.URL, "x", `{"streams": ["a","b","c"], "config": {"k": 2, "pattern_length": 50, "window_length": 10}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid core config: %d", resp.StatusCode)
+	}
+
+	resp := createTenant(t, ts.URL, "ok", testTenantBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if resp := createTenant(t, ts.URL, "ok", testTenantBody); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create: %d", resp.StatusCode)
+	}
+
+	lr, err := http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Tenants []shard.TenantInfo `json:"tenants"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(listed.Tenants) != 1 || listed.Tenants[0].ID != "ok" {
+		t.Errorf("list: %+v", listed)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", hr.StatusCode)
+	}
+	hr.Body.Close()
+
+	// Snapshot download of a live tenant round-trips through RestoreEngine.
+	sr, err := http.Get(ts.URL + "/v1/tenants/ok/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", sr.StatusCode)
+	}
+	if _, err := core.RestoreEngine(sr.Body); err != nil {
+		t.Errorf("downloaded snapshot unreadable: %v", err)
+	}
+	sr.Body.Close()
+
+	// Ticks against an unknown tenant must 404 before any stream output.
+	tr, err := http.Post(ts.URL+"/v1/tenants/ghost/ticks", "application/x-ndjson",
+		strings.NewReader(`{"values": [1, 2, 3, 4]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("ticks for unknown tenant: %d", tr.StatusCode)
+	}
+	tr.Body.Close()
+
+	// A row the engine rejects (wrong width) terminates with an error line.
+	tr2, err := http.Post(ts.URL+"/v1/tenants/ok/ticks", "application/x-ndjson",
+		strings.NewReader(`{"values": [1, 2]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(tr2.Body)
+	tr2.Body.Close()
+	if !bytes.Contains(b, []byte("error")) {
+		t.Errorf("wrong-width row: got %q", b)
+	}
+
+	dr, err := http.NewRequest("DELETE", ts.URL+"/v1/tenants/ok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete: %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	if resp := createTenant(t, ts.URL, "ok", testTenantBody); resp.StatusCode != http.StatusCreated {
+		t.Errorf("recreate after delete: %d", resp.StatusCode)
+	}
+}

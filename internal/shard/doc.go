@@ -1,0 +1,29 @@
+// Package shard hosts many tenant imputation engines inside one process and
+// serializes all access to them through a fixed set of single-goroutine
+// shards — the concurrency substrate of the tkcm-serve subsystem.
+//
+// # Model
+//
+// A tenant is one named core.Engine (its own streams, config, window, and
+// profiler state). Tenants are hashed (FNV-1a) onto N shards; each shard owns
+// its tenants exclusively and executes every operation — create, tick,
+// snapshot, delete — on one persistent goroutine fed by a bounded request
+// queue. This gives three properties at once:
+//
+//   - Engine calls need no locks: core.Engine.Tick and Engine.Snapshot are
+//     documented single-goroutine APIs, and the shard goroutine is that
+//     goroutine.
+//   - Cross-tenant parallelism scales with the shard count while each
+//     tenant's ticks stay strictly ordered.
+//   - Backpressure is structural: when a shard's queue is full the submitter
+//     blocks (counted in Stats as a backpressure event) until space frees or
+//     its context is done, so a hot tenant slows its own callers instead of
+//     growing unbounded buffers.
+//
+// The worker discipline mirrors the engine's internal tick pool (PR 2):
+// persistent goroutines ranging over a channel, stopped by closing it.
+// Manager.Close first waits out in-flight submitters, then closes every
+// queue; the shard goroutines drain what was already accepted — completing
+// those requests — close their engines, and exit, which is what makes the
+// server's graceful shutdown lossless.
+package shard

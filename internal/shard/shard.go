@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tkcm/internal/core"
+)
+
+// Sentinel errors of the manager boundary. Tenant-specific occurrences are
+// wrapped with the tenant id; match with errors.Is.
+var (
+	// ErrClosed is returned by every operation after Close has begun.
+	ErrClosed = errors.New("shard: manager closed")
+	// ErrTenantExists is returned by Create/Attach for an id already hosted.
+	ErrTenantExists = errors.New("shard: tenant already exists")
+	// ErrNoTenant is returned for operations on an unknown tenant id.
+	ErrNoTenant = errors.New("shard: no such tenant")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Shards is the number of single-goroutine engine shards (default 4).
+	Shards int
+	// QueueLen bounds each shard's request queue (default 64). A full queue
+	// blocks submitters — the backpressure making overload visible upstream.
+	QueueLen int
+}
+
+// TickResponse receives the outcome of one Manager.Tick. Its slices are
+// reused across calls on the same TickResponse, so a caller streaming many
+// ticks allocates only once.
+type TickResponse struct {
+	// Tick is the tenant engine's window tick index after this row.
+	Tick int
+	// Row is the completed row: the input with every missing value imputed.
+	Row []float64
+	// Imputed lists the stream indices that were missing in the input.
+	Imputed []int
+}
+
+// request is one queued operation; done is buffered so the shard goroutine
+// never blocks handing back the result.
+type request struct {
+	op   func(*shard) error
+	done chan error
+}
+
+// shard owns a disjoint subset of the tenants. Its state (the tenants map
+// and every engine in it) is touched only by the shard goroutine; the
+// counters are atomics so Stats can read them from outside.
+type shard struct {
+	id      int
+	reqs    chan *request
+	tenants map[string]*core.Engine
+
+	ntenants  atomic.Int64
+	processed atomic.Uint64
+	ticks     atomic.Uint64
+	imputed   atomic.Uint64
+	waited    atomic.Uint64 // submissions that found the queue full
+}
+
+// Manager routes tenant operations onto shards.
+type Manager struct {
+	shards  []*shard
+	senders sync.WaitGroup
+	closed  atomic.Bool
+	closing sync.Once
+	wg      sync.WaitGroup
+}
+
+// New starts a manager with opts.Shards shard goroutines.
+func New(opts Options) *Manager {
+	n := opts.Shards
+	if n <= 0 {
+		n = 4
+	}
+	q := opts.QueueLen
+	if q <= 0 {
+		q = 64
+	}
+	m := &Manager{}
+	for i := 0; i < n; i++ {
+		sh := &shard{id: i, reqs: make(chan *request, q), tenants: make(map[string]*core.Engine)}
+		m.shards = append(m.shards, sh)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			sh.loop()
+		}()
+	}
+	return m
+}
+
+// loop executes requests until the queue is closed and drained, then closes
+// every hosted engine (releasing their tick worker pools).
+func (sh *shard) loop() {
+	for req := range sh.reqs {
+		req.done <- req.op(sh)
+		sh.processed.Add(1)
+	}
+	for _, eng := range sh.tenants {
+		eng.Close()
+	}
+}
+
+// Shards returns the shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardFor maps a tenant id onto its shard (stable FNV-1a hash).
+func (m *Manager) shardFor(tenantID string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, tenantID)
+	return m.shards[int(h.Sum32()%uint32(len(m.shards)))]
+}
+
+// do submits op to the tenant's shard and waits for the result. A full
+// queue blocks (recorded as a backpressure event) until space frees, ctx is
+// done, or the manager closes. Once accepted, the operation always runs —
+// even if ctx expires meanwhile — because Close drains accepted requests.
+func (m *Manager) do(ctx context.Context, tenantID string, op func(*shard) error) error {
+	return m.submit(ctx, m.shardFor(tenantID), op)
+}
+
+func (m *Manager) submit(ctx context.Context, sh *shard, op func(*shard) error) error {
+	// The senders WaitGroup brackets the send so Close can wait out every
+	// in-flight submission before closing the queues; the closed check sits
+	// after Add, which makes the pair race-free: either we see closed and
+	// back out, or Close's Wait covers our send.
+	m.senders.Add(1)
+	if m.closed.Load() {
+		m.senders.Done()
+		return ErrClosed
+	}
+	req := &request{op: op, done: make(chan error, 1)}
+	select {
+	case sh.reqs <- req:
+	default:
+		sh.waited.Add(1)
+		select {
+		case sh.reqs <- req:
+		case <-ctx.Done():
+			m.senders.Done()
+			return ctx.Err()
+		}
+	}
+	m.senders.Done()
+	return <-req.done
+}
+
+// Create hosts a new tenant engine over the named streams. refs may be nil
+// (reference sets are then ranked from the data on first need).
+func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, streams []string, refs map[string]core.ReferenceSet) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		if _, ok := sh.tenants[tenantID]; ok {
+			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		}
+		eng, err := core.NewEngine(cfg, streams, refs)
+		if err != nil {
+			return err
+		}
+		sh.tenants[tenantID] = eng
+		sh.ntenants.Add(1)
+		return nil
+	})
+}
+
+// Attach hosts an existing engine — typically one restored from a snapshot —
+// as tenant tenantID. The manager takes ownership (it will Close the engine).
+func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		if _, ok := sh.tenants[tenantID]; ok {
+			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		}
+		sh.tenants[tenantID] = eng
+		sh.ntenants.Add(1)
+		return nil
+	})
+}
+
+// Delete removes a tenant and closes its engine.
+func (m *Manager) Delete(ctx context.Context, tenantID string) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		eng, ok := sh.tenants[tenantID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		delete(sh.tenants, tenantID)
+		sh.ntenants.Add(-1)
+		eng.Close()
+		return nil
+	})
+}
+
+// Tick feeds one row (NaN = missing) to the tenant's engine and copies the
+// completed row into rsp. rsp's slices are reused across calls.
+func (m *Manager) Tick(ctx context.Context, tenantID string, row []float64, rsp *TickResponse) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		eng, ok := sh.tenants[tenantID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		out, _, err := eng.Tick(row)
+		if err != nil {
+			return err
+		}
+		sh.ticks.Add(1)
+		rsp.Tick = eng.Window().Tick()
+		rsp.Row = append(rsp.Row[:0], out...)
+		rsp.Imputed = rsp.Imputed[:0]
+		for i, v := range row {
+			if math.IsNaN(v) {
+				rsp.Imputed = append(rsp.Imputed, i)
+			}
+		}
+		sh.imputed.Add(uint64(len(rsp.Imputed)))
+		return nil
+	})
+}
+
+// Snapshot streams the tenant engine's snapshot (core snapshot format v1)
+// to w, serialized with the tenant's ticks on its shard goroutine.
+func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		eng, ok := sh.tenants[tenantID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		return eng.Snapshot(w)
+	})
+}
+
+// TenantInfo describes one hosted tenant.
+type TenantInfo struct {
+	ID      string   `json:"id"`
+	Shard   int      `json:"shard"`
+	Streams []string `json:"streams"`
+	Ticks   int      `json:"ticks"`
+}
+
+// Tenants lists every hosted tenant, sorted by id.
+func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var all []TenantInfo
+	for _, sh := range m.shards {
+		err := m.submit(ctx, sh, func(sh *shard) error {
+			for id, eng := range sh.tenants {
+				all = append(all, TenantInfo{
+					ID:      id,
+					Shard:   sh.id,
+					Streams: eng.Window().Names(),
+					Ticks:   eng.Stats.Ticks,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all, nil
+}
+
+// ShardStats is one shard's activity counters.
+type ShardStats struct {
+	Shard        int    `json:"shard"`
+	Tenants      int64  `json:"tenants"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	Processed    uint64 `json:"processed"`
+	Ticks        uint64 `json:"ticks"`
+	Imputations  uint64 `json:"imputations"`
+	Backpressure uint64 `json:"backpressure"` // submissions that found the queue full
+}
+
+// Stats samples every shard's counters (lock-free; queue depth is a racy
+// instantaneous read, fine for metrics).
+func (m *Manager) Stats() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = ShardStats{
+			Shard:        sh.id,
+			Tenants:      sh.ntenants.Load(),
+			QueueDepth:   len(sh.reqs),
+			QueueCap:     cap(sh.reqs),
+			Processed:    sh.processed.Load(),
+			Ticks:        sh.ticks.Load(),
+			Imputations:  sh.imputed.Load(),
+			Backpressure: sh.waited.Load(),
+		}
+	}
+	return out
+}
+
+// Close drains and stops the manager: new submissions fail with ErrClosed,
+// requests already accepted (including queued ones) still complete, then the
+// shard goroutines close their engines and exit. Idempotent; safe to call
+// concurrently.
+func (m *Manager) Close() {
+	m.closed.Store(true)
+	m.closing.Do(func() {
+		m.senders.Wait()
+		for _, sh := range m.shards {
+			close(sh.reqs)
+		}
+	})
+	m.wg.Wait()
+}

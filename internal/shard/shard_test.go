@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"tkcm/internal/core"
+)
+
+func testConfig() core.Config {
+	return core.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 24}
+}
+
+func testStreams() []string { return []string{"a", "b", "c", "d"} }
+
+func testRow(t int, width int) []float64 {
+	row := make([]float64, width)
+	for i := range row {
+		row[i] = 5 + math.Sin(float64(t)/4+float64(i))
+	}
+	return row
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	ctx := context.Background()
+	m := New(Options{Shards: 3, QueueLen: 8})
+	defer m.Close()
+
+	if err := m.Create(ctx, "t1", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create(ctx, "t1", testConfig(), testStreams(), nil); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := m.Create(ctx, "t2", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var rsp TickResponse
+	for tk := 0; tk < 60; tk++ {
+		row := testRow(tk, 4)
+		if tk > 30 && tk%5 == 0 {
+			row[1] = math.NaN()
+		}
+		if err := m.Tick(ctx, "t1", row, &rsp); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+		if rsp.Tick != tk {
+			t.Fatalf("tick index %d, want %d", rsp.Tick, tk)
+		}
+		for i, v := range rsp.Row {
+			if math.IsNaN(v) {
+				t.Fatalf("tick %d: row[%d] still missing", tk, i)
+			}
+		}
+		if tk > 30 && tk%5 == 0 && (len(rsp.Imputed) != 1 || rsp.Imputed[0] != 1) {
+			t.Fatalf("tick %d: imputed %v, want [1]", tk, rsp.Imputed)
+		}
+	}
+
+	infos, err := m.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].ID != "t1" || infos[1].ID != "t2" {
+		t.Fatalf("tenants %+v", infos)
+	}
+	if infos[0].Ticks != 60 {
+		t.Fatalf("t1 ticks %d, want 60", infos[0].Ticks)
+	}
+
+	if err := m.Tick(ctx, "nope", testRow(0, 4), &rsp); !errors.Is(err, ErrNoTenant) {
+		t.Fatalf("tick unknown tenant: %v", err)
+	}
+	if err := m.Delete(ctx, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(ctx, "t2"); !errors.Is(err, ErrNoTenant) {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	var snap bytes.Buffer
+	if err := m.Snapshot(ctx, "t1", &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RestoreEngine(&snap); err != nil {
+		t.Fatalf("manager snapshot not restorable: %v", err)
+	}
+}
+
+// TestManagerMatchesDirectEngine: a tenant driven through the manager must
+// produce bit-identical rows to a directly driven engine on the same input.
+func TestManagerMatchesDirectEngine(t *testing.T) {
+	ctx := context.Background()
+	m := New(Options{Shards: 2})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.NewEngine(testConfig(), testStreams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rsp TickResponse
+	for tk := 0; tk < 120; tk++ {
+		row := testRow(tk, 4)
+		if tk > 30 && tk%4 == 0 {
+			row[0] = math.NaN()
+		}
+		want, _, err := direct.Tick(append([]float64(nil), row...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tick(ctx, "t", row, &rsp); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if rsp.Row[i] != want[i] {
+				t.Fatalf("tick %d stream %d: manager %v, direct %v", tk, i, rsp.Row[i], want[i])
+			}
+		}
+	}
+}
+
+// TestManagerConcurrentTenants drives many tenants from many goroutines
+// (meaningful under -race): per-tenant ordering is the caller's, cross-tenant
+// work interleaves freely across shards.
+func TestManagerConcurrentTenants(t *testing.T) {
+	ctx := context.Background()
+	m := New(Options{Shards: 4, QueueLen: 2})
+	defer m.Close()
+
+	const tenants, ticks = 9, 80
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = string(rune('a'+i)) + "-tenant"
+		if err := m.Create(ctx, ids[i], testConfig(), testStreams(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, tenants)
+	for _, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rsp TickResponse
+			for tk := 0; tk < ticks; tk++ {
+				row := testRow(tk, 4)
+				if tk > 30 && tk%3 == 0 {
+					row[2] = math.NaN()
+				}
+				if err := m.Tick(ctx, id, row, &rsp); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	total := uint64(0)
+	for _, s := range m.Stats() {
+		total += s.Ticks
+	}
+	if total != tenants*ticks {
+		t.Fatalf("ticks across shards %d, want %d", total, tenants*ticks)
+	}
+}
+
+// TestManagerCloseDrains: Close must complete queued work, then reject new
+// submissions with ErrClosed.
+func TestManagerCloseDrains(t *testing.T) {
+	ctx := context.Background()
+	m := New(Options{Shards: 1, QueueLen: 4})
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rsp TickResponse
+			if err := m.Tick(ctx, "t", testRow(i, 4), &rsp); err == nil {
+				mu.Lock()
+				done++
+				mu.Unlock()
+			} else if !errors.Is(err, ErrClosed) {
+				t.Errorf("tick: %v", err)
+			}
+		}()
+	}
+	m.Close()
+	wg.Wait()
+	var rsp TickResponse
+	if err := m.Tick(ctx, "t", testRow(0, 4), &rsp); !errors.Is(err, ErrClosed) {
+		t.Fatalf("tick after close: %v", err)
+	}
+	if err := m.Create(ctx, "u", testConfig(), testStreams(), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after close: %v", err)
+	}
+}
+
+// TestManagerContextCancelUnderBackpressure: a submitter stuck on a full
+// queue must observe its context.
+func TestManagerContextCancelUnderBackpressure(t *testing.T) {
+	m := New(Options{Shards: 1, QueueLen: 1})
+	defer m.Close()
+	ctx := context.Background()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the shard goroutine with a blocking op, then fill the queue.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.do(ctx, "t", func(*shard) error { <-release; return nil })
+	}()
+	// One queued request occupies the buffer slot; the next submission must
+	// block and then honor cancellation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.do(ctx, "t", func(*shard) error { return nil })
+	}()
+	cctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errc <- m.do(cctx, "t", func(*shard) error { return nil })
+	}()
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		// The third submission may have slipped into the queue before the
+		// buffer filled; that is a legal interleaving — it then succeeds.
+		if err != nil {
+			t.Fatalf("cancelled submission: %v", err)
+		}
+	}
+	close(release)
+	wg.Wait()
+}

@@ -63,6 +63,17 @@ func (w *Window) Names() []string { return w.names }
 // Tick returns the index of the current time tn (-1 before any Advance).
 func (w *Window) Tick() int { return w.tick }
 
+// SetTick overwrites the tick counter. It exists for snapshot restore, where
+// the retained values are replayed through Advance (yielding tick Filled()-1)
+// but the window logically sits at a later absolute tick. It panics if t is
+// smaller than Filled()-1 — a restored window cannot predate its contents.
+func (w *Window) SetTick(t int) {
+	if t < w.Filled()-1 {
+		panic(fmt.Sprintf("window: tick %d predates the %d retained values", t, w.Filled()))
+	}
+	w.tick = t
+}
+
 // Filled returns the number of ticks currently retained (≤ L).
 func (w *Window) Filled() int {
 	if len(w.buffers) == 0 {

@@ -61,9 +61,20 @@
 // last l measurements across d reference streams, it recovers values
 // correctly even when references are phase shifted (Pearson ≈ 0), where
 // regression- and decomposition-based methods degrade.
+//
+// # Persistence and serving
+//
+// Engine.Snapshot writes a versioned binary image of the engine (config,
+// reference sets, retained windows, counters) and RestoreEngine rebuilds a
+// continuing engine from it, so long-running streams survive process
+// restarts. cmd/tkcm-serve wraps engines in a sharded multi-tenant HTTP
+// service with NDJSON streaming ingest and periodic checkpoints built on
+// exactly these two calls (see the README's Architecture section).
 package tkcm
 
 import (
+	"io"
+
 	"tkcm/internal/core"
 	"tkcm/internal/timeseries"
 )
@@ -146,6 +157,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // automatically on their first missing value.
 func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engine, error) {
 	return core.NewEngine(cfg, names, refs)
+}
+
+// RestoreEngine reconstructs an engine from an Engine.Snapshot image. The
+// restored engine resumes exactly where the snapshotted one left off;
+// subsequent imputations match an uninterrupted engine within ~1e-9.
+func RestoreEngine(r io.Reader) (*Engine, error) {
+	return core.RestoreEngine(r)
 }
 
 // Impute recovers the missing last value of series s. s and every refs[i]
