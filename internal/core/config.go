@@ -159,6 +159,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// Bounds on configuration dimensions that size eager allocations. They keep
+// Validate and the snapshot restore path symmetric: every engine that
+// NewEngine accepts can be snapshotted and restored, and a crafted snapshot
+// image cannot demand absurd allocations through a huge decoded Config.
+// MaxWindowLength is ~160× the paper's two-year hourly window (105120) yet
+// bounds one stream's ring at 128 MiB; no machine has 2^16 cores.
+const (
+	MaxWindowLength = 1 << 24
+	MaxWorkers      = 1 << 16
+)
+
 // Validate reports the first violated constraint, or nil. The window must be
 // long enough to contain the query pattern plus k non-overlapping candidate
 // patterns: L ≥ (k+1)·l + (l-1) ⇒ candidates = L − 2l + 1 ≥ k·l − (l−1)
@@ -177,6 +188,9 @@ func (c Config) Validate() error {
 	if c.WindowLength <= 0 {
 		return fmt.Errorf("core: window length L must be positive, got %d", c.WindowLength)
 	}
+	if c.WindowLength > MaxWindowLength {
+		return fmt.Errorf("core: window length L=%d exceeds the maximum %d", c.WindowLength, MaxWindowLength)
+	}
 	candidates := c.WindowLength - 2*c.PatternLength + 1
 	if candidates < 1 {
 		return fmt.Errorf("core: window length L=%d too short for pattern length l=%d (need L ≥ 2l)", c.WindowLength, c.PatternLength)
@@ -191,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.Workers > MaxWorkers {
+		return fmt.Errorf("core: workers %d exceeds the maximum %d", c.Workers, MaxWorkers)
 	}
 	return nil
 }

@@ -149,23 +149,47 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	// allocated or handed to the window constructor: the CRC only catches
 	// accidental corruption, not crafted images, and the public restore API
 	// must return errors, never panic or OOM.
-	if dec.err == nil && (cfg.WindowLength < 0 || cfg.WindowLength > 1<<31) {
+	// The window's rings are allocated eagerly (WindowLength floats per
+	// stream) and Workers sizes the tick pool's scratch, so both are checked
+	// before NewEngine can allocate from them. The caps are the same ones
+	// Validate enforces, so every engine that could be snapshotted restores.
+	if dec.err == nil && (cfg.WindowLength < 0 || cfg.WindowLength > MaxWindowLength) {
 		dec.fail(fmt.Errorf("implausible window length %d", cfg.WindowLength))
 	}
+	if dec.err == nil && (cfg.Workers < 0 || cfg.Workers > MaxWorkers) {
+		dec.fail(fmt.Errorf("implausible worker count %d", cfg.Workers))
+	}
 
+	// Count fields are bounded by the bytes actually present — every name
+	// costs at least its 1-byte length prefix, every reference set at least 3
+	// bytes — so a tiny crafted image cannot pre-allocate gigabytes from a
+	// claimed count before the first string decode fails on truncation.
 	nNames := int(dec.uint())
-	if dec.err == nil && (nNames <= 0 || nNames > 1<<24) {
+	if dec.err == nil && (nNames <= 0 || nNames > 1<<24 || nNames > len(dec.b)-dec.off) {
 		dec.fail(fmt.Errorf("implausible stream count %d", nNames))
 	}
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: restore: %w", dec.err)
 	}
 	names := make([]string, nNames)
+	seen := make(map[string]struct{}, nNames)
 	for i := range names {
 		names[i] = dec.str()
+		// window.New panics on duplicate names; a crafted image must surface
+		// as an error here instead.
+		if _, dup := seen[names[i]]; dup && dec.err == nil {
+			dec.fail(fmt.Errorf("duplicate stream name %q", names[i]))
+		}
+		seen[names[i]] = struct{}{}
 	}
 
 	nRefs := int(dec.uint())
+	if dec.err == nil && (nRefs < 0 || nRefs > (len(dec.b)-dec.off)/3) {
+		dec.fail(fmt.Errorf("implausible reference set count %d", nRefs))
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: restore: %w", dec.err)
+	}
 	refs := make(map[string]ReferenceSet, nRefs)
 	for i := 0; i < nRefs && dec.err == nil; i++ {
 		key := dec.str()
@@ -365,7 +389,10 @@ func (d *snapDecoder) str() string {
 	if d.err != nil {
 		return ""
 	}
-	if n < 0 || d.off+n > len(d.b) {
+	// Compare n against the remaining bytes without computing d.off+n: for a
+	// crafted length near 2^63-1 the sum would overflow int to a negative
+	// value and slip past the bound into a panicking slice expression.
+	if n < 0 || n > len(d.b)-d.off {
 		d.fail(fmt.Errorf("truncated string at offset %d", d.off))
 		return ""
 	}

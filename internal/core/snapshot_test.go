@@ -247,3 +247,82 @@ func TestRestoreRejectsCraftedDimensions(t *testing.T) {
 		t.Error("retained-window claim beyond payload accepted")
 	}
 }
+
+// TestRestoreRejectsCraftedCounts: CRC-valid images with hostile count and
+// string-length fields must fail with an error — never panic on a negative
+// map-size hint or an overflowed slice bound, never pre-allocate toward OOM.
+func TestRestoreRejectsCraftedCounts(t *testing.T) {
+	// upToNames encodes a valid config and a one-stream name table, leaving
+	// the decoder positioned at the reference-set count.
+	upToNames := func() *snapEncoder {
+		enc := &snapEncoder{}
+		enc.encodeConfig(snapTestConfig())
+		enc.uint(1)
+		enc.str("a")
+		return enc
+	}
+
+	// Reference-set count with the top bit set: int(nRefs) goes negative and
+	// a naive make(map, nRefs) panics with "size out of range".
+	enc := upToNames()
+	enc.uint(1 << 63)
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("reference-set count 2^63 accepted")
+	}
+
+	// Huge-but-positive count: must fail the plausibility bound instead of
+	// pre-allocating map buckets for it.
+	enc = upToNames()
+	enc.uint(1 << 40)
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("reference-set count 2^40 accepted")
+	}
+
+	// Even a modest claimed count must be backed by payload bytes (each
+	// reference set costs at least 3), so allocation stays proportional to
+	// the image actually sent.
+	enc = upToNames()
+	enc.uint(100000) // nothing behind it
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("reference-set count beyond payload bytes accepted")
+	}
+
+	// String length of MaxInt64: off+n overflows int, slipping a naive
+	// "off+n > len" check into a panicking slice expression.
+	enc = &snapEncoder{}
+	enc.encodeConfig(snapTestConfig())
+	enc.uint(1)
+	enc.uint(math.MaxInt64) // claimed name length with no bytes behind it
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("string length MaxInt64 accepted")
+	}
+
+	// String length with the top bit set: int(n) goes negative.
+	enc = &snapEncoder{}
+	enc.encodeConfig(snapTestConfig())
+	enc.uint(1)
+	enc.uint(1 << 63)
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("string length 2^63 accepted")
+	}
+
+	// Duplicate stream names would panic inside window.New; the decoder must
+	// reject them first.
+	enc = &snapEncoder{}
+	enc.encodeConfig(snapTestConfig())
+	enc.uint(2)
+	enc.str("a")
+	enc.str("a")
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("duplicate stream names accepted")
+	}
+
+	// A worker count no machine has sizes the tick pool's scratch slice.
+	enc = &snapEncoder{}
+	cfg := snapTestConfig()
+	cfg.Workers = 1 << 40
+	enc.encodeConfig(cfg)
+	if _, err := RestoreEngine(bytes.NewReader(wrapSnapImage(enc.buf.Bytes()))); err == nil {
+		t.Error("worker count 2^40 accepted")
+	}
+}

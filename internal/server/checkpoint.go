@@ -24,6 +24,8 @@ func (s *Server) CheckpointAll(ctx context.Context) (int, error) {
 	if s.dir == "" {
 		return 0, errors.New("server: no checkpoint directory configured")
 	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return 0, fmt.Errorf("server: checkpoint dir: %w", err)
 	}
@@ -45,7 +47,65 @@ func (s *Server) CheckpointAll(ctx context.Context) (int, error) {
 		s.checkpoints.Add(1)
 		n++
 	}
+	s.pruneCheckpoints(infos)
 	return n, firstErr
+}
+
+// pruneCheckpoints removes snapshot files whose tenant is no longer hosted —
+// a backstop against stray files (manual copies, a removal that failed and
+// was only logged) feeding RestoreFromCheckpoints. It cannot repair a crash
+// that lands between the engine delete and the file removal: that delete was
+// never acknowledged, and the restart legitimately re-hosts the tenant.
+// Safe under ckMu: only CheckpointAll writes these files, and a tenant
+// created after the listing cannot have one yet.
+func (s *Server) pruneCheckpoints(infos []shard.TenantInfo) {
+	hosted := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		hosted[info.ID] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		// Real checkpoints first: ".tmp-" may legally appear inside a tenant
+		// id, but checkpointTenant's temp names end in random digits, never
+		// in the .tkcm suffix.
+		if strings.HasSuffix(name, checkpointExt) {
+			if id := strings.TrimSuffix(name, checkpointExt); !hosted[id] {
+				if rerr := os.Remove(filepath.Join(s.dir, name)); rerr == nil {
+					s.log.Info("pruned checkpoint of unhosted tenant", "tenant", id)
+				}
+			}
+			continue
+		}
+		// Temp files from a checkpointTenant that crashed mid-write are stale
+		// by construction here: only CheckpointAll creates them, and it holds
+		// ckMu.
+		if strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// removeCheckpoint deletes tenant id's snapshot file so the tenant stays
+// deleted across restarts. Callers must hold ckMu (alongside the engine
+// delete) to keep an in-flight CheckpointAll from re-creating the file. A
+// missing file (never checkpointed, or no checkpoint directory) is not an
+// error.
+func (s *Server) removeCheckpoint(id string) error {
+	if s.dir == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(s.dir, id+checkpointExt))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
 }
 
 // checkpointTenant writes one tenant's snapshot via temp file + rename, so a

@@ -10,7 +10,9 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"os"
 	"regexp"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +53,7 @@ type Server struct {
 	stopCk    chan struct{}
 	stopOnce  sync.Once
 	ckWG      sync.WaitGroup
+	ckMu      sync.Mutex // serializes CheckpointAll (endpoint, ticker, shutdown)
 	draining  chan struct{}
 	drainOnce sync.Once
 	shutOnce  sync.Once
@@ -250,8 +253,24 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// ckMu spans both the engine delete and the file removal so a concurrent
+	// CheckpointAll cannot interleave: it either runs wholly before (its file
+	// is removed below) or wholly after (the tenant is gone from its listing,
+	// so it writes nothing and prunes leftovers). Without the lock, a rename
+	// of an already-captured snapshot could re-create the file after the
+	// delete was acknowledged.
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
 	if err := s.m.Delete(r.Context(), id); err != nil {
 		writeError(w, statusFor(err), "deleting tenant %q: %v", id, err)
+		return
+	}
+	// Deleting only the engine would not be durable: the tenant's checkpoint
+	// file would re-host it — with all its data — on the next restart.
+	if err := s.removeCheckpoint(id); err != nil {
+		s.log.Error("removing checkpoint of deleted tenant", "tenant", id, "err", err)
+		writeError(w, http.StatusInternalServerError,
+			"tenant %q deleted, but removing its checkpoint failed (it would resurrect on restart): %v", id, err)
 		return
 	}
 	s.log.Info("tenant deleted", "tenant", id)
@@ -360,12 +379,36 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Serialize to a local temp file on the shard goroutine, then stream the
+	// file to the client from the handler goroutine. Writing straight into
+	// the ResponseWriter would let one slow client stall the shard loop — and
+	// every tenant on that shard — for as long as it pleases; buffering in
+	// memory instead would let N concurrent downloads of a large tenant
+	// (window bytes ≈ streams × L × 8) multiply the engine's footprint.
+	// Local disk is the same cost the checkpoint path already pays.
+	f, err := os.CreateTemp("", "tkcm-snap-*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot of %q: %v", id, err)
+		return
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	if err := s.m.Snapshot(r.Context(), id, f); err != nil {
+		writeError(w, statusFor(err), "snapshot of %q: %v", id, err)
+		return
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		_, err = f.Seek(0, io.SeekStart)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot of %q: %v", id, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".tkcm"))
-	if err := s.m.Snapshot(r.Context(), id, w); err != nil {
-		// Headers may be gone already; best effort.
-		writeError(w, statusFor(err), "snapshot of %q: %v", id, err)
-	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	io.Copy(w, f)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

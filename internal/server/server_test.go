@@ -405,6 +405,83 @@ func TestBeginDrainTerminatesStream(t *testing.T) {
 	}
 }
 
+// TestDeleteRemovesCheckpoint: deleting a tenant must be durable — its
+// checkpoint file goes too, so a restart cannot resurrect the tenant and its
+// data via RestoreFromCheckpoints. Also covers the orphan-file backstop:
+// CheckpointAll prunes a stray .tkcm whose tenant is not hosted.
+func TestDeleteRemovesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, dir)
+	resp := createTenant(t, ts.URL, "doomed", testTenantBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	st := openTickStream(t, ts.URL, "doomed")
+	for tk := 0; tk < 30; tk++ {
+		if _, err := st.send(e2eRow(tk, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.close()
+	cr, err := http.Post(ts.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+	ckFile := filepath.Join(dir, "doomed.tkcm")
+	if _, err := os.Stat(ckFile); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	dr, _ := http.NewRequest("DELETE", ts.URL+"/v1/tenants/doomed", nil)
+	dresp, err := http.DefaultClient.Do(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	if _, err := os.Stat(ckFile); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived delete (stat err = %v); tenant would resurrect on restart", err)
+	}
+
+	// A fresh process over the same directory must restore nothing.
+	sB, _ := newTestServer(t, dir)
+	if n, err := sB.RestoreFromCheckpoints(context.Background()); err != nil || n != 0 {
+		t.Fatalf("restored %d tenants (err %v), want 0 — deleted tenant resurrected", n, err)
+	}
+
+	// Orphan-file backstop: a stray checkpoint with no hosted tenant (e.g. a
+	// manual copy, or a removal that failed and was only logged) is pruned by
+	// the next CheckpointAll, as is a temp file left by a crash mid-write.
+	if err := os.WriteFile(filepath.Join(dir, "ghost.tkcm"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ghost.tmp-12345"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A hosted tenant whose id itself contains ".tmp-" must keep its
+	// checkpoint: pruning matches temp names, not tenant names.
+	if err := sB.m.Create(context.Background(), "dot.tmp-1", testCoreConfig(), []string{"s", "r1", "r2", "r3"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sB.CheckpointAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dot.tmp-1.tkcm")); err != nil {
+		t.Fatalf("checkpoint of tenant with .tmp- in its id was pruned: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ghost.tkcm")); !os.IsNotExist(err) {
+		t.Fatalf("orphaned checkpoint not pruned (stat err = %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ghost.tmp-12345")); !os.IsNotExist(err) {
+		t.Fatalf("stale checkpoint temp file not pruned (stat err = %v)", err)
+	}
+}
+
 // TestAPIValidation covers the non-streaming surface: bad ids, bad bodies,
 // unknown tenants, delete, list, health, snapshot download.
 func TestAPIValidation(t *testing.T) {

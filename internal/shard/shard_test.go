@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"tkcm/internal/core"
 )
@@ -223,21 +224,35 @@ func TestManagerContextCancelUnderBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Stall the shard goroutine with a blocking op, then fill the queue.
+	// Stall the shard goroutine with a blocking op and wait until it is
+	// actually executing it: launching the three submissions concurrently
+	// would let them race into the queue in any order, and if the cancellable
+	// one slipped in it would wait on its (never-run) op while the test waits
+	// on errc before releasing the shard — a deadlock.
+	entered := make(chan struct{})
 	release := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		m.do(ctx, "t", func(*shard) error { <-release; return nil })
+		m.do(ctx, "t", func(*shard) error { close(entered); <-release; return nil })
 	}()
-	// One queued request occupies the buffer slot; the next submission must
-	// block and then honor cancellation.
+	<-entered
+	// One queued request occupies the buffer slot; wait until it is visibly
+	// enqueued before submitting the cancellable request.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		m.do(ctx, "t", func(*shard) error { return nil })
 	}()
+	for deadline := time.Now().Add(10 * time.Second); m.Stats()[0].QueueDepth != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never became visible (QueueDepth != 1)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// With the shard blocked and the queue full, the next submission must
+	// block and then honor cancellation.
 	cctx, cancel := context.WithCancel(ctx)
 	errc := make(chan error, 1)
 	wg.Add(1)
@@ -246,13 +261,8 @@ func TestManagerContextCancelUnderBackpressure(t *testing.T) {
 		errc <- m.do(cctx, "t", func(*shard) error { return nil })
 	}()
 	cancel()
-	err := <-errc
-	if !errors.Is(err, context.Canceled) {
-		// The third submission may have slipped into the queue before the
-		// buffer filled; that is a legal interleaving — it then succeeds.
-		if err != nil {
-			t.Fatalf("cancelled submission: %v", err)
-		}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submission: err = %v, want context.Canceled", err)
 	}
 	close(release)
 	wg.Wait()
