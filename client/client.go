@@ -1,0 +1,251 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a tkcm-serve API client. It is safe for concurrent use; one
+// Client can serve any number of goroutines and tick streams.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient). Tick streams are long-lived full-duplex requests, so
+// the client must not impose an overall request timeout; use dial and
+// header timeouts on the transport instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New creates a client for the tkcm-serve instance at baseURL (e.g.
+// "http://localhost:8080"). A trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server, decoded from its uniform
+// {"error": "..."} body.
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tkcm: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// decodeError turns a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: body.Error}
+}
+
+// Config selects a tenant's TKCM parameters. Zero fields keep the server's
+// calibrated defaults (the paper's Sec. 7.1 values).
+type Config struct {
+	// K is the number of anchor points (paper default 5).
+	K int `json:"k,omitempty"`
+	// PatternLength is l, the query pattern length in ticks (default 72).
+	PatternLength int `json:"pattern_length,omitempty"`
+	// D is the number of reference series consulted per imputation
+	// (default 3).
+	D int `json:"d,omitempty"`
+	// WindowLength is L, the retained history per stream in ticks.
+	WindowLength int `json:"window_length,omitempty"`
+	// Workers fans one tick's imputations across a worker pool when > 1.
+	Workers int `json:"workers,omitempty"`
+	// Profiler pins the pattern-extraction strategy: "naive", "fft" or
+	// "incremental" (default: auto).
+	Profiler string `json:"profiler,omitempty"`
+	// WeightedMean weights anchor values by inverse dissimilarity.
+	WeightedMean bool `json:"weighted_mean,omitempty"`
+	// SkipDiagnostics drops per-imputation diagnostics for throughput.
+	SkipDiagnostics bool `json:"skip_diagnostics,omitempty"`
+}
+
+// CreateTenantRequest describes a tenant to create.
+type CreateTenantRequest struct {
+	// Streams names the tenant's co-evolving series, in column order.
+	// Required, non-empty.
+	Streams []string `json:"streams"`
+	// Config overrides TKCM parameters (nil = server defaults).
+	Config *Config `json:"config,omitempty"`
+	// Refs optionally pins each stream's ordered candidate reference
+	// streams; streams without an entry get correlation-ranked references
+	// on their first missing value.
+	Refs map[string][]string `json:"refs,omitempty"`
+}
+
+// TenantInfo describes one hosted tenant.
+type TenantInfo struct {
+	// ID is the tenant id.
+	ID string `json:"id"`
+	// Shard is the engine shard hosting the tenant.
+	Shard int `json:"shard"`
+	// Streams names the tenant's series in column order.
+	Streams []string `json:"streams"`
+	// Ticks counts rows ingested (caller-visible engine counter).
+	Ticks int `json:"ticks"`
+	// Seq is the engine's sequence number; a sequenced stream resumes
+	// sending at Seq+1.
+	Seq uint64 `json:"seq"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	// Status is "ok" when the service is up.
+	Status string `json:"status"`
+	// Shards is the engine shard count.
+	Shards int `json:"shards"`
+	// Tenants is the hosted tenant count.
+	Tenants int `json:"tenants"`
+	// UptimeSeconds is seconds since the server started.
+	UptimeSeconds int `json:"uptime_seconds"`
+}
+
+// do issues one JSON request/response round trip.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("tkcm: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("tkcm: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("tkcm: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("tkcm: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Health fetches the /healthz document.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// CreateTenant creates tenant id. The server answers 409 (an *APIError)
+// when the id is already hosted.
+func (c *Client) CreateTenant(ctx context.Context, id string, req CreateTenantRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(id), req, nil)
+}
+
+// DeleteTenant deletes tenant id, including its durable state (checkpoint
+// and write-ahead log) — the tenant will not resurrect on a server restart.
+func (c *Client) DeleteTenant(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/tenants/"+url.PathEscape(id), nil, nil)
+}
+
+// GetTenant fetches one tenant's description, including the sequence number
+// a sequenced stream should resume from.
+func (c *Client) GetTenant(ctx context.Context, id string) (TenantInfo, error) {
+	var info TenantInfo
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// ListTenants lists every hosted tenant, sorted by id.
+func (c *Client) ListTenants(ctx context.Context) ([]TenantInfo, error) {
+	var out struct {
+		Tenants []TenantInfo `json:"tenants"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out.Tenants, err
+}
+
+// Checkpoint asks the server to snapshot every tenant now and returns how
+// many tenants were written.
+func (c *Client) Checkpoint(ctx context.Context) (int, error) {
+	var out struct {
+		Checkpointed int `json:"checkpointed"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, &out)
+	return out.Checkpointed, err
+}
+
+// Snapshot downloads tenant id's engine snapshot (core snapshot format,
+// restorable with tkcm.RestoreEngine) into w, returning the bytes copied.
+func (c *Client) Snapshot(ctx context.Context, id string, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/tenants/"+url.PathEscape(id)+"/snapshot", nil)
+	if err != nil {
+		return 0, fmt.Errorf("tkcm: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("tkcm: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeError(resp)
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("tkcm: downloading snapshot: %w", err)
+	}
+	return n, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("tkcm: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("tkcm: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("tkcm: %w", err)
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,299 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tkcm/internal/core"
+	"tkcm/internal/server"
+	"tkcm/internal/shard"
+	"tkcm/internal/wal"
+)
+
+// boot assembles a full serving stack (shards + WAL + checkpoints) over the
+// given directories and serves it on l.
+func boot(t *testing.T, l net.Listener, ckDir, walDir string) (*server.Server, *http.Server, *wal.Manager, *shard.Manager) {
+	t.Helper()
+	walMgr := wal.NewManager(walDir, wal.Options{SyncInterval: time.Millisecond})
+	m := shard.New(shard.Options{Shards: 2, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: ckDir, WAL: walMgr})
+	if _, err := srv.RestoreFromCheckpoints(context.Background()); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	return srv, hs, walMgr, m
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{SyncInterval: time.Millisecond})
+	m := shard.New(shard.Options{Shards: 2, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: t.TempDir(), WAL: walMgr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer m.Close()
+	defer walMgr.Close()
+
+	ctx := context.Background()
+	c := New(ts.URL)
+
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+	req := CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2", "r3"},
+		Config:  &Config{K: 2, PatternLength: 3, D: 2, WindowLength: 32},
+	}
+	if err := c.CreateTenant(ctx, "e2e", req); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var apiErr *APIError
+	if err := c.CreateTenant(ctx, "e2e", req); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	st, err := c.OpenStream(ctx, "e2e", StreamOptions{Sequenced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	go func() {
+		for i := 0; i < n; i++ {
+			row := []float64{20 + float64(i%5), 19, 21, 20.5}
+			if i > 20 {
+				row[0] = math.NaN()
+			}
+			if err := st.Send(ctx, row); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ack, err := st.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ack.Seq != uint64(i+1) {
+			t.Fatalf("ack %d: seq %d, want %d", i, ack.Seq, i+1)
+		}
+		if len(ack.Values) != 4 {
+			t.Fatalf("ack %d: %d values", i, len(ack.Values))
+		}
+		if i > 20 && (len(ack.Imputed) != 1 || ack.Imputed[0] != 0 || math.IsNaN(ack.Values[0])) {
+			t.Fatalf("ack %d: imputed %v values %v", i, ack.Imputed, ack.Values)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	info, err := c.GetTenant(ctx, "e2e")
+	if err != nil || info.Seq != n {
+		t.Fatalf("get tenant: %+v, %v", info, err)
+	}
+	infos, err := c.ListTenants(ctx)
+	if err != nil || len(infos) != 1 || infos[0].ID != "e2e" {
+		t.Fatalf("list: %+v, %v", infos, err)
+	}
+	if nck, err := c.Checkpoint(ctx); err != nil || nck != 1 {
+		t.Fatalf("checkpoint: %d, %v", nck, err)
+	}
+	var snap bytes.Buffer
+	if sz, err := c.Snapshot(ctx, "e2e", &snap); err != nil || sz == 0 {
+		t.Fatalf("snapshot: %d, %v", sz, err)
+	}
+	eng, err := core.RestoreEngine(&snap)
+	if err != nil {
+		t.Fatalf("restoring downloaded snapshot: %v", err)
+	}
+	if eng.Seq() != n {
+		t.Fatalf("downloaded snapshot seq %d, want %d", eng.Seq(), n)
+	}
+	eng.Close()
+	if s, err := c.Metrics(ctx); err != nil || !bytes.Contains([]byte(s), []byte("tkcm_wal_appends_total")) {
+		t.Fatalf("metrics: %v\n%s", err, s)
+	}
+	if err := c.DeleteTenant(ctx, "e2e"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.GetTenant(ctx, "e2e"); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+}
+
+// TestStreamReconnectReplays hard-stops the HTTP server mid-stream (no
+// graceful shutdown, no final checkpoint — the WAL is the only thing
+// covering acked rows), boots a fresh stack over the same directories and
+// the same address, and requires the sequenced stream to deliver exactly
+// one ack per row with nothing lost.
+func TestStreamReconnectReplays(t *testing.T) {
+	ckDir, walDir := t.TempDir(), t.TempDir()
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	_, hs1, wal1, _ := boot(t, l1, ckDir, walDir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := New("http://" + addr)
+	if err := c.CreateTenant(ctx, "re", CreateTenantRequest{
+		Streams: []string{"a", "b", "c"},
+		Config:  &Config{K: 2, PatternLength: 3, D: 2, WindowLength: 64},
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	st, err := c.OpenStream(ctx, "re", StreamOptions{Sequenced: true, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 60
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			row := []float64{float64(i), float64(2 * i), float64(3 * i)}
+			if err := st.Send(ctx, row); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	acked := make(map[uint64]int)
+	killAfter := 20
+	for i := 0; i < total; i++ {
+		ack, err := st.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		acked[ack.Seq]++
+		if len(acked) == killAfter && hs1 != nil {
+			// Hard-stop: abort every connection, no drain, no checkpoint.
+			hs1.Close()
+			wal1.Close() // release the logs for the successor stack
+			hs1 = nil
+			l2, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Fatalf("rebinding %s: %v", addr, err)
+			}
+			_, hs2, wal2, m2 := boot(t, l2, ckDir, walDir)
+			defer func() { hs2.Close(); m2.Close(); wal2.Close() }()
+		}
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for seq := uint64(1); seq <= total; seq++ {
+		if acked[seq] != 1 {
+			t.Fatalf("seq %d acked %d times (want exactly 1); acks: %v", seq, acked[seq], acked)
+		}
+	}
+	info, err := c.GetTenant(ctx, "re")
+	if err != nil || info.Seq != total {
+		t.Fatalf("final tenant info: %+v, %v", info, err)
+	}
+}
+
+func TestRecvAfterCloseDrainsThenEOF(t *testing.T) {
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{})
+	m := shard.New(shard.Options{Shards: 1, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: t.TempDir(), WAL: walMgr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer m.Close()
+	defer walMgr.Close()
+
+	ctx := context.Background()
+	c := New(ts.URL)
+	if err := c.CreateTenant(ctx, "d", CreateTenantRequest{Streams: []string{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream(ctx, "d", StreamOptions{Sequenced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Send(ctx, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- st.Close() }()
+	got := 0
+	for {
+		_, err := st.Recv(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("drained %d acks, want 3", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestCloseWithoutRecvDoesNotDeadlock: a caller that sends more rows than
+// MaxInFlight ack-buffer slots and never consumes Recv must still be able
+// to Close (overflow acks are dropped, not deadlocked on).
+func TestCloseWithoutRecvDoesNotDeadlock(t *testing.T) {
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{})
+	m := shard.New(shard.Options{Shards: 1, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: t.TempDir(), WAL: walMgr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer m.Close()
+	defer walMgr.Close()
+
+	ctx := context.Background()
+	c := New(ts.URL)
+	if err := c.CreateTenant(ctx, "noread", CreateTenantRequest{Streams: []string{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream(ctx, "noread", StreamOptions{Sequenced: true, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 rows: 2 fill the ack buffer, the 3rd's delivery blocks on it, the
+	// 4th occupies the second in-flight token — the exact overflow state
+	// whose acks only Close's drop permission can unwedge. (More sends
+	// would block in Send itself: that is backpressure working.)
+	for i := 0; i < 4; i++ {
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := st.Send(sctx, []float64{1, 2})
+		cancel()
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- st.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked with unconsumed acks")
+	}
+}

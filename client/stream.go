@@ -1,0 +1,487 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// StreamOptions tunes a TickStream. The zero value is usable.
+type StreamOptions struct {
+	// MaxInFlight bounds rows sent but not yet acknowledged (default 128).
+	// Send blocks at the bound — the client-side backpressure that keeps a
+	// fast producer from outrunning the server and bounds replay cost after
+	// a reconnect.
+	MaxInFlight int
+	// Sequenced assigns each row a sequence number continuing the server's
+	// (fetched when the stream opens). Sequenced streams survive reconnects
+	// exactly-once: unacknowledged rows are replayed and the server
+	// idempotently acks those it already applied. Requires this stream to
+	// be the tenant's only writer.
+	Sequenced bool
+	// MaxAttempts bounds consecutive failed reconnect attempts before the
+	// stream fails permanently (default 40). The counter resets whenever a
+	// connection delivers an ack.
+	MaxAttempts int
+	// RetryBackoff is the pause between reconnect attempts (default 250ms).
+	RetryBackoff time.Duration
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 128
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 40
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Ack is the server's acknowledgement of one row. Once received, the row is
+// applied — and, on a server running with a write-ahead log, durable: it
+// survives even a kill -9 of the server.
+type Ack struct {
+	// Tick is the engine's window tick index after the row.
+	Tick int `json:"tick"`
+	// Seq is the row's engine sequence number.
+	Seq uint64 `json:"seq"`
+	// Values is the completed row (missing values imputed). Empty for a
+	// Duplicate ack.
+	Values []float64 `json:"values"`
+	// Imputed lists the indices that were missing in the input.
+	Imputed []int `json:"imputed"`
+	// Duplicate reports the row was already applied before (it was replayed
+	// across a reconnect); Values is empty then.
+	Duplicate bool `json:"duplicate"`
+}
+
+// pendingRow is one sent-but-unacked row, retained for replay.
+type pendingRow struct {
+	seq    uint64 // 0 when unsequenced
+	values []float64
+}
+
+// TickStream is one full-duplex NDJSON tick stream to a tenant. Send and
+// Recv may be used from different goroutines (one sender, one receiver);
+// acknowledgements arrive in send order, exactly one per sent row.
+type TickStream struct {
+	c      *Client
+	tenant string
+	opts   StreamOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// tokens holds one entry per in-flight row; acks buffers delivered
+	// acknowledgements for Recv.
+	tokens chan struct{}
+	acks   chan Ack
+
+	mu       sync.Mutex
+	unacked  []pendingRow
+	writeIdx int // next unacked row the current connection's writer sends
+	nextSeq  uint64
+	closing  bool
+	err      error // terminal outcome; io.EOF = clean close
+	acked    bool  // an ack arrived on the current connection
+
+	notify    chan struct{} // kicks the writer after Send/Close
+	done      chan struct{} // closed on terminal failure or clean shutdown
+	doneOnce  sync.Once
+	flushed   chan struct{} // closed when closing and nothing is unacked
+	flOnce    sync.Once
+	closeDrop chan struct{} // closed by Close: overflow acks may be dropped
+	cdOnce    sync.Once
+	wg        sync.WaitGroup
+}
+
+// ErrStreamBroken wraps the cause when a stream fails permanently with rows
+// still unacknowledged; those rows may or may not have been applied.
+var ErrStreamBroken = errors.New("tkcm: tick stream broken")
+
+// OpenStream opens a tick stream to tenant. With opts.Sequenced the current
+// sequence number is fetched first, so opening fails fast when the tenant
+// does not exist. Always Close the stream; cancelling ctx aborts it along
+// with every blocked Send/Recv.
+func (c *Client) OpenStream(ctx context.Context, tenant string, opts StreamOptions) (*TickStream, error) {
+	opts = opts.withDefaults()
+	sctx, cancel := context.WithCancel(ctx)
+	s := &TickStream{
+		c:         c,
+		tenant:    tenant,
+		opts:      opts,
+		ctx:       sctx,
+		cancel:    cancel,
+		tokens:    make(chan struct{}, opts.MaxInFlight),
+		acks:      make(chan Ack, opts.MaxInFlight),
+		notify:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		flushed:   make(chan struct{}),
+		closeDrop: make(chan struct{}),
+	}
+	if opts.Sequenced {
+		info, err := c.GetTenant(ctx, tenant)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.nextSeq = info.Seq + 1
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Send queues one row (NaN marks a missing value) and returns once it is
+// accepted into the in-flight window — NOT once it is acknowledged; consume
+// Recv for that. Send blocks while MaxInFlight rows are outstanding. A nil
+// error means the row will be delivered or the stream will report a
+// terminal error; it never silently disappears.
+func (s *TickStream) Send(ctx context.Context, values []float64) error {
+	select {
+	case s.tokens <- struct{}{}:
+	case <-s.done:
+		return s.terminalErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.ctx.Done():
+		return s.terminalErr()
+	}
+	s.mu.Lock()
+	if s.err != nil || s.closing {
+		err := s.err
+		s.mu.Unlock()
+		<-s.tokens
+		if err == nil {
+			err = errors.New("tkcm: Send on closed stream")
+		}
+		return err
+	}
+	row := pendingRow{values: append([]float64(nil), values...)}
+	if s.opts.Sequenced {
+		row.seq = s.nextSeq
+		s.nextSeq++
+	}
+	s.unacked = append(s.unacked, row)
+	s.mu.Unlock()
+	s.kick()
+	return nil
+}
+
+// Recv returns the next acknowledgement, in send order. After Close, Recv
+// drains the remaining acks and then returns io.EOF; after a permanent
+// failure it returns the terminal error (wrapping ErrStreamBroken when
+// unacknowledged rows were lost).
+func (s *TickStream) Recv(ctx context.Context) (Ack, error) {
+	select {
+	case a := <-s.acks:
+		return a, nil
+	case <-ctx.Done():
+		return Ack{}, ctx.Err()
+	case <-s.done:
+		// Acks buffered before termination still count.
+		select {
+		case a := <-s.acks:
+			return a, nil
+		default:
+		}
+		return Ack{}, s.terminalErr()
+	}
+}
+
+// Close flushes queued rows, waits for their acknowledgements to arrive
+// (consume them with Recv — buffered acks survive Close), and shuts the
+// stream down. Returns nil on a clean flush, or the terminal error.
+func (s *TickStream) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	drained := len(s.unacked) == 0
+	s.mu.Unlock()
+	if drained {
+		s.flOnce.Do(func() { close(s.flushed) })
+	}
+	// From here on, a full ack buffer no longer blocks delivery: a caller
+	// that stopped consuming Recv must not wedge the flush (acks the
+	// buffer cannot hold are dropped; the rows themselves are acked and
+	// durable server-side).
+	s.cdOnce.Do(func() { close(s.closeDrop) })
+	s.kick()
+	select {
+	case <-s.flushed:
+	case <-s.done:
+	case <-s.ctx.Done():
+	}
+	s.finish(io.EOF)
+	s.cancel()
+	s.wg.Wait()
+	if err := s.terminalErr(); err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+func (s *TickStream) kick() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *TickStream) terminalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		return s.ctx.Err()
+	}
+	return s.err
+}
+
+// finish records the stream's terminal outcome exactly once.
+func (s *TickStream) finish(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		if err != io.EOF && len(s.unacked) > 0 {
+			err = fmt.Errorf("%w (%d rows unacknowledged): %w", ErrStreamBroken, len(s.unacked), err)
+		}
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.doneOnce.Do(func() { close(s.done) })
+}
+
+// run owns the transport: it dials connections, replays unacknowledged rows
+// onto each new one, and retries with backoff while failures stay
+// retryable (sequenced streams only — without sequence numbers a replay
+// could double-apply rows).
+func (s *TickStream) run() {
+	defer s.wg.Done()
+	attempts := 0
+	for {
+		err, retryable := s.connect()
+		if err == nil {
+			s.finish(io.EOF)
+			return
+		}
+		s.mu.Lock()
+		if s.acked {
+			attempts = 0
+			s.acked = false
+		}
+		s.mu.Unlock()
+		if !retryable || !s.opts.Sequenced {
+			s.finish(err)
+			return
+		}
+		attempts++
+		if attempts >= s.opts.MaxAttempts {
+			s.finish(fmt.Errorf("tkcm: giving up after %d reconnect attempts: %w", attempts, err))
+			return
+		}
+		select {
+		case <-time.After(s.opts.RetryBackoff):
+		case <-s.ctx.Done():
+			s.finish(s.ctx.Err())
+			return
+		}
+	}
+}
+
+// serverLine is one NDJSON response line: an ack, or a terminal error.
+type serverLine struct {
+	Ack
+	Error string `json:"error"`
+	Retry bool   `json:"retry"`
+}
+
+// connect runs one connection to completion. A nil error is a clean
+// shutdown (Close flushed everything); otherwise retryable reports whether
+// replaying on a fresh connection may succeed.
+func (s *TickStream) connect() (err error, retryable bool) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodPost,
+		s.c.base+"/v1/tenants/"+url.PathEscape(s.tenant)+"/ticks", pr)
+	if err != nil {
+		return fmt.Errorf("tkcm: %w", err), false
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	s.mu.Lock()
+	s.writeIdx = 0 // replay every unacknowledged row onto this connection
+	s.mu.Unlock()
+
+	connDead := make(chan struct{})
+	var dieOnce sync.Once
+	die := func() { dieOnce.Do(func() { close(connDead) }) }
+	writerDone := make(chan struct{})
+	go s.writeLoop(pw, connDead, writerDone)
+	defer func() { die(); pw.CloseWithError(err); <-writerDone }()
+
+	// Do returns when response headers arrive — which the full-duplex
+	// server sends with the first ack (or a pre-stream error), while the
+	// writer above is already pumping rows.
+	resp, herr := s.c.hc.Do(req)
+	if herr != nil {
+		if s.ctx.Err() != nil {
+			return s.ctx.Err(), false
+		}
+		return fmt.Errorf("tkcm: %w", herr), true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		aerr := decodeError(resp)
+		// 503 = draining or shard manager closed: the server is going down
+		// or rebooting; replay may succeed against its successor.
+		return aerr, resp.StatusCode == http.StatusServiceUnavailable
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var sl serverLine
+		if jerr := json.Unmarshal(line, &sl); jerr != nil {
+			return fmt.Errorf("tkcm: decoding ack line: %w", jerr), false
+		}
+		if sl.Error != "" {
+			return &APIError{StatusCode: http.StatusOK, Message: sl.Error}, sl.Retry
+		}
+		if derr := s.deliver(sl.Ack); derr != nil {
+			return derr, false
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return fmt.Errorf("tkcm: reading acks: %w", serr), true
+	}
+	// Clean EOF: the server ended the stream. If we were closing and
+	// everything is acked this is the expected end; otherwise treat it as a
+	// drop and replay.
+	s.mu.Lock()
+	clean := s.closing && len(s.unacked) == 0
+	s.mu.Unlock()
+	if clean {
+		return nil, false
+	}
+	return errors.New("tkcm: server ended the tick stream"), true
+}
+
+// writeLoop streams queued rows onto one connection, replaying from
+// writeIdx. It owns pw and closes it when a graceful Close has flushed
+// every row.
+func (s *TickStream) writeLoop(pw *io.PipeWriter, connDead <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	var buf bytes.Buffer
+	for {
+		s.mu.Lock()
+		for s.writeIdx >= len(s.unacked) {
+			if s.closing || s.err != nil {
+				s.mu.Unlock()
+				pw.Close() // EOF tells the server we are done sending
+				return
+			}
+			s.mu.Unlock()
+			select {
+			case <-s.notify:
+			case <-connDead:
+				return
+			case <-s.ctx.Done():
+				return
+			}
+			s.mu.Lock()
+		}
+		// Batch every queued row into one pipe write: the pipe is an
+		// unbuffered synchronous handoff to the HTTP transport, so per-row
+		// writes would cost a goroutine park/wake and a tiny TCP chunk each
+		// — the difference between ~5k and ~50k rows/s per connection.
+		buf.Reset()
+		for s.writeIdx < len(s.unacked) && buf.Len() < 32<<10 {
+			row := s.unacked[s.writeIdx]
+			s.writeIdx++
+			encodeRow(&buf, row.seq, row.values)
+		}
+		s.mu.Unlock()
+
+		if _, err := pw.Write(buf.Bytes()); err != nil {
+			return // connection is dead; connect's reader handles the retry
+		}
+	}
+}
+
+// deliver matches one ack against the oldest unacknowledged row, hands the
+// token back, and buffers the ack for Recv.
+func (s *TickStream) deliver(a Ack) error {
+	s.mu.Lock()
+	if len(s.unacked) == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("tkcm: ack for seq %d with no row outstanding", a.Seq)
+	}
+	head := s.unacked[0]
+	if head.seq != 0 && a.Seq != head.seq {
+		s.mu.Unlock()
+		return fmt.Errorf("tkcm: ack seq %d does not match oldest in-flight row %d", a.Seq, head.seq)
+	}
+	s.unacked = s.unacked[1:]
+	if s.writeIdx > 0 {
+		s.writeIdx--
+	}
+	s.acked = true
+	flushedNow := s.closing && len(s.unacked) == 0
+	s.mu.Unlock()
+
+	// Buffer the ack for Recv. Prefer delivery; once Close has been called
+	// and the buffer is full, drop instead of blocking — otherwise a caller
+	// that abandoned Recv would deadlock the flush.
+	select {
+	case s.acks <- a:
+	default:
+		select {
+		case s.acks <- a:
+		case <-s.closeDrop:
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	}
+	<-s.tokens
+	if flushedNow {
+		s.flOnce.Do(func() { close(s.flushed) })
+	}
+	return nil
+}
+
+// encodeRow appends one NDJSON input line to buf. NaN becomes null, the
+// missing-value marker of the wire format.
+func encodeRow(buf *bytes.Buffer, seq uint64, values []float64) {
+	buf.WriteByte('{')
+	if seq > 0 {
+		buf.WriteString(`"seq":`)
+		buf.Write(strconv.AppendUint(buf.AvailableBuffer(), seq, 10))
+		buf.WriteByte(',')
+	}
+	buf.WriteString(`"values":[`)
+	for i, v := range values {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if math.IsNaN(v) {
+			buf.WriteString("null")
+		} else {
+			buf.Write(strconv.AppendFloat(buf.AvailableBuffer(), v, 'g', -1, 64))
+		}
+	}
+	buf.WriteString("]}\n")
+}

@@ -14,16 +14,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
+	"tkcm/internal/benchfmt"
 	"tkcm/internal/core"
 	"tkcm/internal/experiments"
 )
@@ -43,79 +41,16 @@ var (
 	jsonFlag     = flag.String("json", "", "write machine-readable engine/wide results to this file (e.g. BENCH_engine.json)")
 )
 
-// benchRecord is one machine-readable measurement row of the -json output.
-type benchRecord struct {
-	Experiment string `json:"experiment"`
-	Row        any    `json:"row"`
-}
-
-// benchReport is the top-level -json document. The run metadata (Go
-// version, GOOS/GOARCH, GOMAXPROCS, CPU count, VCS commit) makes
-// BENCH_*.json trajectories comparable across machines and revisions.
-type benchReport struct {
-	Schema     string        `json:"schema"`
-	Scale      string        `json:"scale"`
-	Go         string        `json:"go"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Commit     string        `json:"commit"`
-	Timestamp  string        `json:"timestamp"`
-	Rows       []benchRecord `json:"rows"`
-}
-
-// vcsCommit reports the VCS revision stamped into the binary (suffixed
-// "+dirty" for modified working trees), or "unknown" when built without VCS
-// information (e.g. go run from a non-repo).
-func vcsCommit() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev == "" {
-		return "unknown"
-	}
-	if dirty {
-		rev += "+dirty"
-	}
-	return rev
-}
-
-// jsonRows collects engine/wide measurements for the -json report.
-var jsonRows []benchRecord
+// jsonRows collects engine/wide measurements for the -json report (schema
+// benchfmt.SchemaV2, shared with cmd/tkcm-loadgen).
+var jsonRows []benchfmt.Record
 
 func recordJSON(experiment string, row any) {
-	jsonRows = append(jsonRows, benchRecord{Experiment: experiment, Row: row})
+	jsonRows = append(jsonRows, benchfmt.Record{Experiment: experiment, Row: row})
 }
 
 func writeJSON(path, scale string) error {
-	report := benchReport{
-		Schema:     "tkcm-bench/engine-v2",
-		Scale:      scale,
-		Go:         runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Commit:     vcsCommit(),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Rows:       jsonRows,
-	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return benchfmt.NewReport(scale, jsonRows).WriteFile(path)
 }
 
 func main() {

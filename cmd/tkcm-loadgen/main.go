@@ -1,0 +1,285 @@
+// Command tkcm-loadgen drives a running tkcm-serve instance at full tilt
+// and reports what the service actually sustains end-to-end: aggregate
+// ticks/s, ack latency percentiles (p50/p99), and imputation counts —
+// through the real HTTP/NDJSON protocol, the public client package, and
+// (when the server runs with -wal-dir) the full durability path.
+//
+// Usage:
+//
+//	tkcm-serve   -addr :8080 -checkpoint-dir /tmp/ck -wal-dir /tmp/wal &
+//	tkcm-loadgen -addr http://localhost:8080 -tenants 8 -streams 2 \
+//	    -duration 30s -missing 0.05 -json LOADGEN.json
+//
+// The generator creates -tenants fresh tenants (deleted afterwards unless
+// -keep), opens -streams concurrent tick streams per tenant, and pumps
+// synthetic seasonal rows with a -missing fraction of values dropped. A
+// single stream per tenant runs sequenced (exactly-once, reconnecting);
+// multiple writers per tenant run unsequenced. The -json report uses the
+// tkcm-bench machine-readable schema (internal/benchfmt), so CI archives
+// both under the same format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkcm/client"
+	"tkcm/internal/benchfmt"
+)
+
+type options struct {
+	addr     string
+	tenants  int
+	streams  int
+	width    int
+	duration time.Duration
+	missing  float64
+	inflight int
+	window   int
+	k, l, d  int
+	jsonPath string
+	keep     bool
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tkcm-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// result aggregates one run for the report and the human summary.
+type result struct {
+	Tenants      int     `json:"tenants"`
+	Streams      int     `json:"streams_per_tenant"`
+	Width        int     `json:"width"`
+	MissingRate  float64 `json:"missing_rate"`
+	Duration     float64 `json:"duration_seconds"`
+	Ticks        uint64  `json:"ticks"`
+	TicksPerSec  float64 `json:"ticks_per_sec"`
+	Imputations  uint64  `json:"imputations"`
+	Duplicates   uint64  `json:"duplicates"`
+	AckP50Millis float64 `json:"ack_p50_ms"`
+	AckP99Millis float64 `json:"ack_p99_ms"`
+	AckMaxMillis float64 `json:"ack_max_ms"`
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("tkcm-loadgen", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "http://localhost:8080", "tkcm-serve base URL")
+	fs.IntVar(&o.tenants, "tenants", 4, "concurrent tenants to create and drive")
+	fs.IntVar(&o.streams, "streams", 1, "concurrent tick streams per tenant (1 = sequenced/exactly-once)")
+	fs.IntVar(&o.width, "width", 8, "streams (columns) per tenant row")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "measurement duration")
+	fs.Float64Var(&o.missing, "missing", 0.05, "probability a value is missing (after warmup)")
+	fs.IntVar(&o.inflight, "inflight", 128, "max unacked rows per stream (backpressure window)")
+	fs.IntVar(&o.window, "window", 1024, "tenant window length L")
+	fs.IntVar(&o.k, "k", 3, "tenant anchor count k")
+	fs.IntVar(&o.l, "l", 8, "tenant pattern length l")
+	fs.IntVar(&o.d, "d", 2, "tenant reference count d")
+	fs.StringVar(&o.jsonPath, "json", "", "write a machine-readable report (tkcm-bench schema) to this file")
+	fs.BoolVar(&o.keep, "keep", false, "keep the generated tenants after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := client.New(o.addr)
+	if _, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+
+	streams := make([]string, o.width)
+	for i := range streams {
+		streams[i] = fmt.Sprintf("s%03d", i)
+	}
+	ids := make([]string, o.tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("loadgen-%d-%04d", os.Getpid(), i)
+		err := c.CreateTenant(ctx, ids[i], client.CreateTenantRequest{
+			Streams: streams,
+			Config: &client.Config{
+				K: o.k, PatternLength: o.l, D: o.d,
+				WindowLength: o.window, SkipDiagnostics: true,
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", ids[i], err)
+		}
+	}
+	if !o.keep {
+		defer func() {
+			dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer dcancel()
+			for _, id := range ids {
+				if err := c.DeleteTenant(dctx, id); err != nil {
+					fmt.Fprintf(os.Stderr, "tkcm-loadgen: deleting %s: %v\n", id, err)
+				}
+			}
+		}()
+	}
+
+	var (
+		ticks      atomic.Uint64
+		imputes    atomic.Uint64
+		duplicates atomic.Uint64
+		latMu      sync.Mutex
+		latencies  []int64
+		wg         sync.WaitGroup
+	)
+	deadline := time.Now().Add(o.duration)
+	runCtx, stop := context.WithDeadline(ctx, deadline.Add(30*time.Second))
+	defer stop()
+
+	fmt.Fprintf(out, "# tkcm-loadgen — %d tenants × %d streams, width %d, %.0f%% missing, %v\n",
+		o.tenants, o.streams, o.width, 100*o.missing, o.duration)
+	start := time.Now()
+	for ti := range ids {
+		for si := 0; si < o.streams; si++ {
+			wg.Add(1)
+			go func(tenant string, worker int) {
+				defer wg.Done()
+				lats, err := drive(runCtx, c, tenant, worker, o, deadline, &ticks, &imputes, &duplicates)
+				latMu.Lock()
+				latencies = append(latencies, lats...)
+				latMu.Unlock()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tkcm-loadgen: %s/%d: %v\n", tenant, worker, err)
+				}
+			}(ids[ti], si)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := result{
+		Tenants:     o.tenants,
+		Streams:     o.streams,
+		Width:       o.width,
+		MissingRate: o.missing,
+		Duration:    elapsed.Seconds(),
+		Ticks:       ticks.Load(),
+		TicksPerSec: float64(ticks.Load()) / elapsed.Seconds(),
+		Imputations: imputes.Load(),
+		Duplicates:  duplicates.Load(),
+	}
+	res.AckP50Millis, res.AckP99Millis, res.AckMaxMillis = percentiles(latencies)
+
+	fmt.Fprintf(out, "ticks        %d\n", res.Ticks)
+	fmt.Fprintf(out, "ticks/s      %.0f\n", res.TicksPerSec)
+	fmt.Fprintf(out, "imputations  %d\n", res.Imputations)
+	fmt.Fprintf(out, "duplicates   %d\n", res.Duplicates)
+	fmt.Fprintf(out, "ack p50      %.3f ms\n", res.AckP50Millis)
+	fmt.Fprintf(out, "ack p99      %.3f ms\n", res.AckP99Millis)
+	fmt.Fprintf(out, "ack max      %.3f ms\n", res.AckMaxMillis)
+
+	if o.jsonPath != "" {
+		report := benchfmt.NewReport("loadgen", []benchfmt.Record{{Experiment: "loadgen", Row: res}})
+		if err := report.WriteFile(o.jsonPath); err != nil {
+			return fmt.Errorf("writing %s: %w", o.jsonPath, err)
+		}
+		fmt.Fprintf(out, "wrote report to %s\n", o.jsonPath)
+	}
+	if res.Ticks == 0 {
+		return fmt.Errorf("no ticks were acknowledged")
+	}
+	return nil
+}
+
+// drive pumps one tick stream until the deadline: a sender goroutine
+// generates seasonal rows with missing values, the receiver consumes acks
+// and measures the send→ack round trip per row.
+func drive(ctx context.Context, c *client.Client, tenant string, worker int, o options,
+	deadline time.Time, ticks, imputes, duplicates *atomic.Uint64) ([]int64, error) {
+
+	st, err := c.OpenStream(ctx, tenant, client.StreamOptions{
+		Sequenced:   o.streams == 1,
+		MaxInFlight: o.inflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// tsCh carries each accepted row's timestamp to the receiver in send
+	// order — acks arrive in the same order, so the head of the channel is
+	// always the ack's row. Capacity beyond MaxInFlight means the sender
+	// never blocks here.
+	tsCh := make(chan int64, o.inflight+1)
+	lats := make([]int64, 0, 1<<16)
+	recvErr := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ack, err := st.Recv(ctx)
+			if err == io.EOF {
+				recvErr <- nil
+				return
+			}
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			t := <-tsCh
+			lats = append(lats, time.Now().UnixNano()-t)
+			ticks.Add(1)
+			imputes.Add(uint64(len(ack.Imputed)))
+			if ack.Duplicate {
+				duplicates.Add(1)
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(int64(worker)*7919 + 17))
+	row := make([]float64, o.width)
+	warmup := o.l + o.d + 4 // first rows complete so the window has history
+	var serr error
+	for n := 0; time.Now().Before(deadline); n++ {
+		for i := range row {
+			base := math.Sin(2*math.Pi*float64(n)/96 + float64(i))
+			row[i] = 20 + 5*base + 0.1*rng.Float64()
+			if n > warmup && rng.Float64() < o.missing {
+				row[i] = math.NaN()
+			}
+		}
+		if serr = st.Send(ctx, row); serr != nil {
+			break
+		}
+		tsCh <- time.Now().UnixNano()
+	}
+	// Close flushes the queued rows and waits for their acks; the receiver
+	// consumes them and ends on the stream's EOF.
+	cerr := st.Close()
+	<-done
+	if rerr := <-recvErr; rerr != nil && serr == nil {
+		serr = rerr
+	}
+	if serr == nil {
+		serr = cerr
+	}
+	return lats, serr
+}
+
+// percentiles returns p50, p99 and max in milliseconds.
+func percentiles(lats []int64) (p50, p99, max float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / 1e6
+	}
+	return at(0.50), at(0.99), float64(lats[len(lats)-1]) / 1e6
+}

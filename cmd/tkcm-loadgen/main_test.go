@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tkcm/internal/benchfmt"
+	"tkcm/internal/server"
+	"tkcm/internal/shard"
+	"tkcm/internal/wal"
+)
+
+// serveMain boots a WAL-enabled serving stack for the smoke test and tears
+// it down when ctx ends.
+func serveMain(ctx context.Context, dir string, addrc chan net.Addr) error {
+	walMgr := wal.NewManager(filepath.Join(dir, "wal"), wal.Options{SyncInterval: time.Millisecond})
+	defer walMgr.Close()
+	m := shard.New(shard.Options{Shards: 2, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: filepath.Join(dir, "ck"), WAL: walMgr})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	addrc <- ln.Addr()
+	<-ctx.Done()
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	return srv.Shutdown(sctx)
+}
+
+// TestLoadgenSmoke drives a real tkcm-serve (full binary path, WAL enabled)
+// for a second and checks the run acked ticks, imputed values, and emitted
+// a valid machine-readable report.
+func TestLoadgenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- serveMain(ctx, dir, addrc) }()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-srvErr:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	jsonPath := filepath.Join(dir, "LOADGEN.json")
+	err := run([]string{
+		"-addr", base,
+		"-tenants", "2", "-streams", "1", "-width", "4",
+		"-duration", "1s", "-missing", "0.1",
+		"-window", "64", "-l", "4", "-k", "2",
+		"-json", jsonPath,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchfmt.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Schema != benchfmt.SchemaV2 {
+		t.Fatalf("schema %q, want %q", report.Schema, benchfmt.SchemaV2)
+	}
+	if len(report.Rows) != 1 || report.Rows[0].Experiment != "loadgen" {
+		t.Fatalf("rows: %+v", report.Rows)
+	}
+	row, err := json.Marshal(report.Rows[0].Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(row, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks == 0 || res.TicksPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", res)
+	}
+	if res.Imputations == 0 {
+		t.Fatalf("no imputations recorded: %+v", res)
+	}
+	if res.AckP99Millis < res.AckP50Millis {
+		t.Fatalf("p99 < p50: %+v", res)
+	}
+
+	cancel()
+	select {
+	case <-srvErr:
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

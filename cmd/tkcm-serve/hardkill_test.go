@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tkcm/client"
+	"tkcm/internal/core"
+)
+
+// TestServeHelperProcess is not a test: re-executed with TKCM_SERVE_HELPER=1
+// it becomes a real tkcm-serve process, so the hard-kill test below can
+// kill -9 an actual OS process rather than simulate a crash in-process.
+func TestServeHelperProcess(t *testing.T) {
+	if os.Getenv("TKCM_SERVE_HELPER") != "1" {
+		t.Skip("helper process for TestHardKillLosesNoAckedTick")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	args := strings.Fields(os.Getenv("TKCM_SERVE_ARGS"))
+	err := run(ctx, args, func(a net.Addr) {
+		fmt.Printf("TKCM_READY %s\n", a)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnServe re-executes the test binary as a tkcm-serve on addr and waits
+// until it accepts connections.
+func spawnServe(t *testing.T, args []string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestServeHelperProcess")
+	cmd.Env = append(os.Environ(),
+		"TKCM_SERVE_HELPER=1",
+		"TKCM_SERVE_ARGS="+strings.Join(args, " "))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "TKCM_READY ") {
+				close(ready)
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full stdout pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("helper server never became ready")
+	}
+	return cmd
+}
+
+// rowAt deterministically generates the n-th input row (1-based sequence):
+// seasonal values with stream 0 missing on every third tick past warmup.
+func rowAt(n, width int) []float64 {
+	row := make([]float64, width)
+	for i := range row {
+		row[i] = 20 + 5*math.Sin(2*math.Pi*float64(n)/24+float64(i)) + 0.01*float64(n%7)
+	}
+	if n > 30 && n%3 == 0 {
+		row[0] = math.NaN()
+	}
+	return row
+}
+
+// TestHardKillLosesNoAckedTick is the durability acceptance test: a real
+// tkcm-serve process is SIGKILLed mid-stream (no drain, no final
+// checkpoint) and restarted over the same directories. Every acknowledged
+// tick must survive, and the restored engine must match an uninterrupted
+// engine fed the same rows to within 1e-9.
+func TestHardKillLosesNoAckedTick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	// Reserve a port so the restarted server can reuse the address the
+	// client keeps reconnecting to.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	args := []string{
+		"-addr", addr,
+		"-shards", "2",
+		"-checkpoint-dir", dir + "/ck",
+		"-wal-dir", dir + "/wal",
+		"-wal-sync", "1ms",
+		// No periodic checkpoints: recovery must come from the WAL alone
+		// (plus the base image written at tenant creation).
+		"-checkpoint-every", "1h",
+	}
+	proc := spawnServe(t, args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := client.New("http://" + addr)
+	const width = 4
+	cfg := &client.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 64}
+	if err := c.CreateTenant(ctx, "hk", client.CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2", "r3"},
+		Config:  cfg,
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	st, err := c.OpenStream(ctx, "hk", client.StreamOptions{Sequenced: true, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	const killAt = 150
+	sendErr := make(chan error, 1)
+	go func() {
+		for n := 1; n <= total; n++ {
+			if err := st.Send(ctx, rowAt(n, width)); err != nil {
+				sendErr <- fmt.Errorf("send %d: %w", n, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	acked := make(map[uint64]int)
+	killed := false
+	for len(acked) < total {
+		ack, err := st.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv after %d acks: %v", len(acked), err)
+		}
+		acked[ack.Seq]++
+		if !killed && len(acked) >= killAt {
+			killed = true
+			// SIGKILL: no signal handler runs, no drain, no checkpoint —
+			// the process is simply gone mid-stream.
+			if err := proc.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			proc.Wait()
+			proc = spawnServe(t, args)
+		}
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for seq := uint64(1); seq <= total; seq++ {
+		if acked[seq] != 1 {
+			t.Fatalf("seq %d acked %d times, want exactly 1", seq, acked[seq])
+		}
+	}
+
+	// The restored tenant must match an engine that saw every row without
+	// interruption.
+	info, err := c.GetTenant(ctx, "hk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != total {
+		t.Fatalf("tenant seq after recovery = %d, want %d", info.Seq, total)
+	}
+	var snap bytes.Buffer
+	if _, err := c.Snapshot(ctx, "hk", &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreEngine(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.K, coreCfg.PatternLength, coreCfg.D, coreCfg.WindowLength =
+		cfg.K, cfg.PatternLength, cfg.D, cfg.WindowLength
+	ref, err := core.NewEngine(coreCfg, []string{"s", "r1", "r2", "r3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for n := 1; n <= total; n++ {
+		if _, _, err := ref.Tick(rowAt(n, width)); err != nil {
+			t.Fatalf("reference tick %d: %v", n, err)
+		}
+	}
+	if restored.Seq() != ref.Seq() {
+		t.Fatalf("restored seq %d != reference %d", restored.Seq(), ref.Seq())
+	}
+	for i := 0; i < width; i++ {
+		got := restored.Window().Snapshot(i)
+		want := ref.Window().Snapshot(i)
+		if len(got) != len(want) {
+			t.Fatalf("stream %d: %d retained ticks, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("stream %d tick %d: restored %v, uninterrupted %v (Δ=%g)",
+					i, j, got[j], want[j], math.Abs(got[j]-want[j]))
+			}
+		}
+	}
+
+	// Graceful goodbye for the survivor.
+	proc.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		proc.Process.Kill()
+		t.Fatal("restarted server did not shut down on SIGTERM")
+	}
+}

@@ -16,9 +16,17 @@
 //
 // With -checkpoint-dir set, every tenant's engine is snapshotted
 // periodically and on shutdown, and restored on the next start, so a
-// restart resumes imputation where it left off. SIGINT/SIGTERM trigger a
+// restart resumes imputation where it left off. Adding -wal-dir makes the
+// service crash-durable: every tick is write-ahead-logged and acknowledged
+// only after its group commit (-wal-sync) reaches stable storage, and
+// recovery replays the log on top of the newest checkpoint — a kill -9
+// mid-stream loses zero acknowledged ticks. SIGINT/SIGTERM trigger a
 // graceful shutdown: the HTTP server drains in-flight tick streams, a final
 // checkpoint is written, and the shards close their engines.
+//
+// See docs/API.md for the full HTTP/NDJSON reference (including the
+// tick-stream ack protocol and the durability contract) and
+// docs/OPERATIONS.md for metrics and tuning.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"tkcm/internal/server"
 	"tkcm/internal/shard"
+	"tkcm/internal/wal"
 )
 
 func main() {
@@ -58,6 +67,9 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		queue      = fs.Int("queue", 64, "bounded request queue length per shard")
 		ckDir      = fs.String("checkpoint-dir", "", "directory for tenant snapshots (empty = no persistence)")
 		ckEvery    = fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval")
+		walDir     = fs.String("wal-dir", "", "directory for per-tenant write-ahead logs (empty = acks are not crash-durable; requires -checkpoint-dir)")
+		walSync    = fs.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit interval (0 = fsync every tick)")
+		walSegment = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,11 +77,20 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 	}
 	log := slog.Default()
 
-	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue})
+	var walMgr *wal.Manager
+	if *walDir != "" {
+		if *ckDir == "" {
+			return errors.New("-wal-dir requires -checkpoint-dir (the log replays on top of checkpoints)")
+		}
+		walMgr = wal.NewManager(*walDir, wal.Options{SyncInterval: *walSync, SegmentBytes: *walSegment})
+		defer walMgr.Close()
+	}
+	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue, WAL: walMgr})
 	srv := server.New(server.Options{
 		Manager:            m,
 		CheckpointDir:      *ckDir,
 		CheckpointInterval: *ckEvery,
+		WAL:                walMgr,
 		Log:                log,
 	})
 	if *ckDir != "" {

@@ -1,11 +1,12 @@
-// Serving example: run the tkcm-serve subsystem in-process, stream NDJSON
-// ticks to it over HTTP, and print the imputations it sends back.
+// Serving example: run the tkcm-serve subsystem in-process — write-ahead
+// log and checkpoints included — and drive it with the official Go client:
+// create a tenant, stream ticks, and print the imputations that come back.
 //
 // This is the service-shaped version of examples/quickstart: the same
 // phase-shifted streams, but the engine lives behind the sharded
-// multi-tenant HTTP API (internal/server + internal/shard) instead of being
-// called as a library, exactly as a fleet of sensor gateways would use a
-// deployed tkcm-serve.
+// multi-tenant HTTP API (internal/server + internal/shard) and every
+// acknowledged tick is crash-durable (internal/wal), exactly as a fleet of
+// sensor gateways would use a deployed tkcm-serve.
 //
 // Run with:
 //
@@ -13,19 +14,20 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"log/slog"
 	"math"
-	"net/http"
 	"net/http/httptest"
-	"strings"
+	"os"
+	"path/filepath"
+	"time"
 
+	"tkcm/client"
 	"tkcm/internal/server"
 	"tkcm/internal/shard"
+	"tkcm/internal/wal"
 )
 
 const (
@@ -48,125 +50,96 @@ func value(stream, tick int) float64 {
 }
 
 func main() {
-	// 1. Boot the serving subsystem in-process: 2 shards behind the HTTP API.
+	ctx := context.Background()
+
+	// 1. Boot the serving subsystem in-process: 2 shards behind the HTTP
+	//    API, with checkpoints and a per-tenant write-ahead log so every
+	//    acked tick would survive even a kill -9.
 	slog.SetLogLoggerLevel(slog.LevelWarn)
-	mgr := shard.New(shard.Options{Shards: 2})
-	srv := server.New(server.Options{Manager: mgr})
+	dir, err := os.MkdirTemp("", "tkcm-serving-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	walMgr := wal.NewManager(filepath.Join(dir, "wal"), wal.Options{SyncInterval: 2 * time.Millisecond})
+	defer walMgr.Close()
+	mgr := shard.New(shard.Options{Shards: 2, WAL: walMgr})
+	srv := server.New(server.Options{
+		Manager:       mgr,
+		CheckpointDir: filepath.Join(dir, "checkpoints"),
+		WAL:           walMgr,
+	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// 2. Create a tenant: one monitored stream s, two phase-shifted
-	//    references, a two-day window.
-	create := fmt.Sprintf(`{
-		"streams": ["s", "r1", "r2"],
-		"config": {"k": 2, "pattern_length": 36, "d": 2, "window_length": %d},
-		"refs": {"s": ["r1", "r2"]}
-	}`, 2*period)
-	resp, err := http.Post(ts.URL+"/v1/tenants/plant-a", "application/json", strings.NewReader(create))
+	// 2. Create a tenant through the client: one monitored stream s, two
+	//    phase-shifted references, a two-day window.
+	c := client.New(ts.URL)
+	err = c.CreateTenant(ctx, "plant-a", client.CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2"},
+		Config:  &client.Config{K: 2, PatternLength: 36, D: 2, WindowLength: 2 * period},
+		Refs:    map[string][]string{"s": {"r1", "r2"}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusCreated {
-		b, _ := io.ReadAll(resp.Body)
-		log.Fatalf("create tenant: %s: %s", resp.Status, b)
-	}
-	resp.Body.Close()
-	fmt.Printf("tenant plant-a created on %s\n\n", ts.URL)
+	fmt.Printf("tenant plant-a created on %s (WAL + checkpoints in %s)\n\n", ts.URL, dir)
 
-	// 3. Open one long-lived NDJSON tick stream and drive it in lock-step:
-	//    write a row, read the completed row.
-	pr, pw := io.Pipe()
-	req, err := http.NewRequest("POST", ts.URL+"/v1/tenants/plant-a/ticks", pr)
+	// 3. Open one sequenced tick stream. Sequenced means exactly-once: if
+	//    the connection dropped, the client would reconnect and replay
+	//    unacked rows, and the server would dedupe them by sequence number.
+	st, err := c.OpenStream(ctx, "plant-a", client.StreamOptions{Sequenced: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	respc := make(chan *http.Response, 1)
-	go func() {
-		r, err := http.DefaultClient.Do(req)
+	send := func(vals []float64) client.Ack {
+		if err := st.Send(ctx, vals); err != nil {
+			log.Fatal(err)
+		}
+		ack, err := st.Recv(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		respc <- r
-	}()
-	enc := json.NewEncoder(pw)
-
-	type tickIn struct {
-		Values []*f64 `json:"values"`
-	}
-	type tickOut struct {
-		Tick    int       `json:"tick"`
-		Values  []float64 `json:"values"`
-		Imputed []int     `json:"imputed"`
-	}
-	var sc *bufio.Scanner
-	var body io.ReadCloser
-	send := func(vals []*f64) tickOut {
-		if err := enc.Encode(tickIn{Values: vals}); err != nil {
-			log.Fatal(err)
-		}
-		if sc == nil {
-			r := <-respc
-			body = r.Body
-			sc = bufio.NewScanner(r.Body)
-		}
-		if !sc.Scan() {
-			log.Fatalf("stream ended early: %v", sc.Err())
-		}
-		var out tickOut
-		if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
-			log.Fatalf("bad line %q: %v", sc.Bytes(), err)
-		}
-		return out
+		return ack
 	}
 
 	// Warm the window with complete rows.
 	for t := 0; t < warm; t++ {
-		send(row(value(0, t), value(1, t), value(2, t)))
+		send([]float64{value(0, t), value(1, t), value(2, t)})
 	}
 
 	// 4. Live phase: the monitored sensor drops out every third tick; the
-	//    service imputes it from the phase-shifted references.
+	//    service imputes it from the phase-shifted references. Every ack
+	//    printed below is already on stable storage.
 	fmt.Println("tick   truth    imputed  |err|   refs at tick")
 	var worst float64
 	for t := warm; t < warm+live; t++ {
 		truth := value(0, t)
-		vals := row(truth, value(1, t), value(2, t))
+		vals := []float64{truth, value(1, t), value(2, t)}
 		lost := t%3 == 0
 		if lost {
-			vals[0] = nil // NDJSON null = missing
+			vals[0] = math.NaN() // NaN = missing on the wire (JSON null)
 		}
-		out := send(vals)
+		ack := send(vals)
 		if !lost {
 			continue
 		}
-		got := out.Values[0]
+		got := ack.Values[0]
 		err := math.Abs(got - truth)
 		if err > worst {
 			worst = err
 		}
 		fmt.Printf("%5d  %7.3f  %7.3f  %5.3f   r1=%.3f r2=%.3f\n",
-			out.Tick, truth, got, err, *vals[1], *vals[2])
+			ack.Tick, truth, got, err, vals[1], vals[2])
 	}
 	fmt.Printf("\nworst absolute error over %d imputations: %.4f\n", live/3, worst)
 
-	// 5. Tear down: close the stream, then the server.
-	pw.Close()
-	if body != nil {
-		io.Copy(io.Discard, body)
-		body.Close()
+	// 5. Tear down: flush the stream, then shut the service down (final
+	//    checkpoint + drained shards).
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
 	}
-	srv.Shutdown(req.Context())
-}
-
-// f64 aliases float64 for pointer-literal brevity.
-type f64 = float64
-
-func row(vs ...float64) []*f64 {
-	out := make([]*f64, len(vs))
-	for i := range vs {
-		v := vs[i]
-		out[i] = &v
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
 	}
-	return out
 }

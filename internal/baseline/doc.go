@@ -1,0 +1,10 @@
+// Package baseline implements the simple imputation techniques the paper
+// surveys in Sec. 2: mean imputation, linear interpolation, last observation
+// carried forward, and k-nearest-neighbour imputation (kNNI, Batista &
+// Monard 2003 with the similarity weighting of Troyanskaya et al. 2001).
+//
+// These serve as sanity floors in the experiment harness: a competent
+// streaming method must beat them, and linear interpolation in particular
+// degrades catastrophically on long gaps (the sine-wave example of Sec. 2),
+// which the block-length experiments make visible.
+package baseline

@@ -1,0 +1,104 @@
+// Package benchfmt defines the machine-readable benchmark report format
+// shared by cmd/tkcm-bench and cmd/tkcm-loadgen (schema
+// "tkcm-bench/engine-v2"). Keeping one definition ensures every BENCH_*.json
+// artifact in CI carries the same run metadata and parses the same way
+// across tools and revisions.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// SchemaV2 identifies the current report schema.
+const SchemaV2 = "tkcm-bench/engine-v2"
+
+// Record is one measurement row, tagged with the experiment that produced
+// it.
+type Record struct {
+	// Experiment names the producing experiment (e.g. "engine", "loadgen").
+	Experiment string `json:"experiment"`
+	// Row is the experiment-specific measurement payload.
+	Row any `json:"row"`
+}
+
+// Report is the top-level -json document. The run metadata (Go version,
+// GOOS/GOARCH, GOMAXPROCS, CPU count, VCS commit) makes BENCH_*.json
+// trajectories comparable across machines and revisions.
+type Report struct {
+	// Schema is the document schema id (SchemaV2).
+	Schema string `json:"schema"`
+	// Scale is the experiment scale ("small", "paper", or a tool-specific
+	// label).
+	Scale string `json:"scale"`
+	// Go is the toolchain version that built the producing binary.
+	Go string `json:"go"`
+	// GOOS/GOARCH locate the run's platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler width the run used.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Commit is the VCS revision (suffixed "+dirty"), or "unknown".
+	Commit string `json:"commit"`
+	// Timestamp is the report creation time, RFC 3339 UTC.
+	Timestamp string `json:"timestamp"`
+	// Rows holds the measurements.
+	Rows []Record `json:"rows"`
+}
+
+// NewReport assembles a Report around rows, stamping schema, platform and
+// VCS metadata.
+func NewReport(scale string, rows []Record) Report {
+	return Report{
+		Schema:     SchemaV2,
+		Scale:      scale,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     VCSCommit(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Rows:       rows,
+	}
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// VCSCommit reports the VCS revision stamped into the binary (suffixed
+// "+dirty" for modified working trees), or "unknown" when built without
+// VCS information (e.g. go run from a non-repo).
+func VCSCommit() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

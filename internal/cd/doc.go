@@ -1,0 +1,18 @@
+// Package cd implements the Centroid Decomposition recovery baseline
+// (Khayati et al., ICDE 2014 / SSTD 2015): offline recovery of missing
+// blocks in a matrix of time series by iterative matrix decomposition.
+//
+// The algorithm builds an n×m matrix (rows = ticks, columns = the
+// incomplete series plus its reference series), initializes missing entries
+// by linear interpolation, and then repeats until convergence:
+//
+//  1. compute the centroid decomposition X = Σ lᵢ rᵢᵀ,
+//  2. truncate to the leading components (dropping the least significant
+//     ones, which capture noise and — per the TKCM paper's critique — the
+//     non-linear residue of shifted series),
+//  3. replace the missing entries with the truncated reconstruction.
+//
+// CD assumes a linear correlation between the incomplete series and its
+// references; on phase-shifted data its accuracy degrades, which is exactly
+// the behaviour the TKCM evaluation (Sec. 7.3.3) demonstrates.
+package cd

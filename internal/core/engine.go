@@ -122,6 +122,30 @@ func (e *Engine) Config() Config { return e.cfg }
 // Profiler returns the resolved pattern-extraction strategy the engine runs.
 func (e *Engine) Profiler() Profiler { return e.prof }
 
+// Seq returns the number of rows the engine has ingested over its lifetime —
+// the sequence number of the last applied row (0 for a fresh engine). Unlike
+// the caller-resettable Stats.Ticks it is monotone and preserved exactly by
+// Snapshot/RestoreEngine, which is what lets a write-ahead-log replay resume
+// precisely where a checkpoint ends.
+func (e *Engine) Seq() uint64 { return uint64(e.tick) }
+
+// ValidateRow checks row against the engine's stream width and value domain
+// (NaN marks a missing value and is legal; ±Inf never is) without mutating
+// any state. It is exactly the precondition Tick enforces before touching
+// the window, exposed so a serving layer can write-ahead-log a row knowing
+// the engine cannot reject it afterwards (or on crash replay).
+func (e *Engine) ValidateRow(row []float64) error {
+	if len(row) != e.w.Width() {
+		return fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
+	}
+	for i, v := range row {
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("core: row[%d] (stream %q): non-finite measurement %v (use NaN for missing)", i, e.w.Names()[i], v)
+		}
+	}
+	return nil
+}
+
 // Tick consumes one row of measurements (one value per stream, NaN =
 // missing) and imputes every missing value. It returns the completed row
 // (imputed in place of NaN) and the per-stream imputation results for
@@ -140,17 +164,12 @@ func (e *Engine) Profiler() Profiler { return e.prof }
 // in practice references must be present at tn anyway for the paper's
 // reference-selection rule).
 func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
-	if len(row) != e.w.Width() {
-		return nil, nil, fmt.Errorf("core: row width %d != stream count %d", len(row), e.w.Width())
-	}
 	// Validate before mutating any state, so a rejected row leaves the
 	// engine exactly as it was (service boundaries retry or drop the row).
 	// NaN is the missing-value marker and passes; ±Inf is never a valid
 	// measurement and would poison the window aggregates.
-	for i, v := range row {
-		if math.IsInf(v, 0) {
-			return nil, nil, fmt.Errorf("core: row[%d] (stream %q): non-finite measurement %v (use NaN for missing)", i, e.w.Names()[i], v)
-		}
+	if err := e.ValidateRow(row); err != nil {
+		return nil, nil, err
 	}
 	e.w.Advance(row)
 	e.tick++

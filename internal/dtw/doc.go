@@ -1,0 +1,11 @@
+// Package dtw implements dynamic time warping, the dissimilarity function
+// the paper names as future work (Sec. 8): comparing patterns under elastic
+// time alignment, and estimating the alignment (lag) between shifted time
+// series so that TKCM's accuracy on pre-aligned series with l = 1 can be
+// compared against the shifted series with l > 1 — the exact experiment the
+// paper proposes.
+//
+// The implementation is the standard O(n·m) dynamic program with an optional
+// Sakoe–Chiba band constraint, operating on one-dimensional sequences; a
+// multi-row pattern is compared row by row and aggregated.
+package dtw

@@ -1,0 +1,15 @@
+// Package muscles implements the MUSCLES baseline (Yi et al., ICDE 2000):
+// online imputation of a missing stream value via multivariate
+// autoregression whose coefficients are tracked with Recursive Least
+// Squares under an exponential forgetting factor λ.
+//
+// The estimate for the incomplete stream s at time t uses, as regressors,
+// the most recent p values of s itself and the values of every co-evolving
+// stream within the same tracking window p (the paper's Sec. 2 description).
+// After p consecutive missing values the model necessarily feeds on its own
+// imputations, which is the error-accumulation weakness the TKCM paper
+// exploits in the comparison (Sec. 7.3.3).
+//
+// Following the TKCM paper's experimental setup (Sec. 7.1): tracking window
+// p = 6 and forgetting factor λ = 1.
+package muscles

@@ -90,6 +90,21 @@ func (s *Server) pruneCheckpoints(infos []shard.TenantInfo) {
 			os.Remove(filepath.Join(s.dir, name))
 		}
 	}
+	// Same backstop for write-ahead logs: a log whose tenant is no longer
+	// hosted would only warn forever at the next restore.
+	if s.wal != nil {
+		ids, err := s.wal.Tenants()
+		if err != nil {
+			return
+		}
+		for _, id := range ids {
+			if !hosted[id] {
+				if err := s.wal.Remove(id); err == nil {
+					s.log.Info("pruned write-ahead log of unhosted tenant", "tenant", id)
+				}
+			}
+		}
+	}
 }
 
 // removeCheckpoint deletes tenant id's snapshot file so the tenant stays
@@ -109,14 +124,16 @@ func (s *Server) removeCheckpoint(id string) error {
 }
 
 // checkpointTenant writes one tenant's snapshot via temp file + rename, so a
-// crash mid-write never clobbers the previous good checkpoint.
+// crash mid-write never clobbers the previous good checkpoint. Once the
+// rename lands, the tenant's write-ahead log is truncated up to the sequence
+// number the snapshot covers: recovery never needs those records again.
 func (s *Server) checkpointTenant(ctx context.Context, id string) error {
 	f, err := os.CreateTemp(s.dir, id+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	err = s.m.Snapshot(ctx, id, f)
+	seq, err := s.m.Snapshot(ctx, id, f)
 	if err == nil {
 		// Flush to stable storage before the rename: without the fsync a
 		// power loss could materialize the rename but not the data, tearing
@@ -130,27 +147,60 @@ func (s *Server) checkpointTenant(ctx context.Context, id string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, id+checkpointExt))
+	if err := os.Rename(tmp, filepath.Join(s.dir, id+checkpointExt)); err != nil {
+		return err
+	}
+	// Make the rename itself durable before reclaiming the log it
+	// supersedes: without the directory fsync a power loss could persist
+	// the truncation's unlinks but not the rename, leaving the OLD
+	// checkpoint on disk with the records between the two checkpoints
+	// already deleted.
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		// Best-effort: a failed truncation costs disk space, not
+		// correctness — replay skips records the checkpoint already covers.
+		if err := s.wal.Truncate(id, seq); err != nil {
+			s.log.Warn("wal truncation after checkpoint", "tenant", id, "seq", seq, "err", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames and unlinks inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // RestoreFromCheckpoints scans the checkpoint directory and re-hosts every
-// saved tenant (file <id>.tkcm → tenant id). Returns how many tenants were
-// restored. A tenant that already exists (e.g. hot-restart overlap) is
-// skipped; an unreadable snapshot aborts with an error, since silently
-// serving a fresh engine under a tenant id that has durable state would be
-// data loss.
+// saved tenant (file <id>.tkcm → tenant id), replaying its write-ahead log
+// on top of the snapshot when a WAL is configured — together they restore
+// every acknowledged tick, including everything since the last checkpoint.
+// Returns how many tenants were restored. A tenant that already exists
+// (e.g. hot-restart overlap) is skipped; an unreadable snapshot or corrupt
+// log aborts with an error, since silently serving a fresh engine under a
+// tenant id that has durable state would be data loss.
 func (s *Server) RestoreFromCheckpoints(ctx context.Context) (int, error) {
 	if s.dir == "" {
 		return 0, nil
 	}
 	entries, err := os.ReadDir(s.dir)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
+		entries = nil
+	} else if err != nil {
 		return 0, fmt.Errorf("server: reading checkpoint dir: %w", err)
 	}
 	n := 0
+	restored := make(map[string]bool)
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(name, checkpointExt) {
@@ -165,6 +215,11 @@ func (s *Server) RestoreFromCheckpoints(ctx context.Context) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("server: restoring tenant %q: %w", id, err)
 		}
+		replayed, err := s.replayWAL(id, eng)
+		if err != nil {
+			eng.Close()
+			return n, fmt.Errorf("server: replaying WAL of tenant %q: %w", id, err)
+		}
 		if err := s.m.Attach(ctx, id, eng); err != nil {
 			if errors.Is(err, shard.ErrTenantExists) {
 				eng.Close()
@@ -173,10 +228,44 @@ func (s *Server) RestoreFromCheckpoints(ctx context.Context) (int, error) {
 			eng.Close()
 			return n, err
 		}
-		s.log.Info("tenant restored from checkpoint", "tenant", id, "ticks", eng.Stats.Ticks)
+		restored[id] = true
+		s.log.Info("tenant restored", "tenant", id, "ticks", eng.Stats.Ticks, "wal_replayed", replayed)
 		n++
 	}
+	// A log directory without a checkpoint should be impossible (tenant
+	// creation writes the base image before acking) — if one exists anyway,
+	// refuse to silently discard it but don't host a tenant we have no
+	// config for.
+	if s.wal != nil {
+		ids, err := s.wal.Tenants()
+		if err != nil {
+			return n, err
+		}
+		for _, id := range ids {
+			if !restored[id] {
+				s.log.Warn("write-ahead log has no matching checkpoint; not restored", "tenant", id)
+			}
+		}
+	}
 	return n, nil
+}
+
+// replayWAL feeds every logged row newer than the restored engine's
+// sequence number back through the engine. Rows were validated before they
+// were logged, so a replay error means real corruption, not a bad row.
+func (s *Server) replayWAL(id string, eng *core.Engine) (uint64, error) {
+	if s.wal == nil {
+		return 0, nil
+	}
+	var replayed uint64
+	_, err := s.wal.ReplayTenant(id, eng.Seq()+1, func(seq uint64, values []float64) error {
+		if _, _, err := eng.Tick(values); err != nil {
+			return fmt.Errorf("row %d: %w", seq, err)
+		}
+		replayed++
+		return nil
+	})
+	return replayed, err
 }
 
 func (s *Server) restoreOne(path string) (*core.Engine, error) {

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"tkcm/internal/shard"
+)
+
+// TestAPIDocsCoverEveryRoute walks the server's route manifest and requires
+// docs/API.md to name every registered route verbatim (in backticks, e.g.
+// `GET /v1/tenants/{id}`). Adding an endpoint without documenting it fails
+// here; documenting a route that no longer exists fails the reverse check.
+func TestAPIDocsCoverEveryRoute(t *testing.T) {
+	m := shard.New(shard.Options{Shards: 1})
+	defer m.Close()
+	s := New(Options{Manager: m})
+
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the full API: %v", err)
+	}
+	doc := string(raw)
+	routes := s.Routes()
+	if len(routes) == 0 {
+		t.Fatal("server registered no routes")
+	}
+	for _, r := range routes {
+		if !strings.Contains(doc, "`"+r+"`") {
+			t.Errorf("docs/API.md does not document route `%s`", r)
+		}
+	}
+
+	// Reverse direction: every documented route must still exist.
+	known := make(map[string]bool, len(routes))
+	for _, r := range routes {
+		known[r] = true
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		for _, method := range []string{"GET ", "POST ", "DELETE ", "PUT ", "PATCH "} {
+			i := strings.Index(line, "`"+method)
+			if i < 0 {
+				continue
+			}
+			rest := line[i+1:]
+			j := strings.Index(rest, "`")
+			if j < 0 {
+				continue
+			}
+			if doc := rest[:j]; !known[doc] {
+				t.Errorf("docs/API.md documents `%s`, which is not a registered route", doc)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 
 	"tkcm/internal/core"
 	"tkcm/internal/shard"
+	"tkcm/internal/wal"
 )
 
 // Options configures a Server.
@@ -32,6 +34,12 @@ type Options struct {
 	// CheckpointInterval is the period of the background checkpoint loop
 	// (default 30s; ignored without CheckpointDir).
 	CheckpointInterval time.Duration
+	// WAL is the write-ahead-log manager shared with the shard manager
+	// (shard.Options.WAL). When set, the server replays tenant logs on
+	// restore, truncates them after each checkpoint, prunes logs of
+	// unhosted tenants, and exposes WAL counters on /metrics. Requires
+	// CheckpointDir: the log replays on top of checkpoints.
+	WAL *wal.Manager
 	// Log receives request and checkpoint events (default slog.Default()).
 	Log *slog.Logger
 }
@@ -40,7 +48,9 @@ type Options struct {
 // New, mount Handler, and call Shutdown to drain and checkpoint.
 type Server struct {
 	m        *shard.Manager
+	wal      *wal.Manager
 	mux      *http.ServeMux
+	routes   []string
 	log      *slog.Logger
 	dir      string
 	interval time.Duration
@@ -86,6 +96,7 @@ func New(opts Options) *Server {
 	}
 	s := &Server{
 		m:        opts.Manager,
+		wal:      opts.WAL,
 		mux:      http.NewServeMux(),
 		log:      log,
 		dir:      opts.CheckpointDir,
@@ -94,15 +105,33 @@ func New(opts Options) *Server {
 		stopCk:   make(chan struct{}),
 		draining: make(chan struct{}),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
-	s.mux.HandleFunc("POST /v1/tenants/{id}", s.handleCreateTenant)
-	s.mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
-	s.mux.HandleFunc("POST /v1/tenants/{id}/ticks", s.handleTicks)
-	s.mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	if s.wal != nil && s.dir == "" {
+		panic("server: Options.WAL requires Options.CheckpointDir (the log replays on top of checkpoints)")
+	}
+	// handle registers a route on the mux AND in the route manifest that
+	// Routes exposes; docs/API.md coverage is asserted against the manifest,
+	// so an endpoint added here without documentation fails the build's
+	// route-coverage test.
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, h)
+		s.routes = append(s.routes, pattern)
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/tenants", s.handleListTenants)
+	handle("GET /v1/tenants/{id}", s.handleGetTenant)
+	handle("POST /v1/tenants/{id}", s.handleCreateTenant)
+	handle("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
+	handle("POST /v1/tenants/{id}/ticks", s.handleTicks)
+	handle("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	handle("POST /v1/checkpoint", s.handleCheckpoint)
 	return s
+}
+
+// Routes returns every registered route pattern ("METHOD /path"), the
+// ground truth the API documentation is tested against.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
 }
 
 // Handler returns the HTTP handler tree.
@@ -113,9 +142,12 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// apiError is the uniform JSON error body.
+// apiError is the uniform JSON error body. Retry marks mid-stream errors a
+// sequenced client should answer by reconnecting and replaying from its
+// last acked row (drain, durability hiccup) rather than giving up.
 type apiError struct {
 	Error string `json:"error"`
+	Retry bool   `json:"retry,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -137,6 +169,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, shard.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrSeqGap):
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
@@ -162,6 +196,16 @@ func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tenants": infos})
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, err := s.m.Info(r.Context(), id)
+	if err != nil {
+		writeError(w, statusFor(err), "tenant %q: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // apiConfig is the JSON shape of a tenant's TKCM configuration. Zero fields
@@ -243,12 +287,54 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 			refs[stream] = core.ReferenceSet{Stream: stream, Candidates: cands}
 		}
 	}
-	if err := s.m.Create(r.Context(), id, cfg, req.Streams, refs); err != nil {
+	// Once we commit to creating the tenant, finish the job even if the
+	// client hangs up: a canceled request context aborting halfway (tenant
+	// hosted, base checkpoint missing, rollback also canceled) would leave
+	// a WAL with no image to replay onto — acked ticks unrestorable.
+	ctx := context.WithoutCancel(r.Context())
+	// ckMu spans the engine create (which opens the tenant's WAL directory)
+	// and the base-image write, mirroring the delete path: a concurrent
+	// CheckpointAll then either runs wholly before (its stale tenant
+	// listing cannot see a WAL directory that does not exist yet, so its
+	// prune cannot remove it) or wholly after (the tenant and its base
+	// checkpoint are both visible).
+	s.ckMu.Lock()
+	err = s.m.Create(ctx, id, cfg, req.Streams, refs)
+	if err == nil && s.wal != nil {
+		// With a WAL, every acked tick must be recoverable — which needs a
+		// base image (config + streams) the log can replay onto. If it
+		// cannot be written the creation is rolled back rather than hosting
+		// a tenant whose acks would be empty promises.
+		ckErr := os.MkdirAll(s.dir, 0o755)
+		if ckErr == nil {
+			ckErr = s.checkpointTenant(ctx, id)
+		}
+		if ckErr != nil {
+			s.log.Error("base checkpoint of new tenant failed; rolling back", "tenant", id, "err", ckErr)
+			if derr := s.deleteTenantLocked(ctx, id); derr != nil {
+				s.log.Error("rolling back tenant create", "tenant", id, "err", derr)
+			}
+			s.ckMu.Unlock()
+			writeError(w, http.StatusInternalServerError, "creating tenant %q: writing base checkpoint: %v", id, ckErr)
+			return
+		}
+	}
+	s.ckMu.Unlock()
+	if err != nil {
 		writeError(w, statusFor(err), "creating tenant %q: %v", id, err)
 		return
 	}
 	s.log.Info("tenant created", "tenant", id, "streams", len(req.Streams), "window", cfg.WindowLength)
 	writeJSON(w, http.StatusCreated, map[string]any{"tenant": id, "streams": req.Streams})
+}
+
+// deleteTenantLocked removes the tenant's engine, WAL, and checkpoint file.
+// Callers must hold ckMu.
+func (s *Server) deleteTenantLocked(ctx context.Context, id string) error {
+	if err := s.m.Delete(ctx, id); err != nil {
+		return err
+	}
+	return s.removeCheckpoint(id)
 }
 
 func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
@@ -277,22 +363,43 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
-// tickIn is one NDJSON input line: values with null marking missing.
+// tickIn is one NDJSON input line: values with null marking missing, plus
+// an optional client sequence number for exactly-once replay (0/absent =
+// unsequenced).
 type tickIn struct {
+	Seq    uint64     `json:"seq"`
 	Values []*float64 `json:"values"`
 }
 
-// tickOut is one NDJSON output line: the completed row.
+// tickOut is one NDJSON output line: the completed row. A Duplicate ack
+// carries no values — the row was already applied and durable.
 type tickOut struct {
-	Tick    int       `json:"tick"`
-	Values  []float64 `json:"values"`
-	Imputed []int     `json:"imputed"`
+	Tick      int       `json:"tick"`
+	Seq       uint64    `json:"seq"`
+	Values    []float64 `json:"values"`
+	Imputed   []int     `json:"imputed"`
+	Duplicate bool      `json:"duplicate,omitempty"`
 }
 
 // maxTickLine bounds one NDJSON input line (1 MiB ≈ a few tens of thousands
 // of streams per row), so a hostile line cannot force unbounded allocation
 // before the engine's width check runs.
 const maxTickLine = 1 << 20
+
+// tickInFlight bounds the acks pending durability per connection. It is the
+// window over which one fsync amortizes; past it the reader blocks, which
+// is the connection-level backpressure.
+const tickInFlight = 256
+
+// ackMsg is one unit of the tick stream's reader→writer pipeline: either an
+// ack awaiting its durability commit, or a terminal error.
+type ackMsg struct {
+	out     tickOut
+	commit  wal.Commit
+	errText string // terminal NDJSON error when non-empty
+	status  int    // HTTP status for the error if nothing streamed yet
+	retry   bool   // the client should reconnect and replay
+}
 
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -308,29 +415,91 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxTickLine)
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
+
+	// The handler splits into a reader (decode → apply → enqueue) and a
+	// writer (wait durable → encode ack), joined by a bounded channel.
+	// While row i's group commit is pending, rows i+1… keep flowing into
+	// the engine and into the same commit window, so the WAL fsync
+	// amortizes over the whole in-flight window instead of serializing the
+	// connection at one fsync round-trip per row. Only the writer touches w
+	// after the split, so status-code and line ordering stay coherent.
+	acks := make(chan *ackMsg, tickInFlight)
+	free := make(chan *ackMsg, tickInFlight)
+	writerGone := make(chan struct{})
+	go func() {
+		defer close(writerGone)
+		enc := json.NewEncoder(w)
+		streamed := false
+		for msg := range acks {
+			if msg.errText == "" {
+				if err := msg.commit.Wait(); err != nil {
+					// The row is applied in memory but not durable: never
+					// ack it. The client replays it after reconnecting.
+					msg.errText = fmt.Sprintf("tick %d not durable: %v", msg.out.Seq, err)
+					msg.status = http.StatusInternalServerError
+					msg.retry = true
+				}
+			}
+			if msg.errText != "" {
+				if !streamed {
+					writeError(w, msg.status, "%s", msg.errText)
+				} else {
+					enc.Encode(apiError{Error: msg.errText, Retry: msg.retry})
+					rc.Flush()
+				}
+				return
+			}
+			if !streamed {
+				streamed = true
+				w.WriteHeader(http.StatusOK)
+			}
+			if err := enc.Encode(&msg.out); err != nil {
+				return // client gone
+			}
+			// Flush when the pipeline is drained (a lock-step client gets
+			// its ack immediately); while more acks queue behind, let them
+			// coalesce into one write.
+			if len(acks) == 0 {
+				rc.Flush()
+			}
+			select {
+			case free <- msg:
+			default:
+			}
+		}
+	}()
+
+	// send hands msg to the writer, or reports that the writer is gone
+	// (terminal error already written, or client disconnected).
+	send := func(msg *ackMsg) bool {
+		select {
+		case acks <- msg:
+			return true
+		case <-writerGone:
+			return false
+		}
+	}
+	fail := func(status int, format string, args ...any) {
+		// 503s (drain, shard manager closing) are the recoverable goodbyes:
+		// the row was not applied and a reconnect + replay will succeed.
+		send(&ackMsg{
+			errText: fmt.Sprintf(format, args...),
+			status:  status,
+			retry:   status == http.StatusServiceUnavailable,
+		})
+	}
 
 	var (
-		rsp      shard.TickResponse
-		row      []float64
-		streamed bool
-		out      tickOut
+		rsp shard.TickResponse
+		row []float64
 	)
-	fail := func(status int, format string, args ...any) {
-		// Before the first output line the status code is still ours to
-		// choose; afterwards the error becomes a terminal NDJSON line.
-		if !streamed {
-			writeError(w, status, format, args...)
-			return
-		}
-		enc.Encode(apiError{Error: fmt.Sprintf(format, args...)})
-	}
+reading:
 	for {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
 				fail(http.StatusBadRequest, "reading tick line: %v", err)
 			}
-			return
+			break
 		}
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
@@ -339,7 +508,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		var in tickIn
 		if err := json.Unmarshal(line, &in); err != nil {
 			fail(http.StatusBadRequest, "decoding tick line: %v", err)
-			return
+			break
 		}
 		// A drain (graceful shutdown) terminates the stream before the next
 		// row is applied, so every row acked below is covered by the final
@@ -347,7 +516,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-s.draining:
 			fail(http.StatusServiceUnavailable, "server draining; replay from the last acked tick")
-			return
+			break reading
 		default:
 		}
 		row = row[:0]
@@ -358,23 +527,30 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 				row = append(row, *v)
 			}
 		}
-		if err := s.m.Tick(r.Context(), id, row, &rsp); err != nil {
+		if err := s.m.Tick(r.Context(), id, in.Seq, row, &rsp); err != nil {
 			fail(statusFor(err), "tick: %v", err)
-			return
+			break
 		}
 		s.tickRows.Add(1)
-		if !streamed {
-			streamed = true
-			w.WriteHeader(http.StatusOK)
+		var msg *ackMsg
+		select {
+		case msg = <-free:
+		default:
+			msg = &ackMsg{}
 		}
-		out.Tick = rsp.Tick
-		out.Values = rsp.Row
-		out.Imputed = rsp.Imputed
-		if err := enc.Encode(&out); err != nil {
-			return // client gone
+		msg.errText = ""
+		msg.commit = rsp.Durable
+		msg.out.Tick = rsp.Tick
+		msg.out.Seq = rsp.Seq
+		msg.out.Duplicate = rsp.Duplicate
+		msg.out.Values = append(msg.out.Values[:0], rsp.Row...)
+		msg.out.Imputed = append(msg.out.Imputed[:0], rsp.Imputed...)
+		if !send(msg) {
+			break
 		}
-		rc.Flush()
 	}
+	close(acks)
+	<-writerGone
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -391,9 +567,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "snapshot of %q: %v", id, err)
 		return
 	}
-	defer os.Remove(f.Name())
+	// Unlink the spool immediately (the open fd keeps it readable): the file
+	// then cannot outlive the handler no matter how it exits — a client
+	// disconnect mid-download, a panic, or the whole process being killed
+	// mid-copy all reclaim the space, where a deferred Remove would leak it
+	// on a hard kill.
+	os.Remove(f.Name())
 	defer f.Close()
-	if err := s.m.Snapshot(r.Context(), id, f); err != nil {
+	if _, err := s.m.Snapshot(r.Context(), id, f); err != nil {
 		writeError(w, statusFor(err), "snapshot of %q: %v", id, err)
 		return
 	}
@@ -458,4 +639,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		fmt.Fprintf(w, "# HELP tkcm_wal_appends_total Tick records appended to write-ahead logs.\n# TYPE tkcm_wal_appends_total counter\ntkcm_wal_appends_total %d\n", ws.Appends)
+		fmt.Fprintf(w, "# HELP tkcm_wal_syncs_total WAL group commits (fsync batches) completed.\n# TYPE tkcm_wal_syncs_total counter\ntkcm_wal_syncs_total %d\n", ws.Syncs)
+		fmt.Fprintf(w, "# HELP tkcm_wal_sync_errors_total WAL fsyncs that failed (their batch was never acked).\n# TYPE tkcm_wal_sync_errors_total counter\ntkcm_wal_sync_errors_total %d\n", ws.SyncErrors)
+		fmt.Fprintf(w, "# HELP tkcm_wal_bytes_total WAL bytes written, framing included.\n# TYPE tkcm_wal_bytes_total counter\ntkcm_wal_bytes_total %d\n", ws.Bytes)
+		fmt.Fprintf(w, "# HELP tkcm_wal_truncations_total WAL segment files reclaimed after checkpoints.\n# TYPE tkcm_wal_truncations_total counter\ntkcm_wal_truncations_total %d\n", ws.Truncations)
+		fmt.Fprintf(w, "# HELP tkcm_wal_open_logs Tenants with an open write-ahead log.\n# TYPE tkcm_wal_open_logs gauge\ntkcm_wal_open_logs %d\n", ws.OpenLogs)
+	}
 }

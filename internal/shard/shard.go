@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"tkcm/internal/core"
+	"tkcm/internal/wal"
 )
 
 // Sentinel errors of the manager boundary. Tenant-specific occurrences are
@@ -23,6 +24,10 @@ var (
 	ErrTenantExists = errors.New("shard: tenant already exists")
 	// ErrNoTenant is returned for operations on an unknown tenant id.
 	ErrNoTenant = errors.New("shard: no such tenant")
+	// ErrSeqGap is returned by a sequenced Tick whose client sequence number
+	// skips ahead of the engine — rows in between were never applied, so
+	// accepting the row would silently lose them.
+	ErrSeqGap = errors.New("shard: sequence gap")
 )
 
 // Options configures a Manager.
@@ -32,6 +37,11 @@ type Options struct {
 	// QueueLen bounds each shard's request queue (default 64). A full queue
 	// blocks submitters — the backpressure making overload visible upstream.
 	QueueLen int
+	// WAL, when non-nil, write-ahead-logs every tick before it is applied:
+	// Create/Attach open the tenant's log, Delete removes it, and Tick
+	// appends the raw row and hands back the group-commit handle in
+	// TickResponse.Durable. The caller acks only after Durable.Wait().
+	WAL *wal.Manager
 }
 
 // TickResponse receives the outcome of one Manager.Tick. Its slices are
@@ -40,6 +50,18 @@ type Options struct {
 type TickResponse struct {
 	// Tick is the tenant engine's window tick index after this row.
 	Tick int
+	// Seq is the engine's sequence number for this row (rows ingested over
+	// the tenant's lifetime; the first row is 1).
+	Seq uint64
+	// Duplicate reports that a sequenced row was already applied (its seq ≤
+	// the engine's): the row was skipped and acked idempotently, with Row
+	// and Imputed left empty. This is what makes client replay after a
+	// reconnect exactly-once.
+	Duplicate bool
+	// Durable is the write-ahead-log commit handle: Wait returns once the
+	// row is on stable storage. The zero value (WAL disabled, or a
+	// duplicate) waits for nothing.
+	Durable wal.Commit
 	// Row is the completed row: the input with every missing value imputed.
 	Row []float64
 	// Imputed lists the stream indices that were missing in the input.
@@ -71,6 +93,7 @@ type shard struct {
 // Manager routes tenant operations onto shards.
 type Manager struct {
 	shards  []*shard
+	wal     *wal.Manager // nil = durability disabled
 	senders sync.WaitGroup
 	closed  atomic.Bool
 	closing sync.Once
@@ -87,7 +110,7 @@ func New(opts Options) *Manager {
 	if q <= 0 {
 		q = 64
 	}
-	m := &Manager{}
+	m := &Manager{wal: opts.WAL}
 	for i := 0; i < n; i++ {
 		sh := &shard{id: i, reqs: make(chan *request, q), tenants: make(map[string]*core.Engine)}
 		m.shards = append(m.shards, sh)
@@ -157,7 +180,9 @@ func (m *Manager) submit(ctx context.Context, sh *shard, op func(*shard) error) 
 }
 
 // Create hosts a new tenant engine over the named streams. refs may be nil
-// (reference sets are then ranked from the data on first need).
+// (reference sets are then ranked from the data on first need). With a WAL
+// configured, the tenant's log is opened before the tenant is visible; a
+// tenant whose ticks cannot be made durable is refused outright.
 func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, streams []string, refs map[string]core.ReferenceSet) error {
 	return m.do(ctx, tenantID, func(sh *shard) error {
 		if _, ok := sh.tenants[tenantID]; ok {
@@ -167,18 +192,20 @@ func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, 
 		if err != nil {
 			return err
 		}
-		sh.tenants[tenantID] = eng
-		sh.ntenants.Add(1)
-		return nil
-	})
-}
-
-// Attach hosts an existing engine — typically one restored from a snapshot —
-// as tenant tenantID. The manager takes ownership (it will Close the engine).
-func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine) error {
-	return m.do(ctx, tenantID, func(sh *shard) error {
-		if _, ok := sh.tenants[tenantID]; ok {
-			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		if m.wal != nil {
+			// A fresh tenant must start a fresh log. A stale directory can
+			// survive a lost checkpoint (the restore path refuses to host a
+			// tenant whose config it cannot recover); resuming it would pin
+			// the log at the dead tenant's sequence numbers and make every
+			// tick of the new one fail as out-of-order.
+			if err := m.wal.Remove(tenantID); err != nil {
+				eng.Close()
+				return err
+			}
+			if _, err := m.wal.Open(tenantID); err != nil {
+				eng.Close()
+				return err
+			}
 		}
 		sh.tenants[tenantID] = eng
 		sh.ntenants.Add(1)
@@ -186,7 +213,33 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 	})
 }
 
-// Delete removes a tenant and closes its engine.
+// Attach hosts an existing engine — typically one restored from a snapshot
+// (+ WAL replay) — as tenant tenantID. The manager takes ownership (it will
+// Close the engine). With a WAL configured, the tenant's log is opened and
+// fast-forwarded past the engine's sequence number, so the next tick
+// appends contiguously even when the checkpoint is newer than the log.
+func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine) error {
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		if _, ok := sh.tenants[tenantID]; ok {
+			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		}
+		if m.wal != nil {
+			l, err := m.wal.Open(tenantID)
+			if err != nil {
+				return err
+			}
+			if err := l.SetNextSeq(eng.Seq() + 1); err != nil {
+				return err
+			}
+		}
+		sh.tenants[tenantID] = eng
+		sh.ntenants.Add(1)
+		return nil
+	})
+}
+
+// Delete removes a tenant, closes its engine, and deletes its write-ahead
+// log (a deleted tenant must not resurrect from its log on restart).
 func (m *Manager) Delete(ctx context.Context, tenantID string) error {
 	return m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
@@ -196,17 +249,79 @@ func (m *Manager) Delete(ctx context.Context, tenantID string) error {
 		delete(sh.tenants, tenantID)
 		sh.ntenants.Add(-1)
 		eng.Close()
+		if m.wal != nil {
+			return m.wal.Remove(tenantID)
+		}
 		return nil
 	})
 }
 
 // Tick feeds one row (NaN = missing) to the tenant's engine and copies the
 // completed row into rsp. rsp's slices are reused across calls.
-func (m *Manager) Tick(ctx context.Context, tenantID string, row []float64, rsp *TickResponse) error {
+//
+// seq makes the tick idempotent for replaying clients: 0 means unsequenced
+// (always applied); otherwise the row is applied only when seq is exactly
+// the engine's next sequence number, acked as a Duplicate when it was
+// already applied, and refused with ErrSeqGap when rows in between are
+// missing. With a WAL configured the raw row is validated, then logged,
+// then applied — rsp.Durable resolves when the log record is fsynced, and
+// only then may the caller acknowledge the row.
+func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []float64, rsp *TickResponse) error {
 	return m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		engSeq := eng.Seq()
+		rsp.Duplicate = false
+		rsp.Durable = wal.Commit{}
+		if seq != 0 {
+			if seq <= engSeq {
+				// Already applied — but "applied" is not "durable": the
+				// original append's group commit may still be pending, or may
+				// have failed after the row reached the engine. A duplicate
+				// ack is a durability promise like any other, so force the
+				// sync and verify coverage before making it.
+				if m.wal != nil {
+					l := m.wal.Get(tenantID)
+					if l == nil {
+						return fmt.Errorf("shard: tenant %q has no open log", tenantID)
+					}
+					if l.DurableThrough() < seq {
+						if err := l.Sync(); err != nil {
+							return fmt.Errorf("shard: tenant %q: %w", tenantID, err)
+						}
+						if l.DurableThrough() < seq {
+							return fmt.Errorf("shard: tenant %q: replayed row %d is not on stable storage (its log record was lost)", tenantID, seq)
+						}
+					}
+				}
+				rsp.Seq = seq
+				rsp.Tick = eng.Window().Tick()
+				rsp.Row = rsp.Row[:0]
+				rsp.Imputed = rsp.Imputed[:0]
+				rsp.Duplicate = true
+				return nil
+			}
+			if seq != engSeq+1 {
+				return fmt.Errorf("%w: tenant %q: client seq %d, next is %d", ErrSeqGap, tenantID, seq, engSeq+1)
+			}
+		}
+		if m.wal != nil {
+			// Validate first so the logged row can never be rejected by the
+			// engine — neither on the next line nor on crash replay — keeping
+			// the log and the engine sequence in lockstep. Engine.Tick will
+			// re-run the same check; that duplicate scan is deliberate
+			// (independent safety of the public engine API) and costs one
+			// pass over the row, noise next to the WAL encode that follows.
+			if err := eng.ValidateRow(row); err != nil {
+				return err
+			}
+			commit, err := m.wal.Append(tenantID, engSeq+1, row)
+			if err != nil {
+				return fmt.Errorf("shard: tenant %q: %w", tenantID, err)
+			}
+			rsp.Durable = commit
 		}
 		out, _, err := eng.Tick(row)
 		if err != nil {
@@ -214,6 +329,7 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, row []float64, rsp 
 		}
 		sh.ticks.Add(1)
 		rsp.Tick = eng.Window().Tick()
+		rsp.Seq = eng.Seq()
 		rsp.Row = append(rsp.Row[:0], out...)
 		rsp.Imputed = rsp.Imputed[:0]
 		for i, v := range row {
@@ -227,15 +343,20 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, row []float64, rsp 
 }
 
 // Snapshot streams the tenant engine's snapshot (core snapshot format v1)
-// to w, serialized with the tenant's ticks on its shard goroutine.
-func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) error {
-	return m.do(ctx, tenantID, func(sh *shard) error {
+// to w, serialized with the tenant's ticks on its shard goroutine, and
+// returns the engine sequence number the snapshot covers — the safe
+// truncation point for the tenant's write-ahead log.
+func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) (uint64, error) {
+	var seq uint64
+	err := m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
 		}
+		seq = eng.Seq()
 		return eng.Snapshot(w)
 	})
+	return seq, err
 }
 
 // TenantInfo describes one hosted tenant.
@@ -244,6 +365,29 @@ type TenantInfo struct {
 	Shard   int      `json:"shard"`
 	Streams []string `json:"streams"`
 	Ticks   int      `json:"ticks"`
+	// Seq is the engine's sequence number: rows ingested over the tenant's
+	// lifetime. A sequenced client resumes sending at Seq+1.
+	Seq uint64 `json:"seq"`
+}
+
+// Info describes a single tenant, or ErrNoTenant.
+func (m *Manager) Info(ctx context.Context, tenantID string) (TenantInfo, error) {
+	var info TenantInfo
+	err := m.do(ctx, tenantID, func(sh *shard) error {
+		eng, ok := sh.tenants[tenantID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		info = TenantInfo{
+			ID:      tenantID,
+			Shard:   sh.id,
+			Streams: eng.Window().Names(),
+			Ticks:   eng.Stats.Ticks,
+			Seq:     eng.Seq(),
+		}
+		return nil
+	})
+	return info, err
 }
 
 // Tenants lists every hosted tenant, sorted by id.
@@ -257,6 +401,7 @@ func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
 					Shard:   sh.id,
 					Streams: eng.Window().Names(),
 					Ticks:   eng.Stats.Ticks,
+					Seq:     eng.Seq(),
 				})
 			}
 			return nil

@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
+
 	"tkcm/internal/core"
+	"tkcm/internal/wal"
 )
 
 func testConfig() core.Config {
@@ -47,7 +50,7 @@ func TestManagerLifecycle(t *testing.T) {
 		if tk > 30 && tk%5 == 0 {
 			row[1] = math.NaN()
 		}
-		if err := m.Tick(ctx, "t1", row, &rsp); err != nil {
+		if err := m.Tick(ctx, "t1", 0, row, &rsp); err != nil {
 			t.Fatalf("tick %d: %v", tk, err)
 		}
 		if rsp.Tick != tk {
@@ -74,7 +77,7 @@ func TestManagerLifecycle(t *testing.T) {
 		t.Fatalf("t1 ticks %d, want 60", infos[0].Ticks)
 	}
 
-	if err := m.Tick(ctx, "nope", testRow(0, 4), &rsp); !errors.Is(err, ErrNoTenant) {
+	if err := m.Tick(ctx, "nope", 0, testRow(0, 4), &rsp); !errors.Is(err, ErrNoTenant) {
 		t.Fatalf("tick unknown tenant: %v", err)
 	}
 	if err := m.Delete(ctx, "t2"); err != nil {
@@ -85,7 +88,7 @@ func TestManagerLifecycle(t *testing.T) {
 	}
 
 	var snap bytes.Buffer
-	if err := m.Snapshot(ctx, "t1", &snap); err != nil {
+	if _, err := m.Snapshot(ctx, "t1", &snap); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := core.RestoreEngine(&snap); err != nil {
@@ -117,7 +120,7 @@ func TestManagerMatchesDirectEngine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Tick(ctx, "t", row, &rsp); err != nil {
+		if err := m.Tick(ctx, "t", 0, row, &rsp); err != nil {
 			t.Fatal(err)
 		}
 		for i := range want {
@@ -156,7 +159,7 @@ func TestManagerConcurrentTenants(t *testing.T) {
 				if tk > 30 && tk%3 == 0 {
 					row[2] = math.NaN()
 				}
-				if err := m.Tick(ctx, id, row, &rsp); err != nil {
+				if err := m.Tick(ctx, id, 0, row, &rsp); err != nil {
 					errc <- err
 					return
 				}
@@ -194,7 +197,7 @@ func TestManagerCloseDrains(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			var rsp TickResponse
-			if err := m.Tick(ctx, "t", testRow(i, 4), &rsp); err == nil {
+			if err := m.Tick(ctx, "t", 0, testRow(i, 4), &rsp); err == nil {
 				mu.Lock()
 				done++
 				mu.Unlock()
@@ -206,7 +209,7 @@ func TestManagerCloseDrains(t *testing.T) {
 	m.Close()
 	wg.Wait()
 	var rsp TickResponse
-	if err := m.Tick(ctx, "t", testRow(0, 4), &rsp); !errors.Is(err, ErrClosed) {
+	if err := m.Tick(ctx, "t", 0, testRow(0, 4), &rsp); !errors.Is(err, ErrClosed) {
 		t.Fatalf("tick after close: %v", err)
 	}
 	if err := m.Create(ctx, "u", testConfig(), testStreams(), nil); !errors.Is(err, ErrClosed) {
@@ -266,4 +269,119 @@ func TestManagerContextCancelUnderBackpressure(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
+}
+
+// TestSequencedTickSemantics pins the exactly-once contract at the shard
+// boundary: in-order seqs apply, already-applied seqs ack as duplicates
+// without mutating the engine, and gaps are refused.
+func TestSequencedTickSemantics(t *testing.T) {
+	ctx := context.Background()
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 2, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var rsp TickResponse
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := m.Tick(ctx, "t", seq, testRow(int(seq), 4), &rsp); err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if rsp.Seq != seq || rsp.Duplicate {
+			t.Fatalf("seq %d: rsp %+v", seq, rsp)
+		}
+		if err := rsp.Durable.Wait(); err != nil {
+			t.Fatalf("seq %d durability: %v", seq, err)
+		}
+	}
+
+	// Replaying an old seq acks idempotently and leaves the engine alone.
+	if err := m.Tick(ctx, "t", 3, testRow(3, 4), &rsp); err != nil {
+		t.Fatal(err)
+	}
+	if !rsp.Duplicate || rsp.Seq != 3 {
+		t.Fatalf("replayed seq 3: rsp %+v", rsp)
+	}
+	info, err := m.Info(ctx, "t")
+	if err != nil || info.Seq != 5 {
+		t.Fatalf("info after duplicate: %+v, %v", info, err)
+	}
+
+	// A gap means lost rows: refuse it.
+	if err := m.Tick(ctx, "t", 9, testRow(9, 4), &rsp); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap seq: err = %v, want ErrSeqGap", err)
+	}
+	// The WAL and the engine stayed in lockstep throughout.
+	if err := m.Tick(ctx, "t", 6, testRow(6, 4), &rsp); err != nil {
+		t.Fatalf("seq 6 after gap refusal: %v", err)
+	}
+}
+
+// TestTickRejectsInvalidRowBeforeWAL: a row the engine would refuse must
+// not reach the log (the two sequence spaces may never diverge).
+func TestTickRejectsInvalidRowBeforeWAL(t *testing.T) {
+	ctx := context.Background()
+	walDir := t.TempDir()
+	walMgr := wal.NewManager(walDir, wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 1, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var rsp TickResponse
+	bad := []float64{1, math.Inf(1), 3, 4}
+	if err := m.Tick(ctx, "t", 0, bad, &rsp); err == nil {
+		t.Fatal("±Inf row was accepted")
+	}
+	if err := m.Tick(ctx, "t", 0, testRow(0, 4), &rsp); err != nil {
+		t.Fatal(err)
+	}
+	last, err := wal.Replay(filepath.Join(walDir, "t"), 1, func(seq uint64, values []float64) error {
+		for _, v := range values {
+			if math.IsInf(v, 0) {
+				t.Fatalf("rejected row reached the WAL: %v", values)
+			}
+		}
+		return nil
+	})
+	if err != nil || last != 1 {
+		t.Fatalf("replay: last=%d err=%v (want exactly the one valid row)", last, err)
+	}
+}
+
+// TestCreateResetsStaleWAL: re-creating a tenant id whose old log directory
+// survived (e.g. its checkpoint was lost) must start a fresh log, not
+// resume the dead tenant's sequence numbers.
+func TestCreateResetsStaleWAL(t *testing.T) {
+	ctx := context.Background()
+	walDir := t.TempDir()
+	stale := wal.NewManager(walDir, wal.Options{})
+	l, err := stale.Open("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 7; seq++ {
+		if _, err := l.Append(seq, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale.Close()
+
+	walMgr := wal.NewManager(walDir, wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 1, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var rsp TickResponse
+	if err := m.Tick(ctx, "t", 1, testRow(1, 4), &rsp); err != nil {
+		t.Fatalf("first tick of re-created tenant: %v", err)
+	}
+	if rsp.Seq != 1 {
+		t.Fatalf("seq %d, want 1", rsp.Seq)
+	}
 }

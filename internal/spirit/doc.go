@@ -1,0 +1,17 @@
+// Package spirit implements the SPIRIT baseline (Papadimitriou, Sun &
+// Faloutsos, VLDB 2005): streaming discovery of k hidden variables that
+// summarize n co-evolving streams via an online PCA (PAST-style tracking of
+// the principal participation weights), with one autoregressive forecaster
+// per hidden variable used to impute missing stream values.
+//
+// When a value is missing at the current tick, SPIRIT forecasts each hidden
+// variable with its AR model, reconstructs the full measurement vector from
+// the forecasted hidden variables and the current weight matrix, and imputes
+// the missing entries from the reconstruction. The imputed vector then
+// updates the weights and the AR models — the same imputed-feedback loop the
+// TKCM paper identifies as SPIRIT's weakness for shifted data (Sec. 2, 7.3.3).
+//
+// Following the TKCM paper's setup (Sec. 7.1): the number of hidden
+// variables is fixed at 2 (no adaptive growth), the AR order is p = 6, and
+// the exponential forgetting factor is λ = 1.
+package spirit

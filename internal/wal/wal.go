@@ -1,0 +1,710 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record framing — every record is self-verifying:
+//
+//	payloadLen  uint32 LE (bytes of payload)
+//	crc         uint32 LE, IEEE CRC-32 of the payload
+//	payload:    seq uint64 LE | count uint32 LE | count × float64 bits LE
+//
+// Each segment file starts with the 8-byte magic "TKCMWAL1" and is named
+// seg-<firstSeq>.wal (20-digit zero-padded decimal), so the segment order
+// and the sequence range it covers are recoverable from the directory
+// listing alone.
+const (
+	segMagic  = "TKCMWAL1"
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+	// recHeader is the fixed framing prefix: payloadLen + crc.
+	recHeader = 8
+	// maxRecordValues bounds one record's value count against corrupt or
+	// crafted length fields (a row wider than this could not have been
+	// appended: core.MaxWindowLength bounds engines far below it).
+	maxRecordValues = 1 << 24
+)
+
+// Sentinel errors of the log boundary; match with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed Log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrOutOfOrder is returned by Append when seq is not the log's next
+	// expected sequence number.
+	ErrOutOfOrder = errors.New("wal: out-of-order sequence number")
+	// ErrCorrupt is returned by Replay when a non-final segment contains an
+	// unreadable record — acked data after it cannot be recovered, which the
+	// caller must surface rather than silently skip.
+	ErrCorrupt = errors.New("wal: corrupt segment")
+)
+
+// Options tunes a Log. The zero value gets conservative defaults.
+type Options struct {
+	// SyncInterval is the group-commit window: appends are batched and one
+	// fsync makes the whole batch durable, so ack latency is bounded by the
+	// interval while the fsync cost amortizes over every record in the
+	// batch. Zero or negative syncs every append (slowest, strictest).
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB). Smaller segments make truncation reclaim space
+	// sooner; each rotation costs one fsync + file creation.
+	SegmentBytes int64
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 64 << 20
+	}
+	return o.SegmentBytes
+}
+
+// counters aggregates activity across the logs of one Manager (atomics live
+// in Manager; a standalone Log carries its own private set).
+type counters struct {
+	appends   func(uint64)
+	syncs     func(uint64)
+	syncErrs  func(uint64)
+	bytes     func(uint64)
+	truncates func(uint64)
+}
+
+func noopCounters() *counters {
+	f := func(uint64) {}
+	return &counters{appends: f, syncs: f, syncErrs: f, bytes: f, truncates: f}
+}
+
+// batch is one group commit in flight: every Append between two syncs shares
+// it. done closes after the covering fsync; err then holds its outcome.
+type batch struct {
+	done chan struct{}
+	err  error
+}
+
+// Commit is the durability handle of one Append: Wait blocks until the fsync
+// covering the record completes and reports its outcome. Acknowledge a write
+// only after Wait returns nil.
+type Commit struct{ b *batch }
+
+// Wait blocks until the record's group commit has been fsynced.
+func (c Commit) Wait() error {
+	if c.b == nil {
+		return nil
+	}
+	<-c.b.done
+	return c.b.err
+}
+
+// Log is one tenant's append-only tick log.
+//
+// Locking discipline: mu guards only the in-memory state — the encode
+// buffer, the pending batch, and the sequence counter — so Append costs a
+// memcpy and never waits on disk (critical: the serving layer appends from
+// a shard goroutine that hosts many tenants). All file I/O (write, fsync,
+// rotation) happens under syncMu, held by at most one syncer at a time
+// (the flusher goroutine, or Append/Sync/Close in strict paths), with mu
+// released before the disk is touched.
+type Log struct {
+	dir  string
+	opts Options
+	ctr  *counters
+
+	mu      sync.Mutex
+	buf     []byte // encoded records awaiting the next sync
+	pending *batch // nil when every appended record is part of a sync
+	nextSeq uint64
+	closed  bool
+	// failed latches the first write/fsync error permanently: the records
+	// of the failed batch are gone while nextSeq already moved past them,
+	// so accepting further appends would bury a sequence gap under later,
+	// successfully-synced (and therefore acked) records. Fail-stop instead:
+	// every subsequent Append reports the original error and nothing more
+	// is acknowledged; reopening the log after the disk recovers rescans
+	// the tail and resumes at the true next sequence number.
+	failed error
+
+	syncMu   sync.Mutex
+	f        *os.File // active segment; touched only under syncMu
+	spare    []byte   // recycled buffer handed back to buf
+	segStart uint64   // first seq of the active segment
+	segSize  int64
+
+	// durable is the highest sequence number known to be on stable storage
+	// (everything ≤ it survived every fsync so far). Monotone; read by the
+	// serving layer to decide whether a replayed row may be acked as a
+	// duplicate without re-syncing.
+	durable atomic.Uint64
+
+	wake chan struct{} // arms the flusher after the first append of a batch
+	quit chan struct{}
+	done chan struct{} // flusher exited
+}
+
+// Open opens (creating if necessary) the log in dir. The final segment's
+// tail is scanned and a torn final record — the signature of a crash during
+// an unacknowledged append — is truncated away; every complete record is
+// preserved. The next expected sequence number becomes lastSeq+1 (1 for an
+// empty log); raise it with SetNextSeq after restoring from a newer
+// checkpoint.
+func Open(dir string, opts Options) (*Log, error) {
+	return open(dir, opts, noopCounters())
+}
+
+func open(dir string, opts Options, ctr *counters) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:  dir,
+		opts: opts,
+		ctr:  ctr,
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if len(segs) == 0 {
+		l.nextSeq = 1
+		l.segStart = 1
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		lastSeq, end, err := scanSegment(filepath.Join(dir, last.name), last.firstSeq, nil)
+		// A torn tail — the signature of a crash mid-append — is expected
+		// here and healed by the truncate below; any other damage (foreign
+		// file, bad magic) must surface instead of being silently clobbered.
+		var torn *tornError
+		if err != nil && !errors.As(err, &torn) {
+			return nil, err
+		}
+		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		// Truncate the torn tail so new appends continue from the last
+		// complete record instead of burying garbage mid-file.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if end < int64(len(segMagic)) {
+			// The crash tore the magic itself (segment created, header not
+			// yet durable): rewrite it — the segment provably has no records.
+			if _, err := f.WriteString(segMagic); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			end = int64(len(segMagic))
+		} else if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.segStart = last.firstSeq
+		l.segSize = end
+		if lastSeq == 0 { // empty segment (rotation landed, nothing appended)
+			l.nextSeq = last.firstSeq
+		} else {
+			l.nextSeq = lastSeq + 1
+		}
+	}
+	l.durable.Store(l.nextSeq - 1) // everything scanned on disk is durable
+	go l.flusher()
+	return l, nil
+}
+
+// NextSeq returns the sequence number the next Append must carry.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// SetNextSeq raises the next expected sequence number — used after a restore
+// whose checkpoint is newer than the log's tail (e.g. the WAL was enabled on
+// an installation that already had checkpoints). Lowering it is refused:
+// re-issuing sequence numbers would corrupt the order invariant.
+func (l *Log) SetNextSeq(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq < l.nextSeq {
+		return fmt.Errorf("%w: cannot lower next seq %d to %d", ErrOutOfOrder, l.nextSeq, seq)
+	}
+	l.nextSeq = seq
+	// The skipped-over range is covered by the checkpoint that justified
+	// the jump; for durability queries it counts as on stable storage.
+	raiseMax(&l.durable, seq-1)
+	return nil
+}
+
+// DurableThrough returns the highest sequence number on stable storage.
+func (l *Log) DurableThrough() uint64 { return l.durable.Load() }
+
+// raiseMax lifts v to at least x (v is monotone under concurrent raisers).
+func raiseMax(v *atomic.Uint64, x uint64) {
+	for {
+		cur := v.Load()
+		if cur >= x || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Append encodes one record (seq must be exactly NextSeq) into the log's
+// memory buffer and returns its durability handle. Append never waits on
+// disk (group-commit mode): the flusher writes and fsyncs the batch within
+// Options.SyncInterval, and Commit.Wait blocks until then. With
+// SyncInterval ≤ 0 the record is written and fsynced before Append returns.
+// values is copied out before Append returns; the caller may reuse it.
+func (l *Log) Append(seq uint64, values []float64) (Commit, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return Commit{}, fmt.Errorf("wal: log failed, refusing append: %w", err)
+	}
+	if seq != l.nextSeq {
+		l.mu.Unlock()
+		return Commit{}, fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, seq, l.nextSeq)
+	}
+
+	payload := 8 + 4 + 8*len(values)
+	need := recHeader + payload
+	off := len(l.buf)
+	l.buf = append(l.buf, make([]byte, need)...)
+	b := l.buf[off : off+need]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	binary.LittleEndian.PutUint32(b[16:20], uint32(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(b[20+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[recHeader:]))
+
+	l.nextSeq++
+	l.ctr.appends(1)
+	l.ctr.bytes(uint64(need))
+
+	if l.opts.SyncInterval <= 0 {
+		// Strict mode: write + fsync before returning.
+		l.mu.Unlock()
+		return Commit{}, l.syncNow()
+	}
+	if l.pending == nil {
+		l.pending = &batch{done: make(chan struct{})}
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	c := Commit{b: l.pending}
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Sync forces the pending batch to stable storage immediately.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+	return l.syncNow()
+}
+
+// syncNow is the only path that touches the segment file: it detaches the
+// buffered records and the pending batch under mu, then writes, fsyncs and
+// (when due) rotates under syncMu alone — appends proceed concurrently into
+// a fresh buffer and the next batch.
+func (l *Log) syncNow() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	data := l.buf
+	b := l.pending
+	l.buf = l.spare[:0]
+	l.pending = nil
+	firstSeq := l.nextSeq // lower bound for a rotated segment's records
+	failed := l.failed
+	l.mu.Unlock()
+	if len(data) == 0 && b == nil {
+		return failed
+	}
+	if failed != nil {
+		// A previous sync failed and its records are a hole: writing these
+		// later records would bury the gap under valid-looking data. Refuse
+		// and fail their producers instead.
+		l.spare = data[:0]
+		if b != nil {
+			b.err = failed
+			close(b.done)
+		}
+		return failed
+	}
+
+	var err error
+	if len(data) > 0 {
+		if _, err = l.f.Write(data); err == nil {
+			err = l.f.Sync()
+		}
+		l.segSize += int64(len(data))
+	}
+	l.spare = data[:0] // recycle: the other buffer is in use by appenders
+	if err != nil {
+		err = fmt.Errorf("wal: sync: %w", err)
+		l.ctr.syncErrs(1)
+		// The failed batch's records are lost but nextSeq already moved past
+		// them: latch the error so no later append can be acked over the gap.
+		l.mu.Lock()
+		if l.failed == nil {
+			l.failed = err
+		}
+		l.mu.Unlock()
+	} else {
+		l.ctr.syncs(1)
+		// Every record below the swapped-out nextSeq is now on disk.
+		raiseMax(&l.durable, firstSeq-1)
+	}
+	if b != nil {
+		b.err = err
+		close(b.done)
+	}
+	if err == nil && l.segSize >= l.opts.segmentBytes() {
+		// Rotation needs no extra fsync: everything in the old segment was
+		// just made durable, and records appended since firstSeq are still
+		// in memory, destined for the new segment.
+		if rerr := l.f.Close(); rerr != nil {
+			return fmt.Errorf("wal: rotate: %w", rerr)
+		}
+		if rerr := l.createSegment(firstSeq); rerr != nil {
+			return rerr
+		}
+	}
+	return err
+}
+
+// flusher is the group-commit loop: armed by the first append of a batch, it
+// sleeps the sync interval (letting the batch accumulate), then fsyncs.
+func (l *Log) flusher() {
+	defer close(l.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.wake:
+		}
+		timer.Reset(l.opts.SyncInterval)
+		select {
+		case <-l.quit:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			// Close syncs the final batch itself; nothing to do here.
+			return
+		case <-timer.C:
+		}
+		l.syncNow()
+	}
+}
+
+// createSegment opens a fresh segment whose name encodes firstSeq and
+// writes the magic. Called under syncMu (or from Open, before the flusher
+// starts).
+func (l *Log) createSegment(firstSeq uint64) error {
+	name := filepath.Join(l.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.f = f
+	l.segStart = firstSeq
+	l.segSize = int64(len(segMagic))
+	return nil
+}
+
+// Truncate removes whole segments whose every record has sequence number
+// ≤ uptoSeq — call it after a checkpoint covering uptoSeq is durable. The
+// active segment is never removed; space before the checkpoint inside it is
+// reclaimed at the next rotation.
+func (l *Log) Truncate(uptoSeq uint64) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+	// syncMu stabilizes the active segment (no rotation mid-truncate).
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		// A segment is removable when the NEXT segment starts at or below
+		// uptoSeq+1 (so every record here is ≤ uptoSeq) and it is not active.
+		if i+1 >= len(segs) || segs[i+1].firstSeq > uptoSeq+1 {
+			break
+		}
+		if seg.firstSeq == l.segStart {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.ctr.truncates(1)
+	}
+	return nil
+}
+
+// Segments reports how many segment files the log currently holds.
+func (l *Log) Segments() int {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close syncs the pending batch and releases the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done // flusher exited; syncNow below is the final syncer
+	err := l.syncNow()
+	l.syncMu.Lock()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.syncMu.Unlock()
+	return err
+}
+
+// Replay streams every record with sequence number ≥ fromSeq, in order, to
+// fn, and returns the last sequence number delivered (0 if none). A torn or
+// unreadable record at the tail of the FINAL segment ends the replay cleanly
+// — it was mid-write during a crash and was never acknowledged. The same
+// damage in any earlier segment returns ErrCorrupt: records after it were
+// acknowledged and cannot be skipped silently. fn's error aborts the replay.
+func Replay(dir string, fromSeq uint64, fn func(seq uint64, values []float64) error) (uint64, error) {
+	segs, err := listSegments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var last uint64
+	// next tracks contiguity ACROSS segments (scanSegment enforces it
+	// within one): a missing middle segment — deleted by hand, lost to a
+	// partial restore — must surface as ErrCorrupt, never as a silent hole
+	// in the replayed history. 0 = no record seen yet.
+	var next uint64
+	for i, seg := range segs {
+		// Skip segments wholly below fromSeq: the next segment's first seq
+		// bounds this one's records. Records in the skipped range are
+		// covered by the checkpoint replay starts from, so the contiguity
+		// chain restarts after a skip.
+		if i+1 < len(segs) && segs[i+1].firstSeq <= fromSeq {
+			next = 0
+			continue
+		}
+		final := i == len(segs)-1
+		lastInSeg, _, err := scanSegment(filepath.Join(dir, seg.name), seg.firstSeq, func(seq uint64, values []float64) error {
+			if next != 0 && seq != next {
+				return fmt.Errorf("%w: %s: records %d..%d missing (segment deleted?)", ErrCorrupt, seg.name, next, seq-1)
+			}
+			next = seq + 1
+			if seq < fromSeq {
+				return nil
+			}
+			if err := fn(seq, values); err != nil {
+				return err
+			}
+			last = seq
+			return nil
+		})
+		if err != nil {
+			var torn *tornError
+			if errors.As(err, &torn) {
+				if final {
+					return last, nil
+				}
+				return last, fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.name, torn.cause)
+			}
+			return last, err
+		}
+		_ = lastInSeg
+	}
+	return last, nil
+}
+
+// tornError marks a record that could not be decoded — a torn tail when it
+// is the last thing in the last segment, corruption anywhere else.
+type tornError struct {
+	off   int64
+	cause error
+}
+
+func (e *tornError) Error() string {
+	return fmt.Sprintf("wal: unreadable record at offset %d: %v", e.off, e.cause)
+}
+
+// scanSegment reads one segment sequentially, calling fn (when non-nil) for
+// every complete record. It returns the last valid seq (0 if none) and the
+// file offset just past the last valid record. Decode failures are returned
+// as *tornError so callers can distinguish tail damage from mid-log
+// corruption; fn errors abort the scan verbatim.
+func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []float64) error) (uint64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, 0, &tornError{off: 0, cause: fmt.Errorf("short magic: %w", err)}
+	}
+	if string(magic) != segMagic {
+		return 0, 0, fmt.Errorf("wal: %s: bad segment magic %q", filepath.Base(path), magic)
+	}
+
+	// The segment name's firstSeq is a lower bound, not necessarily the first
+	// record's seq: SetNextSeq may have raised the sequence inside an empty
+	// segment. Contiguity is enforced from the first record actually read.
+	var (
+		lastSeq uint64
+		off     = int64(len(segMagic))
+		hdr     [recHeader]byte
+		buf     []byte
+		values  []float64
+		wantSeq uint64
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return lastSeq, off, nil
+			}
+			return lastSeq, off, &tornError{off: off, cause: err}
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if payloadLen < 12 || payloadLen > 12+8*maxRecordValues {
+			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("implausible payload length %d", payloadLen)}
+		}
+		if cap(buf) < int(payloadLen) {
+			buf = make([]byte, payloadLen)
+		}
+		buf = buf[:payloadLen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return lastSeq, off, &tornError{off: off, cause: err}
+		}
+		if got := crc32.ChecksumIEEE(buf); got != crc {
+			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("checksum mismatch")}
+		}
+		seq := binary.LittleEndian.Uint64(buf[0:8])
+		n := binary.LittleEndian.Uint32(buf[8:12])
+		if uint32(len(buf)) != 12+8*n {
+			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("value count %d disagrees with payload length %d", n, payloadLen)}
+		}
+		if wantSeq == 0 {
+			if seq < firstSeq {
+				return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("first record seq %d below segment base %d", seq, firstSeq)}
+			}
+		} else if seq != wantSeq {
+			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("sequence jump: got %d, want %d", seq, wantSeq)}
+		}
+		if fn != nil {
+			if cap(values) < int(n) {
+				values = make([]float64, n)
+			}
+			values = values[:n]
+			for i := range values {
+				values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[12+8*i:]))
+			}
+			if err := fn(seq, values); err != nil {
+				return lastSeq, off, err
+			}
+		}
+		lastSeq = seq
+		wantSeq = seq + 1
+		off += int64(recHeader) + int64(payloadLen)
+	}
+}
+
+// segment is one on-disk segment file, identified by its first seq.
+type segment struct {
+	name     string
+	firstSeq uint64
+}
+
+// listSegments returns the directory's segments sorted by first seq.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		seq, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
