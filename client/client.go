@@ -46,6 +46,9 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error text.
 	Message string
+	// Retry reports the server marked the failure recoverable: reconnect
+	// and replay unacknowledged rows (sequenced streams do so automatically).
+	Retry bool
 }
 
 // Error implements the error interface.
@@ -57,12 +60,13 @@ func (e *APIError) Error() string {
 func decodeError(resp *http.Response) error {
 	var body struct {
 		Error string `json:"error"`
+		Retry bool   `json:"retry"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
 		body.Error = strings.TrimSpace(string(raw))
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: body.Error}
+	return &APIError{StatusCode: resp.StatusCode, Message: body.Error, Retry: body.Retry}
 }
 
 // Config selects a tenant's TKCM parameters. Zero fields keep the server's

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -251,6 +253,97 @@ func TestRecvAfterCloseDrainsThenEOF(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("close: %v", err)
 	}
+}
+
+// TestSendRejectsInfinity: ±Inf is not representable on the wire (strconv
+// would emit +Inf, which is not JSON) and the server would refuse the row
+// anyway; Send must fail fast client-side instead of corrupting the NDJSON
+// framing for every row batched after it.
+func TestSendRejectsInfinity(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	ctx := context.Background()
+	st, err := New(ts.URL).OpenStream(ctx, "t", StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Send(ctx, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Send accepted +Inf")
+	}
+	if err := st.Send(ctx, []float64{math.Inf(-1)}); err == nil {
+		t.Fatal("Send accepted -Inf")
+	}
+}
+
+// TestCloseAfterCancelReportsUnacked: cancelling the stream's context with
+// rows still in flight must surface ErrStreamBroken from Close — a nil
+// return would tell the caller every row was flushed and durable.
+func TestCloseAfterCancelReportsUnacked(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // accept rows, never ack
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := New(ts.URL).OpenStream(ctx, "t", StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Send(context.Background(), []float64{1, 2}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	cancel()
+	if err := st.Close(); !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("Close after cancel with unacked rows: %v, want ErrStreamBroken", err)
+	}
+}
+
+// TestPreStreamErrorHonorsRetryFlag: a retry-marked failure on the very
+// first row arrives as an HTTP error status rather than an NDJSON line; the
+// sequenced client must still treat it as reconnect-and-replay instead of
+// failing terminally.
+func TestPreStreamErrorHonorsRetryFlag(t *testing.T) {
+	var attempts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tenants/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"t","streams":["x","y"],"ticks":0,"seq":0}`)
+	})
+	mux.HandleFunc("POST /v1/tenants/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		// Mirror the real handler: full duplex (so the response is not
+		// stuck behind a drain of the still-streaming request body) and the
+		// first row consumed before its commit fails.
+		if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+			t.Errorf("full duplex: %v", err)
+		}
+		bufio.NewReader(r.Body).ReadString('\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"tick 1 not durable: disk hiccup","retry":true}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx := context.Background()
+	st, err := New(ts.URL).OpenStream(ctx, "t", StreamOptions{
+		Sequenced: true, MaxAttempts: 3, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(ctx, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := st.Recv(ctx); rerr == nil {
+		t.Fatal("Recv succeeded against a permanently failing server")
+	}
+	if got := attempts.Load(); got < 3 {
+		t.Fatalf("connection attempts = %d, want MaxAttempts (3): pre-stream retry flag not honored", got)
+	}
+	st.Close()
 }
 
 // TestCloseWithoutRecvDoesNotDeadlock: a caller that sends more rows than

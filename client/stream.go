@@ -151,6 +151,14 @@ func (c *Client) OpenStream(ctx context.Context, tenant string, opts StreamOptio
 // error means the row will be delivered or the stream will report a
 // terminal error; it never silently disappears.
 func (s *TickStream) Send(ctx context.Context, values []float64) error {
+	// Refuse ±Inf up front: the server would reject the row anyway, and the
+	// wire format cannot even represent it (strconv would emit +Inf, which
+	// is not JSON and would corrupt the NDJSON framing for batched rows).
+	for i, v := range values {
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("tkcm: row value %d is %v: non-finite measurements are not accepted (use NaN for missing)", i, v)
+		}
+	}
 	select {
 	case s.tokens <- struct{}{}:
 	case <-s.done:
@@ -221,10 +229,22 @@ func (s *TickStream) Close() error {
 	s.kick()
 	select {
 	case <-s.flushed:
+		s.finish(io.EOF)
 	case <-s.done:
+		// run() already recorded the terminal outcome.
 	case <-s.ctx.Done():
+		// Cancelled mid-flush: rows may still be unacknowledged, and a
+		// clean io.EOF here would report them as flushed and durable.
+		// finish wraps the cause in ErrStreamBroken when any remain.
+		s.mu.Lock()
+		drained := len(s.unacked) == 0
+		s.mu.Unlock()
+		if drained {
+			s.finish(io.EOF)
+		} else {
+			s.finish(s.ctx.Err())
+		}
 	}
-	s.finish(io.EOF)
 	s.cancel()
 	s.wg.Wait()
 	if err := s.terminalErr(); err != io.EOF {
@@ -343,8 +363,13 @@ func (s *TickStream) connect() (err error, retryable bool) {
 	if resp.StatusCode != http.StatusOK {
 		aerr := decodeError(resp)
 		// 503 = draining or shard manager closed: the server is going down
-		// or rebooting; replay may succeed against its successor.
-		return aerr, resp.StatusCode == http.StatusServiceUnavailable
+		// or rebooting; replay may succeed against its successor. The body's
+		// retry flag covers the rest (e.g. a durability hiccup on the first
+		// row, marked recoverable just like the same failure mid-stream).
+		var apiErr *APIError
+		retry := resp.StatusCode == http.StatusServiceUnavailable ||
+			(errors.As(aerr, &apiErr) && apiErr.Retry)
+		return aerr, retry
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -359,7 +384,7 @@ func (s *TickStream) connect() (err error, retryable bool) {
 			return fmt.Errorf("tkcm: decoding ack line: %w", jerr), false
 		}
 		if sl.Error != "" {
-			return &APIError{StatusCode: http.StatusOK, Message: sl.Error}, sl.Retry
+			return &APIError{StatusCode: http.StatusOK, Message: sl.Error, Retry: sl.Retry}, sl.Retry
 		}
 		if derr := s.deliver(sl.Ack); derr != nil {
 			return derr, false

@@ -442,7 +442,10 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 			}
 			if msg.errText != "" {
 				if !streamed {
-					writeError(w, msg.status, "%s", msg.errText)
+					// Keep the retry marker even pre-stream: a durability
+					// hiccup on the first row is as recoverable as on any
+					// later one, and the client replays on it.
+					writeJSON(w, msg.status, apiError{Error: msg.errText, Retry: msg.retry})
 				} else {
 					enc.Encode(apiError{Error: msg.errText, Retry: msg.retry})
 					rc.Flush()

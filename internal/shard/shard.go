@@ -59,8 +59,9 @@ type TickResponse struct {
 	// reconnect exactly-once.
 	Duplicate bool
 	// Durable is the write-ahead-log commit handle: Wait returns once the
-	// row is on stable storage. The zero value (WAL disabled, or a
-	// duplicate) waits for nothing.
+	// row is on stable storage. For a Duplicate it verifies (forcing a sync
+	// if needed) that the original append's record is still covered. The
+	// zero value (WAL disabled) waits for nothing.
 	Durable wal.Commit
 	// Row is the completed row: the input with every missing value imputed.
 	Row []float64
@@ -280,21 +281,16 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 				// Already applied — but "applied" is not "durable": the
 				// original append's group commit may still be pending, or may
 				// have failed after the row reached the engine. A duplicate
-				// ack is a durability promise like any other, so force the
-				// sync and verify coverage before making it.
+				// ack is a durability promise like any other, so hand back a
+				// handle that verifies (and if needed forces) coverage at
+				// Wait time, on the caller's goroutine — syncing here would
+				// block every tenant on this shard behind an fsync.
 				if m.wal != nil {
 					l := m.wal.Get(tenantID)
 					if l == nil {
 						return fmt.Errorf("shard: tenant %q has no open log", tenantID)
 					}
-					if l.DurableThrough() < seq {
-						if err := l.Sync(); err != nil {
-							return fmt.Errorf("shard: tenant %q: %w", tenantID, err)
-						}
-						if l.DurableThrough() < seq {
-							return fmt.Errorf("shard: tenant %q: replayed row %d is not on stable storage (its log record was lost)", tenantID, seq)
-						}
-					}
+					rsp.Durable = l.DurableCommit(seq)
 				}
 				rsp.Seq = seq
 				rsp.Tick = eng.Window().Tick()

@@ -304,6 +304,11 @@ func TestSequencedTickSemantics(t *testing.T) {
 	if !rsp.Duplicate || rsp.Seq != 3 {
 		t.Fatalf("replayed seq 3: rsp %+v", rsp)
 	}
+	// The duplicate ack carries a verify handle: Wait must confirm the
+	// original append is still on stable storage.
+	if err := rsp.Durable.Wait(); err != nil {
+		t.Fatalf("duplicate durability: %v", err)
+	}
 	info, err := m.Info(ctx, "t")
 	if err != nil || info.Seq != 5 {
 		t.Fatalf("info after duplicate: %+v, %v", info, err)
@@ -316,6 +321,86 @@ func TestSequencedTickSemantics(t *testing.T) {
 	// The WAL and the engine stayed in lockstep throughout.
 	if err := m.Tick(ctx, "t", 6, testRow(6, 4), &rsp); err != nil {
 		t.Fatalf("seq 6 after gap refusal: %v", err)
+	}
+}
+
+// TestAttachCheckpointNewerThanLog: restoring from a checkpoint newer than
+// the WAL tail (the signature of a kill -9 between a checkpoint rename and
+// the covering fsync) fast-forwards the log. The raise must not leave a
+// sequence gap inside the old segment — a later reopen would read it as a
+// torn tail and truncate every record appended after the restore.
+func TestAttachCheckpointNewerThanLog(t *testing.T) {
+	ctx := context.Background()
+	walDir := t.TempDir()
+
+	// Session 1: seqs 1..3 reach the log; the checkpoint that survives the
+	// crash was taken at seq 5, ahead of the log tail.
+	walMgr := wal.NewManager(walDir, wal.Options{})
+	m := New(Options{Shards: 1, WAL: walMgr})
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var rsp TickResponse
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := m.Tick(ctx, "t", seq, testRow(int(seq), 4), &rsp); err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if err := rsp.Durable.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	if err := walMgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored engine ran ahead of the log: seq 5.
+	eng, err := core.NewEngine(testConfig(), testStreams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 5; seq++ {
+		if _, _, err := eng.Tick(testRow(seq, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	walMgr2 := wal.NewManager(walDir, wal.Options{})
+	m2 := New(Options{Shards: 1, WAL: walMgr2})
+	if err := m2.Attach(ctx, "t", eng); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(6); seq <= 8; seq++ {
+		if err := m2.Tick(ctx, "t", seq, testRow(int(seq), 4), &rsp); err != nil {
+			t.Fatalf("seq %d after attach: %v", seq, err)
+		}
+		if err := rsp.Durable.Wait(); err != nil {
+			t.Fatalf("seq %d durability: %v", seq, err)
+		}
+	}
+	m2.Close()
+	if err := walMgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full reopen + replay from the checkpoint boundary: every acked
+	// post-restore row must still be there.
+	walMgr3 := wal.NewManager(walDir, wal.Options{})
+	defer walMgr3.Close()
+	var seqs []uint64
+	last, err := walMgr3.ReplayTenant("t", 6, func(seq uint64, values []float64) error {
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil || last != 8 || len(seqs) != 3 || seqs[0] != 6 {
+		t.Fatalf("replay after attach+reopen: last=%d seqs=%v err=%v", last, seqs, err)
+	}
+	l, err := walMgr3.Open("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 9 {
+		t.Fatalf("reopened NextSeq = %d, want 9", got)
 	}
 }
 

@@ -98,16 +98,41 @@ type batch struct {
 // Commit is the durability handle of one Append: Wait blocks until the fsync
 // covering the record completes and reports its outcome. Acknowledge a write
 // only after Wait returns nil.
-type Commit struct{ b *batch }
+type Commit struct {
+	b *batch
+	// Verify mode (DurableCommit): Wait instead ensures the record with
+	// sequence number seq is on stable storage, forcing a sync when needed.
+	l   *Log
+	seq uint64
+}
 
 // Wait blocks until the record's group commit has been fsynced.
 func (c Commit) Wait() error {
+	if c.l != nil {
+		if c.l.durable.Load() >= c.seq {
+			return nil
+		}
+		if err := c.l.Sync(); err != nil {
+			return err
+		}
+		if c.l.durable.Load() < c.seq {
+			return fmt.Errorf("wal: record %d is not on stable storage (its log record was lost)", c.seq)
+		}
+		return nil
+	}
 	if c.b == nil {
 		return nil
 	}
 	<-c.b.done
 	return c.b.err
 }
+
+// DurableCommit returns a Commit whose Wait verifies that the record with
+// sequence number seq is on stable storage, syncing the pending batch if it
+// is not yet covered. It lets a caller that must re-promise durability for an
+// already-applied record (acking a replayed duplicate) push the fsync onto
+// the goroutine that Waits instead of the one producing ticks.
+func (l *Log) DurableCommit(seq uint64) Commit { return Commit{l: l, seq: seq} }
 
 // Log is one tenant's append-only tick log.
 //
@@ -240,17 +265,59 @@ func (l *Log) NextSeq() uint64 {
 }
 
 // SetNextSeq raises the next expected sequence number — used after a restore
-// whose checkpoint is newer than the log's tail (e.g. the WAL was enabled on
-// an installation that already had checkpoints). Lowering it is refused:
-// re-issuing sequence numbers would corrupt the order invariant.
+// whose checkpoint is newer than the log's tail (e.g. after a crash between
+// a checkpoint rename and the fsync covering the last appends, or when the
+// WAL was enabled on an installation that already had checkpoints). Lowering
+// it is refused: re-issuing sequence numbers would corrupt the order
+// invariant.
+//
+// When the active segment already holds records, raising the sequence past
+// its tail rotates to a fresh segment named with the new first seq. Leaving
+// the gap inside one segment would make scanSegment read the jump as a torn
+// tail on the next Open and truncate every record after it — losing acked
+// data the checkpoint does not cover.
 func (l *Log) SetNextSeq(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	if seq < l.nextSeq {
-		return fmt.Errorf("%w: cannot lower next seq %d to %d", ErrOutOfOrder, l.nextSeq, seq)
+		cur := l.nextSeq
+		l.mu.Unlock()
+		return fmt.Errorf("%w: cannot lower next seq %d to %d", ErrOutOfOrder, cur, seq)
+	}
+	if seq == l.nextSeq {
+		l.mu.Unlock()
+		return nil
+	}
+	hasPending := len(l.buf) > 0 || l.pending != nil
+	l.mu.Unlock()
+	if hasPending {
+		// Records buffered for the old sequence range belong in the old
+		// segment; push them out before deciding whether it is empty.
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	// mu is held across the rotation — rare restore-path file I/O — so no
+	// append can slip a record with an old sequence number into the new
+	// segment between the flush above and the raise below.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed, refusing seq change: %w", l.failed)
+	}
+	if len(l.buf) > 0 || l.pending != nil || seq < l.nextSeq {
+		return fmt.Errorf("wal: appends raced SetNextSeq(%d)", seq)
+	}
+	if seq > l.nextSeq && l.segSize > int64(len(segMagic)) {
+		if err := l.rotate(seq); err != nil {
+			l.failed = err
+			return err
+		}
 	}
 	l.nextSeq = seq
 	// The skipped-over range is covered by the checkpoint that justified
@@ -346,6 +413,11 @@ func (l *Log) Sync() error {
 func (l *Log) syncNow() error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked is syncNow's body; the caller holds syncMu.
+func (l *Log) syncLocked() error {
 	l.mu.Lock()
 	data := l.buf
 	b := l.pending
@@ -372,9 +444,9 @@ func (l *Log) syncNow() error {
 	var err error
 	if len(data) > 0 {
 		if _, err = l.f.Write(data); err == nil {
+			l.segSize += int64(len(data))
 			err = l.f.Sync()
 		}
-		l.segSize += int64(len(data))
 	}
 	l.spare = data[:0] // recycle: the other buffer is in use by appenders
 	if err != nil {
@@ -400,12 +472,33 @@ func (l *Log) syncNow() error {
 		// Rotation needs no extra fsync: everything in the old segment was
 		// just made durable, and records appended since firstSeq are still
 		// in memory, destined for the new segment.
-		if rerr := l.f.Close(); rerr != nil {
-			return fmt.Errorf("wal: rotate: %w", rerr)
-		}
-		if rerr := l.createSegment(firstSeq); rerr != nil {
+		if rerr := l.rotate(firstSeq); rerr != nil {
+			// The batch just acked is durable, but the log has no usable
+			// active segment: latch so subsequent appends fail fast with the
+			// root cause instead of erroring later against a stale file.
+			l.mu.Lock()
+			if l.failed == nil {
+				l.failed = rerr
+			}
+			l.mu.Unlock()
 			return rerr
 		}
+	}
+	return err
+}
+
+// rotate closes the active segment and opens a fresh one whose name encodes
+// firstSeq. Caller holds syncMu; on failure the caller must latch l.failed
+// (under its own mu discipline) so appends fail fast.
+func (l *Log) rotate(firstSeq uint64) error {
+	err := l.f.Close()
+	if err != nil {
+		err = fmt.Errorf("wal: rotate: %w", err)
+	} else {
+		err = l.createSegment(firstSeq)
+	}
+	if err != nil {
+		l.ctr.syncErrs(1)
 	}
 	return err
 }
@@ -554,7 +647,7 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, values []float64) er
 		final := i == len(segs)-1
 		lastInSeg, _, err := scanSegment(filepath.Join(dir, seg.name), seg.firstSeq, func(seq uint64, values []float64) error {
 			if next != 0 && seq != next {
-				return fmt.Errorf("%w: %s: records %d..%d missing (segment deleted?)", ErrCorrupt, seg.name, next, seq-1)
+				return fmt.Errorf("%w: %s: records %d..%d missing (segment deleted, or range covered only by a checkpoint?)", ErrCorrupt, seg.name, next, seq-1)
 			}
 			next = seq + 1
 			if seq < fromSeq {

@@ -374,6 +374,131 @@ func TestTornTailBadLength(t *testing.T) {
 	l.Close()
 }
 
+// TestSetNextSeqReopenPreservesAckedRecords pins the checkpoint-newer-than-
+// log recovery path: raising the sequence past the tail of a NON-empty
+// active segment (e.g. after a kill -9 between a checkpoint rename and the
+// covering fsync) must not leave a sequence gap inside that segment — the
+// next Open would read the jump as a torn tail and truncate every record
+// after it, silently dropping fsynced, acknowledged ticks.
+func TestSetNextSeqReopenPreservesAckedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}) // strict: every append is synced
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(uint64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A checkpoint covering seq 99 justified the jump.
+	if err := l.SetNextSeq(100); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); segs != 2 {
+		t.Fatalf("segments after raise over non-empty tail = %d, want 2 (rotation)", segs)
+	}
+	for i := 100; i <= 102; i++ {
+		if _, err := l.Append(uint64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.DurableThrough(); got != 102 {
+		t.Fatalf("DurableThrough = %d, want 102", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: nothing acked may have been truncated away.
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 103 {
+		t.Fatalf("reopened NextSeq = %d, want 103", got)
+	}
+	if _, err := l.Append(103, []float64{103}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay from the checkpoint boundary — the only fromSeq recovery uses.
+	seqs, rows := collect(t, dir, 100)
+	if len(seqs) != 4 || seqs[0] != 100 || seqs[3] != 103 || rows[3][0] != 103 {
+		t.Fatalf("replay from 100 after reopen: seqs %v", seqs)
+	}
+	// The pre-jump records also survived in their own segment.
+	seqs, _ = collect(t, dir, 101)
+	if len(seqs) != 3 {
+		t.Fatalf("replay from 101: seqs %v", seqs)
+	}
+}
+
+// TestSetNextSeqEmptySegmentNoRotation: raising inside an empty active
+// segment needs no new file — the segment name is only a lower bound.
+func TestSetNextSeqEmptySegmentNoRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetNextSeq(50); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); segs != 1 {
+		t.Fatalf("segments after raise in empty log = %d, want 1", segs)
+	}
+	if _, err := l.Append(50, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 51 {
+		t.Fatalf("reopened NextSeq = %d, want 51", got)
+	}
+	l.Close()
+}
+
+// TestDurableCommitVerifies: the duplicate-ack handle forces the pending
+// batch out when the seq is not yet covered, and refuses to promise
+// durability for a record the log never made stable.
+func TestDurableCommitVerifies(t *testing.T) {
+	dir := t.TempDir()
+	// A long interval so the batch is still pending when Wait runs.
+	l, err := Open(dir, Options{SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.DurableThrough(); got != 0 {
+		t.Fatalf("DurableThrough before sync = %d, want 0", got)
+	}
+	if err := l.DurableCommit(1).Wait(); err != nil {
+		t.Fatalf("DurableCommit(1).Wait: %v", err)
+	}
+	if got := l.DurableThrough(); got != 1 {
+		t.Fatalf("DurableThrough after verify = %d, want 1", got)
+	}
+	// Already-covered seqs wait for nothing and never error.
+	if err := l.DurableCommit(1).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// A seq the log has never seen cannot be promised durable.
+	if err := l.DurableCommit(5).Wait(); err == nil {
+		t.Fatal("DurableCommit(5).Wait() = nil for a record that was never appended")
+	}
+}
+
 // TestReplayDetectsMissingMiddleSegment: a deleted middle segment is a hole
 // in acked history, never a silent skip.
 func TestReplayDetectsMissingMiddleSegment(t *testing.T) {
