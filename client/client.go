@@ -201,6 +201,55 @@ func (c *Client) ListTenants(ctx context.Context) ([]TenantInfo, error) {
 	return out.Tenants, err
 }
 
+// MigrateResult reports one completed tenant migration.
+type MigrateResult struct {
+	// Tenant is the migrated tenant id.
+	Tenant string `json:"tenant"`
+	// From is the shard the tenant left.
+	From int `json:"from"`
+	// To is the shard hosting the tenant now.
+	To int `json:"to"`
+}
+
+// MigrateTenant moves tenant id onto shard dst live: in-flight ticks drain,
+// the engine moves with its durability state intact, and streaming resumes
+// on the destination — acknowledged ticks are never lost and sequenced
+// streams never observe a gap. Migrating a tenant onto the shard it already
+// occupies is a no-op that still verifies the tenant exists.
+func (c *Client) MigrateTenant(ctx context.Context, id string, dst int) (MigrateResult, error) {
+	var res MigrateResult
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(id)+"/migrate",
+		map[string]int{"shard": dst}, &res)
+	return res, err
+}
+
+// RoutingInfo is the cluster routing document: the versioned tenant→shard
+// table plus migration counters.
+type RoutingInfo struct {
+	// Version counts routing-table mutations.
+	Version uint64 `json:"version"`
+	// Shards is the shard count the table routes onto.
+	Shards int `json:"shards"`
+	// DefaultMod is the modulus of the default hash route (pinned at table
+	// creation, so growing the shard count never reroutes tenants).
+	DefaultMod int `json:"default_mod"`
+	// Assignments maps explicitly-routed tenants to shards; absent tenants
+	// follow the default hash route.
+	Assignments map[string]int `json:"assignments"`
+	// MigrationsTotal counts completed migrations since the server started.
+	MigrationsTotal uint64 `json:"migrations_total"`
+	// Imbalance is the last sampled hottest-shard/mean tick-rate ratio
+	// (1 = balanced; 0 = not sampled yet).
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Routing fetches the cluster routing table.
+func (c *Client) Routing(ctx context.Context) (RoutingInfo, error) {
+	var info RoutingInfo
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/routing", nil, &info)
+	return info, err
+}
+
 // Checkpoint asks the server to snapshot every tenant now and returns how
 // many tenants were written.
 func (c *Client) Checkpoint(ctx context.Context) (int, error) {

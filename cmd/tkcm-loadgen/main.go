@@ -14,9 +14,12 @@
 // -keep), opens -streams concurrent tick streams per tenant, and pumps
 // synthetic seasonal rows with a -missing fraction of values dropped. A
 // single stream per tenant runs sequenced (exactly-once, reconnecting);
-// multiple writers per tenant run unsequenced. The -json report uses the
-// tkcm-bench machine-readable schema (internal/benchfmt), so CI archives
-// both under the same format.
+// multiple writers per tenant run unsequenced. With -migrate-interval set
+// the run doubles as a live-migration soak: tenants are walked across the
+// shards round-robin while their streams pump, and any stream error or
+// lost ack under migration is reported as the server bug it would be. The
+// -json report uses the tkcm-bench machine-readable schema
+// (internal/benchfmt), so CI archives both under the same format.
 package main
 
 import (
@@ -46,6 +49,7 @@ type options struct {
 	inflight int
 	window   int
 	k, l, d  int
+	migrate  time.Duration
 	jsonPath string
 	keep     bool
 }
@@ -68,6 +72,7 @@ type result struct {
 	TicksPerSec  float64 `json:"ticks_per_sec"`
 	Imputations  uint64  `json:"imputations"`
 	Duplicates   uint64  `json:"duplicates"`
+	Migrations   uint64  `json:"migrations"`
 	AckP50Millis float64 `json:"ack_p50_ms"`
 	AckP99Millis float64 `json:"ack_p99_ms"`
 	AckMaxMillis float64 `json:"ack_max_ms"`
@@ -87,6 +92,7 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.k, "k", 3, "tenant anchor count k")
 	fs.IntVar(&o.l, "l", 8, "tenant pattern length l")
 	fs.IntVar(&o.d, "d", 2, "tenant reference count d")
+	fs.DurationVar(&o.migrate, "migrate-interval", 0, "migrate one tenant to the next shard (round-robin) this often during the run — a live-migration soak (0 = off)")
 	fs.StringVar(&o.jsonPath, "json", "", "write a machine-readable report (tkcm-bench schema) to this file")
 	fs.BoolVar(&o.keep, "keep", false, "keep the generated tenants after the run")
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +102,8 @@ func run(args []string, out *os.File) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	c := client.New(o.addr)
-	if _, err := c.Health(ctx); err != nil {
+	health, err := c.Health(ctx)
+	if err != nil {
 		return fmt.Errorf("server not reachable: %w", err)
 	}
 
@@ -160,6 +167,43 @@ func run(args []string, out *os.File) error {
 			}(ids[ti], si)
 		}
 	}
+	// Live-migration soak: while the streams pump, walk the tenants across
+	// the shards round-robin. Every move must be invisible to the drivers —
+	// a stream error or a lost ack under migration is a server bug, not an
+	// expected casualty, so failures are reported loudly.
+	var migrations atomic.Uint64
+	if o.migrate > 0 && health.Shards <= 1 {
+		fmt.Fprintln(os.Stderr, "tkcm-loadgen: -migrate-interval set but the server has one shard; soak disabled")
+	}
+	if o.migrate > 0 && health.Shards > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(o.migrate)
+			defer t.Stop()
+			for i := 0; time.Now().Before(deadline); i++ {
+				select {
+				case <-t.C:
+				case <-runCtx.Done():
+					return
+				}
+				// Inner index walks the shards, outer walks the tenants, so
+				// every tenant visits every shard regardless of how the two
+				// counts divide (tenant i%N with shard i%M degenerates to a
+				// fixed pairing whenever M divides N).
+				id := ids[(i/health.Shards)%len(ids)]
+				dst := i % health.Shards
+				res, err := c.MigrateTenant(runCtx, id, dst)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tkcm-loadgen: migrating %s to %d: %v\n", id, dst, err)
+					continue
+				}
+				if res.From != res.To {
+					migrations.Add(1)
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -173,6 +217,7 @@ func run(args []string, out *os.File) error {
 		TicksPerSec: float64(ticks.Load()) / elapsed.Seconds(),
 		Imputations: imputes.Load(),
 		Duplicates:  duplicates.Load(),
+		Migrations:  migrations.Load(),
 	}
 	res.AckP50Millis, res.AckP99Millis, res.AckMaxMillis = percentiles(latencies)
 
@@ -180,6 +225,9 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "ticks/s      %.0f\n", res.TicksPerSec)
 	fmt.Fprintf(out, "imputations  %d\n", res.Imputations)
 	fmt.Fprintf(out, "duplicates   %d\n", res.Duplicates)
+	if o.migrate > 0 {
+		fmt.Fprintf(out, "migrations   %d\n", res.Migrations)
+	}
 	fmt.Fprintf(out, "ack p50      %.3f ms\n", res.AckP50Millis)
 	fmt.Fprintf(out, "ack p99      %.3f ms\n", res.AckP99Millis)
 	fmt.Fprintf(out, "ack max      %.3f ms\n", res.AckMaxMillis)
@@ -193,6 +241,12 @@ func run(args []string, out *os.File) error {
 	}
 	if res.Ticks == 0 {
 		return fmt.Errorf("no ticks were acknowledged")
+	}
+	// The soak's whole point is that migrations succeed under load; a run
+	// that asked for them and completed none means the migrate path is
+	// broken, and must fail the run (and CI), not just mutter on stderr.
+	if o.migrate > 0 && health.Shards > 1 && res.Migrations == 0 {
+		return fmt.Errorf("live-migration soak completed zero migrations")
 	}
 	return nil
 }

@@ -240,3 +240,203 @@ func TestHardKillLosesNoAckedTick(t *testing.T) {
 		t.Fatal("restarted server did not shut down on SIGTERM")
 	}
 }
+
+// TestHardKillDuringMigrationLosesNoAckedTick is the chaos acceptance test
+// for live migration: while a sequenced client streams, the tenant is
+// walked across the shards continuously, and the server process is
+// SIGKILLed with migrations in flight — no drain, no final checkpoint, the
+// routing table possibly mid-flip. After restart every acked tick must
+// survive exactly once, the tenant must land whole on exactly one shard,
+// and the recovered engine must match an uninterrupted control within 1e-9.
+func TestHardKillDuringMigrationLosesNoAckedTick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	args := []string{
+		"-addr", addr,
+		"-shards", "3",
+		"-checkpoint-dir", dir + "/ck",
+		"-wal-dir", dir + "/wal",
+		"-wal-sync", "1ms",
+		// Recovery must come from the WAL + base image + routing table alone.
+		"-checkpoint-every", "1h",
+	}
+	proc := spawnServe(t, args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := client.New("http://" + addr)
+	const width = 4
+	cfg := &client.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 64}
+	if err := c.CreateTenant(ctx, "mg", client.CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2", "r3"},
+		Config:  cfg,
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	st, err := c.OpenStream(ctx, "mg", client.StreamOptions{Sequenced: true, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	const killAt = 150
+	sendErr := make(chan error, 1)
+	go func() {
+		for n := 1; n <= total; n++ {
+			if err := st.Send(ctx, rowAt(n, width)); err != nil {
+				sendErr <- fmt.Errorf("send %d: %w", n, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Migration churn: walk the tenant round-robin across the shards for
+	// the whole run, so the SIGKILL below lands with a migration in flight
+	// (or between a flip and its next move — both must be safe). Errors
+	// while the server is down are expected; the loop just keeps trying.
+	churnStop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			mctx, mcancel := context.WithTimeout(ctx, 5*time.Second)
+			c.MigrateTenant(mctx, "mg", i%3)
+			mcancel()
+		}
+	}()
+
+	acked := make(map[uint64]int)
+	killed := false
+	for len(acked) < total {
+		ack, err := st.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv after %d acks: %v", len(acked), err)
+		}
+		acked[ack.Seq]++
+		if !killed && len(acked) >= killAt {
+			killed = true
+			// SIGKILL with the churn still running: no handler, no drain —
+			// if a migration is mid-flight, its parked requests, the moved
+			// engine image, and possibly a half-written routing table die
+			// with the process.
+			if err := proc.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			proc.Wait()
+			proc = spawnServe(t, args)
+		}
+	}
+	close(churnStop)
+	<-churnDone
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for seq := uint64(1); seq <= total; seq++ {
+		if acked[seq] != 1 {
+			t.Fatalf("seq %d acked %d times, want exactly 1", seq, acked[seq])
+		}
+	}
+
+	// The tenant landed whole on exactly one shard: it is listed exactly
+	// once, and the routing table agrees with where it is hosted.
+	tenants, err := c.ListTenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	shardOf := -1
+	for _, info := range tenants {
+		if info.ID == "mg" {
+			hosted++
+			shardOf = info.Shard
+		}
+	}
+	if hosted != 1 {
+		t.Fatalf("tenant hosted %d times after recovery, want exactly 1", hosted)
+	}
+	doc, err := c.Routing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned, ok := doc.Assignments["mg"]; ok && assigned != shardOf {
+		t.Fatalf("routing table says shard %d but tenant hosted on %d", assigned, shardOf)
+	}
+	// Migration still works after recovery.
+	if _, err := c.MigrateTenant(ctx, "mg", (shardOf+1)%3); err != nil {
+		t.Fatalf("post-recovery migration: %v", err)
+	}
+
+	info, err := c.GetTenant(ctx, "mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != total {
+		t.Fatalf("tenant seq after recovery = %d, want %d", info.Seq, total)
+	}
+	var snap bytes.Buffer
+	if _, err := c.Snapshot(ctx, "mg", &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreEngine(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.K, coreCfg.PatternLength, coreCfg.D, coreCfg.WindowLength =
+		cfg.K, cfg.PatternLength, cfg.D, cfg.WindowLength
+	ref, err := core.NewEngine(coreCfg, []string{"s", "r1", "r2", "r3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for n := 1; n <= total; n++ {
+		if _, _, err := ref.Tick(rowAt(n, width)); err != nil {
+			t.Fatalf("reference tick %d: %v", n, err)
+		}
+	}
+	if restored.Seq() != ref.Seq() {
+		t.Fatalf("restored seq %d != reference %d", restored.Seq(), ref.Seq())
+	}
+	for i := 0; i < width; i++ {
+		got := restored.Window().Snapshot(i)
+		want := ref.Window().Snapshot(i)
+		if len(got) != len(want) {
+			t.Fatalf("stream %d: %d retained ticks, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("stream %d tick %d: restored %v, uninterrupted %v (Δ=%g)",
+					i, j, got[j], want[j], math.Abs(got[j]-want[j]))
+			}
+		}
+	}
+
+	proc.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		proc.Process.Kill()
+		t.Fatal("restarted server did not shut down on SIGTERM")
+	}
+}

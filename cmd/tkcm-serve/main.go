@@ -16,7 +16,11 @@
 //
 // With -checkpoint-dir set, every tenant's engine is snapshotted
 // periodically and on shutdown, and restored on the next start, so a
-// restart resumes imputation where it left off. Adding -wal-dir makes the
+// restart resumes imputation where it left off. Tenant placement is
+// governed by a persisted routing table (<checkpoint-dir>/routing.tkcmrt):
+// tenants can be migrated between shards live (POST
+// /v1/tenants/{id}/migrate, or automatically with -rebalance-interval),
+// and -shards may grow across restarts without rerouting existing tenants. Adding -wal-dir makes the
 // service crash-durable: every tick is write-ahead-logged and acknowledged
 // only after its group commit (-wal-sync) reaches stable storage, and
 // recovery replays the log on top of the newest checkpoint — a kill -9
@@ -39,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -63,13 +68,14 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("tkcm-serve", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "HTTP listen address")
-		shards     = fs.Int("shards", 4, "engine shards (single-goroutine tenant hosts)")
+		shards     = fs.Int("shards", 4, "engine shards (single-goroutine tenant hosts); may grow across restarts — the routing table keeps existing tenants in place")
 		queue      = fs.Int("queue", 64, "bounded request queue length per shard")
 		ckDir      = fs.String("checkpoint-dir", "", "directory for tenant snapshots (empty = no persistence)")
 		ckEvery    = fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval")
 		walDir     = fs.String("wal-dir", "", "directory for per-tenant write-ahead logs (empty = acks are not crash-durable; requires -checkpoint-dir)")
 		walSync    = fs.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit interval (0 = fsync every tick)")
 		walSegment = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold")
+		rebalance  = fs.Duration("rebalance-interval", 0, "load-aware rebalancer period: migrate at most one tenant off the hottest shard per interval (0 = disabled)")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,12 +91,25 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		walMgr = wal.NewManager(*walDir, wal.Options{SyncInterval: *walSync, SegmentBytes: *walSegment})
 		defer walMgr.Close()
 	}
-	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue, WAL: walMgr})
+	// With persistence, the tenant→shard routing table lives next to the
+	// checkpoints and survives restarts: -shards may grow (existing tenants
+	// stay put, new shards fill via migration/rebalancing), and shrinking is
+	// refused while any tenant still routes to a doomed shard.
+	var routing *shard.Table
+	if *ckDir != "" {
+		var err error
+		routing, err = shard.OpenTable(filepath.Join(*ckDir, "routing.tkcmrt"), *shards)
+		if err != nil {
+			return fmt.Errorf("opening routing table: %w", err)
+		}
+	}
+	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue, Routing: routing, WAL: walMgr})
 	srv := server.New(server.Options{
 		Manager:            m,
 		CheckpointDir:      *ckDir,
 		CheckpointInterval: *ckEvery,
 		WAL:                walMgr,
+		RebalanceInterval:  *rebalance,
 		Log:                log,
 	})
 	if *ckDir != "" {
@@ -101,6 +120,7 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		log.Info("checkpoint restore", "dir", *ckDir, "tenants", n)
 	}
 	srv.StartCheckpointLoop()
+	srv.StartRebalancer()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -88,6 +88,19 @@ func (s *Server) pruneCheckpoints(infos []shard.TenantInfo) {
 		// ckMu.
 		if strings.Contains(name, ".tmp-") {
 			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		// Routing-table temp files ("routing-*.tmp") are reaped only once
+		// they are old: unlike checkpoint temps, not every table save is
+		// serialized with CheckpointAll by ckMu (Manager.Delete flushes the
+		// table after its shard op, outside any server lock), so a fresh
+		// temp may belong to a save in flight — unlinking it would make the
+		// rename fail and silently drop the save. A live save completes in
+		// milliseconds; an hour-old temp is a crash leftover.
+		if strings.HasPrefix(name, "routing-") && strings.HasSuffix(name, ".tmp") {
+			if info, err := ent.Info(); err == nil && time.Since(info.ModTime()) > time.Hour {
+				os.Remove(filepath.Join(s.dir, name))
+			}
 		}
 	}
 	// Same backstop for write-ahead logs: a log whose tenant is no longer

@@ -40,6 +40,11 @@ type Options struct {
 	// unhosted tenants, and exposes WAL counters on /metrics. Requires
 	// CheckpointDir: the log replays on top of checkpoints.
 	WAL *wal.Manager
+	// RebalanceInterval is the period of the load-aware rebalancer, which
+	// samples per-shard tick rates and migrates at most one tenant off the
+	// hottest shard per interval (0 = disabled). Start it with
+	// StartRebalancer.
+	RebalanceInterval time.Duration
 	// Log receives request and checkpoint events (default slog.Default()).
 	Log *slog.Logger
 }
@@ -74,6 +79,14 @@ type Server struct {
 	tickRows       atomic.Uint64
 	checkpoints    atomic.Uint64
 	checkpointErrs atomic.Uint64
+
+	// Rebalancer state: the interval, the last imbalance sample
+	// (float64 bits; see imbalanceValue), and the previous per-shard /
+	// per-tenant tick counts, touched only by the rebalancer goroutine.
+	rbInterval time.Duration
+	imbalance  atomic.Uint64
+	rbShards   []uint64
+	rbTenants  map[string]uint64
 }
 
 // tenantIDPattern bounds tenant ids to names that are safe as path segments
@@ -95,15 +108,16 @@ func New(opts Options) *Server {
 		interval = 30 * time.Second
 	}
 	s := &Server{
-		m:        opts.Manager,
-		wal:      opts.WAL,
-		mux:      http.NewServeMux(),
-		log:      log,
-		dir:      opts.CheckpointDir,
-		interval: interval,
-		started:  time.Now(),
-		stopCk:   make(chan struct{}),
-		draining: make(chan struct{}),
+		m:          opts.Manager,
+		wal:        opts.WAL,
+		mux:        http.NewServeMux(),
+		log:        log,
+		dir:        opts.CheckpointDir,
+		interval:   interval,
+		rbInterval: opts.RebalanceInterval,
+		started:    time.Now(),
+		stopCk:     make(chan struct{}),
+		draining:   make(chan struct{}),
 	}
 	if s.wal != nil && s.dir == "" {
 		panic("server: Options.WAL requires Options.CheckpointDir (the log replays on top of checkpoints)")
@@ -124,7 +138,9 @@ func New(opts Options) *Server {
 	handle("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
 	handle("POST /v1/tenants/{id}/ticks", s.handleTicks)
 	handle("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	handle("POST /v1/tenants/{id}/migrate", s.handleMigrate)
 	handle("POST /v1/checkpoint", s.handleCheckpoint)
+	handle("GET /v1/cluster/routing", s.handleRouting)
 	return s
 }
 
@@ -638,6 +654,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, st := range stats {
 		fmt.Fprintf(w, "tkcm_shard_backpressure_total{shard=\"%d\"} %d\n", st.Shard, st.Backpressure)
 	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_migrations_total Completed live tenant migrations.\n# TYPE tkcm_shard_migrations_total counter\ntkcm_shard_migrations_total %d\n", s.m.Migrations())
+	fmt.Fprintf(w, "# HELP tkcm_shard_imbalance Hottest shard's tick rate over the mean, last rebalance sample (1 = balanced, 0 = no sample).\n# TYPE tkcm_shard_imbalance gauge\ntkcm_shard_imbalance %g\n", s.imbalanceValue())
 	fmt.Fprintf(w, "# HELP tkcm_http_requests_total HTTP requests served.\n# TYPE tkcm_http_requests_total counter\ntkcm_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())

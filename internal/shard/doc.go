@@ -5,10 +5,11 @@
 // # Model
 //
 // A tenant is one named core.Engine (its own streams, config, window, and
-// profiler state). Tenants are hashed (FNV-1a) onto N shards; each shard owns
-// its tenants exclusively and executes every operation — create, tick,
-// snapshot, delete — on one persistent goroutine fed by a bounded request
-// queue. This gives three properties at once:
+// profiler state). Tenants are routed onto N shards by a versioned routing
+// Table — explicit, persisted assignments over a default FNV-1a hash route —
+// and each shard owns its tenants exclusively, executing every operation —
+// create, tick, snapshot, delete — on one persistent goroutine fed by a
+// bounded request queue. This gives three properties at once:
 //
 //   - Engine calls need no locks: core.Engine.Tick and Engine.Snapshot are
 //     documented single-goroutine APIs, and the shard goroutine is that
@@ -26,4 +27,21 @@
 // queue; the shard goroutines drain what was already accepted — completing
 // those requests — close their engines, and exit, which is what makes the
 // server's graceful shutdown lossless.
+//
+// # Routing and live migration
+//
+// The Table decouples tenant placement from the hash: Manager.Migrate moves
+// a tenant between shards while it serves traffic. The tenant's queued
+// operations drain on the source shard (the capture op runs behind them on
+// the shard goroutine), new operations park in a bounded handoff buffer,
+// the engine image travels through Engine.Snapshot/core.RestoreEngine with
+// its WAL sequence handed off, and the routing table is persisted and
+// fsynced before the in-memory route flips — then the parked operations
+// replay on the destination. Durability is unaffected throughout: the
+// write-ahead log and checkpoints are keyed by tenant, not shard, so a
+// crash at any instant of a migration restores the tenant whole, on exactly
+// one shard, from its checkpoint plus log. Pinning the default hash modulus
+// in the Table is what lets the shard count grow across restarts without
+// rerouting existing tenants; new shards start empty and receive tenants
+// through explicit migrations (typically the server's rebalancer).
 package shard

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"sort"
@@ -28,15 +27,30 @@ var (
 	// skips ahead of the engine — rows in between were never applied, so
 	// accepting the row would silently lose them.
 	ErrSeqGap = errors.New("shard: sequence gap")
+	// ErrBadShard is returned by Migrate for a destination outside the
+	// manager's shard range — a caller error, distinct from the internal
+	// failures (snapshot, restore, table save) a migration can also hit.
+	ErrBadShard = errors.New("shard: no such shard")
 )
 
 // Options configures a Manager.
 type Options struct {
 	// Shards is the number of single-goroutine engine shards (default 4).
+	// Ignored when Routing is set: the table's shard count wins, so the
+	// routes it persists can never point off the end of the shard slice.
 	Shards int
 	// QueueLen bounds each shard's request queue (default 64). A full queue
 	// blocks submitters — the backpressure making overload visible upstream.
 	QueueLen int
+	// HandoffLen bounds the parked-request buffer of a live migration
+	// (default 256): requests for the migrating tenant queue here while its
+	// engine is in transit and replay on the destination after the flip.
+	// When full, submitters block until the flip — the migration-time
+	// equivalent of a full shard queue.
+	HandoffLen int
+	// Routing is the tenant→shard routing table. nil gets an ephemeral
+	// default table over Shards shards (pure hash routing, no persistence).
+	Routing *Table
 	// WAL, when non-nil, write-ahead-logs every tick before it is applied:
 	// Create/Attach open the tenant's log, Delete removes it, and Tick
 	// appends the raw row and hands back the group-commit handle in
@@ -94,24 +108,43 @@ type shard struct {
 // Manager routes tenant operations onto shards.
 type Manager struct {
 	shards  []*shard
+	routing *Table
+	handoff int
 	wal     *wal.Manager // nil = durability disabled
 	senders sync.WaitGroup
 	closed  atomic.Bool
 	closing sync.Once
 	wg      sync.WaitGroup
+
+	// Live-migration state: at most one tenant is in transit at a time
+	// (migrateMu), and the hot path discovers it with one atomic load.
+	migrateMu  sync.Mutex
+	migrating  atomic.Pointer[migration]
+	migrations atomic.Uint64
 }
 
-// New starts a manager with opts.Shards shard goroutines.
+// New starts a manager with one goroutine per shard. The shard count comes
+// from opts.Routing when set (so persisted routes always resolve), from
+// opts.Shards otherwise.
 func New(opts Options) *Manager {
-	n := opts.Shards
-	if n <= 0 {
-		n = 4
+	rt := opts.Routing
+	if rt == nil {
+		n := opts.Shards
+		if n <= 0 {
+			n = 4
+		}
+		rt = NewTable(n)
 	}
+	n := rt.NumShards()
 	q := opts.QueueLen
 	if q <= 0 {
 		q = 64
 	}
-	m := &Manager{wal: opts.WAL}
+	h := opts.HandoffLen
+	if h <= 0 {
+		h = 256
+	}
+	m := &Manager{routing: rt, handoff: h, wal: opts.WAL}
 	for i := 0; i < n; i++ {
 		sh := &shard{id: i, reqs: make(chan *request, q), tenants: make(map[string]*core.Engine)}
 		m.shards = append(m.shards, sh)
@@ -139,19 +172,98 @@ func (sh *shard) loop() {
 // Shards returns the shard count.
 func (m *Manager) Shards() int { return len(m.shards) }
 
-// shardFor maps a tenant id onto its shard (stable FNV-1a hash).
+// RoutingInfo snapshots the routing table for the cluster routing endpoint.
+func (m *Manager) RoutingInfo() RoutingInfo { return m.routing.Info() }
+
+// Migrations counts completed tenant migrations.
+func (m *Manager) Migrations() uint64 { return m.migrations.Load() }
+
+// shardFor resolves a tenant id through the routing table — one lock-free
+// table lookup per request (explicit assignment, else default hash).
 func (m *Manager) shardFor(tenantID string) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, tenantID)
-	return m.shards[int(h.Sum32()%uint32(len(m.shards)))]
+	return m.shards[m.routing.ShardFor(tenantID)]
 }
 
-// do submits op to the tenant's shard and waits for the result. A full
+// errMisrouted reports that an operation ran on a shard the tenant had
+// already migrated away from (it was queued behind the migration's capture
+// step). Internal: do retries it against the current route; it never
+// escapes to callers.
+var errMisrouted = errors.New("shard: tenant rerouted mid-operation")
+
+// do routes op to the tenant's shard and waits for the result. A full
 // queue blocks (recorded as a backpressure event) until space frees, ctx is
 // done, or the manager closes. Once accepted, the operation always runs —
 // even if ctx expires meanwhile — because Close drains accepted requests.
+// While the tenant is mid-migration, op parks in the migration's bounded
+// handoff buffer instead and runs on whichever shard the migration
+// concludes on.
 func (m *Manager) do(ctx context.Context, tenantID string, op func(*shard) error) error {
-	return m.submit(ctx, m.shardFor(tenantID), op)
+	for {
+		if mig := m.migrating.Load(); mig != nil && mig.tenant == tenantID {
+			err, handled := m.park(ctx, mig, op)
+			if handled {
+				return err
+			}
+			continue // migration concluded while we looked — re-resolve
+		}
+		err := m.submit(ctx, m.shardFor(tenantID), op)
+		if errors.Is(err, errMisrouted) {
+			continue
+		}
+		return err
+	}
+}
+
+// misrouted reports that tenantID does not currently route to sh — the
+// operation raced a migration (it was queued behind the capture step, or
+// resolved the route just before the flip) and must be retried on the
+// tenant's current shard. Called from op bodies on the shard goroutine, so
+// a miss in sh.tenants plus a still-matching route is a genuinely unknown
+// tenant: the map and the route only diverge while a migration is in
+// flight, which the first check catches.
+func (m *Manager) misrouted(sh *shard, tenantID string) bool {
+	if mig := m.migrating.Load(); mig != nil && mig.tenant == tenantID {
+		return true
+	}
+	return m.shards[m.routing.ShardFor(tenantID)] != sh
+}
+
+// missing classifies a tenant lookup miss on sh: a rerouted tenant retries,
+// anything else is ErrNoTenant.
+func (m *Manager) missing(sh *shard, tenantID string) error {
+	if m.misrouted(sh, tenantID) {
+		return errMisrouted
+	}
+	return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+}
+
+// park enqueues op in the migration's handoff buffer. It returns
+// handled=false when the caller must re-resolve the route: the migration
+// has concluded, or the buffer is full and the flip arrived while waiting.
+func (m *Manager) park(ctx context.Context, mig *migration, op func(*shard) error) (error, bool) {
+	mig.mu.Lock()
+	if mig.done {
+		mig.mu.Unlock()
+		return nil, false
+	}
+	if len(mig.parked) < m.handoff {
+		req := &request{op: op, done: make(chan error, 1)}
+		mig.parked = append(mig.parked, req)
+		mig.mu.Unlock()
+		// Accepted: like a queued request, it always runs (the migration's
+		// conclusion forwards it, answering with ErrClosed if the manager
+		// shut down meanwhile), so waiting without ctx mirrors submit.
+		return <-req.done, true
+	}
+	mig.mu.Unlock()
+	// Handoff buffer full — the migration-time backpressure. Wait for the
+	// flip (or give up with the caller's context), then re-resolve.
+	select {
+	case <-mig.flipped:
+		return nil, false
+	case <-ctx.Done():
+		return ctx.Err(), true
+	}
 }
 
 func (m *Manager) submit(ctx context.Context, sh *shard, op func(*shard) error) error {
@@ -189,6 +301,13 @@ func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, 
 		if _, ok := sh.tenants[tenantID]; ok {
 			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
 		}
+		if m.misrouted(sh, tenantID) {
+			// The id migrated away while this create was queued: creating
+			// here would host a second engine under an id that lives on
+			// another shard. Retry on the current route (where it will
+			// correctly collide).
+			return errMisrouted
+		}
 		eng, err := core.NewEngine(cfg, streams, refs)
 		if err != nil {
 			return err
@@ -224,6 +343,9 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 		if _, ok := sh.tenants[tenantID]; ok {
 			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
 		}
+		if m.misrouted(sh, tenantID) {
+			return errMisrouted
+		}
 		if m.wal != nil {
 			l, err := m.wal.Open(tenantID)
 			if err != nil {
@@ -240,21 +362,37 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 }
 
 // Delete removes a tenant, closes its engine, and deletes its write-ahead
-// log (a deleted tenant must not resurrect from its log on restart).
+// log (a deleted tenant must not resurrect from its log on restart). The
+// tenant's explicit routing assignment, if any, is dropped inside the same
+// shard operation: flipping the route after the op returned would let a
+// concurrent Create of the same id land on the stale shard and then be
+// orphaned by the flip. Inside the op, such a Create either queues behind
+// this one on the old shard (its miss then classifies as misrouted and
+// retries on the new route) or resolves the new route directly. The
+// unassign itself is best-effort — a stale entry only pins where a future
+// tenant of the same id would land. Only the in-memory flip runs on the
+// shard goroutine; the table save (an fsync) happens after the op, off the
+// shard's critical path.
 func (m *Manager) Delete(ctx context.Context, tenantID string) error {
-	return m.do(ctx, tenantID, func(sh *shard) error {
+	flipped := false
+	err := m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
-			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+			return m.missing(sh, tenantID)
 		}
 		delete(sh.tenants, tenantID)
 		sh.ntenants.Add(-1)
 		eng.Close()
+		flipped = m.routing.UnassignMem(tenantID)
 		if m.wal != nil {
 			return m.wal.Remove(tenantID)
 		}
 		return nil
 	})
+	if flipped {
+		m.routing.Flush()
+	}
+	return err
 }
 
 // Tick feeds one row (NaN = missing) to the tenant's engine and copies the
@@ -271,7 +409,7 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 	return m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
-			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+			return m.missing(sh, tenantID)
 		}
 		engSeq := eng.Seq()
 		rsp.Duplicate = false
@@ -347,7 +485,7 @@ func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) (u
 	err := m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
-			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+			return m.missing(sh, tenantID)
 		}
 		seq = eng.Seq()
 		return eng.Snapshot(w)
@@ -372,7 +510,7 @@ func (m *Manager) Info(ctx context.Context, tenantID string) (TenantInfo, error)
 	err := m.do(ctx, tenantID, func(sh *shard) error {
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
-			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+			return m.missing(sh, tenantID)
 		}
 		info = TenantInfo{
 			ID:      tenantID,
@@ -386,8 +524,17 @@ func (m *Manager) Info(ctx context.Context, tenantID string) (TenantInfo, error)
 	return info, err
 }
 
-// Tenants lists every hosted tenant, sorted by id.
+// Tenants lists every hosted tenant, sorted by id. The walk holds
+// migrateMu: a tenant mid-migration is in no shard map while its image is
+// in transit, and one moving ahead of (or behind) the shard iterator would
+// be listed twice or not at all. Tenants change shards only inside
+// Migrate, so excluding migrations for the walk's duration makes the
+// listing a consistent snapshot — a listing that races a move waits it out
+// (the same transient delay every per-tenant operation already accepts)
+// instead of showing a live tenant as deleted.
 func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	m.migrateMu.Lock()
+	defer m.migrateMu.Unlock()
 	var all []TenantInfo
 	for _, sh := range m.shards {
 		err := m.submit(ctx, sh, func(sh *shard) error {
