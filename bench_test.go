@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"tkcm"
+	"tkcm/internal/benchcases"
 	"tkcm/internal/core"
 	"tkcm/internal/experiments"
 )
@@ -522,6 +523,26 @@ func benchEngineTickParallel(b *testing.B, workers int) {
 // worker-pool fan-out of one Tick's imputations across missing streams.
 func BenchmarkEngineTickSerial(b *testing.B)   { benchEngineTickParallel(b, 1) }
 func BenchmarkEngineTickParallel(b *testing.B) { benchEngineTickParallel(b, 4) }
+
+// BenchmarkEngineTickColumns streams the pinned steady-state workload
+// (width 4, stream 0 missing every 20th tick) through the columnar ingest
+// path, 64 ticks per TickColumns call; ns/op is per tick, directly
+// comparable to BenchmarkEngineTickRowBaseline. The same bodies run in CI's
+// regression gate via `tkcm-bench -experiment pinned`.
+func BenchmarkEngineTickColumns(b *testing.B) { benchcases.EngineTickColumns(b, 64) }
+
+// BenchmarkEngineTickRowBaseline is the row-at-a-time baseline of the pinned
+// workload (BenchmarkEngineTick measures a different, impute-every-tick
+// workload).
+func BenchmarkEngineTickRowBaseline(b *testing.B) { benchcases.EngineTick(b) }
+
+// BenchmarkWALAppendBatch appends 64-row batches — one record, one CRC, one
+// group-commit slot per batch; ns/op is per row, comparable to
+// BenchmarkWALAppend.
+func BenchmarkWALAppendBatch(b *testing.B) { benchcases.WALAppendBatch(b, 64) }
+
+// BenchmarkWALAppend is the per-row WAL append baseline.
+func BenchmarkWALAppend(b *testing.B) { benchcases.WALAppend(b) }
 
 // BenchmarkEngineTickBatch measures bulk ingest through TickBatch at the
 // default (incremental) configuration.

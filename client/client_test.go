@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -389,4 +391,106 @@ func TestCloseWithoutRecvDoesNotDeadlock(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("Close deadlocked with unconsumed acks")
 	}
+}
+
+// TestStreamBatchCoalescing: a stream opened with Batch > 1 must deliver
+// exactly the acks of an unbatched stream on the same rows — and the rows
+// must actually travel as batch lines (visible in the server's metrics),
+// since the producer runs far ahead of the connection.
+func TestStreamBatchCoalescing(t *testing.T) {
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{SyncInterval: time.Millisecond})
+	m := shard.New(shard.Options{Shards: 2, WAL: walMgr})
+	srv := server.New(server.Options{Manager: m, CheckpointDir: t.TempDir(), WAL: walMgr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer m.Close()
+	defer walMgr.Close()
+
+	ctx := context.Background()
+	c := New(ts.URL)
+	req := CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2", "r3"},
+		Config:  &Config{K: 2, PatternLength: 3, D: 2, WindowLength: 32},
+	}
+	for _, id := range []string{"bat", "row"} {
+		if err := c.CreateTenant(ctx, id, req); err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+	}
+
+	const n = 200
+	row := func(i int) []float64 {
+		r := []float64{20 + math.Sin(float64(i)/3), 19 + math.Cos(float64(i)/5), 21, 20.5}
+		if i > 20 && i%4 == 0 {
+			r[0] = math.NaN()
+		}
+		return r
+	}
+	drive := func(id string, opts StreamOptions) []Ack {
+		st, err := c.OpenStream(ctx, id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Queue every row before consuming acks: the producer runs ahead, so
+		// the batched stream has material to coalesce.
+		for i := 0; i < n; i++ {
+			if err := st.Send(ctx, row(i)); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		acks := make([]Ack, 0, n)
+		for i := 0; i < n; i++ {
+			a, err := st.Recv(ctx)
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			acks = append(acks, a)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return acks
+	}
+	batched := drive("bat", StreamOptions{Sequenced: true, Batch: 16, MaxInFlight: n})
+	plain := drive("row", StreamOptions{Sequenced: true, MaxInFlight: n})
+
+	for i := range plain {
+		b, p := batched[i], plain[i]
+		if b.Seq != p.Seq || b.Tick != p.Tick || b.Duplicate != p.Duplicate {
+			t.Fatalf("ack %d: batched %+v, plain %+v", i, b, p)
+		}
+		if len(b.Values) != len(p.Values) {
+			t.Fatalf("ack %d: %d values vs %d", i, len(b.Values), len(p.Values))
+		}
+		for j := range p.Values {
+			if b.Values[j] != p.Values[j] {
+				t.Fatalf("ack %d value %d: batched %v, plain %v", i, j, b.Values[j], p.Values[j])
+			}
+		}
+	}
+	mtx, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for _, line := range bytes.Split([]byte(mtx), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("tkcm_ticks_batched_total ")) {
+			if _, err := fmtSscan(string(line[len("tkcm_ticks_batched_total "):]), &got); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+		}
+	}
+	if got == 0 {
+		t.Fatal("no rows traveled as batch lines (tkcm_ticks_batched_total 0)")
+	}
+}
+
+// fmtSscan keeps the fmt import local to this test's single use.
+func fmtSscan(s string, v *uint64) (int, error) {
+	u, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = u
+	return 1, nil
 }

@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"tkcm/internal/wire"
 )
 
 // StreamOptions tunes a TickStream. The zero value is usable.
@@ -35,6 +37,14 @@ type StreamOptions struct {
 	MaxAttempts int
 	// RetryBackoff is the pause between reconnect attempts (default 250ms).
 	RetryBackoff time.Duration
+	// Batch, when > 1, coalesces up to this many queued rows into one batch
+	// line ({"seq":N,"rows":[...]}), which the server applies in one shard
+	// operation and one write-ahead-log record — the amortization that
+	// multiplies throughput under backpressure. Acks still arrive one per
+	// row, so Recv is oblivious to batching. A producer running in lock-step
+	// with the server sends plain single-row lines as before; batches form
+	// exactly when rows queue up.
+	Batch int
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -374,9 +384,29 @@ func (s *TickStream) connect() (err error, retryable bool) {
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var wa wire.Ack
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		// Hot path: the strict single-pass parser handles the exact ack
+		// shape the server emits; error lines and anything unusual fall back
+		// to encoding/json below. The Ack handed to deliver escapes to the
+		// caller, so its slices are fresh copies of the parser's scratch.
+		if wire.ParseAck(line, &wa) {
+			a := Ack{
+				Tick:      wa.Tick,
+				Seq:       wa.Seq,
+				Values:    make([]float64, len(wa.Values)),
+				Imputed:   make([]int, len(wa.Imputed)),
+				Duplicate: wa.Duplicate,
+			}
+			copy(a.Values, wa.Values)
+			copy(a.Imputed, wa.Imputed)
+			if derr := s.deliver(a); derr != nil {
+				return derr, false
+			}
 			continue
 		}
 		var sl serverLine
@@ -435,6 +465,19 @@ func (s *TickStream) writeLoop(pw *io.PipeWriter, connDead <-chan struct{}, done
 		// — the difference between ~5k and ~50k rows/s per connection.
 		buf.Reset()
 		for s.writeIdx < len(s.unacked) && buf.Len() < 32<<10 {
+			// With Batch > 1 and several rows queued, fold them into one
+			// batch line — rows in unacked always carry consecutive seqs, the
+			// shape the server's batch ingest requires. A lone row keeps the
+			// plain single-row format.
+			if n := len(s.unacked) - s.writeIdx; s.opts.Batch > 1 && n > 1 {
+				if n > s.opts.Batch {
+					n = s.opts.Batch
+				}
+				rows := s.unacked[s.writeIdx : s.writeIdx+n]
+				s.writeIdx += n
+				encodeBatch(&buf, rows[0].seq, rows)
+				continue
+			}
 			row := s.unacked[s.writeIdx]
 			s.writeIdx++
 			encodeRow(&buf, row.seq, row.values)
@@ -486,6 +529,36 @@ func (s *TickStream) deliver(a Ack) error {
 		s.flOnce.Do(func() { close(s.flushed) })
 	}
 	return nil
+}
+
+// encodeBatch appends one NDJSON batch line to buf: seq numbers the first
+// row, and each row is encoded like a values array (NaN → null).
+func encodeBatch(buf *bytes.Buffer, seq uint64, rows []pendingRow) {
+	buf.WriteByte('{')
+	if seq > 0 {
+		buf.WriteString(`"seq":`)
+		buf.Write(strconv.AppendUint(buf.AvailableBuffer(), seq, 10))
+		buf.WriteByte(',')
+	}
+	buf.WriteString(`"rows":[`)
+	for j, row := range rows {
+		if j > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('[')
+		for i, v := range row.values {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if math.IsNaN(v) {
+				buf.WriteString("null")
+			} else {
+				buf.Write(strconv.AppendFloat(buf.AvailableBuffer(), v, 'g', -1, 64))
+			}
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteString("]}\n")
 }
 
 // encodeRow appends one NDJSON input line to buf. NaN becomes null, the

@@ -14,13 +14,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"testing"
 	"time"
 
+	"tkcm/internal/benchcases"
 	"tkcm/internal/benchfmt"
 	"tkcm/internal/core"
 	"tkcm/internal/experiments"
@@ -39,6 +43,9 @@ var (
 	widthFlag    = flag.Int("width", 0, "pin the wide experiment to one stream count (default: sweep 256, plus 1024 at -full)")
 	wideTicks    = flag.Int("wide-ticks", 0, "measured steady-state ticks of the wide experiment (default 300, 200 at -full)")
 	jsonFlag     = flag.String("json", "", "write machine-readable engine/wide results to this file (e.g. BENCH_engine.json)")
+	baselineFlag = flag.String("baseline", "", "pinned experiment: compare against this committed report (e.g. BENCH_engine.json) and fail on regression")
+	regressFlag  = flag.Float64("regress", 0.30, "pinned experiment: tolerated ns/op increase over -baseline before failing (0.30 = +30%)")
+	benchtime    = flag.String("benchtime", "200ms", "pinned experiment: per-case measurement time (testing -test.benchtime)")
 )
 
 // jsonRows collects engine/wide measurements for the -json report (schema
@@ -128,6 +135,7 @@ func allExperiments() []experiment {
 		{"fig17", "Fig. 17: runtime linearity in l, d, k, L", runFig17},
 		{"perf", "Sec. 7.4: runtime breakdown of TKCM's phases", runPerf},
 		{"engine", "streaming-engine throughput: naive vs FFT vs incremental extraction, serial vs parallel ticks", runEngine},
+		{"pinned", "pinned hot-path micro-benchmarks (engine tick, columnar batch, WAL append) — CI's regression gate via -baseline", runPinned},
 		{"wide", "wide-engine throughput: eager vs demand-driven state over 256+ streams with sparse missingness", runWide},
 		{"ablation", "DESIGN.md §4: DP vs greedy vs overlapping, norms, weighting", runAblation},
 		{"alignment", "Sec. 8 future work: DTW-aligned series + l=1 vs shifted series + l>1", runAlignment},
@@ -177,6 +185,106 @@ func runEngine(scale experiments.Scale) error {
 		fmt.Printf("speedup vs first row: %s\n", strings.Join(speedups, ", "))
 	}
 	return nil
+}
+
+// pinnedRow is one pinned micro-benchmark measurement; its Name keys the
+// -baseline comparison across revisions.
+type pinnedRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// testingInit prepares the testing package for standalone testing.Benchmark
+// runs exactly once (a second testing.Init would panic on flag redefinition).
+var testingInit sync.Once
+
+// runPinned runs the shared benchcases bodies through testing.Benchmark —
+// the same code the root bench_test.go wrappers measure — and, with
+// -baseline, fails when any case's ns/op regressed more than -regress over
+// the committed report. CI runs this against the checked-in
+// BENCH_engine.json before refreshing it.
+func runPinned(experiments.Scale) error {
+	testingInit.Do(testing.Init)
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+	base := map[string]pinnedRow{}
+	if *baselineFlag != "" {
+		var err error
+		if base, err = loadPinnedBaseline(*baselineFlag); err != nil {
+			return err
+		}
+	}
+	tbl := experiments.NewTable(
+		fmt.Sprintf("Pinned hot-path micro-benchmarks (benchtime %s; ns/op is per tick / per WAL row)", *benchtime),
+		"case", "batch", "ns/op", "allocs/op", "baseline ns/op", "Δ")
+	var failures []string
+	for _, c := range benchcases.Cases() {
+		// Min of three runs: scheduling noise only ever inflates a
+		// measurement, so the minimum is the robust per-op estimate and
+		// keeps the ±30% gate from tripping on a noisy neighbor.
+		row := pinnedRow{Name: c.Name}
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(c.Fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if run == 0 || ns < row.NsPerOp {
+				row.NsPerOp = ns
+				row.AllocsPerOp = r.AllocsPerOp()
+			}
+		}
+		jsonRows = append(jsonRows, benchfmt.Record{Experiment: "pinned", BatchSize: c.Batch, Row: row})
+		baseNs, delta := "—", "—"
+		if b, ok := base[c.Name]; ok && b.NsPerOp > 0 {
+			ratio := row.NsPerOp/b.NsPerOp - 1
+			baseNs = fmt.Sprintf("%.1f", b.NsPerOp)
+			delta = fmt.Sprintf("%+.1f%%", 100*ratio)
+			if ratio > *regressFlag {
+				failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%% > +%.0f%%)",
+					c.Name, row.NsPerOp, b.NsPerOp, 100*ratio, 100**regressFlag))
+			}
+		}
+		tbl.AddRow(c.Name, c.Batch, fmt.Sprintf("%.1f", row.NsPerOp), row.AllocsPerOp, baseNs, delta)
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// loadPinnedBaseline reads the pinned rows of a committed benchfmt report.
+func loadPinnedBaseline(path string) (map[string]pinnedRow, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var doc struct {
+		Rows []struct {
+			Experiment string          `json:"experiment"`
+			Row        json.RawMessage `json:"row"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	base := make(map[string]pinnedRow)
+	for _, r := range doc.Rows {
+		if r.Experiment != "pinned" {
+			continue
+		}
+		var row pinnedRow
+		if err := json.Unmarshal(r.Row, &row); err != nil {
+			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+		}
+		base[row.Name] = row
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("baseline %s has no pinned rows", path)
+	}
+	return base, nil
 }
 
 // runWide measures the production-scale workload the demand-driven profiler

@@ -14,7 +14,9 @@
 // -keep), opens -streams concurrent tick streams per tenant, and pumps
 // synthetic seasonal rows with a -missing fraction of values dropped. A
 // single stream per tenant runs sequenced (exactly-once, reconnecting);
-// multiple writers per tenant run unsequenced. With -migrate-interval set
+// multiple writers per tenant run unsequenced. With -batch N each stream
+// coalesces up to N queued rows into one batch tick line — one shard
+// operation and one WAL record per batch instead of per row. With -migrate-interval set
 // the run doubles as a live-migration soak: tenants are walked across the
 // shards round-robin while their streams pump, and any stream error or
 // lost ack under migration is reported as the server bug it would be. The
@@ -47,6 +49,7 @@ type options struct {
 	duration time.Duration
 	missing  float64
 	inflight int
+	batch    int
 	window   int
 	k, l, d  int
 	migrate  time.Duration
@@ -65,6 +68,7 @@ func main() {
 type result struct {
 	Tenants      int     `json:"tenants"`
 	Streams      int     `json:"streams_per_tenant"`
+	Batch        int     `json:"batch"`
 	Width        int     `json:"width"`
 	MissingRate  float64 `json:"missing_rate"`
 	Duration     float64 `json:"duration_seconds"`
@@ -88,6 +92,7 @@ func run(args []string, out *os.File) error {
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "measurement duration")
 	fs.Float64Var(&o.missing, "missing", 0.05, "probability a value is missing (after warmup)")
 	fs.IntVar(&o.inflight, "inflight", 128, "max unacked rows per stream (backpressure window)")
+	fs.IntVar(&o.batch, "batch", 1, "coalesce up to this many queued rows into one batch tick line (1 = row-at-a-time)")
 	fs.IntVar(&o.window, "window", 1024, "tenant window length L")
 	fs.IntVar(&o.k, "k", 3, "tenant anchor count k")
 	fs.IntVar(&o.l, "l", 8, "tenant pattern length l")
@@ -149,8 +154,8 @@ func run(args []string, out *os.File) error {
 	runCtx, stop := context.WithDeadline(ctx, deadline.Add(30*time.Second))
 	defer stop()
 
-	fmt.Fprintf(out, "# tkcm-loadgen — %d tenants × %d streams, width %d, %.0f%% missing, %v\n",
-		o.tenants, o.streams, o.width, 100*o.missing, o.duration)
+	fmt.Fprintf(out, "# tkcm-loadgen — %d tenants × %d streams, width %d, batch %d, %.0f%% missing, %v\n",
+		o.tenants, o.streams, o.width, o.batch, 100*o.missing, o.duration)
 	start := time.Now()
 	for ti := range ids {
 		for si := 0; si < o.streams; si++ {
@@ -210,6 +215,7 @@ func run(args []string, out *os.File) error {
 	res := result{
 		Tenants:     o.tenants,
 		Streams:     o.streams,
+		Batch:       o.batch,
 		Width:       o.width,
 		MissingRate: o.missing,
 		Duration:    elapsed.Seconds(),
@@ -233,7 +239,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "ack max      %.3f ms\n", res.AckMaxMillis)
 
 	if o.jsonPath != "" {
-		report := benchfmt.NewReport("loadgen", []benchfmt.Record{{Experiment: "loadgen", Row: res}})
+		report := benchfmt.NewReport("loadgen", []benchfmt.Record{{Experiment: "loadgen", BatchSize: o.batch, Row: res}})
 		if err := report.WriteFile(o.jsonPath); err != nil {
 			return fmt.Errorf("writing %s: %w", o.jsonPath, err)
 		}
@@ -260,6 +266,7 @@ func drive(ctx context.Context, c *client.Client, tenant string, worker int, o o
 	st, err := c.OpenStream(ctx, tenant, client.StreamOptions{
 		Sequenced:   o.streams == 1,
 		MaxInFlight: o.inflight,
+		Batch:       o.batch,
 	})
 	if err != nil {
 		return nil, err
@@ -302,7 +309,11 @@ func drive(ctx context.Context, c *client.Client, tenant string, worker int, o o
 	for n := 0; time.Now().Before(deadline); n++ {
 		for i := range row {
 			base := math.Sin(2*math.Pi*float64(n)/96 + float64(i))
-			row[i] = 20 + 5*base + 0.1*rng.Float64()
+			// Quantize to 0.01, like a real sensor feed: raw float64 noise
+			// would put ~17 significant digits on the wire per value, which
+			// no instrument emits and which would make the run measure
+			// decimal-text codec throughput instead of the serving stack.
+			row[i] = math.Round(100*(20+5*base+0.1*rng.Float64())) / 100
 			if n > warmup && rng.Float64() < o.missing {
 				row[i] = math.NaN()
 			}

@@ -21,6 +21,9 @@ const SchemaV2 = "tkcm-bench/engine-v2"
 type Record struct {
 	// Experiment names the producing experiment (e.g. "engine", "loadgen").
 	Experiment string `json:"experiment"`
+	// BatchSize is the ingest batch size the measurement ran at (0 or 1 =
+	// unbatched row-at-a-time ingest).
+	BatchSize int `json:"batch_size,omitempty"`
 	// Row is the experiment-specific measurement payload.
 	Row any `json:"row"`
 }

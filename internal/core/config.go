@@ -129,6 +129,19 @@ type Config struct {
 	// workloads where nearly every stream is referenced every tick and for
 	// A/B measurement.
 	EagerProfiler bool
+	// Float32Profiles stores the incremental profiler's derived profile
+	// aggregates — the per-stream contribution vectors summed into every
+	// dissimilarity profile — as float32 instead of float64, halving the
+	// memory traffic of the per-tick profile assembly loops. The maintained
+	// diagonal accumulators and all imputation arithmetic (anchor selection,
+	// Def. 4 aggregation) stay float64, so only the final per-candidate
+	// rounding differs: rankings agree with the float64 engine within the
+	// 1e-6 equivalence gate the tests enforce. The flag only affects the
+	// streaming engine's incremental profiler (the default under L2);
+	// stateless profilers and non-L2 norms ignore it. Snapshots record the
+	// flag, and a snapshot taken in one precision refuses to restore into a
+	// config expecting the other (RestoreEngineWithConfig).
+	Float32Profiles bool
 	// SkipDiagnostics skips allocating the per-imputation Result (anchors,
 	// anchor values, dissimilarities, ε) on the engine tick path: Tick then
 	// reports every imputed value in its completed row but leaves all

@@ -66,6 +66,15 @@ type Engine struct {
 	targets []tickTarget
 	poolMu  sync.Mutex
 	pool    *tickPool
+	// Columnar batch state, reused across TickColumns calls: the completed
+	// output columns, the per-tick result rows, the per-tick missing counts,
+	// the gather scratch for ticks that need the scalar path, and TickBatch's
+	// row→column transpose scratch.
+	colOut         Columns
+	colRes         [][]*Result
+	missingPerTick []int32
+	rowScratch     []float64
+	batchCols      Columns
 	// Stats accumulates counters for observability.
 	Stats EngineStats
 }
@@ -102,6 +111,7 @@ func NewEngine(cfg Config, names []string, refs map[string]ReferenceSet) (*Engin
 	case ProfilerIncremental:
 		e.inc = NewIncrementalProfiler(cfg.PatternLength, len(names), cfg.WindowLength)
 		e.inc.SetEager(cfg.EagerProfiler)
+		e.inc.SetFloat32(cfg.Float32Profiles)
 		e.prof = e.inc
 	default:
 		e.prof = NaiveProfiler{}
@@ -171,14 +181,23 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	if err := e.ValidateRow(row); err != nil {
 		return nil, nil, err
 	}
-	e.w.Advance(row)
-	e.tick++
-	e.Stats.Ticks++
 	if e.out == nil {
 		e.out = make([]float64, len(row))
 		e.results = make([]*Result, len(row))
 	}
-	out, results := e.out, e.results
+	e.tickApplied(row, e.out, e.results)
+	return e.out, e.results, nil
+}
+
+// tickApplied is the post-validation body of Tick: it advances the window and
+// profiler state by the (already validated) row and imputes every missing
+// value, writing the completed row into out and the per-stream results into
+// results. The columnar path calls it for ticks that contain missing values,
+// so batched and unbatched ingest run literally the same imputation code.
+func (e *Engine) tickApplied(row []float64, out []float64, results []*Result) {
+	e.w.Advance(row)
+	e.tick++
+	e.Stats.Ticks++
 	copy(out, row)
 	for i := range results {
 		results[i] = nil
@@ -194,33 +213,202 @@ func (e *Engine) Tick(row []float64) ([]float64, []*Result, error) {
 	}
 	e.missing = missing
 	if len(missing) == 0 {
-		return out, results, nil
+		return
 	}
 	if e.cfg.Workers > 1 && len(missing) > 1 {
 		e.imputeMissingParallel(missing, out, results)
 	} else {
 		e.imputeMissingSerial(missing, out, results)
 	}
-	return out, results, nil
 }
 
-// TickBatch consumes a batch of rows through Tick, preserving its semantics
-// tick for tick, and returns the completed rows and per-row results (copied
-// out of the engine-owned tick buffers, so they stay valid indefinitely).
-// On error it returns the rows completed so far together with the failing
-// row's index wrapped in the error.
-func (e *Engine) TickBatch(rows [][]float64) ([][]float64, [][]*Result, error) {
-	outs := make([][]float64, 0, len(rows))
-	ress := make([][]*Result, 0, len(rows))
-	for t, row := range rows {
-		out, res, err := e.Tick(row)
-		if err != nil {
-			return outs, ress, fmt.Errorf("core: batch row %d: %w", t, err)
-		}
-		outs = append(outs, append([]float64(nil), out...))
-		ress = append(ress, append([]*Result(nil), res...))
+// Columns is a stream-major batch of ticks: Columns[i][t] holds stream i's
+// measurement at the t-th tick of the batch (NaN = missing). All columns
+// must have equal length — the batch's tick count. The layout is the
+// transpose of TickBatch's row-major [][]float64 and is what the columnar
+// ingest path (TickColumns) consumes without further shuffling.
+type Columns [][]float64
+
+// TickColumns ingests a batch of ticks in stream-major layout, producing
+// exactly the same state, imputed values, and statistics as ticking the rows
+// one by one (bit-identical in every profiler mode). Runs of complete ticks —
+// the steady state of a healthy feed — are bulk-appended: one contiguous copy
+// per stream into the window ring and the incremental profiler's history,
+// skipping all per-tick dispatch; the profiler's demand-driven aggregates
+// then catch up across the whole run at the next consult (per-batch catch-up
+// instead of per-tick bookkeeping). Ticks containing missing values fall back
+// to the scalar tick at their exact position, sharing reference resolution
+// and anchor-selection storage across the batch.
+//
+// It returns the completed columns and the per-tick results (indexed
+// [tick][stream], nil entries as in Tick). Both are engine-owned and valid
+// until the next Tick/TickBatch/TickColumns call. The whole batch is
+// validated up front — on error no state is mutated. A steady-state batch
+// with no missing values performs no allocations.
+func (e *Engine) TickColumns(cols Columns) (Columns, [][]*Result, error) {
+	width := e.w.Width()
+	if len(cols) != width {
+		return nil, nil, fmt.Errorf("core: %d columns != stream count %d", len(cols), width)
 	}
-	return outs, ress, nil
+	k := len(cols[0])
+	for i, col := range cols {
+		if len(col) != k {
+			return nil, nil, fmt.Errorf("core: column %d (stream %q) has %d ticks, column 0 has %d", i, e.w.Names()[i], len(col), k)
+		}
+	}
+	for i, col := range cols {
+		for t, v := range col {
+			if math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("core: batch tick %d: stream %q: non-finite measurement %v (use NaN for missing)", t, e.w.Names()[i], v)
+			}
+		}
+	}
+	// Per-tick missing counts, accumulated column by column so every scan is
+	// a contiguous pass.
+	mpt := e.missingPerTick
+	if cap(mpt) < k {
+		mpt = make([]int32, k)
+	}
+	mpt = mpt[:k]
+	for t := range mpt {
+		mpt[t] = 0
+	}
+	e.missingPerTick = mpt
+	for _, col := range cols {
+		col := col[:k:k]
+		for t, v := range col {
+			if math.IsNaN(v) {
+				mpt[t]++
+			}
+		}
+	}
+	out := e.colOut
+	for len(out) < width {
+		out = append(out, nil)
+	}
+	out = out[:width]
+	for i := range out {
+		if cap(out[i]) < k {
+			out[i] = make([]float64, k)
+		}
+		out[i] = out[i][:k]
+	}
+	e.colOut = out
+	res := e.colRes
+	for len(res) < k {
+		res = append(res, nil)
+	}
+	res = res[:k]
+	for t := range res {
+		if cap(res[t]) < width {
+			res[t] = make([]*Result, width)
+		}
+		res[t] = res[t][:width]
+		for i := range res[t] {
+			res[t][i] = nil
+		}
+	}
+	e.colRes = res
+	for t := 0; t < k; {
+		if mpt[t] == 0 {
+			// Maximal run of complete ticks: bulk-append it.
+			r := t + 1
+			for r < k && mpt[r] == 0 {
+				r++
+			}
+			e.w.AdvanceColumns(cols, t, r)
+			e.tick += r - t
+			e.Stats.Ticks += r - t
+			for i, col := range cols {
+				copy(out[i][t:r], col[t:r])
+				e.last[i] = col[r-1]
+				if e.inc != nil {
+					e.inc.AdvanceBulk(i, col[t:r])
+				}
+			}
+			t = r
+			continue
+		}
+		// Tick with missing values: gather its row and run the scalar tick.
+		row := e.rowScratch
+		if cap(row) < width {
+			row = make([]float64, width)
+		}
+		row = row[:width]
+		for i, col := range cols {
+			row[i] = col[t]
+		}
+		e.rowScratch = row
+		if e.out == nil {
+			e.out = make([]float64, width)
+			e.results = make([]*Result, width)
+		}
+		e.tickApplied(row, e.out, e.results)
+		for i := range cols {
+			out[i][t] = e.out[i]
+		}
+		copy(res[t], e.results)
+		t++
+	}
+	return out, res, nil
+}
+
+// TickBatch consumes a batch of row-major rows, preserving Tick's semantics
+// tick for tick, and returns the completed rows and per-row results (copied
+// out of the engine-owned batch buffers, so they stay valid indefinitely).
+// It is a compatibility shim over TickColumns: the longest valid prefix of
+// rows is transposed into the engine's column scratch and ingested through
+// the columnar path, so batched ingest enjoys the bulk-append fast path while
+// remaining bit-identical to per-row Tick calls. On a row that fails
+// validation it returns the rows completed so far together with the failing
+// row's index wrapped in the error, exactly as the historical per-row loop
+// did.
+func (e *Engine) TickBatch(rows [][]float64) ([][]float64, [][]*Result, error) {
+	n := 0
+	var rowErr error
+	for n < len(rows) {
+		if err := e.ValidateRow(rows[n]); err != nil {
+			rowErr = fmt.Errorf("core: batch row %d: %w", n, err)
+			break
+		}
+		n++
+	}
+	width := e.w.Width()
+	cols := e.batchCols
+	for len(cols) < width {
+		cols = append(cols, nil)
+	}
+	cols = cols[:width]
+	for i := range cols {
+		if cap(cols[i]) < n {
+			cols[i] = make([]float64, n)
+		}
+		cols[i] = cols[i][:n]
+	}
+	e.batchCols = cols
+	for t := 0; t < n; t++ {
+		row := rows[t]
+		for i := range cols {
+			cols[i][t] = row[i]
+		}
+	}
+	colOut, colRes, err := e.TickColumns(cols)
+	if err != nil {
+		// Unreachable: the prefix was validated row by row. Surface it
+		// defensively instead of masking a bug.
+		return nil, nil, err
+	}
+	outs := make([][]float64, 0, n)
+	ress := make([][]*Result, 0, n)
+	for t := 0; t < n; t++ {
+		outRow := make([]float64, width)
+		for i := 0; i < width; i++ {
+			outRow[i] = colOut[i][t]
+		}
+		outs = append(outs, outRow)
+		ress = append(ress, append([]*Result(nil), colRes[t]...))
+	}
+	return outs, ress, rowErr
 }
 
 // advanceState feeds stream i's now-final value for the current tick into

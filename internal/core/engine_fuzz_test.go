@@ -92,3 +92,86 @@ func FuzzEngineTick(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEngineTickColumns is the columnar twin of FuzzEngineTick: for an
+// arbitrary fuzz-chosen missing pattern — including ticks where every stream
+// is missing at once — TickColumns must produce bit-identical outputs and
+// statistics to feeding the same rows through sequential Tick calls.
+func FuzzEngineTickColumns(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x0f, 0xff, 0x00, 0x3c, 0xa5})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const width = 4
+		cfg := Config{K: 2, PatternLength: 3, D: 2, WindowLength: 16}
+		refs := map[string]ReferenceSet{
+			"a": {Stream: "a", Candidates: []string{"c", "d"}},
+			"b": {Stream: "b", Candidates: []string{"c", "d"}},
+		}
+		names := []string{"a", "b", "c", "d"}
+		colEng, err := NewEngine(cfg, names, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqEng, err := NewEngine(cfg, names, map[string]ReferenceSet{
+			"a": refs["a"], "b": refs["b"],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm both engines identically, then build one batch whose missing
+		// pattern comes from the fuzz input: each input byte masks one tick
+		// (bit i set = stream i missing; 0b1111 = entirely missing tick).
+		row := make([]float64, width)
+		for tk := 0; tk < 20; tk++ {
+			for i := range row {
+				row[i] = math.Sin(float64(tk)/3 + float64(i))
+			}
+			if _, _, err := colEng.Tick(row); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := seqEng.Tick(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := len(data)
+		if n > 64 {
+			n = 64
+		}
+		cols := make(Columns, width)
+		for i := range cols {
+			cols[i] = make([]float64, n)
+		}
+		for tk := 0; tk < n; tk++ {
+			for i := 0; i < width; i++ {
+				cols[i][tk] = math.Sin(float64(20+tk)/3+float64(i)) + float64(data[tk]>>4)/31
+				if data[tk]&(1<<i) != 0 {
+					cols[i][tk] = math.NaN()
+				}
+			}
+		}
+		out, _, err := colEng.TickColumns(cols)
+		if err != nil {
+			t.Fatalf("TickColumns: %v", err)
+		}
+		for tk := 0; tk < n; tk++ {
+			for i := 0; i < width; i++ {
+				row[i] = cols[i][tk]
+			}
+			want, _, err := seqEng.Tick(row)
+			if err != nil {
+				t.Fatalf("tick %d: %v", tk, err)
+			}
+			for i := 0; i < width; i++ {
+				if out[i][tk] != want[i] {
+					t.Fatalf("tick %d stream %d: columnar %v != sequential %v (mask %#x)",
+						tk, i, out[i][tk], want[i], data[tk])
+				}
+			}
+		}
+		if colEng.Stats != seqEng.Stats {
+			t.Fatalf("stats diverged: columnar %+v, sequential %+v", colEng.Stats, seqEng.Stats)
+		}
+	})
+}

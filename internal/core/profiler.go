@@ -151,7 +151,13 @@ type incStreamState struct {
 	// contrib caches the stream's profile contribution vector
 	// energy[j] + eq − 2·cross[j] for the tick it was computed at, so ticks
 	// whose missing streams share reference streams compute it once.
+	// contrib32 is its float32 twin, used instead of contrib when the
+	// profiler runs with Float32Profiles: the vector is still computed in
+	// float64 from the float64 accumulators (one fresh rounding per entry,
+	// no accumulated drift) but stored and summed as float32, halving the
+	// memory traffic of every profile assembly that reads it.
 	contrib     []float64
+	contrib32   []float32
 	contribTick int
 }
 
@@ -179,6 +185,7 @@ type IncrementalProfiler struct {
 	winLen  int
 	maxCand int
 	eager   bool
+	f32     bool
 	states  []*incStreamState
 	fallbak FFTProfiler
 }
@@ -200,6 +207,16 @@ func NewIncrementalProfiler(l, width, winLen int) *IncrementalProfiler {
 // SetEager switches between demand-driven catch-up (false, the default) and
 // the eager mode that syncs every stream's aggregates on every Advance.
 func (p *IncrementalProfiler) SetEager(eager bool) { p.eager = eager }
+
+// SetFloat32 switches the derived profile aggregates (the per-stream
+// contribution vectors and their assembly) to float32 storage — see
+// Config.Float32Profiles. The maintained diagonal accumulators stay float64
+// either way. Toggle only before the first tick.
+func (p *IncrementalProfiler) SetFloat32(f32 bool) { p.f32 = f32 }
+
+// Float32 reports whether the profiler stores its derived profile aggregates
+// as float32.
+func (p *IncrementalProfiler) Float32() bool { return p.f32 }
 
 // Name implements Profiler.
 func (p *IncrementalProfiler) Name() string { return "incremental" }
@@ -244,6 +261,62 @@ func (p *IncrementalProfiler) Advance(i int, v float64) {
 	}
 	if p.eager {
 		p.sync(st)
+	}
+}
+
+// AdvanceBulk absorbs a run of ticks of stream i whose finalized values are
+// vs (oldest first) — exactly equivalent to calling Advance once per value,
+// but the history append happens in at most a few contiguous copies instead
+// of per-element stores, and the deferral counters are bumped once per run.
+// This is the columnar ingest path: demand-driven catch-up makes the deferred
+// diagonal updates identical whether the ticks arrived one by one or in bulk,
+// so batched and unbatched engines stay bit-identical. Eager mode falls back
+// to per-value Advance, which syncs after every tick by contract.
+func (p *IncrementalProfiler) AdvanceBulk(i int, vs []float64) {
+	if p.eager {
+		for _, v := range vs {
+			p.Advance(i, v)
+		}
+		return
+	}
+	st := p.states[i]
+	L := p.winLen
+	if st.hist == nil {
+		st.hist = make([]float64, 2*L)
+	}
+	st.ticks += len(vs)
+	if st.aggOK {
+		st.deferred += len(vs)
+	}
+	for len(vs) > 0 {
+		if st.m < L {
+			// Warm-up: the window grows in place (start stays 0).
+			n := L - st.m
+			if n > len(vs) {
+				n = len(vs)
+			}
+			copy(st.hist[st.start+st.m:], vs[:n])
+			st.m += n
+			vs = vs[n:]
+			continue
+		}
+		// Steady state: append after the window, compacting the backing when
+		// the right edge is reached — the same points at which per-value
+		// Advance compacts, so sync's replay window geometry is identical.
+		room := len(st.hist) - (st.start + st.m)
+		if room == 0 {
+			copy(st.hist, st.hist[st.start:st.start+st.m])
+			st.syncStart -= st.start
+			st.start = 0
+			room = len(st.hist) - st.m
+		}
+		n := room
+		if n > len(vs) {
+			n = len(vs)
+		}
+		copy(st.hist[st.start+st.m:st.start+st.m+n], vs[:n])
+		st.start += n
+		vs = vs[n:]
 	}
 }
 
@@ -435,13 +508,53 @@ func (p *IncrementalProfiler) syncContrib(st *incStreamState) []float64 {
 	return st.contrib
 }
 
+// syncContrib32 is syncContrib's Float32Profiles twin: the contribution
+// vector is computed in float64 from the float64 accumulators but stored as
+// float32 — one fresh rounding per entry per tick, never accumulated — so
+// every profile assembly that reads it moves half the bytes.
+func (p *IncrementalProfiler) syncContrib32(st *incStreamState) []float32 {
+	p.sync(st)
+	nCand := len(st.cross)
+	if st.contribTick == st.ticks && len(st.contrib32) == nCand {
+		return st.contrib32
+	}
+	if cap(st.contrib32) < nCand {
+		n := p.maxCand
+		if n < nCand {
+			n = nCand
+		}
+		st.contrib32 = make([]float32, n)
+	}
+	st.contrib32 = st.contrib32[:nCand]
+	contrib := st.contrib32[:nCand:nCand]
+	energy := st.energy[st.estart : st.estart+nCand : st.estart+nCand]
+	cross := st.cross[:nCand:nCand]
+	eq := st.eq
+	j := 0
+	for ; j+4 <= nCand; j += 4 {
+		contrib[j] = float32(energy[j] + eq - 2*cross[j])
+		contrib[j+1] = float32(energy[j+1] + eq - 2*cross[j+1])
+		contrib[j+2] = float32(energy[j+2] + eq - 2*cross[j+2])
+		contrib[j+3] = float32(energy[j+3] + eq - 2*cross[j+3])
+	}
+	for ; j < nCand; j++ {
+		contrib[j] = float32(energy[j] + eq - 2*cross[j])
+	}
+	st.contribTick = st.ticks
+	return st.contrib32
+}
+
 // Prepare catches up every referenced stream and fills its per-tick
 // contribution cache. The engine calls it serially before fanning a tick's
 // imputations out across workers, so the concurrent ProfileWindow calls are
 // pure reads of the cached vectors.
 func (p *IncrementalProfiler) Prepare(refIdx []int) {
 	for _, ri := range refIdx {
-		p.syncContrib(p.states[ri])
+		if p.f32 {
+			p.syncContrib32(p.states[ri])
+		} else {
+			p.syncContrib(p.states[ri])
+		}
 	}
 }
 
@@ -455,6 +568,9 @@ func (p *IncrementalProfiler) Prepare(refIdx []int) {
 func (p *IncrementalProfiler) ProfileWindow(refIdx []int, dst []float64) []float64 {
 	if len(refIdx) == 0 {
 		panic("core: ProfileWindow needs at least one reference stream")
+	}
+	if p.f32 {
+		return p.profileWindow32(refIdx, dst)
 	}
 	first := p.states[refIdx[0]]
 	c0 := p.syncContrib(first)
@@ -487,6 +603,58 @@ func (p *IncrementalProfiler) ProfileWindow(refIdx []int, dst []float64) []float
 	for j, v := range dst {
 		if v < 0 {
 			v = 0 // guard incremental rounding below zero
+		}
+		dst[j] = math.Sqrt(v)
+	}
+	return dst
+}
+
+// profileWindow32 assembles the profile from float32 contribution vectors:
+// the d-way sum loads half the bytes of the float64 path, accumulating into
+// the caller-owned float64 dst (so concurrent workers stay race-free after
+// Prepare, exactly like the float64 path). Same contract as ProfileWindow.
+func (p *IncrementalProfiler) profileWindow32(refIdx []int, dst []float64) []float64 {
+	first := p.states[refIdx[0]]
+	c0 := p.syncContrib32(first)
+	nCand := len(c0)
+	tick := first.ticks
+	if dst == nil {
+		dst = make([]float64, nCand)
+	}
+	dst = dst[:nCand:nCand]
+	c0 = c0[:nCand:nCand]
+	j := 0
+	for ; j+4 <= nCand; j += 4 {
+		dst[j] = float64(c0[j])
+		dst[j+1] = float64(c0[j+1])
+		dst[j+2] = float64(c0[j+2])
+		dst[j+3] = float64(c0[j+3])
+	}
+	for ; j < nCand; j++ {
+		dst[j] = float64(c0[j])
+	}
+	for _, ri := range refIdx[1:] {
+		st := p.states[ri]
+		c := p.syncContrib32(st)
+		if st.ticks != tick || len(c) != nCand {
+			panic(fmt.Sprintf("core: incremental state for stream %d out of sync (tick %d/%d, candidates %d/%d)",
+				ri, st.ticks, tick, len(c), nCand))
+		}
+		c = c[:nCand:nCand]
+		j := 0
+		for ; j+4 <= nCand; j += 4 {
+			dst[j] += float64(c[j])
+			dst[j+1] += float64(c[j+1])
+			dst[j+2] += float64(c[j+2])
+			dst[j+3] += float64(c[j+3])
+		}
+		for ; j < nCand; j++ {
+			dst[j] += float64(c[j])
+		}
+	}
+	for j, v := range dst {
+		if v < 0 {
+			v = 0 // guard rounding below zero
 		}
 		dst[j] = math.Sqrt(v)
 	}

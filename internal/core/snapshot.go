@@ -10,13 +10,17 @@ import (
 	"sort"
 )
 
-// Snapshot format v1 — a self-describing binary image of one engine:
+// Snapshot format v2 — a self-describing binary image of one engine:
 //
 //	"TKCMSNAP"          8-byte magic
-//	version             uint32 LE (currently 1)
+//	version             uint32 LE (currently 2)
 //	payloadLen          uint64 LE
 //	payload             payloadLen bytes (layout below)
 //	crc                 uint32 LE, IEEE CRC-32 of the payload
+//
+// Version 2 appends the Config.Float32Profiles flag to the encoded Config;
+// version 1 images (which predate the flag) still restore, with the flag
+// defaulting to false.
 //
 // The payload encodes, in order: the Config, the stream names, the
 // (possibly lazily ranked) reference sets, the engine and window tick
@@ -33,7 +37,9 @@ import (
 // a snapshot taken with one Config.Profiler restores under any other.
 const (
 	snapMagic   = "TKCMSNAP"
-	snapVersion = 1
+	snapVersion = 2
+	// snapVersionMin is the oldest image version RestoreEngine still accepts.
+	snapVersionMin = 1
 )
 
 // Snapshot writes a versioned binary image of the engine's state — config,
@@ -116,6 +122,21 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // subsequent imputations match an uninterrupted engine to within the
 // incremental profiler's rebuild tolerance (~1e-9).
 func RestoreEngine(r io.Reader) (*Engine, error) {
+	return restoreEngine(r, nil)
+}
+
+// RestoreEngineWithConfig restores a Snapshot image like RestoreEngine but
+// additionally checks the image against the configuration the caller intends
+// to serve it under: a snapshot taken with Float32Profiles set refuses to
+// restore into a config expecting float64 profile aggregates, and vice versa,
+// with a clear error in both directions. The two precisions produce slightly
+// different rankings, so silently flipping modes across a restart would break
+// the serving layer's equivalence guarantees.
+func RestoreEngineWithConfig(r io.Reader, want Config) (*Engine, error) {
+	return restoreEngine(r, &want)
+}
+
+func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 	var hdr [20]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("core: restore: reading header: %w", err)
@@ -123,8 +144,9 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	if string(hdr[:8]) != snapMagic {
 		return nil, fmt.Errorf("core: restore: bad magic %q (not a TKCM snapshot)", hdr[:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapVersion {
-		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d (want %d)", v, snapVersion)
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version < snapVersionMin || version > snapVersion {
+		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d (want %d..%d)", version, snapVersionMin, snapVersion)
 	}
 	n := binary.LittleEndian.Uint64(hdr[12:20])
 	const maxPayload = 1 << 36 // 64 GiB: generous sanity bound against corrupt lengths
@@ -144,7 +166,11 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	}
 
 	dec := &snapDecoder{b: payload}
-	cfg := dec.decodeConfig()
+	cfg := dec.decodeConfig(version)
+	if expect != nil && dec.err == nil && cfg.Float32Profiles != expect.Float32Profiles {
+		return nil, fmt.Errorf("core: restore: snapshot uses %s profile aggregates but the target config expects %s (set Config.Float32Profiles to match the image, or re-snapshot in the new precision)",
+			profilePrecision(cfg.Float32Profiles), profilePrecision(expect.Float32Profiles))
+	}
 	// Bound the decoded dimensions before any size computed from them is
 	// allocated or handed to the window constructor: the CRC only catches
 	// accidental corruption, not crafted images, and the public restore API
@@ -316,6 +342,15 @@ func (e *snapEncoder) encodeConfig(c Config) {
 	e.bool(c.EagerProfiler)
 	e.bool(c.SkipDiagnostics)
 	e.bool(c.FastExtraction)
+	e.bool(c.Float32Profiles) // v2
+}
+
+// profilePrecision names a profile-aggregate precision for error messages.
+func profilePrecision(f32 bool) string {
+	if f32 {
+		return "float32"
+	}
+	return "float64"
 }
 
 // snapDecoder parses a payload with a sticky error: after the first failure
@@ -401,7 +436,7 @@ func (d *snapDecoder) str() string {
 	return s
 }
 
-func (d *snapDecoder) decodeConfig() Config {
+func (d *snapDecoder) decodeConfig(version uint32) Config {
 	var c Config
 	c.K = int(d.int())
 	c.PatternLength = int(d.int())
@@ -415,5 +450,8 @@ func (d *snapDecoder) decodeConfig() Config {
 	c.EagerProfiler = d.bool()
 	c.SkipDiagnostics = d.bool()
 	c.FastExtraction = d.bool()
+	if version >= 2 {
+		c.Float32Profiles = d.bool()
+	}
 	return c
 }

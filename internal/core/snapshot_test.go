@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -108,6 +109,140 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 	if restored.Stats != orig.Stats {
 		t.Errorf("post-tail stats diverged: restored %+v, orig %+v", restored.Stats, orig.Stats)
+	}
+}
+
+// TestSnapshotRestoreFloat32 is the float32 twin of the round-trip test: an
+// engine running with Float32Profiles snapshotted mid-stream and restored
+// must match the uninterrupted engine on every subsequent completed row. The
+// restore must go through RestoreEngineWithConfig with a matching precision.
+func TestSnapshotRestoreFloat32(t *testing.T) {
+	const width, warm, tail = 5, 150, 120
+	cfg := snapTestConfig()
+	cfg.Float32Profiles = true
+	orig, err := NewEngine(cfg, snapTestNames(width), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	var row []float64
+	for tk := 0; tk < warm; tk++ {
+		row = snapTestRow(tk, width, row)
+		if _, _, err := orig.Tick(row); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngineWithConfig(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if !restored.Config().Float32Profiles {
+		t.Fatal("restored engine lost the Float32Profiles flag")
+	}
+	var row2 []float64
+	for tk := warm; tk < warm+tail; tk++ {
+		row = snapTestRow(tk, width, row)
+		row2 = append(row2[:0], row...)
+		outA, _, errA := orig.Tick(row)
+		outB, _, errB := restored.Tick(row2)
+		if errA != nil || errB != nil {
+			t.Fatalf("tick %d: orig err %v, restored err %v", tk, errA, errB)
+		}
+		for i := range outA {
+			if d := math.Abs(outA[i] - outB[i]); !(d <= 1e-6) {
+				t.Fatalf("tick %d stream %d: orig %v, restored %v (|Δ|=%g)", tk, i, outA[i], outB[i], d)
+			}
+		}
+	}
+	if orig.Stats.Imputations == 0 {
+		t.Fatal("test exercised no imputations")
+	}
+}
+
+// TestRestoreRejectsPrecisionMismatch: an image snapshotted in one profile
+// precision must refuse to restore into a config expecting the other, in both
+// directions, with an error that names both precisions. Plain RestoreEngine
+// (no expected config) accepts either image.
+func TestRestoreRejectsPrecisionMismatch(t *testing.T) {
+	for _, f32 := range []bool{false, true} {
+		cfg := snapTestConfig()
+		cfg.Float32Profiles = f32
+		e, err := NewEngine(cfg, snapTestNames(4), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		img := buf.Bytes()
+		want := cfg
+		want.Float32Profiles = !f32
+		_, err = RestoreEngineWithConfig(bytes.NewReader(img), want)
+		if err == nil {
+			t.Fatalf("f32=%v image restored into mismatched config, want refusal", f32)
+		}
+		if !strings.Contains(err.Error(), "float32") || !strings.Contains(err.Error(), "float64") {
+			t.Fatalf("f32=%v: error %q does not name both precisions", f32, err)
+		}
+		if _, err := RestoreEngineWithConfig(bytes.NewReader(img), cfg); err != nil {
+			t.Fatalf("f32=%v: matching-config restore failed: %v", f32, err)
+		}
+		if _, err := RestoreEngine(bytes.NewReader(img)); err != nil {
+			t.Fatalf("f32=%v: unconstrained restore failed: %v", f32, err)
+		}
+	}
+}
+
+// TestRestoreAcceptsV1Image: a version-1 image (predating Float32Profiles)
+// must still restore, with the flag defaulting to float64 precision.
+func TestRestoreAcceptsV1Image(t *testing.T) {
+	cfg := snapTestConfig()
+	e, err := NewEngine(cfg, snapTestNames(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var row []float64
+	for tk := 0; tk < 40; tk++ {
+		row = snapTestRow(tk, 4, row)
+		if _, _, err := e.Tick(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// Rewrite the image as v1: drop the trailing Float32Profiles byte from
+	// the encoded config (the last of the 13 config fields, all preceding the
+	// name count) and re-frame with version 1. The config prefix is 8 varints
+	// (all < 128 here, one byte each) plus 5 bools.
+	payload := append([]byte(nil), img[20:len(img)-4]...)
+	v1payload := append(append([]byte(nil), payload[:12]...), payload[13:]...)
+	v1 := make([]byte, 0, len(v1payload)+24)
+	v1 = append(v1, snapMagic...)
+	v1 = binary.LittleEndian.AppendUint32(v1, 1)
+	v1 = binary.LittleEndian.AppendUint64(v1, uint64(len(v1payload)))
+	v1 = append(v1, v1payload...)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1payload))
+	r, err := RestoreEngine(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	defer r.Close()
+	if r.Config().Float32Profiles {
+		t.Fatal("v1 image restored with Float32Profiles set")
+	}
+	if got, want := r.Seq(), e.Seq(); got != want {
+		t.Fatalf("v1 restore seq %d, want %d", got, want)
 	}
 }
 

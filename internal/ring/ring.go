@@ -61,6 +61,33 @@ func (b *Buffer) Push(v float64) {
 	}
 }
 
+// PushBulk appends values oldest-to-newest, exactly as pushing them one by
+// one but with at most two contiguous copies instead of per-element modulo
+// arithmetic. This is the columnar ingest substrate: a run of complete ticks
+// lands in each stream's ring as one memmove.
+func (b *Buffer) PushBulk(values []float64) {
+	L := len(b.data)
+	n := len(values)
+	if n == 0 {
+		return
+	}
+	if n >= L {
+		// Only the newest L values survive; lay them out contiguously with
+		// the newest at the end of the backing array.
+		copy(b.data, values[n-L:])
+		b.off = L - 1
+		b.n = L
+		return
+	}
+	start := (b.off + 1) % L
+	c := copy(b.data[start:], values)
+	copy(b.data, values[c:])
+	b.off = (b.off + n) % L
+	if b.n += n; b.n > L {
+		b.n = L
+	}
+}
+
 // At returns the value at logical index i, where index Len()-1 is the newest
 // value and index 0 the oldest. It panics if i is out of range.
 func (b *Buffer) At(i int) float64 {

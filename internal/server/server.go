@@ -21,6 +21,7 @@ import (
 	"tkcm/internal/core"
 	"tkcm/internal/shard"
 	"tkcm/internal/wal"
+	"tkcm/internal/wire"
 )
 
 // Options configures a Server.
@@ -80,6 +81,13 @@ type Server struct {
 	checkpoints    atomic.Uint64
 	checkpointErrs atomic.Uint64
 
+	// Batched-ingest counters: rows that arrived on batched tick lines, and
+	// a histogram of rows-per-batch (buckets batchSizeBuckets, then +Inf).
+	batchedRows  atomic.Uint64
+	batchCount   atomic.Uint64
+	batchSum     atomic.Uint64
+	batchBuckets [len(batchSizeBuckets) + 1]atomic.Uint64
+
 	// Rebalancer state: the interval, the last imbalance sample
 	// (float64 bits; see imbalanceValue), and the previous per-shard /
 	// per-tenant tick counts, touched only by the rebalancer goroutine.
@@ -87,6 +95,24 @@ type Server struct {
 	imbalance  atomic.Uint64
 	rbShards   []uint64
 	rbTenants  map[string]uint64
+}
+
+// batchSizeBuckets are the upper bounds of the rows-per-batch histogram on
+// /metrics (a final +Inf bucket follows implicitly).
+var batchSizeBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// observeBatch records one batched tick line of n rows.
+func (s *Server) observeBatch(n int) {
+	s.batchedRows.Add(uint64(n))
+	s.batchCount.Add(1)
+	s.batchSum.Add(uint64(n))
+	for i, le := range batchSizeBuckets {
+		if uint64(n) <= le {
+			s.batchBuckets[i].Add(1)
+			return
+		}
+	}
+	s.batchBuckets[len(batchSizeBuckets)].Add(1)
 }
 
 // tenantIDPattern bounds tenant ids to names that are safe as path segments
@@ -235,6 +261,7 @@ type apiConfig struct {
 	Profiler        string `json:"profiler"`
 	WeightedMean    bool   `json:"weighted_mean"`
 	SkipDiagnostics bool   `json:"skip_diagnostics"`
+	Float32Profiles bool   `json:"float32_profiles"`
 }
 
 // toCore overlays the request config onto the defaults.
@@ -267,6 +294,7 @@ func (a *apiConfig) toCore() (core.Config, error) {
 	}
 	cfg.WeightedMean = a.WeightedMean
 	cfg.SkipDiagnostics = a.SkipDiagnostics
+	cfg.Float32Profiles = a.Float32Profiles
 	return cfg, nil
 }
 
@@ -381,10 +409,14 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 
 // tickIn is one NDJSON input line: values with null marking missing, plus
 // an optional client sequence number for exactly-once replay (0/absent =
-// unsequenced).
+// unsequenced). A BATCH line instead carries rows — consecutive ticks
+// applied in one shard operation and one WAL record; seq then numbers the
+// first row, and the server acks each row with its own output line, so the
+// response stream is identical to sending the rows one per line.
 type tickIn struct {
-	Seq    uint64     `json:"seq"`
-	Values []*float64 `json:"values"`
+	Seq    uint64       `json:"seq"`
+	Values []*float64   `json:"values"`
+	Rows   [][]*float64 `json:"rows"`
 }
 
 // tickOut is one NDJSON output line: the completed row. A Duplicate ack
@@ -445,6 +477,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer close(writerGone)
 		enc := json.NewEncoder(w)
+		var lineBuf []byte
 		streamed := false
 		for msg := range acks {
 			if msg.errText == "" {
@@ -472,7 +505,17 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 				streamed = true
 				w.WriteHeader(http.StatusOK)
 			}
-			if err := enc.Encode(&msg.out); err != nil {
+			// Hot path: append-encode the ack line; json.Encoder (reflection
+			// plus a validity re-scan per line) costs a measurable share of a
+			// streaming core. Non-finite values (unencodable in JSON) fall
+			// back to the encoder for the identical error behavior.
+			if out, ok := wire.AppendAck(lineBuf[:0], msg.out.Tick, msg.out.Seq,
+				msg.out.Values, msg.out.Imputed, msg.out.Duplicate); ok {
+				lineBuf = out
+				if _, err := w.Write(lineBuf); err != nil {
+					return // client gone
+				}
+			} else if err := enc.Encode(&msg.out); err != nil {
 				return // client gone
 			}
 			// Flush when the pipeline is drained (a lock-step client gets
@@ -509,8 +552,9 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		rsp shard.TickResponse
-		row []float64
+		rsp  shard.TickResponse
+		brsp shard.BatchResponse
+		in   wire.TickIn
 	)
 reading:
 	for {
@@ -524,10 +568,42 @@ reading:
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		var in tickIn
-		if err := json.Unmarshal(line, &in); err != nil {
-			fail(http.StatusBadRequest, "decoding tick line: %v", err)
-			break
+		// Hot path: the strict single-pass parser handles the plain shapes
+		// the client emits, reusing in's scratch with zero allocations.
+		// Anything unusual — escapes, unknown keys, malformed numbers —
+		// falls back to encoding/json for identical semantics and errors.
+		if !wire.ParseTickIn(line, &in) {
+			var jin tickIn
+			if err := json.Unmarshal(line, &jin); err != nil {
+				fail(http.StatusBadRequest, "decoding tick line: %v", err)
+				break
+			}
+			in.Seq = jin.Seq
+			in.HasValues = jin.Values != nil
+			in.Values = in.Values[:0]
+			for _, v := range jin.Values {
+				if v == nil {
+					in.Values = append(in.Values, math.NaN())
+				} else {
+					in.Values = append(in.Values, *v)
+				}
+			}
+			in.HasRows = jin.Rows != nil
+			in.Rows = in.Rows[:0]
+			for _, vals := range jin.Rows {
+				var dst []float64
+				if n := len(in.Rows); n < cap(in.Rows) {
+					dst = in.Rows[:n+1][n][:0]
+				}
+				for _, v := range vals {
+					if v == nil {
+						dst = append(dst, math.NaN())
+					} else {
+						dst = append(dst, *v)
+					}
+				}
+				in.Rows = append(in.Rows, dst)
+			}
 		}
 		// A drain (graceful shutdown) terminates the stream before the next
 		// row is applied, so every row acked below is covered by the final
@@ -538,15 +614,42 @@ reading:
 			break reading
 		default:
 		}
-		row = row[:0]
-		for _, v := range in.Values {
-			if v == nil {
-				row = append(row, math.NaN())
-			} else {
-				row = append(row, *v)
+		if in.HasRows {
+			// Batch line: one shard operation and one WAL record for the
+			// lot, but still one ack line per row — the response stream is
+			// the same whether the client batched or not.
+			if in.HasValues {
+				fail(http.StatusBadRequest, "tick line sets both values and rows")
+				break
 			}
+			if err := s.m.TickBatch(r.Context(), id, in.Seq, in.Rows, &brsp); err != nil {
+				fail(statusFor(err), "tick batch: %v", err)
+				break
+			}
+			s.tickRows.Add(uint64(len(in.Rows)))
+			s.observeBatch(len(in.Rows))
+			for i := range brsp.Rows {
+				res := &brsp.Rows[i]
+				var msg *ackMsg
+				select {
+				case msg = <-free:
+				default:
+					msg = &ackMsg{}
+				}
+				msg.errText = ""
+				msg.commit = brsp.Durable
+				msg.out.Tick = res.Tick
+				msg.out.Seq = res.Seq
+				msg.out.Duplicate = res.Duplicate
+				msg.out.Values = append(msg.out.Values[:0], res.Row...)
+				msg.out.Imputed = append(msg.out.Imputed[:0], res.Imputed...)
+				if !send(msg) {
+					break reading
+				}
+			}
+			continue
 		}
-		if err := s.m.Tick(r.Context(), id, in.Seq, row, &rsp); err != nil {
+		if err := s.m.Tick(r.Context(), id, in.Seq, in.Values, &rsp); err != nil {
 			fail(statusFor(err), "tick: %v", err)
 			break
 		}
@@ -658,6 +761,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tkcm_shard_imbalance Hottest shard's tick rate over the mean, last rebalance sample (1 = balanced, 0 = no sample).\n# TYPE tkcm_shard_imbalance gauge\ntkcm_shard_imbalance %g\n", s.imbalanceValue())
 	fmt.Fprintf(w, "# HELP tkcm_http_requests_total HTTP requests served.\n# TYPE tkcm_http_requests_total counter\ntkcm_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
+	fmt.Fprintf(w, "# HELP tkcm_ticks_batched_total Tick rows that arrived on batched lines.\n# TYPE tkcm_ticks_batched_total counter\ntkcm_ticks_batched_total %d\n", s.batchedRows.Load())
+	fmt.Fprintf(w, "# HELP tkcm_tick_batch_size Rows per batched tick line.\n# TYPE tkcm_tick_batch_size histogram\n")
+	cum := uint64(0)
+	for i, le := range batchSizeBuckets {
+		cum += s.batchBuckets[i].Load()
+		fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	cum += s.batchBuckets[len(batchSizeBuckets)].Load()
+	fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "tkcm_tick_batch_size_sum %d\n", s.batchSum.Load())
+	fmt.Fprintf(w, "tkcm_tick_batch_size_count %d\n", s.batchCount.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
 	if s.wal != nil {

@@ -585,3 +585,146 @@ func TestAPIValidation(t *testing.T) {
 		t.Errorf("recreate after delete: %d", resp.StatusCode)
 	}
 }
+
+// sendBatch writes one batch line (NaN → null, seq numbering the first row)
+// and returns the per-row ack lines the server answers with.
+func (st *tickStream) sendBatch(seq uint64, rows [][]float64) ([]tickOut, error) {
+	in := tickIn{Seq: seq, Rows: make([][]*float64, len(rows))}
+	for j, row := range rows {
+		vals := make([]*float64, len(row))
+		for i := range row {
+			if !math.IsNaN(row[i]) {
+				v := row[i]
+				vals[i] = &v
+			}
+		}
+		in.Rows[j] = vals
+	}
+	if err := st.enc.Encode(in); err != nil {
+		return nil, err
+	}
+	if st.resp == nil {
+		select {
+		case st.resp = <-st.rc:
+		case err := <-st.ec:
+			return nil, err
+		case <-time.After(10 * time.Second):
+			st.t.Fatal("timeout waiting for response headers")
+		}
+		st.sc = bufio.NewScanner(st.resp.Body)
+		st.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	}
+	outs := make([]tickOut, 0, len(rows))
+	for range rows {
+		if !st.sc.Scan() {
+			if err := st.sc.Err(); err != nil {
+				return outs, err
+			}
+			return outs, io.EOF
+		}
+		line := st.sc.Bytes()
+		var e apiError
+		if json.Unmarshal(line, &e) == nil && e.Error != "" {
+			return outs, fmt.Errorf("server error line: %s", e.Error)
+		}
+		var out tickOut
+		if err := json.Unmarshal(line, &out); err != nil {
+			return outs, fmt.Errorf("bad line %q: %w", line, err)
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// TestBatchTickLines: a tenant fed batch lines must stream back exactly the
+// acks of a tenant fed the same rows one line at a time; replayed batches
+// ack as duplicates; and the batch metrics count rows and sizes.
+func TestBatchTickLines(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	for _, id := range []string{"bat", "row"} {
+		resp := createTenant(t, ts.URL, id, testTenantBody)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	stBat := openTickStream(t, ts.URL, "bat")
+	stRow := openTickStream(t, ts.URL, "row")
+	defer stBat.close()
+	defer stRow.close()
+
+	const n, batch = 96, 12
+	all := make([][]float64, n)
+	for tk := range all {
+		all[tk] = e2eRow(tk, 0)
+	}
+	for a := 0; a < n; a += batch {
+		outs, err := stBat.sendBatch(uint64(a+1), all[a:a+batch])
+		if err != nil {
+			t.Fatalf("batch %d: %v", a, err)
+		}
+		if len(outs) != batch {
+			t.Fatalf("batch %d: %d acks, want %d", a, len(outs), batch)
+		}
+		for r, got := range outs {
+			want, err := stRow.send(all[a+r])
+			if err != nil {
+				t.Fatalf("rowwise %d: %v", a+r, err)
+			}
+			if got.Duplicate || got.Tick != want.Tick || got.Seq != want.Seq {
+				t.Fatalf("tick %d: batch ack %+v, rowwise %+v", a+r, got, want)
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("tick %d: %d values vs %d", a+r, len(got.Values), len(want.Values))
+			}
+			for i := range want.Values {
+				if got.Values[i] != want.Values[i] {
+					t.Fatalf("tick %d stream %d: batch %v, rowwise %v", a+r, i, got.Values[i], want.Values[i])
+				}
+			}
+			if fmt.Sprint(got.Imputed) != fmt.Sprint(want.Imputed) {
+				t.Fatalf("tick %d: imputed %v vs %v", a+r, got.Imputed, want.Imputed)
+			}
+		}
+	}
+
+	// Replaying an already-applied batch acks every row as a duplicate.
+	outs, err := stBat.sendBatch(1, all[:batch])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, got := range outs {
+		if !got.Duplicate || got.Seq != uint64(r+1) || len(got.Values) != 0 {
+			t.Fatalf("replayed row %d: %+v", r, got)
+		}
+	}
+
+	// Metrics: 9 batches of 12 rows (8 live + 1 replayed) were observed.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"tkcm_ticks_batched_total 108",
+		`tkcm_tick_batch_size_bucket{le="16"} 9`,
+		`tkcm_tick_batch_size_bucket{le="+Inf"} 9`,
+		"tkcm_tick_batch_size_sum 108",
+		"tkcm_tick_batch_size_count 9",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// A line setting both values and rows is refused.
+	stBad := openTickStream(t, ts.URL, "bat")
+	defer stBad.close()
+	if err := stBad.enc.Encode(map[string]any{"values": []float64{1, 2, 3, 4}, "rows": [][]float64{{1, 2, 3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stBad.sendBatch(109, all[:1]); err == nil || !strings.Contains(err.Error(), "both values and rows") {
+		t.Fatalf("mixed line: err = %v, want refusal", err)
+	}
+}

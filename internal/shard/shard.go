@@ -83,6 +83,34 @@ type TickResponse struct {
 	Imputed []int
 }
 
+// RowResult is one row's outcome inside a BatchResponse — the per-row
+// fields of TickResponse without the durability handle, which the whole
+// batch shares.
+type RowResult struct {
+	// Tick, Seq, Duplicate, Row, Imputed mirror the TickResponse fields of
+	// the same names.
+	Tick      int
+	Seq       uint64
+	Duplicate bool
+	Row       []float64
+	Imputed   []int
+}
+
+// BatchResponse receives the outcome of one Manager.TickBatch. Its slices
+// (including each RowResult's) are reused across calls on the same value, so
+// a caller streaming many batches allocates only in the first few.
+type BatchResponse struct {
+	// Durable is the single write-ahead-log commit handle covering EVERY row
+	// of the batch: the rows share one log record and one group-commit slot.
+	// For a batch of duplicates it verifies coverage like TickResponse's.
+	// The zero value (WAL disabled) waits for nothing.
+	Durable wal.Commit
+	// Rows holds one entry per input row, in order.
+	Rows []RowResult
+
+	cols core.Columns // transpose scratch, reused across calls
+}
+
 // request is one queued operation; done is buffered so the shard goroutine
 // never blocks handing back the result.
 type request struct {
@@ -476,8 +504,133 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 	})
 }
 
-// Snapshot streams the tenant engine's snapshot (core snapshot format v1)
-// to w, serialized with the tenant's ticks on its shard goroutine, and
+// TickBatch feeds a batch of consecutive rows to the tenant's engine in one
+// shard-queue operation: one routing lookup, one queue slot, one
+// write-ahead-log record (and thus one group-commit slot), and one columnar
+// engine ingest for the whole batch — the amortization that makes batched
+// streaming scale. Results are bit-identical to feeding the rows through
+// Tick one at a time.
+//
+// seq carries the sequence number of rows[0]; row i carries seq+i. As with
+// Tick, 0 means unsequenced. A batch whose tail the engine has already
+// applied is acked as duplicates row by row; a batch straddling the engine's
+// sequence number applies only the unseen suffix (the duplicate prefix is
+// acked in place), and a batch skipping ahead is refused whole with
+// ErrSeqGap. A row the engine would reject (wrong width, ±Inf) refuses the
+// WHOLE batch before any row is logged or applied: the error names the
+// offending row.
+func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, rows [][]float64, rsp *BatchResponse) error {
+	if len(rows) == 0 {
+		return errors.New("shard: empty batch")
+	}
+	return m.do(ctx, tenantID, func(sh *shard) error {
+		eng, ok := sh.tenants[tenantID]
+		if !ok {
+			return m.missing(sh, tenantID)
+		}
+		engSeq := eng.Seq()
+		rsp.Durable = wal.Commit{}
+		if cap(rsp.Rows) < len(rows) {
+			rsp.Rows = append(rsp.Rows[:cap(rsp.Rows)], make([]RowResult, len(rows)-cap(rsp.Rows))...)
+		}
+		rsp.Rows = rsp.Rows[:len(rows)]
+
+		skip := 0 // duplicate prefix length (sequenced client replay)
+		if seq != 0 {
+			if seq > engSeq+1 {
+				return fmt.Errorf("%w: tenant %q: client seq %d, next is %d", ErrSeqGap, tenantID, seq, engSeq+1)
+			}
+			if last := seq + uint64(len(rows)) - 1; last <= engSeq {
+				skip = len(rows)
+			} else if seq <= engSeq {
+				skip = int(engSeq + 1 - seq)
+			}
+		}
+		for r := 0; r < skip; r++ {
+			out := &rsp.Rows[r]
+			out.Duplicate = true
+			out.Seq = seq + uint64(r)
+			out.Tick = eng.Window().Tick()
+			out.Row = out.Row[:0]
+			out.Imputed = out.Imputed[:0]
+		}
+		live := rows[skip:]
+		if len(live) == 0 {
+			// Every row was already applied; promise durability the same way
+			// a duplicate Tick does — verified (and forced if needed) at Wait
+			// time on the caller's goroutine.
+			if m.wal != nil {
+				l := m.wal.Get(tenantID)
+				if l == nil {
+					return fmt.Errorf("shard: tenant %q has no open log", tenantID)
+				}
+				rsp.Durable = l.DurableCommit(seq + uint64(len(rows)) - 1)
+			}
+			return nil
+		}
+		// Validate every live row up front so the batch is atomic — the WAL
+		// record below must never hold a row the engine would refuse, neither
+		// on the ingest that follows nor on crash replay.
+		for r, row := range live {
+			if err := eng.ValidateRow(row); err != nil {
+				return fmt.Errorf("shard: tenant %q: batch row %d: %w", tenantID, skip+r, err)
+			}
+		}
+		if m.wal != nil {
+			commit, err := m.wal.AppendBatch(tenantID, engSeq+1, live)
+			if err != nil {
+				return fmt.Errorf("shard: tenant %q: %w", tenantID, err)
+			}
+			// One commit slot covers the live rows, and — fsync being
+			// sequential — everything appended before them, so the duplicate
+			// prefix (if any) is covered by the same Wait.
+			rsp.Durable = commit
+		}
+		// Transpose into the stream-major scratch and ingest columnar.
+		width := len(live[0])
+		if cap(rsp.cols) < width {
+			rsp.cols = make(core.Columns, width)
+		}
+		rsp.cols = rsp.cols[:width]
+		for i := range rsp.cols {
+			if cap(rsp.cols[i]) < len(live) {
+				rsp.cols[i] = make([]float64, len(live))
+			}
+			rsp.cols[i] = rsp.cols[i][:len(live)]
+			for r, row := range live {
+				rsp.cols[i][r] = row[i]
+			}
+		}
+		outCols, _, err := eng.TickColumns(rsp.cols)
+		if err != nil {
+			return err // unreachable: every row was validated above
+		}
+		sh.ticks.Add(uint64(len(live)))
+		baseTick := eng.Window().Tick() - len(live)
+		baseSeq := eng.Seq() - uint64(len(live))
+		for r := range live {
+			out := &rsp.Rows[skip+r]
+			out.Duplicate = false
+			out.Tick = baseTick + r + 1
+			out.Seq = baseSeq + uint64(r) + 1
+			out.Row = out.Row[:0]
+			for i := 0; i < width; i++ {
+				out.Row = append(out.Row, outCols[i][r])
+			}
+			out.Imputed = out.Imputed[:0]
+			for i, v := range live[r] {
+				if math.IsNaN(v) {
+					out.Imputed = append(out.Imputed, i)
+				}
+			}
+			sh.imputed.Add(uint64(len(out.Imputed)))
+		}
+		return nil
+	})
+}
+
+// Snapshot streams the tenant engine's snapshot (core snapshot format) to
+// w, serialized with the tenant's ticks on its shard goroutine, and
 // returns the engine sequence number the snapshot covers — the safe
 // truncation point for the tenant's write-ahead log.
 func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) (uint64, error) {

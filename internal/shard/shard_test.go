@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -468,5 +469,288 @@ func TestCreateResetsStaleWAL(t *testing.T) {
 	}
 	if rsp.Seq != 1 {
 		t.Fatalf("seq %d, want 1", rsp.Seq)
+	}
+}
+
+// TestTickBatchMatchesTick: a tenant driven with TickBatch must produce
+// bit-identical completed rows, sequence numbers, and imputation lists to a
+// tenant driven row by row — with the WAL on, so the batched append path is
+// exercised too.
+func TestTickBatchMatchesTick(t *testing.T) {
+	ctx := context.Background()
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 2, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "batched", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create(ctx, "rowwise", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const n, batch = 120, 16
+	rows := make([][]float64, n)
+	for tk := range rows {
+		rows[tk] = testRow(tk, 4)
+		if tk > 30 && tk%4 == 0 {
+			rows[tk][0] = math.NaN()
+		}
+		if tk > 30 && tk%37 == 0 {
+			for i := range rows[tk] { // entirely missing tick
+				rows[tk][i] = math.NaN()
+			}
+		}
+	}
+	var rsp TickResponse
+	var brsp BatchResponse
+	for a := 0; a < n; a += batch {
+		b := a + batch
+		if b > n {
+			b = n
+		}
+		if err := m.TickBatch(ctx, "batched", uint64(a+1), rows[a:b], &brsp); err != nil {
+			t.Fatalf("batch %d:%d: %v", a, b, err)
+		}
+		if err := brsp.Durable.Wait(); err != nil {
+			t.Fatalf("batch %d:%d durability: %v", a, b, err)
+		}
+		if len(brsp.Rows) != b-a {
+			t.Fatalf("batch %d:%d: %d results, want %d", a, b, len(brsp.Rows), b-a)
+		}
+		for r, got := range brsp.Rows {
+			tk := a + r
+			if err := m.Tick(ctx, "rowwise", uint64(tk+1), rows[tk], &rsp); err != nil {
+				t.Fatalf("rowwise tick %d: %v", tk, err)
+			}
+			if got.Duplicate || got.Seq != rsp.Seq || got.Tick != rsp.Tick {
+				t.Fatalf("tick %d: batch rsp {seq %d tick %d dup %v}, rowwise {seq %d tick %d}",
+					tk, got.Seq, got.Tick, got.Duplicate, rsp.Seq, rsp.Tick)
+			}
+			for i := range rsp.Row {
+				if got.Row[i] != rsp.Row[i] {
+					t.Fatalf("tick %d stream %d: batch %v, rowwise %v", tk, i, got.Row[i], rsp.Row[i])
+				}
+			}
+			if len(got.Imputed) != len(rsp.Imputed) {
+				t.Fatalf("tick %d: imputed %v vs %v", tk, got.Imputed, rsp.Imputed)
+			}
+			for i := range rsp.Imputed {
+				if got.Imputed[i] != rsp.Imputed[i] {
+					t.Fatalf("tick %d: imputed %v vs %v", tk, got.Imputed, rsp.Imputed)
+				}
+			}
+		}
+	}
+	bi, err := m.Info(ctx, "batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := m.Info(ctx, "rowwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Seq != ri.Seq || bi.Ticks != ri.Ticks {
+		t.Fatalf("batched info %+v, rowwise %+v", bi, ri)
+	}
+}
+
+// TestTickBatchSequencedSemantics pins the exactly-once contract for
+// batches: a fully-replayed batch acks as duplicates, a batch straddling the
+// engine's sequence number applies only the unseen suffix, and a batch
+// skipping ahead is refused whole.
+func TestTickBatchSequencedSemantics(t *testing.T) {
+	ctx := context.Background()
+	walMgr := wal.NewManager(t.TempDir(), wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 1, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	rows := func(from, n int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = testRow(from+i, 4)
+		}
+		return out
+	}
+	var rsp BatchResponse
+	if err := m.TickBatch(ctx, "t", 1, rows(1, 6), &rsp); err != nil {
+		t.Fatal(err)
+	}
+	if err := rsp.Durable.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full replay: every row acked as a duplicate, durability re-verified.
+	if err := m.TickBatch(ctx, "t", 1, rows(1, 6), &rsp); err != nil {
+		t.Fatal(err)
+	}
+	for r, got := range rsp.Rows {
+		if !got.Duplicate || got.Seq != uint64(r+1) {
+			t.Fatalf("row %d of replayed batch: %+v", r, got)
+		}
+	}
+	if err := rsp.Durable.Wait(); err != nil {
+		t.Fatalf("duplicate batch durability: %v", err)
+	}
+
+	// Straddling batch (seqs 4..9 against engine seq 6): 4..6 duplicate,
+	// 7..9 applied.
+	if err := m.TickBatch(ctx, "t", 4, rows(4, 6), &rsp); err != nil {
+		t.Fatal(err)
+	}
+	for r, got := range rsp.Rows {
+		seq := uint64(4 + r)
+		if got.Seq != seq || got.Duplicate != (seq <= 6) {
+			t.Fatalf("straddling row %d: %+v", r, got)
+		}
+		if !got.Duplicate && len(got.Row) != 4 {
+			t.Fatalf("applied row %d has no completed values: %+v", r, got)
+		}
+	}
+	if err := rsp.Durable.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Info(ctx, "t")
+	if err != nil || info.Seq != 9 {
+		t.Fatalf("info after straddling batch: %+v, %v", info, err)
+	}
+
+	// A gap refuses the whole batch and applies nothing.
+	if err := m.TickBatch(ctx, "t", 11, rows(11, 3), &rsp); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap batch: err = %v, want ErrSeqGap", err)
+	}
+	if info, _ := m.Info(ctx, "t"); info.Seq != 9 {
+		t.Fatalf("gap batch advanced seq to %d", info.Seq)
+	}
+}
+
+// TestTickBatchRejectsInvalidRowBeforeWAL: one bad row refuses the whole
+// batch — nothing is logged, nothing applied, and the error names the row.
+func TestTickBatchRejectsInvalidRowBeforeWAL(t *testing.T) {
+	ctx := context.Background()
+	walDir := t.TempDir()
+	walMgr := wal.NewManager(walDir, wal.Options{})
+	defer walMgr.Close()
+	m := New(Options{Shards: 1, WAL: walMgr})
+	defer m.Close()
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]float64{testRow(0, 4), testRow(1, 4), {1, math.Inf(1), 3, 4}, testRow(3, 4)}
+	var rsp BatchResponse
+	err := m.TickBatch(ctx, "t", 1, batch, &rsp)
+	if err == nil || !strings.Contains(err.Error(), "batch row 2") {
+		t.Fatalf("bad batch: err = %v, want one naming row 2", err)
+	}
+	if info, _ := m.Info(ctx, "t"); info.Seq != 0 {
+		t.Fatalf("rejected batch advanced seq to %d", info.Seq)
+	}
+	if err := m.TickBatch(ctx, "t", 1, batch[:2], &rsp); err != nil {
+		t.Fatal(err)
+	}
+	last, err := wal.Replay(filepath.Join(walDir, "t"), 1, func(seq uint64, values []float64) error {
+		for _, v := range values {
+			if math.IsInf(v, 0) {
+				t.Fatalf("rejected batch reached the WAL: %v", values)
+			}
+		}
+		return nil
+	})
+	if err != nil || last != 2 {
+		t.Fatalf("replay: last=%d err=%v (want exactly the valid rows)", last, err)
+	}
+}
+
+// TestTickBatchWALReplayAfterCrash is the kill -9 story for batched ingest:
+// rows acked through batched appends must replay from the log into a state
+// bit-identical to a never-crashed engine fed the same rows one at a time.
+func TestTickBatchWALReplayAfterCrash(t *testing.T) {
+	ctx := context.Background()
+	walDir := t.TempDir()
+	walMgr := wal.NewManager(walDir, wal.Options{})
+	m := New(Options{Shards: 1, WAL: walMgr})
+	if err := m.Create(ctx, "t", testConfig(), testStreams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const n, batch = 90, 13
+	rows := make([][]float64, n)
+	for tk := range rows {
+		rows[tk] = testRow(tk, 4)
+		if tk > 30 && tk%5 == 0 {
+			rows[tk][1] = math.NaN()
+		}
+	}
+	var brsp BatchResponse
+	for a := 0; a < n; a += batch {
+		b := a + batch
+		if b > n {
+			b = n
+		}
+		if err := m.TickBatch(ctx, "t", uint64(a+1), rows[a:b], &brsp); err != nil {
+			t.Fatal(err)
+		}
+		if err := brsp.Durable.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// kill -9: the manager and WAL handles just vanish (no checkpoint, no
+	// clean close of the engines).
+	m.Close()
+	walMgr.Close()
+
+	// Recovery: fresh engine, replay the log row by row (exactly what the
+	// server's restore path does).
+	recovered, err := core.NewEngine(testConfig(), testStreams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walMgr2 := wal.NewManager(walDir, wal.Options{})
+	defer walMgr2.Close()
+	last, err := walMgr2.ReplayTenant("t", 1, func(seq uint64, values []float64) error {
+		if seq != recovered.Seq()+1 {
+			t.Fatalf("replay seq %d, engine expects %d", seq, recovered.Seq()+1)
+		}
+		_, _, err := recovered.Tick(values)
+		return err
+	})
+	if err != nil || last != n {
+		t.Fatalf("replay: last=%d err=%v, want %d", last, err, n)
+	}
+
+	// Reference: the same rows, never crashed, fed one at a time.
+	direct, err := core.NewEngine(testConfig(), testStreams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tk := range rows {
+		if _, _, err := direct.Tick(rows[tk]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recovered.Stats != direct.Stats {
+		t.Fatalf("recovered stats %+v, direct %+v", recovered.Stats, direct.Stats)
+	}
+	// Continued ingest stays bit-identical.
+	for tk := n; tk < n+30; tk++ {
+		row := testRow(tk, 4)
+		if tk%3 == 0 {
+			row[2] = math.NaN()
+		}
+		want, _, err := direct.Tick(append([]float64(nil), row...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := recovered.Tick(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("post-replay tick %d stream %d: %v != %v", tk, i, got[i], want[i])
+			}
+		}
 	}
 }

@@ -79,6 +79,16 @@ func (m *Manager) Append(tenant string, seq uint64, values []float64) (Commit, e
 	return l.Append(seq, values)
 }
 
+// AppendBatch appends rows as one batch record to tenant's log (which must
+// be open); the returned Commit covers every row. See Log.AppendBatch.
+func (m *Manager) AppendBatch(tenant string, seq uint64, rows [][]float64) (Commit, error) {
+	l := m.Get(tenant)
+	if l == nil {
+		return Commit{}, fmt.Errorf("wal: tenant %q has no open log", tenant)
+	}
+	return l.AppendBatch(seq, rows)
+}
+
 // Truncate drops tenant's segments wholly covered by a checkpoint at
 // uptoSeq. A tenant without an open log is a no-op.
 func (m *Manager) Truncate(tenant string, uptoSeq uint64) error {

@@ -24,6 +24,19 @@ import (
 //	crc         uint32 LE, IEEE CRC-32 of the payload
 //	payload:    seq uint64 LE | count uint32 LE | count × float64 bits LE
 //
+// A BATCH record (AppendBatch) packs k consecutive rows of one width into a
+// single frame — one length, one CRC, one group-commit slot for the lot. It
+// is distinguished by bit 31 of the count field (no legal single record can
+// set it: maxRecordValues is far below):
+//
+//	payload:    seq uint64 LE | width|batchCountFlag uint32 LE |
+//	            rows uint32 LE | rows × width × float64 bits LE
+//
+// seq is the FIRST row's sequence number; row i carries seq+i. Replay
+// delivers batch rows one by one, so readers never see the difference. A
+// torn batch frame loses the whole batch — safe, because its single commit
+// slot means no row of it was acknowledged before the covering fsync.
+//
 // Each segment file starts with the 8-byte magic "TKCMWAL1" and is named
 // seg-<firstSeq>.wal (20-digit zero-padded decimal), so the segment order
 // and the sequence range it covers are recoverable from the directory
@@ -34,10 +47,14 @@ const (
 	segSuffix = ".wal"
 	// recHeader is the fixed framing prefix: payloadLen + crc.
 	recHeader = 8
-	// maxRecordValues bounds one record's value count against corrupt or
+	// maxRecordValues bounds one record's value count — and one batch
+	// record's total value count (rows × width) — against corrupt or
 	// crafted length fields (a row wider than this could not have been
 	// appended: core.MaxWindowLength bounds engines far below it).
 	maxRecordValues = 1 << 24
+	// batchCountFlag marks the count field of a batch record; the low bits
+	// then hold the per-row width and a rows uint32 follows.
+	batchCountFlag = 1 << 31
 )
 
 // Sentinel errors of the log boundary; match with errors.Is.
@@ -395,6 +412,83 @@ func (l *Log) Append(seq uint64, values []float64) (Commit, error) {
 	return c, nil
 }
 
+// AppendBatch encodes rows as ONE record carrying sequence numbers
+// seq..seq+len(rows)-1 (seq must be exactly NextSeq and every row must have
+// the same width). The whole batch shares a single length/CRC frame and a
+// single group-commit slot, so the per-record framing, buffer bookkeeping
+// and Commit allocation amortize over the batch; the returned Commit covers
+// every row. Rows are copied out before AppendBatch returns. A single-row
+// batch degrades to a plain Append.
+func (l *Log) AppendBatch(seq uint64, rows [][]float64) (Commit, error) {
+	if len(rows) == 0 {
+		return Commit{}, errors.New("wal: empty batch")
+	}
+	if len(rows) == 1 {
+		return l.Append(seq, rows[0])
+	}
+	width := len(rows[0])
+	for i, r := range rows[1:] {
+		if len(r) != width {
+			return Commit{}, fmt.Errorf("wal: batch row %d has %d values, want %d", i+1, len(r), width)
+		}
+	}
+	if width*len(rows) > maxRecordValues {
+		return Commit{}, fmt.Errorf("wal: batch of %d×%d values exceeds the record limit", len(rows), width)
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return Commit{}, fmt.Errorf("wal: log failed, refusing append: %w", err)
+	}
+	if seq != l.nextSeq {
+		l.mu.Unlock()
+		return Commit{}, fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, seq, l.nextSeq)
+	}
+
+	payload := 8 + 4 + 4 + 8*width*len(rows)
+	need := recHeader + payload
+	off := len(l.buf)
+	l.buf = append(l.buf, make([]byte, need)...)
+	b := l.buf[off : off+need]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	binary.LittleEndian.PutUint32(b[16:20], uint32(width)|batchCountFlag)
+	binary.LittleEndian.PutUint32(b[20:24], uint32(len(rows)))
+	at := 24
+	for _, r := range rows {
+		for _, v := range r {
+			binary.LittleEndian.PutUint64(b[at:], math.Float64bits(v))
+			at += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[recHeader:]))
+
+	l.nextSeq = seq + uint64(len(rows))
+	l.ctr.appends(uint64(len(rows)))
+	l.ctr.bytes(uint64(need))
+
+	if l.opts.SyncInterval <= 0 {
+		l.mu.Unlock()
+		return Commit{}, l.syncNow()
+	}
+	if l.pending == nil {
+		l.pending = &batch{done: make(chan struct{})}
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	c := Commit{b: l.pending}
+	l.mu.Unlock()
+	return c, nil
+}
+
 // Sync forces the pending batch to stable storage immediately.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -726,7 +820,7 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 		}
 		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if payloadLen < 12 || payloadLen > 12+8*maxRecordValues {
+		if payloadLen < 12 || payloadLen > 16+8*maxRecordValues {
 			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("implausible payload length %d", payloadLen)}
 		}
 		if cap(buf) < int(payloadLen) {
@@ -741,8 +835,22 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 		}
 		seq := binary.LittleEndian.Uint64(buf[0:8])
 		n := binary.LittleEndian.Uint32(buf[8:12])
-		if uint32(len(buf)) != 12+8*n {
-			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("value count %d disagrees with payload length %d", n, payloadLen)}
+		// Batch records (bit 31 of the count field) carry rows × width values
+		// for seqs seq..seq+rows-1; plain records are a 1-row batch of width n.
+		width, nrows, base := int(n), 1, 12
+		if n&batchCountFlag != 0 {
+			if len(buf) < 16 {
+				return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("batch record shorter than its header")}
+			}
+			width = int(n &^ batchCountFlag)
+			nrows = int(binary.LittleEndian.Uint32(buf[12:16]))
+			base = 16
+			if nrows == 0 {
+				return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("batch record with zero rows")}
+			}
+		}
+		if uint64(len(buf)) != uint64(base)+8*uint64(width)*uint64(nrows) {
+			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("value count %d×%d disagrees with payload length %d", nrows, width, payloadLen)}
 		}
 		if wantSeq == 0 {
 			if seq < firstSeq {
@@ -752,19 +860,22 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("sequence jump: got %d, want %d", seq, wantSeq)}
 		}
 		if fn != nil {
-			if cap(values) < int(n) {
-				values = make([]float64, n)
+			if cap(values) < width {
+				values = make([]float64, width)
 			}
-			values = values[:n]
-			for i := range values {
-				values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[12+8*i:]))
-			}
-			if err := fn(seq, values); err != nil {
-				return lastSeq, off, err
+			values = values[:width]
+			for r := 0; r < nrows; r++ {
+				at := base + 8*width*r
+				for i := range values {
+					values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[at+8*i:]))
+				}
+				if err := fn(seq+uint64(r), values); err != nil {
+					return lastSeq, off, err
+				}
 			}
 		}
-		lastSeq = seq
-		wantSeq = seq + 1
+		lastSeq = seq + uint64(nrows) - 1
+		wantSeq = lastSeq + 1
 		off += int64(recHeader) + int64(payloadLen)
 	}
 }

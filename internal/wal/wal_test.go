@@ -527,3 +527,208 @@ func TestReplayDetectsMissingMiddleSegment(t *testing.T) {
 		t.Fatalf("replay across a missing segment: err = %v, want ErrCorrupt", err)
 	}
 }
+
+// TestAppendBatchReplayRoundtrip: a batch record replays as its individual
+// rows — same seqs, same values — indistinguishable from per-row appends,
+// including when plain and batch records interleave in one segment.
+func TestAppendBatchReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, []float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := l.AppendBatch(2, [][]float64{{2, -2}, {3, math.NaN()}, {4, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(5, []float64{5, -5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(6, [][]float64{{6, -6}, {7, -7}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 8 {
+		t.Fatalf("NextSeq after batches = %d, want 8", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, rows := collect(t, dir, 1)
+	if len(seqs) != 7 {
+		t.Fatalf("replayed %d rows, want 7 (seqs %v)", len(seqs), seqs)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("row %d: seq %d, want %d", i, seq, i+1)
+		}
+		if len(rows[i]) != 2 || rows[i][0] != float64(i+1) {
+			t.Fatalf("row %d: values %v", i, rows[i])
+		}
+		if i == 2 {
+			if !math.IsNaN(rows[i][1]) {
+				t.Fatalf("row 3 second value %v, want NaN", rows[i][1])
+			}
+		} else if rows[i][1] != -float64(i+1) {
+			t.Fatalf("row %d second value %v, want %v", i, rows[i][1], -float64(i+1))
+		}
+	}
+
+	// Replay from the middle of a batch record delivers only the tail rows.
+	seqs, _ = collect(t, dir, 3)
+	if len(seqs) != 5 || seqs[0] != 3 {
+		t.Fatalf("replay from 3: seqs %v, want 3..7", seqs)
+	}
+
+	// Reopen continues the sequence past the batched rows.
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 8 {
+		t.Fatalf("reopened NextSeq = %d, want 8", got)
+	}
+	l.Close()
+}
+
+// TestAppendBatchValidates: sequence, shape, and emptiness checks reject the
+// batch without mutating the log.
+func TestAppendBatchValidates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(1, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := l.AppendBatch(2, [][]float64{{1}}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("batch at seq 2 on fresh log: err = %v, want ErrOutOfOrder", err)
+	}
+	if _, err := l.AppendBatch(1, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if got := l.NextSeq(); got != 1 {
+		t.Fatalf("NextSeq moved to %d by rejected batches", got)
+	}
+	// A single-row batch is a plain append on disk and in sequence terms.
+	if _, err := l.AppendBatch(1, [][]float64{{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 2 {
+		t.Fatalf("NextSeq after 1-row batch = %d, want 2", got)
+	}
+}
+
+// TestTornBatchTailIsHealed: a batch frame torn mid-write loses the WHOLE
+// batch (it had one unacknowledged commit slot), and the log heals to the
+// last complete record — exactly the single-record torn-tail contract.
+func TestTornBatchTailIsHealed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(uint64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendBatch(4, [][]float64{{4}, {5}, {6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the batch frame's values: the CRC no longer matches.
+	if err := os.Truncate(path, fi.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, _ := collect(t, dir, 1)
+	if len(seqs) != 3 || seqs[2] != 3 {
+		t.Fatalf("replay after torn batch: seqs %v, want 1..3", seqs)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 4 {
+		t.Fatalf("NextSeq after torn batch heal = %d, want 4", got)
+	}
+	// Re-appending the lost batch works and the log is whole again.
+	if _, err := l.AppendBatch(4, [][]float64{{4}, {5}, {6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, rows := collect(t, dir, 1)
+	if len(seqs) != 6 || rows[5][0] != 6 {
+		t.Fatalf("replay after re-append: seqs %v", seqs)
+	}
+}
+
+// TestAppendBatchDurability: DurableCommit covers every row of a synced
+// batch, and a batch straddling rotation thresholds stays replayable.
+func TestAppendBatchDurability(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncInterval: time.Hour, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]float64, 40)
+	for i := range batch {
+		batch[i] = []float64{float64(i + 1), float64(-(i + 1))}
+	}
+	if _, err := l.AppendBatch(1, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.DurableThrough(); got != 0 {
+		t.Fatalf("DurableThrough before sync = %d", got)
+	}
+	// DurableCommit must force the hour-long pending batch out and then
+	// cover every row of it.
+	if err := l.DurableCommit(40).Wait(); err != nil {
+		t.Fatalf("DurableCommit(40): %v", err)
+	}
+	if got := l.DurableThrough(); got != 40 {
+		t.Fatalf("DurableThrough = %d, want 40", got)
+	}
+	// More batches force rotation (one frame exceeds SegmentBytes).
+	for seq := uint64(41); seq <= 200; seq += 40 {
+		rows := make([][]float64, 40)
+		for i := range rows {
+			rows[i] = []float64{float64(seq) + float64(i)}
+		}
+		if _, err := l.AppendBatch(seq, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := l.Segments(); segs < 2 {
+		t.Fatal("no rotation across the batched appends")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, dir, 1)
+	if len(seqs) != 200 || seqs[199] != 200 {
+		t.Fatalf("replayed %d rows, want 200", len(seqs))
+	}
+}

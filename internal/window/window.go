@@ -99,6 +99,24 @@ func (w *Window) Advance(row []float64) int {
 	return w.tick
 }
 
+// AdvanceColumns advances the current time by to−from ticks at once, reading
+// the values from stream-major columns: cols[i][t] is stream i's measurement
+// at batch tick t. Each stream's run [from, to) lands in its ring buffer as
+// one bulk push, so the per-tick cost is one float copy per stream instead of
+// per-element ring arithmetic. It is equivalent to calling Advance row by row
+// and returns the new tick index. It panics on a width mismatch or a column
+// shorter than to.
+func (w *Window) AdvanceColumns(cols [][]float64, from, to int) int {
+	if len(cols) != len(w.buffers) {
+		panic(fmt.Sprintf("window: %d columns, window has %d streams", len(cols), len(w.buffers)))
+	}
+	for i, col := range cols {
+		w.buffers[i].PushBulk(col[from:to])
+	}
+	w.tick += to - from
+	return w.tick
+}
+
 // Stream returns the ring buffer of stream i. Mutating the buffer through
 // Set/SetNewest is how imputers write recovered values back (Algorithm 1
 // line 26 stores sˆ(tn) into s[O]).

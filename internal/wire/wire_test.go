@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// jsonTickIn mirrors the server's tickIn decode target.
+type jsonTickIn struct {
+	Seq    uint64       `json:"seq"`
+	Values []*float64   `json:"values"`
+	Rows   [][]*float64 `json:"rows"`
+}
+
+// jsonAck mirrors the client's serverLine decode target.
+type jsonAck struct {
+	Tick      int       `json:"tick"`
+	Seq       uint64    `json:"seq"`
+	Values    []float64 `json:"values"`
+	Imputed   []int     `json:"imputed"`
+	Duplicate bool      `json:"duplicate"`
+	Error     string    `json:"error"`
+	Retry     bool      `json:"retry"`
+}
+
+// checkTickInAgainstJSON enforces the fast path's contract on one line: it
+// may reject anything (the caller falls back), but when it accepts, the line
+// must also be valid for encoding/json and both decodes must agree.
+func checkTickInAgainstJSON(t *testing.T, line string, in *TickIn) {
+	t.Helper()
+	fastOK := ParseTickIn([]byte(line), in)
+	var ref jsonTickIn
+	jsonErr := json.Unmarshal([]byte(line), &ref)
+	if !fastOK {
+		return
+	}
+	if jsonErr != nil {
+		t.Fatalf("fast path accepted %q which encoding/json rejects: %v", line, jsonErr)
+	}
+	if in.Seq != ref.Seq {
+		t.Fatalf("%q: seq %d, json %d", line, in.Seq, ref.Seq)
+	}
+	if in.HasValues != (ref.Values != nil) {
+		t.Fatalf("%q: HasValues %v, json values nil=%v", line, in.HasValues, ref.Values == nil)
+	}
+	if in.HasRows != (ref.Rows != nil) {
+		t.Fatalf("%q: HasRows %v, json rows nil=%v", line, in.HasRows, ref.Rows == nil)
+	}
+	if in.HasValues {
+		if len(in.Values) != len(ref.Values) {
+			t.Fatalf("%q: %d values, json %d", line, len(in.Values), len(ref.Values))
+		}
+		for i, v := range in.Values {
+			checkSameValue(t, line, v, ref.Values[i])
+		}
+	}
+	if in.HasRows {
+		if len(in.Rows) != len(ref.Rows) {
+			t.Fatalf("%q: %d rows, json %d", line, len(in.Rows), len(ref.Rows))
+		}
+		for j, row := range in.Rows {
+			if len(row) != len(ref.Rows[j]) {
+				t.Fatalf("%q row %d: %d values, json %d", line, j, len(row), len(ref.Rows[j]))
+			}
+			for i, v := range row {
+				checkSameValue(t, line, v, ref.Rows[j][i])
+			}
+		}
+	}
+}
+
+func checkSameValue(t *testing.T, line string, fast float64, ref *float64) {
+	t.Helper()
+	if ref == nil {
+		if !math.IsNaN(fast) {
+			t.Fatalf("%q: fast %v for json null", line, fast)
+		}
+		return
+	}
+	if fast != *ref {
+		t.Fatalf("%q: fast %v, json %v", line, fast, *ref)
+	}
+}
+
+// tickInCorpus exercises both accepted shapes and every rejection trigger.
+var tickInCorpus = []string{
+	`{"seq":1,"values":[20.5,null,19.25]}`,
+	`{"values":[1,2,3],"seq":42}`,
+	`{"seq":18446744073709551615,"values":[0]}`,
+	`{"seq":7,"values":[]}`,
+	`{"seq":7,"values":null}`,
+	`{"values":[-0.5,1e3,2.5e-4,0.0,1E+2]}`,
+	`{"seq":3,"rows":[[1,2],[null,4],[5,null]]}`,
+	`{"rows":[]}`,
+	`{"rows":[[]]}`,
+	`{"rows":null}`,
+	`{"seq":1,"values":[1],"rows":[[2]]}`, // both set: fast may accept, shapes agree
+	`{}`,
+	`  { "seq" : 2 , "values" : [ 1 , null ] }  `,
+	// Rejections (fall back to encoding/json):
+	`{"seq":1,"values":[1],"extra":true}`,
+	`{"seq":-1,"values":[1]}`,
+	`{"seq":1.5,"values":[1]}`,
+	`{"seq":1e2,"values":[1]}`,
+	`{"seq":01,"values":[1]}`,
+	`{"values":[+1]}`,
+	`{"values":[.5]}`,
+	`{"values":[1.]}`,
+	`{"values":[0x1p3]}`,
+	`{"values":[1_0]}`,
+	`{"values":[Infinity]}`,
+	`{"values":[NaN]}`,
+	`{"values":[1e999]}`,
+	`{"values":[1,]}`,
+	`{"values":[01]}`,
+	`{"values":["1"]}`,
+	`{"se\u0071":1}`,
+	`{"seq":1}trailing`,
+	`[1,2,3]`,
+	`null`,
+	``,
+	`{`,
+	`{"values":[1}`,
+	`{"rows":[[1],]}`,
+	`{"rows":[1]}`,
+}
+
+func TestParseTickInMatchesJSON(t *testing.T) {
+	var in TickIn
+	for _, line := range tickInCorpus {
+		checkTickInAgainstJSON(t, line, &in)
+	}
+}
+
+// TestParseTickInAcceptsHotShapes pins that the two lines the client
+// actually emits take the fast path — a silent fall-through to
+// encoding/json would be a performance regression with no functional
+// symptom.
+func TestParseTickInAcceptsHotShapes(t *testing.T) {
+	var in TickIn
+	if !ParseTickIn([]byte(`{"seq":9,"values":[20.5,null,19.25]}`), &in) {
+		t.Fatal("single-row line missed the fast path")
+	}
+	if in.Seq != 9 || !in.HasValues || len(in.Values) != 3 || !math.IsNaN(in.Values[1]) {
+		t.Fatalf("bad decode: %+v", in)
+	}
+	if !ParseTickIn([]byte(`{"seq":10,"rows":[[1,2],[null,3.5]]}`), &in) {
+		t.Fatal("batch line missed the fast path")
+	}
+	if in.Seq != 10 || !in.HasRows || len(in.Rows) != 2 || !math.IsNaN(in.Rows[1][0]) {
+		t.Fatalf("bad batch decode: %+v", in)
+	}
+}
+
+// TestParseTickInReusesScratch pins the zero-alloc property of the hot loop.
+func TestParseTickInReusesScratch(t *testing.T) {
+	var in TickIn
+	line := []byte(`{"seq":10,"rows":[[1,2],[null,3.5],[4,5]]}`)
+	if !ParseTickIn(line, &in) {
+		t.Fatal("batch line missed the fast path")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !ParseTickIn(line, &in) {
+			t.Fatal("fast path lost")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ParseTickIn allocates %v per line; want 0", allocs)
+	}
+}
+
+var ackCorpus = []string{
+	`{"tick":4032,"seq":12,"values":[20.5,19.25],"imputed":[0]}`,
+	`{"tick":1,"seq":2,"values":[],"imputed":[],"duplicate":true}`,
+	`{"tick":0,"seq":0,"values":[1e-7,123456789.123],"imputed":[0,1]}`,
+	`{"seq":2,"tick":1,"imputed":[3],"values":[1],"duplicate":false}`,
+	// Rejections:
+	`{"error":"boom","retry":true}`,
+	`{"tick":1,"seq":2,"values":[null],"imputed":[]}`,
+	`{"tick":1,"seq":2,"values":[1]}`,
+	`{"tick":1,"seq":2}`,
+	`{}`,
+	`{"tick":-1,"seq":2,"values":[],"imputed":[]}`,
+	`{"tick":1,"seq":2,"values":[],"imputed":[-1]}`,
+	`{"tick":1,"seq":2,"values":[],"imputed":[],"duplicate":1}`,
+	`{"tick":1,"seq":2,"values":[],"imputed":[],"x":1}`,
+}
+
+func TestParseAckMatchesJSON(t *testing.T) {
+	var a Ack
+	for _, line := range ackCorpus {
+		fastOK := ParseAck([]byte(line), &a)
+		var ref jsonAck
+		jsonErr := json.Unmarshal([]byte(line), &ref)
+		if !fastOK {
+			continue
+		}
+		if jsonErr != nil {
+			t.Fatalf("fast path accepted %q which encoding/json rejects: %v", line, jsonErr)
+		}
+		if ref.Error != "" {
+			t.Fatalf("fast path accepted error line %q", line)
+		}
+		if a.Tick != ref.Tick || a.Seq != ref.Seq || a.Duplicate != ref.Duplicate {
+			t.Fatalf("%q: got (%d,%d,%v), json (%d,%d,%v)",
+				line, a.Tick, a.Seq, a.Duplicate, ref.Tick, ref.Seq, ref.Duplicate)
+		}
+		if len(a.Values) != len(ref.Values) {
+			t.Fatalf("%q: %d values, json %d", line, len(a.Values), len(ref.Values))
+		}
+		for i := range a.Values {
+			if a.Values[i] != ref.Values[i] {
+				t.Fatalf("%q: value %d = %v, json %v", line, i, a.Values[i], ref.Values[i])
+			}
+		}
+		if len(a.Imputed) != len(ref.Imputed) {
+			t.Fatalf("%q: %d imputed, json %d", line, len(a.Imputed), len(ref.Imputed))
+		}
+		for i := range a.Imputed {
+			if a.Imputed[i] != ref.Imputed[i] {
+				t.Fatalf("%q: imputed %d = %v, json %v", line, i, a.Imputed[i], ref.Imputed[i])
+			}
+		}
+	}
+}
+
+// TestAppendAckMatchesJSONEncoder pins byte equality with a json.Encoder
+// over the server's tickOut shape, including float formatting.
+func TestAppendAckMatchesJSONEncoder(t *testing.T) {
+	type tickOut struct {
+		Tick      int       `json:"tick"`
+		Seq       uint64    `json:"seq"`
+		Values    []float64 `json:"values"`
+		Imputed   []int     `json:"imputed"`
+		Duplicate bool      `json:"duplicate,omitempty"`
+	}
+	cases := []tickOut{
+		{Tick: 4032, Seq: 12, Values: []float64{20.5, 19.25, -3}, Imputed: []int{0, 2}},
+		{Tick: 1, Seq: 2, Values: []float64{}, Imputed: []int{}, Duplicate: true},
+		{Tick: 0, Seq: 0, Values: []float64{0, -0.0000001, 1e21, 123456789.123456, math.Pi}, Imputed: []int{}},
+		{Tick: 7, Seq: 9, Values: []float64{5e-324, math.MaxFloat64, 1e-6, 1e-7, 0.1}, Imputed: []int{1}},
+		{Tick: 7, Seq: 9, Values: []float64{-1e-9, 3e20, 1e20, 2e21, 1.5e-8}, Imputed: []int{}},
+	}
+	var buf []byte
+	for _, c := range cases {
+		want, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n') // json.Encoder.Encode appends a newline
+		got, ok := AppendAck(buf[:0], c.Tick, c.Seq, c.Values, c.Imputed, c.Duplicate)
+		if !ok {
+			t.Fatalf("AppendAck refused %+v", c)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendAck %+v:\n got %q\nwant %q", c, got, want)
+		}
+		buf = got
+	}
+	if _, ok := AppendAck(buf[:0], 1, 2, []float64{math.NaN()}, nil, false); ok {
+		t.Fatal("AppendAck accepted NaN")
+	}
+	if _, ok := AppendAck(buf[:0], 1, 2, []float64{math.Inf(1)}, nil, false); ok {
+		t.Fatal("AppendAck accepted +Inf")
+	}
+}
+
+// TestAckRoundTrip feeds AppendAck's output back through ParseAck.
+func TestAckRoundTrip(t *testing.T) {
+	values := []float64{20.5, 19.25, 0.125}
+	imputed := []int{1}
+	line, ok := AppendAck(nil, 4032, 77, values, imputed, false)
+	if !ok {
+		t.Fatal("AppendAck refused finite values")
+	}
+	var a Ack
+	if !ParseAck(line[:len(line)-1], &a) {
+		t.Fatalf("ParseAck rejected AppendAck output %q", line)
+	}
+	if a.Tick != 4032 || a.Seq != 77 || a.Duplicate {
+		t.Fatalf("round trip lost header: %+v", a)
+	}
+	for i, v := range values {
+		if a.Values[i] != v {
+			t.Fatalf("value %d: %v != %v", i, a.Values[i], v)
+		}
+	}
+	if len(a.Imputed) != 1 || a.Imputed[0] != 1 {
+		t.Fatalf("round trip lost imputed: %v", a.Imputed)
+	}
+}
+
+// FuzzParseTickIn fuzzes the contract: the fast parser never accepts a line
+// encoding/json rejects, and agrees with encoding/json whenever it accepts.
+func FuzzParseTickIn(f *testing.F) {
+	for _, line := range tickInCorpus {
+		f.Add([]byte(line))
+	}
+	var in TickIn
+	f.Fuzz(func(t *testing.T, line []byte) {
+		checkTickInAgainstJSON(t, string(line), &in)
+	})
+}
+
+// FuzzParseAck fuzzes the same contract for ack lines.
+func FuzzParseAck(f *testing.F) {
+	for _, line := range ackCorpus {
+		f.Add([]byte(line))
+	}
+	var a Ack
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fastOK := ParseAck(line, &a)
+		if !fastOK {
+			return
+		}
+		var ref jsonAck
+		if err := json.Unmarshal(line, &ref); err != nil {
+			t.Fatalf("fast path accepted %q which encoding/json rejects: %v", line, err)
+		}
+		if ref.Error != "" || ref.Retry {
+			t.Fatalf("fast path accepted error line %q", line)
+		}
+		if a.Tick != ref.Tick || a.Seq != ref.Seq || a.Duplicate != ref.Duplicate {
+			t.Fatalf("%q: got (%d,%d,%v), json (%d,%d,%v)",
+				line, a.Tick, a.Seq, a.Duplicate, ref.Tick, ref.Seq, ref.Duplicate)
+		}
+		if len(a.Values) != len(ref.Values) || len(a.Imputed) != len(ref.Imputed) {
+			t.Fatalf("%q: lengths (%d,%d), json (%d,%d)",
+				line, len(a.Values), len(a.Imputed), len(ref.Values), len(ref.Imputed))
+		}
+		for i := range a.Values {
+			if a.Values[i] != ref.Values[i] {
+				t.Fatalf("%q: value %d = %v, json %v", line, i, a.Values[i], ref.Values[i])
+			}
+		}
+		for i := range a.Imputed {
+			if a.Imputed[i] != ref.Imputed[i] {
+				t.Fatalf("%q: imputed %d = %v, json %v", line, i, a.Imputed[i], ref.Imputed[i])
+			}
+		}
+	})
+}

@@ -138,9 +138,17 @@ type Result = core.Result
 // ReferenceSet is the ordered candidate reference series of one stream.
 type ReferenceSet = core.ReferenceSet
 
+// Columns is a stream-major batch of ticks for Engine.TickColumns:
+// Columns[i][t] is stream i's measurement at the t-th tick of the batch
+// (Missing/NaN = absent). All columns must have equal length. The layout is
+// the transpose of TickBatch's row-major rows and is what the columnar
+// ingest hot path consumes without further shuffling.
+type Columns = core.Columns
+
 // Engine performs continuous imputation over a set of co-evolving streams.
-// Feed it one row per tick (Tick) or many at once (TickBatch); select the
-// extraction strategy with Config.Profiler and intra-tick parallelism with
+// Feed it one row per tick (Tick) or many at once (TickBatch, or
+// TickColumns for the allocation-free columnar path); select the extraction
+// strategy with Config.Profiler and intra-tick parallelism with
 // Config.Workers.
 type Engine = core.Engine
 
