@@ -124,9 +124,14 @@ type TenantInfo struct {
 	Seq uint64 `json:"seq"`
 }
 
-// Health is the /healthz document.
+// Health is the /healthz document. The server pairs non-"ok" statuses with
+// HTTP 503 so load-balancer probes fail, but still sends the full document;
+// Client.Health returns it with a nil error either way — check Status.
 type Health struct {
-	// Status is "ok" when the service is up.
+	// Status is "ok", "degraded" (some tenants' write-ahead logs have
+	// fail-stopped; see FailedWALTenants) or "follower" (an unpromoted
+	// replica: every API route except health, metrics and promotion
+	// answers 503).
 	Status string `json:"status"`
 	// Shards is the engine shard count.
 	Shards int `json:"shards"`
@@ -134,6 +139,14 @@ type Health struct {
 	Tenants int `json:"tenants"`
 	// UptimeSeconds is seconds since the server started.
 	UptimeSeconds int `json:"uptime_seconds"`
+	// FailedWALTenants names the fail-stopped tenants when Status is
+	// "degraded"; their ticks are rejected until the operator intervenes.
+	FailedWALTenants []string `json:"failed_wal_tenants,omitempty"`
+	// Primary is the followed server's base URL when Status is "follower".
+	Primary string `json:"primary,omitempty"`
+	// ReplicationLagSeconds is the follower's staleness: seconds since the
+	// last fully-applied manifest was generated on the primary.
+	ReplicationLagSeconds float64 `json:"replication_lag_seconds,omitempty"`
 }
 
 // do issues one JSON request/response round trip.
@@ -169,11 +182,39 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
-// Health fetches the /healthz document.
+// Health fetches the /healthz document. Unlike the other methods it decodes
+// the body even on a 503: "degraded" and "follower" states are reported in
+// the returned document (with a nil error), not as an *APIError.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
-	return h, err
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return h, fmt.Errorf("tkcm: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, fmt.Errorf("tkcm: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return h, fmt.Errorf("tkcm: %w", err)
+	}
+	if jerr := json.Unmarshal(raw, &h); jerr == nil && h.Status != "" {
+		return h, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		// Not a health document — e.g. a proxy error page.
+		var body struct {
+			Error string `json:"error"`
+			Retry bool   `json:"retry"`
+		}
+		if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+			body.Error = strings.TrimSpace(string(raw))
+		}
+		return h, &APIError{StatusCode: resp.StatusCode, Message: body.Error, Retry: body.Retry}
+	}
+	return h, fmt.Errorf("tkcm: decoding health document: unexpected body %.80q", raw)
 }
 
 // CreateTenant creates tenant id. The server answers 409 (an *APIError)

@@ -111,6 +111,9 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return fmt.Errorf("server not reachable: %w", err)
 	}
+	if health.Status == "follower" {
+		return fmt.Errorf("target is an unpromoted follower of %s — point -addr at the primary, or promote the follower first (POST /v1/promote)", health.Primary)
+	}
 
 	streams := make([]string, o.width)
 	for i := range streams {

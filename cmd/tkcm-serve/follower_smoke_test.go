@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tkcm/client"
+	"tkcm/internal/audit"
+	"tkcm/internal/wal"
+)
+
+// pump streams rows from..through to (inclusive) over st, receiving acks
+// concurrently so the in-flight window never wedges the sender.
+func pump(ctx context.Context, st *client.TickStream, from, to, width int) error {
+	recvDone := make(chan error, 1)
+	go func() {
+		for n := from; n <= to; n++ {
+			if _, err := st.Recv(ctx); err != nil {
+				recvDone <- fmt.Errorf("recv of row %d: %w", n, err)
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+	for n := from; n <= to; n++ {
+		if err := st.Send(ctx, rowAt(n, width)); err != nil {
+			return fmt.Errorf("send %d: %w", n, err)
+		}
+	}
+	return <-recvDone
+}
+
+// TestFollowerFailoverSmoke is the two-process failover acceptance test: a
+// real primary tkcm-serve streams acked ticks while a real follower process
+// replicates them, the primary is SIGKILLed, the follower is promoted with
+// SIGHUP, and the promoted process must serve every acked-and-replicated
+// tick and keep accepting writes. Both directory trees must then pass the
+// offline integrity audit (the library behind tkcm-verify).
+func TestFollowerFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	keyFile := filepath.Join(dir, "integrity.key")
+	if err := os.WriteFile(keyFile, []byte("smoke-test-integrity-key\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	key, err := wal.LoadKeyFile(keyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserve := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		return addr
+	}
+	pAddr, fAddr := reserve(), reserve()
+	pCk, pWal := filepath.Join(dir, "p", "ck"), filepath.Join(dir, "p", "wal")
+	fCk, fWal := filepath.Join(dir, "f", "ck"), filepath.Join(dir, "f", "wal")
+
+	primary := spawnServe(t, []string{
+		"-addr", pAddr, "-shards", "2",
+		"-checkpoint-dir", pCk, "-wal-dir", pWal,
+		"-wal-sync", "1ms", "-checkpoint-every", "2s",
+		"-integrity-key-file", keyFile,
+	})
+	follower := spawnServe(t, []string{
+		"-addr", fAddr, "-shards", "2",
+		"-checkpoint-dir", fCk, "-wal-dir", fWal,
+		"-wal-sync", "1ms",
+		"-integrity-key-file", keyFile,
+		"-follow", "http://" + pAddr, "-follow-interval", "100ms",
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	pc := client.New("http://" + pAddr)
+	fc := client.New("http://" + fAddr)
+
+	// The follower advertises itself as such and refuses writes.
+	fh, err := fc.Health(ctx)
+	if err != nil {
+		t.Fatalf("follower health: %v", err)
+	}
+	if fh.Status != "follower" || fh.Primary != "http://"+pAddr {
+		t.Fatalf("follower health = %+v, want status follower pointing at the primary", fh)
+	}
+	if err := fc.CreateTenant(ctx, "nope", client.CreateTenantRequest{Streams: []string{"s"}}); err == nil {
+		t.Fatal("unpromoted follower accepted a write")
+	}
+
+	const width = 4
+	cfg := &client.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 64}
+	if err := pc.CreateTenant(ctx, "fo", client.CreateTenantRequest{
+		Streams: []string{"s", "r1", "r2", "r3"},
+		Config:  cfg,
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st, err := pc.OpenStream(ctx, "fo", client.StreamOptions{Sequenced: true, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receive concurrently: Send blocks once MaxInFlight rows await a Recv,
+	// so a send-everything-then-receive loop would wedge itself.
+	const total = 300
+	if err := pump(ctx, st, 1, total, width); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the follower to provably hold every acked tick: poll the
+	// offline audit of its directories until it proves durable through the
+	// last acked seq. Mid-round transients (a segment ahead of its head) are
+	// expected and simply retried.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if converged := func() bool {
+			results, err := audit.All(fCk, fWal, key)
+			if err != nil {
+				return false
+			}
+			for _, res := range results {
+				if res.Tenant == "fo" && res.Err == nil && res.Report.DurableThrough >= total {
+					return true
+				}
+			}
+			return false
+		}(); converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never converged to the primary's durable state")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Primary dies hard: no drain, no final checkpoint, mid-life.
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+
+	// SIGHUP promotes the follower; poll until it serves as a primary.
+	if err := follower.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		fh, err := fc.Health(ctx)
+		if err == nil && fh.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never promoted (last health: %+v, err %v)", fh, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Every acked-and-replicated tick survived the failover.
+	info, err := fc.GetTenant(ctx, "fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != total {
+		t.Fatalf("promoted follower serves seq %d, want %d", info.Seq, total)
+	}
+	// And it accepts writes now: continue the same sequenced stream.
+	st2, err := fc.OpenStream(ctx, "fo", client.StreamOptions{Sequenced: true, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 10
+	if err := pump(ctx, st2, total+1, total+extra, width); err != nil {
+		t.Fatalf("post-promotion: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful exit, then both trees must audit clean: the dead primary's
+	// post-mortem proves everything it acked, the new primary's proves the
+	// failover plus the post-promotion writes.
+	follower.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- follower.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		follower.Process.Kill()
+		t.Fatal("promoted follower did not shut down on SIGTERM")
+	}
+
+	for _, tree := range []struct {
+		name    string
+		ck, wal string
+		through uint64
+	}{
+		{"primary (post-mortem)", pCk, pWal, total},
+		{"promoted follower", fCk, fWal, total + extra},
+	} {
+		results, err := audit.All(tree.ck, tree.wal, key)
+		if err != nil {
+			t.Fatalf("audit %s: %v", tree.name, err)
+		}
+		found := false
+		for _, res := range results {
+			if res.Tenant != "fo" {
+				continue
+			}
+			found = true
+			if res.Err != nil {
+				t.Fatalf("audit %s: %v", tree.name, res.Err)
+			}
+			if res.Report.DurableThrough < tree.through {
+				t.Fatalf("audit %s: durable through %d, want >= %d", tree.name, res.Report.DurableThrough, tree.through)
+			}
+		}
+		if !found {
+			t.Fatalf("audit %s: tenant fo missing", tree.name)
+		}
+	}
+}
+
+// TestFollowerRefusesWithoutWAL: -follow without the directories replication
+// transports is a configuration error, not a silent no-op.
+func TestFollowerRefusesWithoutWAL(t *testing.T) {
+	err := run(context.Background(), []string{"-follow", "http://localhost:1"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "-follow requires") {
+		t.Fatalf("run -follow without dirs: err = %v, want configuration refusal", err)
+	}
+}

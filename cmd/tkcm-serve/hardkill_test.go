@@ -16,8 +16,37 @@ import (
 	"time"
 
 	"tkcm/client"
+	"tkcm/internal/audit"
 	"tkcm/internal/core"
 )
+
+// auditSurvivor runs the offline integrity audit over the kill -9 survivor's
+// directories (after its graceful exit) and requires a provable "durable
+// through" at least covering every acked tick — the same proof tkcm-verify
+// prints for an operator.
+func auditSurvivor(t *testing.T, ckDir, walDir, tenant string, through uint64) {
+	t.Helper()
+	results, err := audit.All(ckDir, walDir, nil)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	found := false
+	for _, res := range results {
+		if res.Tenant != tenant {
+			continue
+		}
+		found = true
+		if res.Err != nil {
+			t.Fatalf("audit of %s after hard kill: %v", tenant, res.Err)
+		}
+		if res.Report.DurableThrough < through {
+			t.Fatalf("audit proves durable through %d, want >= %d", res.Report.DurableThrough, through)
+		}
+	}
+	if !found {
+		t.Fatalf("audit found no tenant %q in %s / %s", tenant, ckDir, walDir)
+	}
+}
 
 // TestServeHelperProcess is not a test: re-executed with TKCM_SERVE_HELPER=1
 // it becomes a real tkcm-serve process, so the hard-kill test below can
@@ -55,6 +84,9 @@ func spawnServe(t *testing.T, args []string) *exec.Cmd {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// A test that fails mid-flight must not leave the child serving (and
+	// logging) against a TempDir the framework is about to delete.
+	t.Cleanup(func() { cmd.Process.Kill() })
 	ready := make(chan struct{})
 	go func() {
 		sc := bufio.NewScanner(stdout)
@@ -239,6 +271,8 @@ func TestHardKillLosesNoAckedTick(t *testing.T) {
 		proc.Process.Kill()
 		t.Fatal("restarted server did not shut down on SIGTERM")
 	}
+
+	auditSurvivor(t, dir+"/ck", dir+"/wal", "hk", total)
 }
 
 // TestHardKillDuringMigrationLosesNoAckedTick is the chaos acceptance test
@@ -439,4 +473,6 @@ func TestHardKillDuringMigrationLosesNoAckedTick(t *testing.T) {
 		proc.Process.Kill()
 		t.Fatal("restarted server did not shut down on SIGTERM")
 	}
+
+	auditSurvivor(t, dir+"/ck", dir+"/wal", "mg", total)
 }

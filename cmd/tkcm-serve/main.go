@@ -28,9 +28,16 @@
 // graceful shutdown: the HTTP server drains in-flight tick streams, a final
 // checkpoint is written, and the shards close their engines.
 //
+// -integrity-key-file keys the WAL's tamper-evident layer (Merkle roots,
+// signed commit frames and head files); audit the directories offline with
+// tkcm-verify. -follow turns the process into an asynchronous follower that
+// replicates another server's checkpoints and WAL (verifying every byte)
+// instead of serving writes; promote it to primary with SIGHUP or
+// POST /v1/promote.
+//
 // See docs/API.md for the full HTTP/NDJSON reference (including the
 // tick-stream ack protocol and the durability contract) and
-// docs/OPERATIONS.md for metrics and tuning.
+// docs/OPERATIONS.md for metrics, integrity auditing, and failover.
 package main
 
 import (
@@ -75,6 +82,9 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		walDir     = fs.String("wal-dir", "", "directory for per-tenant write-ahead logs (empty = acks are not crash-durable; requires -checkpoint-dir)")
 		walSync    = fs.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit interval (0 = fsync every tick)")
 		walSegment = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold")
+		keyFile    = fs.String("integrity-key-file", "", "file holding the WAL integrity key (HMACs commit frames, head files, and replication manifests); empty = tamper-evidence without authenticity")
+		follow     = fs.String("follow", "", "base URL of a primary to follow (e.g. http://primary:8080): replicate its checkpoints and WAL instead of serving writes, until promoted via SIGHUP or POST /v1/promote; requires -wal-dir and the primary's integrity key")
+		followInt  = fs.Duration("follow-interval", 2*time.Second, "follower pull period")
 		rebalance  = fs.Duration("rebalance-interval", 0, "load-aware rebalancer period: migrate at most one tenant off the hottest shard per interval (0 = disabled)")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
 	)
@@ -83,13 +93,20 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 	}
 	log := slog.Default()
 
+	key, err := wal.LoadKeyFile(*keyFile)
+	if err != nil {
+		return err
+	}
 	var walMgr *wal.Manager
 	if *walDir != "" {
 		if *ckDir == "" {
 			return errors.New("-wal-dir requires -checkpoint-dir (the log replays on top of checkpoints)")
 		}
-		walMgr = wal.NewManager(*walDir, wal.Options{SyncInterval: *walSync, SegmentBytes: *walSegment})
+		walMgr = wal.NewManager(*walDir, wal.Options{SyncInterval: *walSync, SegmentBytes: *walSegment, Key: key})
 		defer walMgr.Close()
+	}
+	if *follow != "" && walMgr == nil {
+		return errors.New("-follow requires -wal-dir and -checkpoint-dir (replication transports the write-ahead log and checkpoints)")
 	}
 	// With persistence, the tenant→shard routing table lives next to the
 	// checkpoints and survives restarts: -shards may grow (existing tenants
@@ -110,17 +127,38 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		CheckpointInterval: *ckEvery,
 		WAL:                walMgr,
 		RebalanceInterval:  *rebalance,
+		FollowURL:          *follow,
+		FollowInterval:     *followInt,
 		Log:                log,
 	})
-	if *ckDir != "" {
-		n, err := srv.RestoreFromCheckpoints(ctx)
-		if err != nil {
-			return fmt.Errorf("restoring checkpoints: %w", err)
+	if *follow != "" {
+		// Follower: no restore and no checkpoint loop until promotion — the
+		// data directories belong to the replication puller. SIGHUP promotes
+		// (as does POST /v1/promote).
+		srv.StartFollower()
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				log.Info("SIGHUP received; promoting to primary")
+				if err := srv.Promote(context.Background()); err != nil {
+					log.Error("promotion failed; retry with SIGHUP or POST /v1/promote", "err", err)
+				}
+			}
+		}()
+		log.Info("following primary", "primary", *follow, "interval", *followInt)
+	} else {
+		if *ckDir != "" {
+			n, err := srv.RestoreFromCheckpoints(ctx)
+			if err != nil {
+				return fmt.Errorf("restoring checkpoints: %w", err)
+			}
+			log.Info("checkpoint restore", "dir", *ckDir, "tenants", n)
 		}
-		log.Info("checkpoint restore", "dir", *ckDir, "tenants", n)
+		srv.StartCheckpointLoop()
+		srv.StartRebalancer()
 	}
-	srv.StartCheckpointLoop()
-	srv.StartRebalancer()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -338,6 +338,7 @@ func (s *Server) BeginDrain() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutOnce.Do(func() {
 		s.BeginDrain()
+		s.StopFollower()
 		s.stopOnce.Do(func() { close(s.stopCk) })
 		s.ckWG.Wait()
 		if s.dir != "" {

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tkcm/internal/audit"
+	"tkcm/internal/core"
+	"tkcm/internal/shard"
+	"tkcm/internal/wal"
+)
+
+// newFollowerServer assembles a follower stack pulling from primaryURL.
+// FollowInterval is huge: tests drive rounds deterministically via
+// followRound instead of sleeping.
+func newFollowerServer(t *testing.T, ckDir, walDir, primaryURL string, key []byte) (*Server, *wal.Manager) {
+	t.Helper()
+	walMgr := wal.NewManager(walDir, wal.Options{SyncInterval: time.Millisecond, Key: key})
+	m := shard.New(shard.Options{Shards: 2, QueueLen: 16, WAL: walMgr})
+	s := New(Options{Manager: m, CheckpointDir: ckDir, WAL: walMgr,
+		FollowURL: primaryURL, FollowInterval: time.Hour, Log: quietLog()})
+	t.Cleanup(func() { m.Close(); walMgr.Close() })
+	return s, walMgr
+}
+
+func getHealth(t *testing.T, base string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc
+}
+
+// TestFollowerReplicatesAndPromotes is the failover acceptance test, fully
+// in-process: a WAL-enabled primary streams acked ticks, an async follower
+// mirrors them (every byte verified), the primary dies with no drain and no
+// final checkpoint, and the promoted follower must serve every acknowledged
+// tick — proven both by the API and by the offline audit of both directory
+// trees.
+func TestFollowerReplicatesAndPromotes(t *testing.T) {
+	key := []byte("failover-test-key")
+	ckA, walA := t.TempDir(), t.TempDir()
+	ckB, walB := t.TempDir(), t.TempDir()
+	walOpts := wal.Options{SyncInterval: time.Millisecond, SegmentBytes: 4096, Key: key}
+
+	s1, m1, wal1 := newWALServer(t, ckA, walA, walOpts)
+	ts1 := newHTTPServer(t, s1)
+	if resp := createTenant(t, ts1.URL, "fo", testTenantBody); resp.StatusCode != 201 {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	direct, err := core.NewEngine(testCoreConfig(), []string{"s", "r1", "r2", "r3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	s2, _ := newFollowerServer(t, ckB, walB, ts1.URL, key)
+	ts2 := newHTTPServer(t, s2)
+
+	// Unpromoted follower: health says so with a 503, and API traffic is
+	// refused with a retryable 503 naming the primary.
+	code, doc := getHealth(t, ts2.URL)
+	if code != http.StatusServiceUnavailable || doc["status"] != "follower" {
+		t.Fatalf("follower health = %d %v, want 503/follower", code, doc)
+	}
+	if doc["primary"] != ts1.URL {
+		t.Fatalf("health primary = %v, want %s", doc["primary"], ts1.URL)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gate struct {
+		Error string `json:"error"`
+		Retry bool   `json:"retry"`
+	}
+	json.NewDecoder(resp.Body).Decode(&gate)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !gate.Retry || !strings.Contains(gate.Error, "follower") {
+		t.Fatalf("gated route = %d %+v, want retryable 503 naming the follower state", resp.StatusCode, gate)
+	}
+
+	// Stream acked rows, replicating every few rows so rounds interleave
+	// with live appends (partial-segment deltas, not one final copy).
+	st := openTickStream(t, ts1.URL, "fo")
+	const rows = 40
+	for n := 1; n <= rows; n++ {
+		row := []float64{20.5 + float64(n%4), 19.2, 21.4, 20.9}
+		if n > 10 && n%3 == 0 {
+			row[0] = math.NaN()
+		}
+		if _, err := st.send(row); err != nil {
+			t.Fatalf("tick %d: %v", n, err)
+		}
+		if _, _, err := direct.Tick(row); err != nil {
+			t.Fatal(err)
+		}
+		if n%10 == 0 {
+			if err := s2.followRound(); err != nil {
+				t.Fatalf("follow round at tick %d: %v", n, err)
+			}
+		}
+	}
+	if err := s2.followRound(); err != nil {
+		t.Fatalf("final follow round: %v", err)
+	}
+	if got := s2.replLagSeconds(); got > 60 {
+		t.Fatalf("replication lag %.1fs after a fresh round", got)
+	}
+
+	// Primary dies: no drain, no final checkpoint — the follower has only
+	// what it already verified and fsynced.
+	st.close()
+	ts1.Close()
+	wal1.Close()
+	_ = m1
+
+	// Promote over HTTP (the SIGHUP path calls the same method).
+	presp, err := http.Post(ts2.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Promoted bool `json:"promoted"`
+		Already  bool `json:"already"`
+	}
+	json.NewDecoder(presp.Body).Decode(&promoted)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || !promoted.Promoted || promoted.Already {
+		t.Fatalf("promote = %d %+v", presp.StatusCode, promoted)
+	}
+	defer s2.Shutdown(context.Background())
+
+	code, doc = getHealth(t, ts2.URL)
+	if code != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("post-promotion health = %d %v, want 200/ok", code, doc)
+	}
+
+	// Every acked tick is served, and the engine matches the uninterrupted
+	// control within the restore tolerance.
+	info, err := s2.m.Info(context.Background(), "fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != rows {
+		t.Fatalf("promoted tenant seq = %d, want %d (acked ticks lost in failover)", info.Seq, rows)
+	}
+	var buf bytes.Buffer
+	if _, err := s2.m.Snapshot(context.Background(), "fo", &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for i := 0; i < 4; i++ {
+		got, want := restored.Window().Snapshot(i), direct.Window().Snapshot(i)
+		if len(got) != len(want) {
+			t.Fatalf("stream %d: %d ticks, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("stream %d tick %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	// Idempotent promotion.
+	presp2, err := http.Post(ts2.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(presp2.Body).Decode(&promoted)
+	presp2.Body.Close()
+	if presp2.StatusCode != http.StatusOK || !promoted.Already {
+		t.Fatalf("second promote = %d %+v, want already=true", presp2.StatusCode, promoted)
+	}
+
+	// Both directory trees audit clean through every acked tick — the dead
+	// primary's (post-mortem) and the promoted follower's.
+	for _, dirs := range []struct{ name, ck, wal string }{
+		{"primary", ckA, walA},
+		{"follower", ckB, walB},
+	} {
+		results, err := audit.All(dirs.ck, dirs.wal, key)
+		if err != nil {
+			t.Fatalf("audit %s: %v", dirs.name, err)
+		}
+		found := false
+		for _, res := range results {
+			if res.Tenant != "fo" {
+				continue
+			}
+			found = true
+			if res.Err != nil {
+				t.Fatalf("audit %s: %v", dirs.name, res.Err)
+			}
+			if res.Report.DurableThrough < rows {
+				t.Fatalf("audit %s: durable through %d, want >= %d", dirs.name, res.Report.DurableThrough, rows)
+			}
+		}
+		if !found {
+			t.Fatalf("audit %s: tenant fo not found", dirs.name)
+		}
+	}
+}
+
+// TestFollowerPrunesDeletedTenants: a tenant deleted on the primary is
+// removed from the follower on the next round; one that merely fails to
+// sync stays.
+func TestFollowerPrunesDeletedTenants(t *testing.T) {
+	key := []byte("prune-test-key")
+	ckA, walA := t.TempDir(), t.TempDir()
+	ckB, walB := t.TempDir(), t.TempDir()
+	s1, _, _ := newWALServer(t, ckA, walA, wal.Options{SyncInterval: time.Millisecond, Key: key})
+	ts1 := newHTTPServer(t, s1)
+	for _, id := range []string{"keep", "doomed"} {
+		if resp := createTenant(t, ts1.URL, id, testTenantBody); resp.StatusCode != 201 {
+			t.Fatalf("create %s: %d", id, resp.StatusCode)
+		}
+	}
+	s2, _ := newFollowerServer(t, ckB, walB, ts1.URL, key)
+	if err := s2.followRound(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"keep", "doomed"} {
+		if _, err := os.Stat(filepath.Join(ckB, id+checkpointExt)); err != nil {
+			t.Fatalf("checkpoint of %s not replicated: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(walB, id)); err != nil {
+			t.Fatalf("WAL of %s not replicated: %v", id, err)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/tenants/doomed", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if err := s2.followRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(ckB, "doomed"+checkpointExt)); !os.IsNotExist(err) {
+		t.Fatalf("deleted tenant's checkpoint still on follower: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(walB, "doomed")); !os.IsNotExist(err) {
+		t.Fatalf("deleted tenant's WAL still on follower: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(walB, "keep")); err != nil {
+		t.Fatalf("surviving tenant pruned: %v", err)
+	}
+}
+
+// TestFollowerRejectsWrongKey: a follower keyed differently from its primary
+// must refuse every manifest — nothing lands on its disk.
+func TestFollowerRejectsWrongKey(t *testing.T) {
+	ckA, walA := t.TempDir(), t.TempDir()
+	ckB, walB := t.TempDir(), t.TempDir()
+	s1, _, _ := newWALServer(t, ckA, walA, wal.Options{SyncInterval: time.Millisecond, Key: []byte("key-A")})
+	ts1 := newHTTPServer(t, s1)
+	if resp := createTenant(t, ts1.URL, "kx", testTenantBody); resp.StatusCode != 201 {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	s2, _ := newFollowerServer(t, ckB, walB, ts1.URL, []byte("key-B"))
+	err := s2.followRound()
+	if err == nil || !strings.Contains(err.Error(), "HMAC") {
+		t.Fatalf("follow round under mismatched keys: err = %v, want HMAC refusal", err)
+	}
+	if _, serr := os.Stat(filepath.Join(walB, "kx")); !os.IsNotExist(serr) {
+		t.Fatal("bytes landed on the follower despite the key mismatch")
+	}
+}
+
+// FuzzManifestMAC hardens the manifest authenticator: arbitrary bodies and
+// MAC strings must never panic, and only the genuine MAC may verify.
+func FuzzManifestMAC(f *testing.F) {
+	key := []byte("fuzz-manifest-key")
+	body := []byte(`{"generated_unix_nano":1,"tenants":[]}`)
+	f.Add(body, manifestMAC(key, body))
+	f.Add([]byte(`{}`), "deadbeef")
+	f.Add([]byte(nil), "")
+	f.Fuzz(func(t *testing.T, body []byte, mac string) {
+		m := &replManifest{Body: body, MAC: mac}
+		err := verifyManifestMAC(key, m)
+		// Hex is case-insensitive, so "accepted" means the DECODED bytes
+		// match the genuine MAC — an uppercase spelling of the right MAC is
+		// a valid encoding, not a forgery.
+		if err == nil && !strings.EqualFold(mac, manifestMAC(key, body)) {
+			t.Fatalf("forged MAC %q accepted for body %q", mac, body)
+		}
+	})
+}

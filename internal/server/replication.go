@@ -1,0 +1,264 @@
+package server
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"tkcm/internal/wal"
+)
+
+// Replication wire format. The manifest is a point-in-time snapshot of every
+// tenant's durable state: the signed WAL head image, the committed extent of
+// each segment, and the checkpoint file's digest. The body travels as raw
+// JSON bytes under an HMAC-SHA256 of exactly those bytes (keyed with the WAL
+// integrity key), so a follower verifies the manifest before parsing
+// anything of consequence — and the per-segment / per-head MACs inside are
+// verified again by wal.Replica before any byte reaches the follower's disk.
+type replManifest struct {
+	Body json.RawMessage `json:"body"`
+	MAC  string          `json:"mac"`
+}
+
+type replBody struct {
+	GeneratedUnixNano int64        `json:"generated_unix_nano"`
+	Tenants           []replTenant `json:"tenants"`
+}
+
+type replTenant struct {
+	ID string `json:"id"`
+	// Failed marks a tenant whose WAL has fail-stopped: it cannot be
+	// snapshotted, and the follower keeps (rather than prunes) its copy.
+	Failed     bool          `json:"failed,omitempty"`
+	DurableSeq uint64        `json:"durable_seq,omitempty"`
+	Head       []byte        `json:"head,omitempty"`
+	Segments   []replSegment `json:"segments,omitempty"`
+	Checkpoint *replFile     `json:"checkpoint,omitempty"`
+}
+
+type replSegment struct {
+	Name     string `json:"name"`
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq,omitempty"`
+	Size     int64  `json:"size"`
+	Sealed   bool   `json:"sealed,omitempty"`
+	Root     []byte `json:"root,omitempty"`
+}
+
+type replFile struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// manifestMAC authenticates the manifest body bytes under the WAL key.
+func manifestMAC(key, body []byte) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("tkcm-manifest\x00"))
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// verifyManifestMAC checks a received manifest's MAC (constant-time).
+func verifyManifestMAC(key []byte, m *replManifest) error {
+	got, err := hex.DecodeString(m.MAC)
+	if err != nil {
+		return fmt.Errorf("manifest MAC is not hex: %v", err)
+	}
+	want, _ := hex.DecodeString(manifestMAC(key, m.Body))
+	if !hmac.Equal(got, want) {
+		return fmt.Errorf("manifest HMAC mismatch (tampered, or integrity keys differ)")
+	}
+	return nil
+}
+
+// segNamePattern bounds segment names a replication request may address —
+// exactly the shape the WAL generates, so no request can walk the tree.
+var segNamePattern = regexp.MustCompile(`^seg-\d{20}\.wal$`)
+
+func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeError(w, http.StatusPreconditionFailed, "replication requires a write-ahead log (-wal-dir)")
+		return
+	}
+	body := replBody{GeneratedUnixNano: time.Now().UnixNano()}
+	for _, id := range s.wal.OpenTenants() {
+		t := replTenant{ID: id}
+		st, err := s.wal.ReplState(id)
+		if err != nil {
+			t.Failed = true
+		} else {
+			t.DurableSeq = st.DurableSeq
+			t.Head = st.Head
+			for _, seg := range st.Segments {
+				t.Segments = append(t.Segments, replSegment{
+					Name: seg.Name, FirstSeq: seg.FirstSeq, LastSeq: seg.LastSeq,
+					Size: seg.Size, Sealed: seg.Sealed, Root: seg.Root,
+				})
+			}
+		}
+		if ck, err := s.checkpointInfo(id); err == nil {
+			t.Checkpoint = ck
+		} else if !os.IsNotExist(err) {
+			writeError(w, http.StatusInternalServerError, "manifest: checkpoint of %q: %v", id, err)
+			return
+		}
+		body.Tenants = append(body.Tenants, t)
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "manifest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, replManifest{Body: raw, MAC: manifestMAC(s.wal.Key(), raw)})
+}
+
+// ckHashEntry caches one checkpoint file's digest keyed by (size, mtime), so
+// a manifest request hashes only checkpoints that actually changed.
+type ckHashEntry struct {
+	size  int64
+	mtime time.Time
+	sum   string
+}
+
+// checkpointInfo returns the tenant's checkpoint descriptor, hashing the
+// file only when its size or mtime moved since the last look.
+func (s *Server) checkpointInfo(id string) (*replFile, error) {
+	name := id + checkpointExt
+	path := filepath.Join(s.dir, name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	s.ckHashMu.Lock()
+	ent, ok := s.ckHashes[name]
+	s.ckHashMu.Unlock()
+	if !ok || ent.size != fi.Size() || !ent.mtime.Equal(fi.ModTime()) {
+		sum, err := fileSHA256(path)
+		if err != nil {
+			return nil, err
+		}
+		// Keyed by the pre-hash stat: if the file is replaced mid-hash, the
+		// next stat disagrees and triggers a rehash — and the follower
+		// verifies the digest of what it actually fetched anyway.
+		ent = ckHashEntry{size: fi.Size(), mtime: fi.ModTime(), sum: sum}
+		s.ckHashMu.Lock()
+		s.ckHashes[name] = ent
+		s.ckHashMu.Unlock()
+	}
+	return &replFile{Name: name, Size: ent.size, SHA256: ent.sum}, nil
+}
+
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// handleReplSegment serves one segment's committed bytes from an absolute
+// file offset (?from=N). The extent is re-snapshotted from the live log at
+// request time, so the response never includes bytes past the last commit
+// frame — a follower can trust length, though it verifies content anyway.
+func (s *Server) handleReplSegment(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeError(w, http.StatusPreconditionFailed, "replication requires a write-ahead log (-wal-dir)")
+		return
+	}
+	tenant, name := r.PathValue("tenant"), r.PathValue("name")
+	if !tenantIDPattern.MatchString(tenant) || !segNamePattern.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "invalid tenant id or segment name")
+		return
+	}
+	var from int64
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "invalid from offset %q", q)
+			return
+		}
+		from = v
+	}
+	st, err := s.wal.ReplState(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant %q: %v", tenant, err)
+		return
+	}
+	var seg *wal.SegmentInfo
+	for i := range st.Segments {
+		if st.Segments[i].Name == name {
+			seg = &st.Segments[i]
+			break
+		}
+	}
+	if seg == nil {
+		writeError(w, http.StatusNotFound, "tenant %q has no segment %s", tenant, name)
+		return
+	}
+	if from > seg.Size {
+		writeError(w, http.StatusRequestedRangeNotSatisfiable, "offset %d past committed size %d", from, seg.Size)
+		return
+	}
+	f, err := os.Open(filepath.Join(s.wal.Root(), tenant, name))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening segment: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		writeError(w, http.StatusInternalServerError, "seeking segment: %v", err)
+		return
+	}
+	n := seg.Size - from
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	io.CopyN(w, f, n)
+}
+
+// handleReplCheckpoint serves a tenant's checkpoint file. The open fd pins
+// the inode, so a concurrent checkpoint rename cannot tear the response; the
+// follower verifies the digest against the manifest it is syncing to.
+func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.dir == "" {
+		writeError(w, http.StatusPreconditionFailed, "no checkpoint directory configured")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	if !tenantIDPattern.MatchString(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid tenant id %q", tenant)
+		return
+	}
+	f, err := os.Open(filepath.Join(s.dir, tenant+checkpointExt))
+	if os.IsNotExist(err) {
+		writeError(w, http.StatusNotFound, "tenant %q has no checkpoint", tenant)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening checkpoint: %v", err)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	io.Copy(w, f)
+}

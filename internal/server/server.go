@@ -14,6 +14,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,15 @@ type Options struct {
 	// hottest shard per interval (0 = disabled). Start it with
 	// StartRebalancer.
 	RebalanceInterval time.Duration
+	// FollowURL, when non-empty, starts the server as an asynchronous
+	// follower of the primary at this base URL (e.g. "http://primary:8080"):
+	// it pulls and verifies the primary's checkpoints and WAL segments
+	// instead of serving writes, until Promote. Requires WAL (whose Key must
+	// match the primary's) and CheckpointDir. Start pulling with
+	// StartFollower.
+	FollowURL string
+	// FollowInterval is the follower's pull period (default 2s).
+	FollowInterval time.Duration
 	// Log receives request and checkpoint events (default slog.Default()).
 	Log *slog.Logger
 }
@@ -95,6 +105,34 @@ type Server struct {
 	imbalance  atomic.Uint64
 	rbShards   []uint64
 	rbTenants  map[string]uint64
+
+	// Follower (replication) state, set when Options.FollowURL is non-empty.
+	// replicas is touched only by the puller goroutine (and by Promote, after
+	// the puller has been joined).
+	follower       bool
+	followURL      string
+	followEvery    time.Duration
+	replClient     *http.Client
+	replicas       map[string]*wal.Replica
+	stopFollow     chan struct{}
+	stopFollowOnce sync.Once
+	followWG       sync.WaitGroup
+	promoteMu      sync.Mutex
+	promoted       atomic.Bool
+
+	// Replication counters surfaced on /metrics. lastManifestNano is the
+	// generated-at stamp of the last manifest fully applied (the lag gauge's
+	// anchor).
+	replRounds       atomic.Uint64
+	replErrors       atomic.Uint64
+	replSegmentsCtr  atomic.Uint64
+	replBytesCtr     atomic.Uint64
+	lastManifestNano atomic.Int64
+
+	// Checkpoint digest cache for replication manifests (primary side) and
+	// local change detection (follower side), keyed by checkpoint file name.
+	ckHashMu sync.Mutex
+	ckHashes map[string]ckHashEntry
 }
 
 // batchSizeBuckets are the upper bounds of the rows-per-batch histogram on
@@ -133,20 +171,34 @@ func New(opts Options) *Server {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
+	followEvery := opts.FollowInterval
+	if followEvery <= 0 {
+		followEvery = 2 * time.Second
+	}
 	s := &Server{
-		m:          opts.Manager,
-		wal:        opts.WAL,
-		mux:        http.NewServeMux(),
-		log:        log,
-		dir:        opts.CheckpointDir,
-		interval:   interval,
-		rbInterval: opts.RebalanceInterval,
-		started:    time.Now(),
-		stopCk:     make(chan struct{}),
-		draining:   make(chan struct{}),
+		m:           opts.Manager,
+		wal:         opts.WAL,
+		mux:         http.NewServeMux(),
+		log:         log,
+		dir:         opts.CheckpointDir,
+		interval:    interval,
+		rbInterval:  opts.RebalanceInterval,
+		started:     time.Now(),
+		stopCk:      make(chan struct{}),
+		draining:    make(chan struct{}),
+		follower:    opts.FollowURL != "",
+		followURL:   strings.TrimRight(opts.FollowURL, "/"),
+		followEvery: followEvery,
+		replClient:  &http.Client{Timeout: 60 * time.Second},
+		replicas:    make(map[string]*wal.Replica),
+		stopFollow:  make(chan struct{}),
+		ckHashes:    make(map[string]ckHashEntry),
 	}
 	if s.wal != nil && s.dir == "" {
 		panic("server: Options.WAL requires Options.CheckpointDir (the log replays on top of checkpoints)")
+	}
+	if s.follower && s.wal == nil {
+		panic("server: Options.FollowURL requires Options.WAL (replication transports the write-ahead log)")
 	}
 	// handle registers a route on the mux AND in the route manifest that
 	// Routes exposes; docs/API.md coverage is asserted against the manifest,
@@ -167,6 +219,10 @@ func New(opts Options) *Server {
 	handle("POST /v1/tenants/{id}/migrate", s.handleMigrate)
 	handle("POST /v1/checkpoint", s.handleCheckpoint)
 	handle("GET /v1/cluster/routing", s.handleRouting)
+	handle("GET /v1/replication/manifest", s.handleReplManifest)
+	handle("GET /v1/replication/segment/{tenant}/{name}", s.handleReplSegment)
+	handle("GET /v1/replication/checkpoint/{tenant}", s.handleReplCheckpoint)
+	handle("POST /v1/promote", s.handlePromote)
 	return s
 }
 
@@ -176,10 +232,20 @@ func (s *Server) Routes() []string {
 	return append([]string(nil), s.routes...)
 }
 
-// Handler returns the HTTP handler tree.
+// Handler returns the HTTP handler tree. An unpromoted follower answers 503
+// on everything but health, metrics and promotion — including the
+// replication endpoints, which would otherwise advertise its (empty) set of
+// open logs as truth to a chained follower.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if s.follower && !s.promoted.Load() && !s.followerAllowed(r.URL.Path) {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error: fmt.Sprintf("this server is an unpromoted follower of %s; promote it (POST /v1/promote) or address the primary", s.followURL),
+				Retry: true,
+			})
+			return
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -218,17 +284,43 @@ func statusFor(err error) int {
 	}
 }
 
+// handleHealth reports liveness AND data-plane health. "ok" is 200;
+// "follower" (unpromoted replica: correct config, not serving writes) and
+// "degraded" (some tenant's WAL has fail-stopped: its appends are refused
+// and nothing more is acknowledged for it) are 503, with enough body for an
+// operator — or the client library — to see exactly what is wrong.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	tenants := int64(0)
 	for _, st := range s.m.Stats() {
 		tenants += st.Tenants
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	body := map[string]any{
 		"shards":         s.m.Shards(),
 		"tenants":        tenants,
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
-	})
+	}
+	if s.follower && !s.promoted.Load() {
+		status, code = "follower", http.StatusServiceUnavailable
+		body["primary"] = s.followURL
+		body["replication_lag_seconds"] = s.replLagSeconds()
+	} else if s.wal != nil {
+		if failed := s.wal.FailedTenants(); len(failed) > 0 {
+			status, code = "degraded", http.StatusServiceUnavailable
+			body["failed_wal_tenants"] = failed
+		}
+	}
+	body["status"] = status
+	writeJSON(w, code, body)
+}
+
+// replLagSeconds is time since the last fully-applied manifest was generated
+// on the primary (time since start when no round has succeeded yet).
+func (s *Server) replLagSeconds() float64 {
+	if gen := s.lastManifestNano.Load(); gen > 0 {
+		return time.Since(time.Unix(0, gen)).Seconds()
+	}
+	return time.Since(s.started).Seconds()
 }
 
 func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
@@ -782,5 +874,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tkcm_wal_bytes_total WAL bytes written, framing included.\n# TYPE tkcm_wal_bytes_total counter\ntkcm_wal_bytes_total %d\n", ws.Bytes)
 		fmt.Fprintf(w, "# HELP tkcm_wal_truncations_total WAL segment files reclaimed after checkpoints.\n# TYPE tkcm_wal_truncations_total counter\ntkcm_wal_truncations_total %d\n", ws.Truncations)
 		fmt.Fprintf(w, "# HELP tkcm_wal_open_logs Tenants with an open write-ahead log.\n# TYPE tkcm_wal_open_logs gauge\ntkcm_wal_open_logs %d\n", ws.OpenLogs)
+		fmt.Fprintf(w, "# HELP tkcm_wal_failed_logs Tenants whose write-ahead log has fail-stopped (appends refused, acks withheld).\n# TYPE tkcm_wal_failed_logs gauge\ntkcm_wal_failed_logs %d\n", len(s.wal.FailedTenants()))
+	}
+	if s.follower {
+		fmt.Fprintf(w, "# HELP tkcm_repl_lag_seconds Age of the last fully-applied replication manifest.\n# TYPE tkcm_repl_lag_seconds gauge\ntkcm_repl_lag_seconds %g\n", s.replLagSeconds())
+		fmt.Fprintf(w, "# HELP tkcm_repl_rounds_total Replication rounds completed.\n# TYPE tkcm_repl_rounds_total counter\ntkcm_repl_rounds_total %d\n", s.replRounds.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_errors_total Replication rounds or tenant syncs that failed.\n# TYPE tkcm_repl_errors_total counter\ntkcm_repl_errors_total %d\n", s.replErrors.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_segments_total Segment fetches applied (verified deltas).\n# TYPE tkcm_repl_segments_total counter\ntkcm_repl_segments_total %d\n", s.replSegmentsCtr.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_bytes_total WAL bytes fetched and verified from the primary.\n# TYPE tkcm_repl_bytes_total counter\ntkcm_repl_bytes_total %d\n", s.replBytesCtr.Load())
+		promoted := 0
+		if s.promoted.Load() {
+			promoted = 1
+		}
+		fmt.Fprintf(w, "# HELP tkcm_repl_promoted Whether this follower has been promoted to primary.\n# TYPE tkcm_repl_promoted gauge\ntkcm_repl_promoted %d\n", promoted)
 	}
 }

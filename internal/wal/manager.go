@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -139,6 +140,47 @@ func (m *Manager) Tenants() ([]string, error) {
 		}
 	}
 	return ids, nil
+}
+
+// Key returns the integrity key the manager opens logs with.
+func (m *Manager) Key() []byte { return m.opts.Key }
+
+// FailedTenants lists tenants whose open log has latched its fail-stop
+// error, sorted — the health endpoint's degraded report.
+func (m *Manager) FailedTenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []string
+	for id, l := range m.logs {
+		if l.Failed() != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// OpenTenants lists tenants with an open log, sorted — the replication
+// manifest walks this (a tenant without an open log has taken no writes).
+func (m *Manager) OpenTenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.logs))
+	for id := range m.logs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ReplState snapshots tenant's log for a replication manifest (the log must
+// be open).
+func (m *Manager) ReplState(tenant string) (ReplState, error) {
+	l := m.Get(tenant)
+	if l == nil {
+		return ReplState{}, fmt.Errorf("wal: tenant %q has no open log", tenant)
+	}
+	return l.ReplState()
 }
 
 // Close closes every open log. The manager must not be used afterwards.

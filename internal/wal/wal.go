@@ -81,6 +81,22 @@ type Options struct {
 	// (default 64 MiB). Smaller segments make truncation reclaim space
 	// sooner; each rotation costs one fsync + file creation.
 	SegmentBytes int64
+	// Key authenticates the log's integrity layer: commit frames and the
+	// per-tenant head file carry HMAC-SHA256 tags under this key, so a log
+	// directory cannot be substituted or re-signed without it. An empty key
+	// still gets the full Merkle machinery — integrity without authenticity:
+	// accidental corruption is detected, a key-holding forger is not.
+	Key []byte
+
+	// Test-only fault injection seam: each hook, when non-nil, runs before
+	// the corresponding disk operation and its error is treated as that
+	// operation failing. Unexported — only in-package tests can set them —
+	// so the latch paths (fsync failure mid-batch, rotation failure, head
+	// save failure) are deterministically coverable.
+	failWrite  func() error       // before writing a batch to the segment
+	failSync   func() error       // before fsyncing the segment
+	failCreate func(string) error // before creating a segment file
+	failHead   func() error       // before saving the head file
 }
 
 func (o Options) segmentBytes() int64 {
@@ -185,6 +201,17 @@ type Log struct {
 	segStart uint64   // first seq of the active segment
 	segSize  int64
 
+	// Integrity state, touched only under syncMu (hashing rides the sync
+	// path, never Append): identity binds the chain to the tenant directory,
+	// head mirrors the on-disk head.tkcmh, cs accumulates the active
+	// segment's Merkle tree (cs.prevChain = chain through sealed segments),
+	// and lastRec is the last record seq written to the active segment
+	// (0 = none), which every commit frame must equal.
+	identity string
+	head     *headState
+	cs       chainScan
+	lastRec  uint64
+
 	// durable is the highest sequence number known to be on stable storage
 	// (everything ≤ it survived every fsync so far). Monotone; read by the
 	// serving layer to decide whether a replayed row may be acked as a
@@ -210,68 +237,239 @@ func open(dir string, opts Options, ctr *counters) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
+	identity := filepath.Base(filepath.Clean(dir))
+	head, headRaw, err := loadHead(dir)
+	if err != nil {
+		return nil, err
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{
-		dir:  dir,
-		opts: opts,
-		ctr:  ctr,
-		wake: make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		dir:      dir,
+		opts:     opts,
+		ctr:      ctr,
+		identity: identity,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
-	if len(segs) == 0 {
+	l.cs = chainScan{identity: identity, key: opts.Key, checkMAC: true}
+	if head == nil {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: %s: segments exist but %s is missing (deleted, or a pre-integrity log — see docs/OPERATIONS.md)",
+				ErrCorrupt, identity, HeadFileName)
+		}
+		// Fresh log: anchor the chain before the first segment exists — a
+		// crash between the two is the provably-empty state Open recreates.
+		head = &headState{identity: identity, baseChain: chainGenesis(identity), activeFirstSeq: 1}
+		if err := saveHead(dir, head, opts.Key); err != nil {
+			return nil, err
+		}
+		l.head = head
+		l.cs.prevChain = head.baseChain
 		l.nextSeq = 1
-		l.segStart = 1
 		if err := l.createSegment(1); err != nil {
 			return nil, err
 		}
 	} else {
-		last := segs[len(segs)-1]
-		lastSeq, end, err := scanSegment(filepath.Join(dir, last.name), last.firstSeq, nil)
-		// A torn tail — the signature of a crash mid-append — is expected
-		// here and healed by the truncate below; any other damage (foreign
-		// file, bad magic) must surface instead of being silently clobbered.
-		var torn *tornError
-		if err != nil && !errors.As(err, &torn) {
+		if err := verifyHeadMAC(headRaw, opts.Key); err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("wal: %w", err)
+		if head.identity != identity {
+			return nil, fmt.Errorf("%w: head identity %q does not match directory %q (log directory copied or renamed?)",
+				ErrCorrupt, head.identity, identity)
 		}
-		// Truncate the torn tail so new appends continue from the last
-		// complete record instead of burying garbage mid-file.
-		if err := f.Truncate(end); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
-		}
-		if end < int64(len(segMagic)) {
-			// The crash tore the magic itself (segment created, header not
-			// yet durable): rewrite it — the segment provably has no records.
-			if _, err := f.WriteString(segMagic); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("wal: %w", err)
-			}
-			end = int64(len(segMagic))
-		} else if _, err := f.Seek(end, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("wal: %w", err)
-		}
-		l.f = f
-		l.segStart = last.firstSeq
-		l.segSize = end
-		if lastSeq == 0 { // empty segment (rotation landed, nothing appended)
-			l.nextSeq = last.firstSeq
-		} else {
-			l.nextSeq = lastSeq + 1
+		if err := l.adoptExisting(head, segs); err != nil {
+			return nil, err
 		}
 	}
-	l.durable.Store(l.nextSeq - 1) // everything scanned on disk is durable
+	l.durable.Store(l.nextSeq - 1) // everything commit-covered on disk is durable
 	go l.flusher()
 	return l, nil
+}
+
+// adoptExisting reconciles a verified head against the directory's segment
+// inventory and rebuilds the in-memory chain state. It handles every
+// one-step-behind crash window the write orderings can leave — a truncation
+// leftover below the chain base, a rotation that saved the head but never
+// created the new segment, and replicated successor segments a follower
+// fetched before its head update — and reports everything else as
+// ErrCorrupt.
+func (l *Log) adoptExisting(head *headState, segs []segment) error {
+	sealedAt := make(map[uint64]int, len(head.sealed))
+	for i, s := range head.sealed {
+		sealedAt[s.firstSeq] = i
+	}
+	present := make(map[uint64]bool, len(segs))
+	var extras []segment
+	activeFound := false
+	for _, seg := range segs {
+		switch {
+		case seg.firstSeq == head.activeFirstSeq:
+			activeFound = true
+		case seg.firstSeq > head.activeFirstSeq:
+			extras = append(extras, seg)
+		default:
+			if _, ok := sealedAt[seg.firstSeq]; ok {
+				present[seg.firstSeq] = true
+				break
+			}
+			if seg.firstSeq <= head.baseSeq {
+				// Truncation leftover: the head's base was raised past this
+				// segment before its unlink landed. Finish the job.
+				os.Remove(filepath.Join(l.dir, seg.name))
+				break
+			}
+			return fmt.Errorf("%w: %s: segment %s is not in the signed head inventory", ErrCorrupt, l.identity, seg.name)
+		}
+	}
+	for _, s := range head.sealed {
+		if !present[s.firstSeq] {
+			return fmt.Errorf("%w: %s: sealed segment %s (seqs %d..%d) is missing",
+				ErrCorrupt, l.identity, segmentName(s.firstSeq), s.firstSeq, s.lastSeq)
+		}
+	}
+	l.head = head
+	l.cs.prevChain = head.chainThroughSealed()
+	if !activeFound {
+		if len(extras) > 0 {
+			return fmt.Errorf("%w: %s: active segment %s is missing but later segments exist",
+				ErrCorrupt, l.identity, segmentName(head.activeFirstSeq))
+		}
+		if head.durableSeq > head.activeFirstSeq-1 {
+			return fmt.Errorf("%w: %s: active segment %s is missing and the head proves records durable through seq %d",
+				ErrCorrupt, l.identity, segmentName(head.activeFirstSeq), head.durableSeq)
+		}
+		// Rotation crash window: the head was anchored, the new segment was
+		// never created, and nothing durable could have entered it.
+		l.nextSeq = head.activeFirstSeq
+		return l.createSegment(head.activeFirstSeq)
+	}
+	if err := l.openActive(head.activeFirstSeq, len(extras) > 0); err != nil {
+		return err
+	}
+	if len(extras) == 0 {
+		if head.durableSeq > l.durableOnDisk() {
+			return fmt.Errorf("%w: %s: head proves records durable through seq %d but the segments only prove %d (active segment truncated or substituted)",
+				ErrCorrupt, l.identity, head.durableSeq, l.durableOnDisk())
+		}
+		return nil
+	}
+	// Replicated successors beyond the head's active segment (a follower
+	// fetched segments before its head update, then crashed): verify each
+	// against the chain, seal its predecessor, and adopt the last as the new
+	// active segment — then re-anchor the head so the adoption is durable.
+	for i, seg := range extras {
+		if l.lastRec == 0 || seg.firstSeq <= l.lastRec {
+			return fmt.Errorf("%w: %s: segment %s overlaps its predecessor (last seq %d)",
+				ErrCorrupt, l.identity, seg.name, l.lastRec)
+		}
+		root := l.cs.sealRoot()
+		l.head.sealed = append(l.head.sealed, sealedSegment{firstSeq: l.segStart, lastSeq: l.lastRec, root: root})
+		l.cs.prevChain = chainNext(l.cs.prevChain, root)
+		l.cs.acc.reset()
+		l.f.Close()
+		l.f = nil
+		if err := l.openActive(seg.firstSeq, i < len(extras)-1); err != nil {
+			return err
+		}
+	}
+	l.head.activeFirstSeq = l.segStart
+	l.head.durableSeq = l.durableOnDisk()
+	if err := saveHead(l.dir, l.head, l.opts.Key); err != nil {
+		return err
+	}
+	return nil
+}
+
+// durableOnDisk is the highest seq the on-disk state proves durable: the
+// last commit in the active segment, or (for an empty active segment)
+// everything before its base — sealed ranges plus any checkpoint-covered
+// SetNextSeq gap.
+func (l *Log) durableOnDisk() uint64 {
+	if l.lastRec != 0 {
+		return l.cs.lastCommitSeq
+	}
+	return l.segStart - 1
+}
+
+// openActive opens the segment starting at firstSeq as the active segment:
+// it chain-scans the content (verifying every commit frame's root and MAC),
+// truncates anything past the last commit frame — a crash-torn write, or
+// complete records whose covering fsync never returned; neither was ever
+// acknowledged — and positions the log to append. With mustSeal the segment
+// is a replicated predecessor that must be commit-terminated exactly at EOF.
+// The damage/tail disambiguation: an unreadable frame followed anywhere by a
+// surviving commit frame cannot be crash damage (fsynced bytes don't tear),
+// so it is ErrCorrupt rather than a healable tail.
+func (l *Log) openActive(firstSeq uint64, mustSeal bool) error {
+	path := filepath.Join(l.dir, segmentName(firstSeq))
+	l.cs.segFirstSeq = firstSeq
+	l.cs.acc.reset()
+	l.cs.lastCommitSeq, l.cs.lastCommitOff, l.cs.commits, l.cs.records, l.cs.sawCommit = 0, 0, 0, 0, false
+	var accAtCommit merkleAcc
+	prevOnCommit := l.cs.onCommitHook
+	l.cs.onCommitHook = func() { accAtCommit = l.cs.snapshotAcc() }
+	_, end, err := scanSegment(path, firstSeq, nil, &l.cs)
+	l.cs.onCommitHook = prevOnCommit
+	var torn *tornError
+	if err != nil && !errors.As(err, &torn) {
+		return err
+	}
+	if err != nil {
+		// Unreadable frame: healable only if nothing commit-covered follows.
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return fmt.Errorf("wal: %w", rerr)
+		}
+		if int64(len(raw)) > end && hasCommitBeyond(raw[end:]) {
+			return fmt.Errorf("%w: %s: unreadable frame at offset %d with committed records beyond it (segment tampered)",
+				ErrCorrupt, filepath.Base(path), end)
+		}
+	}
+	cut := l.cs.lastCommitOff
+	if !l.cs.sawCommit {
+		cut = int64(len(segMagic))
+	}
+	f, ferr := os.OpenFile(path, os.O_RDWR, 0o644)
+	if ferr != nil {
+		return fmt.Errorf("wal: %w", ferr)
+	}
+	if mustSeal && (err != nil || end != cut) {
+		f.Close()
+		return fmt.Errorf("%w: %s: replicated segment is not commit-terminated", ErrCorrupt, filepath.Base(path))
+	}
+	if err := f.Truncate(cut); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncating uncommitted tail: %w", err)
+	}
+	if cut < int64(len(segMagic)) {
+		// The crash tore the magic itself (segment created, header not yet
+		// durable): rewrite it — the segment provably has no records.
+		if _, err := f.WriteString(segMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		cut = int64(len(segMagic))
+	} else if _, err := f.Seek(cut, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segStart = firstSeq
+	l.segSize = cut
+	if l.cs.sawCommit {
+		l.cs.acc = accAtCommit
+		l.lastRec = l.cs.lastCommitSeq
+		l.nextSeq = l.cs.lastCommitSeq + 1
+	} else {
+		l.cs.acc.reset()
+		l.lastRec = 0
+		l.nextSeq = firstSeq
+	}
+	return nil
 }
 
 // NextSeq returns the sequence number the next Append must carry.
@@ -537,9 +735,39 @@ func (l *Log) syncLocked() error {
 
 	var err error
 	if len(data) > 0 {
-		if _, err = l.f.Write(data); err == nil {
+		// Integrity rides the batch it covers: hash every record frame into
+		// the segment's Merkle tree (the ONLY hashing in the whole write
+		// path — Append stays a memcpy), then append one signed commit frame
+		// so the root and chain position land in the same write and the same
+		// fsync as the records. No extra I/O, one hash pass per group commit.
+		commitSeq := firstSeq - 1
+		l.lastRec, err = walkFrames(data, &l.cs, l.lastRec)
+		if err == nil {
+			root := l.cs.acc.root()
+			chain := chainNext(l.cs.prevChain, root)
+			data = appendCommitFrame(data, l.opts.Key, l.identity, l.segStart, commitSeq, root, chain)
+		}
+		if err == nil && l.opts.failWrite != nil {
+			err = l.opts.failWrite()
+		}
+		if err == nil {
+			_, err = l.f.Write(data)
+		}
+		if err == nil {
 			l.segSize += int64(len(data))
-			err = l.f.Sync()
+			if l.opts.failSync != nil {
+				err = l.opts.failSync()
+			}
+			if err == nil {
+				err = l.f.Sync()
+			}
+		}
+		if err == nil {
+			// The on-disk segment now ends at the commit frame just written.
+			l.cs.lastCommitSeq = commitSeq
+			l.cs.lastCommitOff = l.segSize
+			l.cs.sawCommit = true
+			l.cs.commits++
 		}
 	}
 	l.spare = data[:0] // recycle: the other buffer is in use by appenders
@@ -581,14 +809,38 @@ func (l *Log) syncLocked() error {
 	return err
 }
 
-// rotate closes the active segment and opens a fresh one whose name encodes
-// firstSeq. Caller holds syncMu; on failure the caller must latch l.failed
-// (under its own mu discipline) so appends fail fast.
+// rotate seals the active segment and opens a fresh one whose name encodes
+// firstSeq. Write ordering: the head — now carrying the sealed segment's
+// Merkle root and the new active name — is anchored BEFORE the new segment
+// exists, so a crash between the two leaves the provably-empty state
+// adoptExisting recreates, never an unanchored segment. Caller holds syncMu;
+// on failure the caller must latch l.failed (under its own mu discipline) so
+// appends fail fast.
 func (l *Log) rotate(firstSeq uint64) error {
-	err := l.f.Close()
-	if err != nil {
-		err = fmt.Errorf("wal: rotate: %w", err)
-	} else {
+	root := l.cs.acc.root()
+	h := l.head.clone()
+	h.sealed = append(h.sealed, sealedSegment{firstSeq: l.segStart, lastSeq: l.lastRec, root: root})
+	h.activeFirstSeq = firstSeq
+	h.durableSeq = l.durable.Load()
+	var err error
+	if l.opts.failHead != nil {
+		err = l.opts.failHead()
+	}
+	if err == nil {
+		err = saveHead(l.dir, h, l.opts.Key)
+	}
+	if err == nil {
+		l.head = h
+		if cerr := l.f.Close(); cerr != nil {
+			err = fmt.Errorf("wal: rotate: %w", cerr)
+		}
+	}
+	if err == nil {
+		l.cs.prevChain = chainNext(l.cs.prevChain, root)
+		l.cs.acc.reset()
+		l.cs.segFirstSeq = firstSeq
+		l.cs.lastCommitSeq, l.cs.lastCommitOff, l.cs.commits, l.cs.sawCommit = 0, 0, 0, false
+		l.lastRec = 0
 		err = l.createSegment(firstSeq)
 	}
 	if err != nil {
@@ -630,6 +882,11 @@ func (l *Log) flusher() {
 // starts).
 func (l *Log) createSegment(firstSeq uint64) error {
 	name := filepath.Join(l.dir, segmentName(firstSeq))
+	if l.opts.failCreate != nil {
+		if err := l.opts.failCreate(name); err != nil {
+			return fmt.Errorf("wal: creating segment: %w", err)
+		}
+	}
 	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
@@ -644,34 +901,59 @@ func (l *Log) createSegment(firstSeq uint64) error {
 	return nil
 }
 
-// Truncate removes whole segments whose every record has sequence number
-// ≤ uptoSeq — call it after a checkpoint covering uptoSeq is durable. The
-// active segment is never removed; space before the checkpoint inside it is
-// reclaimed at the next rotation.
+// Truncate removes whole sealed segments whose every record has sequence
+// number ≤ uptoSeq — call it after a checkpoint covering uptoSeq is durable.
+// The active segment is never removed; space before the checkpoint inside it
+// is reclaimed at the next rotation. Write ordering: the head — its chain
+// base raised over the removed segments' roots — is anchored BEFORE any
+// unlink, so a crash between the two leaves only ignorable below-base
+// leftovers, never a chain the head can no longer explain.
 func (l *Log) Truncate(uptoSeq uint64) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	failed := l.failed
 	l.mu.Unlock()
+	if failed != nil {
+		// A failed log's in-memory head may be ahead of the disk (a rotation
+		// that latched after mutating it); refusing keeps the anchored state
+		// self-consistent for the post-mortem audit.
+		return fmt.Errorf("wal: log failed, refusing truncate: %w", failed)
+	}
 	// syncMu stabilizes the active segment (no rotation mid-truncate).
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
-	segs, err := listSegments(l.dir)
-	if err != nil {
+	n := 0
+	for _, s := range l.head.sealed {
+		if s.lastSeq > uptoSeq {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	h := l.head.clone()
+	removed := h.sealed[:n]
+	h.baseSeq = removed[n-1].lastSeq
+	for _, s := range removed {
+		h.baseChain = chainNext(h.baseChain, s.root)
+	}
+	h.sealed = append([]sealedSegment(nil), h.sealed[n:]...)
+	h.durableSeq = l.durable.Load()
+	if l.opts.failHead != nil {
+		if err := l.opts.failHead(); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	if err := saveHead(l.dir, h, l.opts.Key); err != nil {
 		return err
 	}
-	for i, seg := range segs {
-		// A segment is removable when the NEXT segment starts at or below
-		// uptoSeq+1 (so every record here is ≤ uptoSeq) and it is not active.
-		if i+1 >= len(segs) || segs[i+1].firstSeq > uptoSeq+1 {
-			break
-		}
-		if seg.firstSeq == l.segStart {
-			break
-		}
-		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+	l.head = h
+	for _, s := range removed {
+		if err := os.Remove(filepath.Join(l.dir, segmentName(s.firstSeq))); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.ctr.truncates(1)
@@ -688,6 +970,90 @@ func (l *Log) Segments() int {
 	return len(segs)
 }
 
+// Failed reports the log's latched fail-stop error (nil while healthy).
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// SegmentInfo describes one on-disk segment for replication and auditing.
+type SegmentInfo struct {
+	Name     string
+	FirstSeq uint64
+	// LastSeq is the last commit-covered record seq (0 for an empty segment).
+	LastSeq uint64
+	// Size is the committed byte length: for the active segment, everything
+	// up to and including its last commit frame — stable bytes a replica may
+	// fetch; un-fsynced appends past it are invisible here.
+	Size   int64
+	Sealed bool
+	// Root is the segment's Merkle root (sealed segments only; the active
+	// segment's root is still moving).
+	Root []byte
+}
+
+// ReplState is a point-in-time replication snapshot of one log: a signed
+// head image carrying the current durable watermark plus the committed
+// extent of every segment. Taken under the sync lock, so the sizes are
+// mutually consistent and every byte inside them is fsynced.
+type ReplState struct {
+	Head       []byte
+	DurableSeq uint64
+	Segments   []SegmentInfo
+}
+
+// ReplState snapshots the log for a replication manifest.
+func (l *Log) ReplState() (ReplState, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ReplState{}, ErrClosed
+	}
+	failed := l.failed
+	l.mu.Unlock()
+	if failed != nil {
+		return ReplState{}, fmt.Errorf("wal: log failed, refusing replication snapshot: %w", failed)
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	h := l.head.clone()
+	h.durableSeq = l.durable.Load()
+	st := ReplState{Head: encodeHead(h, l.opts.Key), DurableSeq: h.durableSeq}
+	for _, s := range l.head.sealed {
+		fi, err := os.Stat(filepath.Join(l.dir, segmentName(s.firstSeq)))
+		if err != nil {
+			return ReplState{}, fmt.Errorf("wal: replication snapshot: %w", err)
+		}
+		st.Segments = append(st.Segments, SegmentInfo{
+			Name:     segmentName(s.firstSeq),
+			FirstSeq: s.firstSeq,
+			LastSeq:  s.lastSeq,
+			Size:     fi.Size(),
+			Sealed:   true,
+			Root:     append([]byte(nil), s.root[:]...),
+		})
+	}
+	st.Segments = append(st.Segments, SegmentInfo{
+		Name:     segmentName(l.segStart),
+		FirstSeq: l.segStart,
+		LastSeq:  l.cs.lastCommitSeq,
+		Size:     l.committedSizeLocked(),
+	})
+	return st, nil
+}
+
+// committedSizeLocked is the active segment's commit-covered byte length.
+// Caller holds syncMu; with no sync in flight the file ends at its last
+// commit frame, so this equals the file size — but it is derived from the
+// scan state, never the file, so a concurrent crash cannot inflate it.
+func (l *Log) committedSizeLocked() int64 {
+	if l.cs.sawCommit {
+		return l.cs.lastCommitOff
+	}
+	return int64(len(segMagic))
+}
+
 // Close syncs the pending batch and releases the log. Idempotent.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -702,6 +1068,24 @@ func (l *Log) Close() error {
 	<-l.done // flusher exited; syncNow below is the final syncer
 	err := l.syncNow()
 	l.syncMu.Lock()
+	l.mu.Lock()
+	failed := l.failed
+	l.mu.Unlock()
+	if failed == nil {
+		// Anchor the final durable watermark: with it, deleting or rolling
+		// back the active segment of a cleanly-closed log — damage a crash
+		// cannot cause — is detectable on the next Open, not just a flipped
+		// byte inside it.
+		h := l.head.clone()
+		h.durableSeq = l.durable.Load()
+		if herr := saveHead(l.dir, h, l.opts.Key); herr != nil {
+			if err == nil {
+				err = herr
+			}
+		} else {
+			l.head = h
+		}
+	}
 	if cerr := l.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("wal: close: %w", cerr)
 	}
@@ -709,13 +1093,28 @@ func (l *Log) Close() error {
 	return err
 }
 
-// Replay streams every record with sequence number ≥ fromSeq, in order, to
-// fn, and returns the last sequence number delivered (0 if none). A torn or
-// unreadable record at the tail of the FINAL segment ends the replay cleanly
-// — it was mid-write during a crash and was never acknowledged. The same
-// damage in any earlier segment returns ErrCorrupt: records after it were
-// acknowledged and cannot be skipped silently. fn's error aborts the replay.
+// errStopScan aborts a segment scan early from inside its fn callback;
+// Replay uses it to stop delivering at the final segment's commit boundary.
+var errStopScan = errors.New("wal: stop scan")
+
+// Replay streams every commit-covered record with sequence number ≥ fromSeq,
+// in order, to fn, and returns the last sequence number delivered (0 if
+// none). The head's segment inventory is verified structurally — every
+// sealed segment must be present, commit-terminated, and match its pinned
+// Merkle root and sequence range — so a deleted, truncated, or substituted
+// segment surfaces as ErrCorrupt, never as a silent hole. Records past the
+// final segment's last commit frame are NOT delivered: their covering fsync
+// never completed, so they were never acknowledged (the client re-sends
+// them), and delivering them would let an attacker forge appends by writing
+// record frames without the key. fn's error aborts the replay. The head MAC
+// is not checked here (the restore path does not hold the key); Open and
+// VerifyTenant do.
 func Replay(dir string, fromSeq uint64, fn func(seq uint64, values []float64) error) (uint64, error) {
+	identity := filepath.Base(filepath.Clean(dir))
+	head, _, err := loadHead(dir)
+	if err != nil {
+		return 0, err
+	}
 	segs, err := listSegments(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -723,23 +1122,87 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, values []float64) er
 	if err != nil {
 		return 0, err
 	}
+	if head == nil {
+		if len(segs) > 0 {
+			return 0, fmt.Errorf("%w: %s: segments exist but %s is missing (deleted, or a pre-integrity log — see docs/OPERATIONS.md)",
+				ErrCorrupt, identity, HeadFileName)
+		}
+		return 0, nil
+	}
+	if head.identity != identity {
+		return 0, fmt.Errorf("%w: head identity %q does not match directory %q (log directory copied or renamed?)",
+			ErrCorrupt, head.identity, identity)
+	}
+	sealedAt := make(map[uint64]*sealedSegment, len(head.sealed))
+	for i := range head.sealed {
+		sealedAt[head.sealed[i].firstSeq] = &head.sealed[i]
+	}
+	present := make(map[uint64]bool, len(segs))
+	var kept []segment
+	activeFound := false
+	for _, seg := range segs {
+		switch {
+		case seg.firstSeq == head.activeFirstSeq:
+			activeFound = true
+			kept = append(kept, seg)
+		case seg.firstSeq > head.activeFirstSeq:
+			// Replicated successor a follower fetched before its head update.
+			kept = append(kept, seg)
+		default:
+			if _, ok := sealedAt[seg.firstSeq]; ok {
+				present[seg.firstSeq] = true
+				kept = append(kept, seg)
+				break
+			}
+			if seg.firstSeq <= head.baseSeq {
+				continue // truncation leftover below the chain base — ignorable
+			}
+			return 0, fmt.Errorf("%w: %s: segment %s is not in the signed head inventory", ErrCorrupt, identity, seg.name)
+		}
+	}
+	for _, s := range head.sealed {
+		if !present[s.firstSeq] {
+			return 0, fmt.Errorf("%w: %s: sealed segment %s (seqs %d..%d) is missing",
+				ErrCorrupt, identity, segmentName(s.firstSeq), s.firstSeq, s.lastSeq)
+		}
+	}
+	if !activeFound {
+		if len(kept) > 0 && kept[len(kept)-1].firstSeq > head.activeFirstSeq {
+			return 0, fmt.Errorf("%w: %s: active segment %s is missing but later segments exist",
+				ErrCorrupt, identity, segmentName(head.activeFirstSeq))
+		}
+		if head.durableSeq > head.activeFirstSeq-1 {
+			return 0, fmt.Errorf("%w: %s: active segment %s is missing and the head proves records durable through seq %d",
+				ErrCorrupt, identity, segmentName(head.activeFirstSeq), head.durableSeq)
+		}
+	}
 	var last uint64
 	// next tracks contiguity ACROSS segments (scanSegment enforces it
-	// within one): a missing middle segment — deleted by hand, lost to a
-	// partial restore — must surface as ErrCorrupt, never as a silent hole
-	// in the replayed history. 0 = no record seen yet.
+	// within one). 0 = no record seen yet; the chain restarts after a skip
+	// (the skipped range is covered by the checkpoint replay starts from).
 	var next uint64
-	for i, seg := range segs {
+	// proven is the highest seq the on-disk segments demonstrably made
+	// durable; a head claiming more has lost data (rolled-back or truncated
+	// active segment). Sealed ranges and SetNextSeq gaps sit below the
+	// active segment's base, and every segment beyond the active one proves
+	// its predecessors were committed in full.
+	proven := head.activeFirstSeq - 1
+	for i, seg := range kept {
+		seg := seg
+		if p := seg.firstSeq - 1; seg.firstSeq > head.activeFirstSeq && p > proven {
+			proven = p
+		}
 		// Skip segments wholly below fromSeq: the next segment's first seq
-		// bounds this one's records. Records in the skipped range are
-		// covered by the checkpoint replay starts from, so the contiguity
-		// chain restarts after a skip.
-		if i+1 < len(segs) && segs[i+1].firstSeq <= fromSeq {
+		// bounds this one's records.
+		if i+1 < len(kept) && kept[i+1].firstSeq <= fromSeq {
 			next = 0
 			continue
 		}
-		final := i == len(segs)-1
-		lastInSeg, _, err := scanSegment(filepath.Join(dir, seg.name), seg.firstSeq, func(seq uint64, values []float64) error {
+		path := filepath.Join(dir, seg.name)
+		entry := sealedAt[seg.firstSeq]
+		final := i == len(kept)-1
+		cs := &chainScan{identity: identity, segFirstSeq: seg.firstSeq}
+		deliver := func(seq uint64, values []float64) error {
 			if next != 0 && seq != next {
 				return fmt.Errorf("%w: %s: records %d..%d missing (segment deleted, or range covered only by a checkpoint?)", ErrCorrupt, seg.name, next, seq-1)
 			}
@@ -752,18 +1215,73 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, values []float64) er
 			}
 			last = seq
 			return nil
-		})
-		if err != nil {
-			var torn *tornError
-			if errors.As(err, &torn) {
-				if final {
-					return last, nil
-				}
-				return last, fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.name, torn.cause)
-			}
-			return last, err
 		}
-		_ = lastInSeg
+		if entry != nil || !final {
+			// Frozen segment — sealed in the head, or followed by a later
+			// segment: it must scan clean and end exactly at a commit frame.
+			lastInSeg, end, serr := scanSegment(path, seg.firstSeq, deliver, cs)
+			if serr != nil {
+				var torn *tornError
+				if errors.As(serr, &torn) {
+					return last, fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.name, torn.cause)
+				}
+				return last, serr
+			}
+			if !cs.sawCommit || cs.lastCommitOff != end {
+				return last, fmt.Errorf("%w: %s: frozen segment is not commit-terminated", ErrCorrupt, seg.name)
+			}
+			if entry != nil && (lastInSeg != entry.lastSeq || cs.sealRoot() != entry.root) {
+				return last, fmt.Errorf("%w: %s: content does not match its sealed head entry", ErrCorrupt, seg.name)
+			}
+			if cs.lastCommitSeq > proven {
+				proven = cs.lastCommitSeq
+			}
+			continue
+		}
+		// Final, unsealed segment (the active one, or a successor a follower
+		// adopted late). Pass 1 verifies structure and finds the last commit;
+		// an unreadable tail is fine ONLY if nothing commit-covered follows it
+		// (fsynced bytes don't tear — damage beyond a commit is tampering).
+		_, end, serr := scanSegment(path, seg.firstSeq, nil, cs)
+		if serr != nil {
+			var torn *tornError
+			if !errors.As(serr, &torn) {
+				return last, serr
+			}
+			raw, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return last, fmt.Errorf("wal: %w", rerr)
+			}
+			if int64(len(raw)) > end && hasCommitBeyond(raw[end:]) {
+				return last, fmt.Errorf("%w: %s: unreadable frame at offset %d with committed records beyond it (segment tampered)",
+					ErrCorrupt, seg.name, end)
+			}
+		}
+		if !cs.sawCommit {
+			continue
+		}
+		if cs.lastCommitSeq > proven {
+			proven = cs.lastCommitSeq
+		}
+		stop := cs.lastCommitSeq
+		_, _, serr = scanSegment(path, seg.firstSeq, func(seq uint64, values []float64) error {
+			if seq > stop {
+				return errStopScan
+			}
+			return deliver(seq, values)
+		}, nil)
+		if serr != nil && !errors.Is(serr, errStopScan) {
+			var torn *tornError
+			if !errors.As(serr, &torn) {
+				return last, serr
+			}
+			// Pass 1 vetted everything up to the commit cut; damage past it
+			// was already cleared as a healable crash tail.
+		}
+	}
+	if head.durableSeq > proven {
+		return last, fmt.Errorf("%w: %s: head proves records durable through seq %d but the segments only prove %d (active segment truncated or substituted)",
+			ErrCorrupt, identity, head.durableSeq, proven)
 	}
 	return last, nil
 }
@@ -780,11 +1298,13 @@ func (e *tornError) Error() string {
 }
 
 // scanSegment reads one segment sequentially, calling fn (when non-nil) for
-// every complete record. It returns the last valid seq (0 if none) and the
-// file offset just past the last valid record. Decode failures are returned
-// as *tornError so callers can distinguish tail damage from mid-log
-// corruption; fn errors abort the scan verbatim.
-func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []float64) error) (uint64, int64, error) {
+// every complete record and feeding cs (when non-nil) every record frame and
+// commit frame — the integrity verification rides the same pass. It returns
+// the last valid record seq (0 if none) and the file offset just past the
+// last valid frame. Decode failures are returned as *tornError so callers
+// can distinguish tail damage from mid-log corruption; fn and cs errors
+// abort the scan verbatim.
+func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []float64) error, cs *chainScan) (uint64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
@@ -797,7 +1317,7 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 		return 0, 0, &tornError{off: 0, cause: fmt.Errorf("short magic: %w", err)}
 	}
 	if string(magic) != segMagic {
-		return 0, 0, fmt.Errorf("wal: %s: bad segment magic %q", filepath.Base(path), magic)
+		return 0, 0, fmt.Errorf("%w: %s: bad segment magic %q", ErrCorrupt, filepath.Base(path), magic)
 	}
 
 	// The segment name's firstSeq is a lower bound, not necessarily the first
@@ -835,6 +1355,20 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 		}
 		seq := binary.LittleEndian.Uint64(buf[0:8])
 		n := binary.LittleEndian.Uint32(buf[8:12])
+		if n&batchCountFlag == 0 && n&commitFlag != 0 {
+			// Commit frame: it validates the records before it and carries no
+			// rows, so it is invisible to fn and to sequence contiguity.
+			if n != commitFlag || payloadLen != commitPayloadLen || lastSeq == 0 || seq != lastSeq {
+				return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("malformed commit frame")}
+			}
+			if cs != nil {
+				if err := cs.onCommit(buf, seq, off+int64(recHeader)+int64(payloadLen)); err != nil {
+					return lastSeq, off, err
+				}
+			}
+			off += int64(recHeader) + int64(payloadLen)
+			continue
+		}
 		// Batch records (bit 31 of the count field) carry rows × width values
 		// for seqs seq..seq+rows-1; plain records are a 1-row batch of width n.
 		width, nrows, base := int(n), 1, 12
@@ -858,6 +1392,9 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, values []floa
 			}
 		} else if seq != wantSeq {
 			return lastSeq, off, &tornError{off: off, cause: fmt.Errorf("sequence jump: got %d, want %d", seq, wantSeq)}
+		}
+		if cs != nil {
+			cs.onRecord(hdr[:], buf)
 		}
 		if fn != nil {
 			if cap(values) < width {

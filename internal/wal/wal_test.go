@@ -187,11 +187,12 @@ func TestTornFinalRecordIsHealed(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+	// Abandon the log WITHOUT Close — a crash. (A clean Close anchors the
+	// durable watermark in the head, after which a shortened segment is
+	// tampering, not a torn tail, and is rejected as ErrCorrupt.)
 
-	// Tear the final record: chop a few bytes off the segment's tail.
+	// Tear the tail: chop a few bytes off the segment, shearing the last
+	// commit frame mid-write.
 	segs, err := listSegments(dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("segments: %v, %v", segs, err)
@@ -644,16 +645,15 @@ func TestTornBatchTailIsHealed(t *testing.T) {
 	if _, err := l.AppendBatch(4, [][]float64{{4}, {5}, {6}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+	// Abandon WITHOUT Close — a crash (see TestTornFinalRecordIsHealed).
 	segs, _ := listSegments(dir)
 	path := filepath.Join(dir, segs[0].name)
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Chop into the batch frame's values: the CRC no longer matches.
+	// Chop into the batch's commit frame: the batch loses its covering
+	// commit and with it the whole (never-acknowledged) batch.
 	if err := os.Truncate(path, fi.Size()-9); err != nil {
 		t.Fatal(err)
 	}
