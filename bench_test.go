@@ -544,6 +544,11 @@ func BenchmarkWALAppendBatch(b *testing.B) { benchcases.WALAppendBatch(b, 64) }
 // BenchmarkWALAppend is the per-row WAL append baseline.
 func BenchmarkWALAppend(b *testing.B) { benchcases.WALAppend(b) }
 
+// BenchmarkShardTick runs the pinned workload through the shard layer
+// (routing, queue handoff, stage clocks, engine tick), bounding the serving
+// overhead over BenchmarkEngineTickRowBaseline.
+func BenchmarkShardTick(b *testing.B) { benchcases.ShardTick(b) }
+
 // BenchmarkEngineTickBatch measures bulk ingest through TickBatch at the
 // default (incremental) configuration.
 func BenchmarkEngineTickBatch(b *testing.B) {

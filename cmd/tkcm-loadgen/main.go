@@ -33,12 +33,14 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tkcm/client"
 	"tkcm/internal/benchfmt"
+	"tkcm/internal/obs"
 )
 
 type options struct {
@@ -80,6 +82,12 @@ type result struct {
 	AckP50Millis float64 `json:"ack_p50_ms"`
 	AckP99Millis float64 `json:"ack_p99_ms"`
 	AckMaxMillis float64 `json:"ack_max_ms"`
+	// Server-side attribution, scraped from the target's /metrics after the
+	// run: p99 of each tick stage and of the server-observed end-to-end ack
+	// latency, in milliseconds. Absent (zero map) when the scrape failed or
+	// the server predates the stage histograms.
+	ServerStageP99Millis map[string]float64 `json:"server_stage_p99_ms,omitempty"`
+	ServerAckP99Millis   float64            `json:"server_ack_p99_ms,omitempty"`
 }
 
 func run(args []string, out *os.File) error {
@@ -229,6 +237,7 @@ func run(args []string, out *os.File) error {
 		Migrations:  migrations.Load(),
 	}
 	res.AckP50Millis, res.AckP99Millis, res.AckMaxMillis = percentiles(latencies)
+	attribution := scrapeStageP99(ctx, c, &res)
 
 	fmt.Fprintf(out, "ticks        %d\n", res.Ticks)
 	fmt.Fprintf(out, "ticks/s      %.0f\n", res.TicksPerSec)
@@ -240,6 +249,9 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "ack p50      %.3f ms\n", res.AckP50Millis)
 	fmt.Fprintf(out, "ack p99      %.3f ms\n", res.AckP99Millis)
 	fmt.Fprintf(out, "ack max      %.3f ms\n", res.AckMaxMillis)
+	if attribution != "" {
+		fmt.Fprintf(out, "server p99   %s\n", attribution)
+	}
 
 	if o.jsonPath != "" {
 		report := benchfmt.NewReport("loadgen", []benchfmt.Record{{Experiment: "loadgen", BatchSize: o.batch, Row: res}})
@@ -350,4 +362,43 @@ func percentiles(lats []int64) (p50, p99, max float64) {
 		return float64(lats[i]) / 1e6
 	}
 	return at(0.50), at(0.99), float64(lats[len(lats)-1]) / 1e6
+}
+
+// scrapeStageP99 pulls the server's /metrics after the run and attributes
+// the observed ack latency to its stages: p99 of each
+// tkcm_tick_stage_seconds stage and of tkcm_ack_seconds, across all shards.
+// It fills res and returns the human-readable attribution line ("" when the
+// scrape failed or the server does not expose the stage histograms —
+// attribution is best-effort and never fails the run).
+func scrapeStageP99(ctx context.Context, c *client.Client, res *result) string {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tkcm-loadgen: scraping /metrics for stage attribution: %v\n", err)
+		return ""
+	}
+	sc, err := obs.ParseProm(text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tkcm-loadgen: parsing /metrics: %v\n", err)
+		return ""
+	}
+	stages := make(map[string]float64)
+	var line strings.Builder
+	for st := 0; st < obs.NumStages; st++ {
+		name := obs.Stage(st).String()
+		p99 := sc.StageQuantile("tkcm_tick_stage_seconds", 0.99, map[string]string{"stage": name})
+		if math.IsNaN(p99) {
+			continue
+		}
+		stages[name] = p99 * 1e3
+		fmt.Fprintf(&line, "%s %.3fms  ", name, p99*1e3)
+	}
+	if len(stages) == 0 {
+		return ""
+	}
+	res.ServerStageP99Millis = stages
+	if e2e := sc.StageQuantile("tkcm_ack_seconds", 0.99, nil); !math.IsNaN(e2e) {
+		res.ServerAckP99Millis = e2e * 1e3
+		fmt.Fprintf(&line, "e2e %.3fms", e2e*1e3)
+	}
+	return strings.TrimRight(line.String(), " ")
 }

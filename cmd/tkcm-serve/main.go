@@ -45,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -87,11 +88,21 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		followInt  = fs.Duration("follow-interval", 2*time.Second, "follower pull period")
 		rebalance  = fs.Duration("rebalance-interval", 0, "load-aware rebalancer period: migrate at most one tenant off the hottest shard per interval (0 = disabled)")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat  = fs.String("log-format", "text", "log output format: text or json")
+		slowTick   = fs.Duration("slow-tick-threshold", 0, "log a structured stage-breakdown trace for every tick whose end-to-end ack latency breaches this (0 = disabled; histograms stay on regardless)")
+		sampleN    = fs.Int("trace-sample", 0, "additionally trace a deterministic 1-in-N sample of all ticks (0 = disabled)")
+		sampleSeed = fs.Uint64("trace-sample-seed", 0, "fixes the trace sampler's phase for reproducible selections")
+		debugAddr  = fs.String("debug-addr", "", "opt-in diagnostics listen address (e.g. 127.0.0.1:6060) serving /debug/pprof/ and /v1/debug/tenants; empty = no debug listener. Bind to loopback: the tree is unauthenticated")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	log := slog.Default()
+	log, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(log)
 
 	key, err := wal.LoadKeyFile(*keyFile)
 	if err != nil {
@@ -130,6 +141,9 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		FollowURL:          *follow,
 		FollowInterval:     *followInt,
 		Log:                log,
+		SlowTickThreshold:  *slowTick,
+		TraceSampleEvery:   *sampleN,
+		TraceSampleSeed:    *sampleSeed,
 	})
 	if *follow != "" {
 		// Follower: no restore and no checkpoint loop until promotion — the
@@ -158,6 +172,23 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		}
 		srv.StartCheckpointLoop()
 		srv.StartRebalancer()
+	}
+
+	// The diagnostics tree (pprof, per-tenant debug listing) lives on its own
+	// listener so it never shares exposure with the public API.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		ds := &http.Server{Handler: srv.DebugHandler()}
+		defer ds.Close()
+		go func() {
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener", "err", err)
+			}
+		}()
+		log.Info("debug listener up", "addr", dln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -199,4 +230,32 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 	ckCtx, cancel2 := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel2()
 	return srv.Shutdown(ckCtx)
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags, with the same keys in both formats so log pipelines can
+// switch formats without re-mapping fields.
+func buildLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
 }

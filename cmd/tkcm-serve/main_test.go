@@ -99,3 +99,110 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("final checkpoint missing: %v", err)
 	}
 }
+
+// TestBuildLogger pins the -log-level / -log-format surface: level
+// filtering, both output formats, and rejection of unknown values.
+func TestBuildLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := buildLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden", "k", 1)
+	log.Warn("shown", "k", 2)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("warn level leaked an info record: %s", out)
+	}
+	if !strings.Contains(out, `"msg":"shown"`) || !strings.Contains(out, `"k":2`) {
+		t.Errorf("json format lost the record: %s", out)
+	}
+
+	buf.Reset()
+	log, err = buildLogger(&buf, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("verbose")
+	if !strings.Contains(buf.String(), "msg=verbose") {
+		t.Errorf("text format lost the debug record: %s", buf.String())
+	}
+
+	if _, err := buildLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if _, err := buildLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}
+
+// TestServeDebugListener boots with -debug-addr and checks the diagnostics
+// tree answers there — and only there: the public port must 404 pprof.
+func TestServeDebugListener(t *testing.T) {
+	// Reserve an ephemeral port for the debug listener, then release it for
+	// run() to bind (the ready callback only reports the public address).
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := probe.Addr().String()
+	probe.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx,
+			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-debug-addr", debugAddr,
+				"-log-format", "json", "-log-level", "warn", "-slow-tick-threshold", "5s"},
+			func(a net.Addr) { addrc <- a },
+		)
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(url string) int {
+		t.Helper()
+		var last error
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(url)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return resp.StatusCode
+			}
+			last = err
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("GET %s: %v", url, last)
+		return 0
+	}
+	debugBase := "http://" + debugAddr
+	if code := get(debugBase + "/v1/debug/tenants"); code != http.StatusOK {
+		t.Errorf("debug tenants: %d", code)
+	}
+	if code := get(debugBase + "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("debug pprof: %d", code)
+	}
+	if code := get(base + "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("public pprof answered %d, must 404", code)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -19,7 +19,7 @@ var (
 	internalPackages = []string{
 		"internal/baseline", "internal/benchfmt", "internal/cd", "internal/core",
 		"internal/dataset", "internal/dtw", "internal/experiments", "internal/fft",
-		"internal/linalg", "internal/muscles", "internal/ring", "internal/server",
+		"internal/linalg", "internal/muscles", "internal/obs", "internal/ring", "internal/server",
 		"internal/shard", "internal/spirit", "internal/stats", "internal/timeseries",
 		"internal/wal", "internal/window",
 	}

@@ -11,12 +11,14 @@
 package benchcases
 
 import (
+	"context"
 	"math"
 	"os"
 	"testing"
 	"time"
 
 	"tkcm"
+	"tkcm/internal/shard"
 	"tkcm/internal/wal"
 )
 
@@ -39,6 +41,7 @@ func Cases() []Case {
 		{Name: "engine-tick-columns-64", Batch: 64, Fn: func(b *testing.B) { EngineTickColumns(b, 64) }},
 		{Name: "wal-append", Batch: 1, Fn: WALAppend},
 		{Name: "wal-append-batch-64", Batch: 64, Fn: func(b *testing.B) { WALAppendBatch(b, 64) }},
+		{Name: "shard-tick", Batch: 1, Fn: ShardTick},
 	}
 }
 
@@ -227,4 +230,38 @@ func WALAppendBatch(b *testing.B, batch int) {
 	}
 	b.StopTimer()
 	done()
+}
+
+// ShardTick measures the full shard-layer tick path — routing lookup,
+// bounded-queue handoff, the shard goroutine's dispatch, and the engine tick
+// — against the EngineTick baseline, so the serving overhead (including the
+// stage clocks added for the latency histograms) is a pinned number rather
+// than a guess. One shard, one tenant, warm window; ns/op is per tick.
+func ShardTick(b *testing.B) {
+	m := shard.New(shard.Options{Shards: 1, QueueLen: 64})
+	defer m.Close()
+	ctx := context.Background()
+	cfg := tkcm.Config{K: 5, PatternLength: 72, D: 3, WindowLength: benchWindow}
+	err := m.Create(ctx, "bench", cfg, []string{"s", "r1", "r2", "r3"}, map[string]tkcm.ReferenceSet{
+		"s": {Stream: "s", Candidates: []string{"r1", "r2", "r3"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float64, benchWidth)
+	var rsp shard.TickResponse
+	for t := 0; t < benchWindow; t++ {
+		fillTick(t, row)
+		if err := m.Tick(ctx, "bench", 0, row, &rsp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillTick(benchWindow+i, row)
+		if err := m.Tick(ctx, "bench", 0, row, &rsp); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// The histogram's bucket geometry: NumBuckets exponential upper bounds,
+// 10µs · 2^i for i = 0..NumBuckets-1 (10µs … ~10.5s), then an implicit
+// +Inf bucket. The smallest bound sits below a warm engine tick and the
+// largest above any group-commit stall worth alerting on, with factor-2
+// resolution in between — enough for p99-by-stage without per-series
+// configuration.
+const (
+	// NumBuckets is the number of finite buckets (a +Inf bucket follows).
+	NumBuckets = 21
+	// bucket0Nanos is the smallest upper bound in nanoseconds (10µs).
+	bucket0Nanos = 10_000
+)
+
+// BucketBounds returns the finite upper bounds in seconds, smallest first.
+func BucketBounds() []float64 {
+	out := make([]float64, NumBuckets)
+	for i := range out {
+		out[i] = float64(int64(bucket0Nanos)<<i) / 1e9
+	}
+	return out
+}
+
+// bucketLabels are the precomputed le="..." label values (shortest float
+// round-tripping representation, matching what a parser reads back).
+var bucketLabels = func() [NumBuckets]string {
+	var out [NumBuckets]string
+	for i, b := range BucketBounds() {
+		out[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket latency histogram with preallocated atomic
+// buckets: Observe is two atomic adds and a bit scan, no allocation, no
+// lock. The zero value is ready to use, so arrays and slices of Histogram
+// need no constructor. Scrape-time readers derive _count from the bucket
+// cumulative sum, so buckets and count can never disagree.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Uint64
+	sum    atomic.Int64 // total observed nanoseconds
+}
+
+// Observe records one latency in nanoseconds (values < 0 clamp to 0).
+func (h *Histogram) Observe(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	h.counts[bucketIndex(nanos)].Add(1)
+	h.sum.Add(nanos)
+}
+
+// bucketIndex maps nanos to its bucket in O(1): the smallest i with
+// nanos <= bucket0Nanos << i, else the +Inf bucket.
+func bucketIndex(nanos int64) int {
+	q := (uint64(nanos) + bucket0Nanos - 1) / bucket0Nanos // ceil(nanos/10µs)
+	if q <= 1 {
+		return 0
+	}
+	i := bits.Len64(q - 1) // smallest i with 2^i >= q
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// WriteProm writes the histogram as Prometheus text-exposition sample lines
+// (no HELP/TYPE header — the caller owns the family header, since several
+// label sets share one family). labels is the rendered label prefix, e.g.
+// `stage="engine",shard="0"`, or empty. _count is the +Inf cumulative by
+// construction.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, bucketLabels[i], cum)
+	}
+	cum += h.counts[NumBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
+}
+
+// Quantile estimates the q-quantile (0..1) in seconds from parallel slices
+// of bucket upper bounds (seconds, +Inf last) and cumulative counts — the
+// same estimate Prometheus's histogram_quantile computes, with linear
+// interpolation inside the landing bucket. Returns NaN when empty.
+func Quantile(q float64, les []float64, cums []uint64) float64 {
+	if len(les) == 0 || len(les) != len(cums) || cums[len(cums)-1] == 0 {
+		return math.NaN()
+	}
+	total := cums[len(cums)-1]
+	rank := q * float64(total)
+	for i, cum := range cums {
+		if float64(cum) < rank {
+			continue
+		}
+		hi := les[i]
+		if math.IsInf(hi, 1) {
+			// The landing bucket is +Inf: report the largest finite bound.
+			if i == 0 {
+				return math.NaN()
+			}
+			return les[i-1]
+		}
+		lo, below := 0.0, uint64(0)
+		if i > 0 {
+			lo, below = les[i-1], cums[i-1]
+		}
+		in := float64(cum - below)
+		if in <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(below))/in
+	}
+	return les[len(les)-1]
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	b := Now()
+	if b <= a {
+		t.Fatalf("Now not monotonic: %d then %d", a, b)
+	}
+	if d := b - a; d < int64(500*time.Microsecond) || d > int64(time.Second) {
+		t.Fatalf("1ms sleep measured as %v", time.Duration(d))
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"decode", "queue", "engine", "wal_commit", "ack"}
+	if NumStages != len(want) {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := Stage(99).String(); got != "unknown" {
+		t.Errorf("out-of-range stage = %q", got)
+	}
+}
+
+// TestSamplerDeterministic pins the 1-in-N contract: same seed, same call
+// count, same selections — and exactly one hit per n consecutive calls.
+func TestSamplerDeterministic(t *testing.T) {
+	record := func(n int, seed uint64, calls int) []bool {
+		s := NewSampler(n, seed)
+		out := make([]bool, calls)
+		for i := range out {
+			out[i] = s.Hit()
+		}
+		return out
+	}
+	a := record(3, 42, 30)
+	b := record(3, 42, 30)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+	}
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("30 calls at 1-in-3: %d hits, want 10", hits)
+	}
+	// Different seeds may select a different phase, but always 1-in-n.
+	c := record(3, 7, 30)
+	hits = 0
+	for _, h := range c {
+		if h {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("seed 7: %d hits, want 10", hits)
+	}
+	var nilSampler *Sampler
+	if nilSampler.Hit() {
+		t.Fatal("nil sampler must never hit")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		nanos int64
+		want  int
+	}{
+		{0, 0}, {1, 0}, {9_999, 0}, {10_000, 0},
+		{10_001, 1}, {20_000, 1}, {20_001, 2}, {40_000, 2},
+		{int64(10_000) << 20, NumBuckets - 1}, // exactly the largest bound
+		{int64(10_000)<<20 + 1, NumBuckets},   // just past it: +Inf
+		{int64(time.Hour), NumBuckets},        // way past: +Inf
+		{-5, 0},                               // clamped by Observe; index of 0
+	}
+	for _, c := range cases {
+		n := c.nanos
+		if n < 0 {
+			n = 0
+		}
+		if got := bucketIndex(n); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.nanos, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndWrite(t *testing.T) {
+	var h Histogram
+	h.Observe(5_000)              // bucket 0 (10µs)
+	h.Observe(15_000)             // bucket 1 (20µs)
+	h.Observe(15_000)             // bucket 1
+	h.Observe(int64(time.Minute)) // +Inf
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	var b strings.Builder
+	h.WriteProm(&b, "x_seconds", `stage="engine",shard="0"`)
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{stage="engine",shard="0",le="1e-05"} 1`,
+		`x_seconds_bucket{stage="engine",shard="0",le="2e-05"} 3`,
+		`x_seconds_bucket{stage="engine",shard="0",le="+Inf"} 4`,
+		`x_seconds_count{stage="engine",shard="0"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// _sum in seconds: 5µs + 15µs + 15µs + 60s.
+	sc, err := ParseProm(out)
+	if err != nil {
+		t.Fatalf("parsing own exposition: %v", err)
+	}
+	for _, sm := range sc.Samples {
+		if sm.Name == "x_seconds_sum" {
+			if want := 60.000035; math.Abs(sm.Value-want) > 1e-9 {
+				t.Errorf("sum = %v, want %v", sm.Value, want)
+			}
+		}
+	}
+}
+
+// TestHistogramCumulativeMonotone checks bucket cumulativity across every
+// bound for a spread of observations.
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i < 60; i++ {
+		h.Observe(i * i * 997)
+	}
+	var b strings.Builder
+	h.WriteProm(&b, "y", "")
+	sc, err := ParseProm(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	seen := 0
+	for _, sm := range sc.Samples {
+		if sm.Name != "y_bucket" {
+			continue
+		}
+		seen++
+		if uint64(sm.Value) < prev {
+			t.Fatalf("cumulative decreased at le=%s", sm.LabelMap["le"])
+		}
+		prev = uint64(sm.Value)
+	}
+	if seen != NumBuckets+1 {
+		t.Fatalf("emitted %d buckets, want %d", seen, NumBuckets+1)
+	}
+	if prev != 59 {
+		t.Fatalf("+Inf cumulative = %d, want 59", prev)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	les := []float64{0.001, 0.002, 0.004, math.Inf(1)}
+	cums := []uint64{10, 90, 100, 100}
+	p50 := Quantile(0.5, les, cums)
+	// rank 50 lands in (0.001, 0.002] holding counts 10..90.
+	want := 0.001 + 0.001*(50-10)/80
+	if math.Abs(p50-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", p50, want)
+	}
+	if !math.IsNaN(Quantile(0.5, nil, nil)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+	// Everything in +Inf: degrade to the largest finite bound.
+	if got := Quantile(0.99, les, []uint64{0, 0, 0, 7}); got != 0.004 {
+		t.Fatalf("all-inf quantile = %v, want 0.004", got)
+	}
+}
+
+// TestHotPathAllocations pins the instrumentation primitives at zero
+// allocations — the hard constraint that lets timestamps stay always-on in
+// the tick hot path.
+func TestHotPathAllocations(t *testing.T) {
+	var h Histogram
+	s := NewSampler(16, 3)
+	if n := testing.AllocsPerRun(1000, func() { _ = Now() }); n != 0 {
+		t.Errorf("Now allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _ = s.Hit() }); n != 0 {
+		t.Errorf("Sampler.Hit allocates %v per call", n)
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	c := NewRuntimeCollector()
+	var b strings.Builder
+	c.WriteProm(&b)
+	out := b.String()
+	sc, err := ParseProm(out)
+	if err != nil {
+		t.Fatalf("runtime exposition does not parse: %v\n%s", err, out)
+	}
+	// Goroutines and heap bytes exist on every supported toolchain.
+	found := map[string]bool{}
+	for _, sm := range sc.Samples {
+		found[sm.Name] = true
+	}
+	for _, want := range []string{"tkcm_go_goroutines", "tkcm_go_heap_objects_bytes", "tkcm_go_gc_cycles_total"} {
+		if !found[want] {
+			t.Errorf("runtime telemetry missing %s:\n%s", want, out)
+		}
+		if sc.Help[want] == "" || sc.Type[want] == "" {
+			t.Errorf("%s missing HELP/TYPE", want)
+		}
+	}
+	// Histogram families, when supported, must be internally consistent.
+	for _, fam := range []string{"tkcm_go_gc_pause_seconds", "tkcm_go_sched_latency_seconds"} {
+		if !found[fam+"_count"] {
+			continue // toolchain without the source metric
+		}
+		var inf, count float64
+		hasInf := false
+		for _, sm := range sc.Samples {
+			if sm.Name == fam+"_bucket" && sm.LabelMap["le"] == "+Inf" {
+				inf, hasInf = sm.Value, true
+			}
+			if sm.Name == fam+"_count" {
+				count = sm.Value
+			}
+		}
+		if !hasInf || inf != count {
+			t.Errorf("%s: +Inf bucket %v != count %v (hasInf=%v)", fam, inf, count, hasInf)
+		}
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	if _, err := ParseProm("metric_without_value\n"); err == nil {
+		t.Error("want error for value-less line")
+	}
+	if _, err := ParseProm("m{a=\"unterminated} 1\n"); err == nil {
+		t.Error("want error for unterminated label value")
+	}
+	sc, err := ParseProm("# random comment\nm{a=\"x\",b=\"y\"} 4.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Samples) != 1 || sc.Samples[0].Labels != `a="x",b="y"` || sc.Samples[0].Value != 4.5 {
+		t.Fatalf("parsed %+v", sc.Samples)
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	if f, h := FamilyOf("x_seconds_bucket"); f != "x_seconds" || !h {
+		t.Errorf("FamilyOf bucket = %q,%v", f, h)
+	}
+	if f, h := FamilyOf("x_total"); f != "x_total" || h {
+		t.Errorf("FamilyOf counter = %q,%v", f, h)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strconv"
+)
+
+// runtimeSeries maps one runtime/metrics sample onto a Prometheus family.
+// Histogram-kind samples render as _bucket/_sum/_count; numeric kinds as a
+// single sample line.
+type runtimeSeries struct {
+	src   string // runtime/metrics name
+	name  string // exposed family name
+	typ   string // "gauge", "counter", or "histogram"
+	help  string
+	scale float64 // multiplier for numeric kinds (0 = 1)
+}
+
+// runtimeCatalog is the fixed telemetry set exposed on /metrics. Names the
+// running toolchain does not support are skipped at sample time (KindBad),
+// so the set can include newer metrics without breaking older toolchains.
+var runtimeCatalog = []runtimeSeries{
+	{src: "/sched/goroutines:goroutines", name: "tkcm_go_goroutines", typ: "gauge",
+		help: "Live goroutines."},
+	{src: "/memory/classes/heap/objects:bytes", name: "tkcm_go_heap_objects_bytes", typ: "gauge",
+		help: "Bytes of live heap objects plus dead objects not yet swept."},
+	{src: "/memory/classes/total:bytes", name: "tkcm_go_memory_total_bytes", typ: "gauge",
+		help: "All memory mapped by the Go runtime."},
+	{src: "/gc/cycles/total:gc-cycles", name: "tkcm_go_gc_cycles_total", typ: "counter",
+		help: "Completed garbage-collection cycles."},
+	{src: "/sched/pauses/total/gc:seconds", name: "tkcm_go_gc_pause_seconds", typ: "histogram",
+		help: "Distribution of individual stop-the-world GC pause latencies (approximate _sum: bucket midpoints)."},
+	{src: "/sched/latencies:seconds", name: "tkcm_go_sched_latency_seconds", typ: "histogram",
+		help: "Distribution of time goroutines spent runnable before running (approximate _sum: bucket midpoints)."},
+}
+
+// RuntimeCollector samples Go runtime telemetry (runtime/metrics) and
+// renders it as Prometheus families. One instance is reused across scrapes;
+// the sample slice is allocated once.
+type RuntimeCollector struct {
+	samples []metrics.Sample
+}
+
+// NewRuntimeCollector prepares the sample set for the fixed catalog.
+func NewRuntimeCollector() *RuntimeCollector {
+	c := &RuntimeCollector{samples: make([]metrics.Sample, len(runtimeCatalog))}
+	for i, rs := range runtimeCatalog {
+		c.samples[i].Name = rs.src
+	}
+	return c
+}
+
+// WriteProm samples the runtime and writes every supported family, headers
+// included. Metrics the toolchain does not know are silently skipped.
+func (c *RuntimeCollector) WriteProm(w io.Writer) {
+	metrics.Read(c.samples)
+	for i, rs := range runtimeCatalog {
+		v := c.samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", rs.name, rs.help, rs.name, rs.typ, rs.name, v.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", rs.name, rs.help, rs.name, rs.typ, rs.name, v.Float64())
+		case metrics.KindFloat64Histogram:
+			writeRuntimeHistogram(w, rs, v.Float64Histogram())
+		default:
+			// KindBad: unsupported on this toolchain — skip the family.
+		}
+	}
+}
+
+// writeRuntimeHistogram converts a runtime Float64Histogram into Prometheus
+// text form: cumulative buckets at the runtime's own upper bounds (zero-count
+// buckets elided to bound series cardinality — the cumulative stays
+// monotonic), a final +Inf bucket, and a _count derived from the cumulative.
+// The runtime does not track a sum, so _sum is approximated from bucket
+// midpoints; the HELP string says so.
+func writeRuntimeHistogram(w io.Writer, rs runtimeSeries, h *metrics.Float64Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", rs.name, rs.help, rs.name)
+	cum := uint64(0)
+	sum := 0.0
+	for i, n := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if n > 0 {
+			cum += n
+			sum += float64(n) * bucketMid(lo, hi)
+			if !math.IsInf(hi, 1) {
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", rs.name, strconv.FormatFloat(hi, 'g', -1, 64), cum)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", rs.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", rs.name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", rs.name, cum)
+}
+
+// bucketMid is the representative value of a runtime bucket for the
+// approximate sum: the midpoint, degrading to the finite edge when the
+// other edge is infinite.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// debugTenant is one row of GET /v1/debug/tenants: the tenant's placement
+// and ingest counters plus the end-to-end latency of its most recent ack.
+type debugTenant struct {
+	ID          string `json:"id"`
+	Shard       int    `json:"shard"`
+	Ticks       int    `json:"ticks"`
+	Seq         uint64 `json:"seq"`
+	Imputations int    `json:"imputations"`
+	// LastAckSeconds is the wire-decode-to-ack latency of the tenant's most
+	// recent acked tick line, 0 until the tenant has been ticked through
+	// this process.
+	LastAckSeconds float64 `json:"last_ack_seconds"`
+}
+
+// DebugHandler returns the diagnostics handler tree meant for a loopback
+// listener (cmd/tkcm-serve's -debug-addr): net/http/pprof under
+// /debug/pprof/ and the per-tenant introspection endpoint. It is a separate
+// tree from Handler on purpose — the public mux never exposes profiling,
+// and the route-manifest test asserts these routes only through
+// DebugRoutes.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/debug/tenants", s.handleDebugTenants)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugRoutes returns the route manifest of DebugHandler, the ground truth
+// docs/API.md's debug section is tested against (pprof's sub-pages are
+// covered by the one prefix route).
+func (s *Server) DebugRoutes() []string {
+	return []string{
+		"GET /v1/debug/tenants",
+		"GET /debug/pprof/",
+	}
+}
+
+// handleDebugTenants lists every hosted tenant with its shard, counters and
+// last ack latency. Degrades to 503 alongside /healthz and /metrics when a
+// tenant WAL has latched fail-stop, but still writes the listing — the
+// whole point of the endpoint is triage.
+func (s *Server) handleDebugTenants(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.m.Tenants(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing tenants: %v", err)
+		return
+	}
+	out := make([]debugTenant, 0, len(infos))
+	for _, info := range infos {
+		dt := debugTenant{
+			ID:          info.ID,
+			Shard:       info.Shard,
+			Ticks:       info.Ticks,
+			Seq:         info.Seq,
+			Imputations: info.Imputations,
+		}
+		if cell, ok := s.lastAck.Load(info.ID); ok {
+			dt.LastAckSeconds = time.Duration(cell.(*atomic.Int64).Load()).Seconds()
+		}
+		out = append(out, dt)
+	}
+	status := http.StatusOK
+	if failed := s.failedWALTenants(); len(failed) > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"tenants": out})
+}

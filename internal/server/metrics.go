@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"tkcm/internal/obs"
+)
+
+// handleMetrics serves the Prometheus text exposition: the service counters
+// (writeCoreMetrics), the per-shard per-stage tick latency histograms, the
+// end-to-end ack histogram, the trace-line counter, and the Go runtime
+// telemetry. When any tenant WAL has latched fail-stop the endpoint answers
+// 503 — consistent with /healthz and /v1/debug/tenants — but still writes
+// the full body, so a scraper sees the degradation *and* the counters that
+// explain it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if len(s.failedWALTenants()) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	s.writeCoreMetrics(w)
+	s.writeStageMetrics(w)
+	s.rt.WriteProm(w)
+}
+
+// writeStageMetrics emits the stage-latency surface: one family header per
+// metric, then the per-shard (and per-stage) histogram series with their
+// prerendered labels. Reading the atomic buckets races benignly with
+// concurrent Observes; each emitted bucket line is still internally
+// consistent because _count derives from the same cumulative walk.
+func (s *Server) writeStageMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP tkcm_tick_stage_seconds Per-stage tick latency (decode, queue, engine, wal_commit, ack), by shard.\n# TYPE tkcm_tick_stage_seconds histogram\n")
+	for i := range s.latency {
+		sl := &s.latency[i]
+		for st := 0; st < obs.NumStages; st++ {
+			sl.stages[st].WriteProm(w, "tkcm_tick_stage_seconds", sl.stageLabels[st])
+		}
+	}
+	fmt.Fprintf(w, "# HELP tkcm_ack_seconds End-to-end tick latency, wire decode to ack write, by shard.\n# TYPE tkcm_ack_seconds histogram\n")
+	for i := range s.latency {
+		sl := &s.latency[i]
+		sl.ack.WriteProm(w, "tkcm_ack_seconds", sl.ackLabel)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_trace_lines_total Slow-tick and sampled trace lines logged.\n# TYPE tkcm_trace_lines_total counter\ntkcm_trace_lines_total %d\n", s.traceLines.Load())
+}
+
+// writeCoreMetrics writes the pre-instrumentation service metrics: tenant,
+// shard, ingest, checkpoint, WAL, and replication counters.
+func (s *Server) writeCoreMetrics(w io.Writer) {
+	stats := s.m.Stats()
+	var tenants int64
+	var ticks, imputations, backpressure, processed uint64
+	for _, st := range stats {
+		tenants += st.Tenants
+		ticks += st.Ticks
+		imputations += st.Imputations
+		backpressure += st.Backpressure
+		processed += st.Processed
+	}
+	fmt.Fprintf(w, "# HELP tkcm_tenants Hosted tenant engines.\n# TYPE tkcm_tenants gauge\ntkcm_tenants %d\n", tenants)
+	fmt.Fprintf(w, "# HELP tkcm_shards Engine shards.\n# TYPE tkcm_shards gauge\ntkcm_shards %d\n", len(stats))
+	fmt.Fprintf(w, "# HELP tkcm_ticks_total Rows ingested across all tenants.\n# TYPE tkcm_ticks_total counter\ntkcm_ticks_total %d\n", ticks)
+	fmt.Fprintf(w, "# HELP tkcm_imputations_total Missing values imputed.\n# TYPE tkcm_imputations_total counter\ntkcm_imputations_total %d\n", imputations)
+	fmt.Fprintf(w, "# HELP tkcm_shard_requests_total Requests processed per shard.\n# TYPE tkcm_shard_requests_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_requests_total{shard=\"%d\"} %d\n", st.Shard, st.Processed)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_queue_depth Instantaneous queued requests per shard.\n# TYPE tkcm_shard_queue_depth gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_queue_depth{shard=\"%d\"} %d\n", st.Shard, st.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_backpressure_total Submissions that found a full shard queue.\n# TYPE tkcm_shard_backpressure_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tkcm_shard_backpressure_total{shard=\"%d\"} %d\n", st.Shard, st.Backpressure)
+	}
+	fmt.Fprintf(w, "# HELP tkcm_shard_migrations_total Completed live tenant migrations.\n# TYPE tkcm_shard_migrations_total counter\ntkcm_shard_migrations_total %d\n", s.m.Migrations())
+	fmt.Fprintf(w, "# HELP tkcm_shard_imbalance Hottest shard's tick rate over the mean, last rebalance sample (1 = balanced, 0 = no sample).\n# TYPE tkcm_shard_imbalance gauge\ntkcm_shard_imbalance %g\n", s.imbalanceValue())
+	fmt.Fprintf(w, "# HELP tkcm_http_requests_total HTTP requests served.\n# TYPE tkcm_http_requests_total counter\ntkcm_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
+	fmt.Fprintf(w, "# HELP tkcm_ticks_batched_total Tick rows that arrived on batched lines.\n# TYPE tkcm_ticks_batched_total counter\ntkcm_ticks_batched_total %d\n", s.batchedRows.Load())
+	fmt.Fprintf(w, "# HELP tkcm_tick_batch_size Rows per batched tick line.\n# TYPE tkcm_tick_batch_size histogram\n")
+	cum := uint64(0)
+	for i, le := range batchSizeBuckets {
+		cum += s.batchBuckets[i].Load()
+		fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	cum += s.batchBuckets[len(batchSizeBuckets)].Load()
+	fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "tkcm_tick_batch_size_sum %d\n", s.batchSum.Load())
+	fmt.Fprintf(w, "tkcm_tick_batch_size_count %d\n", s.batchCount.Load())
+	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
+	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		fmt.Fprintf(w, "# HELP tkcm_wal_appends_total Tick records appended to write-ahead logs.\n# TYPE tkcm_wal_appends_total counter\ntkcm_wal_appends_total %d\n", ws.Appends)
+		fmt.Fprintf(w, "# HELP tkcm_wal_syncs_total WAL group commits (fsync batches) completed.\n# TYPE tkcm_wal_syncs_total counter\ntkcm_wal_syncs_total %d\n", ws.Syncs)
+		fmt.Fprintf(w, "# HELP tkcm_wal_sync_errors_total WAL fsyncs that failed (their batch was never acked).\n# TYPE tkcm_wal_sync_errors_total counter\ntkcm_wal_sync_errors_total %d\n", ws.SyncErrors)
+		fmt.Fprintf(w, "# HELP tkcm_wal_bytes_total WAL bytes written, framing included.\n# TYPE tkcm_wal_bytes_total counter\ntkcm_wal_bytes_total %d\n", ws.Bytes)
+		fmt.Fprintf(w, "# HELP tkcm_wal_truncations_total WAL segment files reclaimed after checkpoints.\n# TYPE tkcm_wal_truncations_total counter\ntkcm_wal_truncations_total %d\n", ws.Truncations)
+		fmt.Fprintf(w, "# HELP tkcm_wal_open_logs Tenants with an open write-ahead log.\n# TYPE tkcm_wal_open_logs gauge\ntkcm_wal_open_logs %d\n", ws.OpenLogs)
+		fmt.Fprintf(w, "# HELP tkcm_wal_failed_logs Tenants whose write-ahead log has fail-stopped (appends refused, acks withheld).\n# TYPE tkcm_wal_failed_logs gauge\ntkcm_wal_failed_logs %d\n", len(s.wal.FailedTenants()))
+	}
+	if s.follower {
+		fmt.Fprintf(w, "# HELP tkcm_repl_lag_seconds Age of the last fully-applied replication manifest.\n# TYPE tkcm_repl_lag_seconds gauge\ntkcm_repl_lag_seconds %g\n", s.replLagSeconds())
+		fmt.Fprintf(w, "# HELP tkcm_repl_rounds_total Replication rounds completed.\n# TYPE tkcm_repl_rounds_total counter\ntkcm_repl_rounds_total %d\n", s.replRounds.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_errors_total Replication rounds or tenant syncs that failed.\n# TYPE tkcm_repl_errors_total counter\ntkcm_repl_errors_total %d\n", s.replErrors.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_segments_total Segment fetches applied (verified deltas).\n# TYPE tkcm_repl_segments_total counter\ntkcm_repl_segments_total %d\n", s.replSegmentsCtr.Load())
+		fmt.Fprintf(w, "# HELP tkcm_repl_bytes_total WAL bytes fetched and verified from the primary.\n# TYPE tkcm_repl_bytes_total counter\ntkcm_repl_bytes_total %d\n", s.replBytesCtr.Load())
+		promoted := 0
+		if s.promoted.Load() {
+			promoted = 1
+		}
+		fmt.Fprintf(w, "# HELP tkcm_repl_promoted Whether this follower has been promoted to primary.\n# TYPE tkcm_repl_promoted gauge\ntkcm_repl_promoted %d\n", promoted)
+	}
+}

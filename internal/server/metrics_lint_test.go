@@ -1,0 +1,187 @@
+package server
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tkcm/internal/obs"
+	"tkcm/internal/wal"
+)
+
+// TestMetricsExpositionConformance scrapes a live, fully-exercised server
+// and lints the whole exposition: every family carries HELP and TYPE, every
+// histogram's buckets are cumulative-monotonic and end in +Inf, and each
+// series' _count equals its +Inf cumulative. This covers the core counters,
+// the per-shard stage histograms, and the runtime telemetry in one pass.
+func TestMetricsExpositionConformance(t *testing.T) {
+	walOpts := wal.Options{SyncInterval: time.Millisecond}
+	s, _, _ := newWALServer(t, t.TempDir(), t.TempDir(), walOpts)
+	ts := newHTTPServer(t, s)
+
+	for _, id := range []string{"lint-a", "lint-b"} {
+		if resp := createTenant(t, ts.URL, id, testTenantBody); resp.StatusCode != 201 {
+			t.Fatalf("create %s: %d", id, resp.StatusCode)
+		}
+	}
+	// Exercise both the single-row and the batched decode paths so the
+	// stage histograms and the batch-size histogram hold real counts.
+	st := openTickStream(t, ts.URL, "lint-a")
+	for i := 0; i < 5; i++ {
+		if _, err := st.send(e2eRow(i, 0)); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	st.close()
+	bst := openTickStream(t, ts.URL, "lint-b")
+	if _, err := bst.sendBatch(1, [][]float64{e2eRow(0, 1), e2eRow(1, 1), e2eRow(2, 1)}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	bst.close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obs.ParseProm(string(raw))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if len(sc.Samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// Every sample's family must be announced with HELP and TYPE.
+	for _, sm := range sc.Samples {
+		fam, _ := obs.FamilyOf(sm.Name)
+		if sc.Help[fam] == "" {
+			t.Errorf("family %s (sample %s) has no # HELP", fam, sm.Name)
+		}
+		if sc.Type[fam] == "" {
+			t.Errorf("family %s (sample %s) has no # TYPE", fam, sm.Name)
+		}
+	}
+
+	// Histogram lint: group _bucket samples by family + labels-minus-le, in
+	// exposition order.
+	type group struct {
+		les  []string
+		cums []float64
+	}
+	groups := map[string]*group{}
+	counts := map[string]float64{}
+	sums := map[string]bool{}
+	seriesKey := func(name string, labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(name)
+		for _, k := range keys {
+			b.WriteString("|" + k + "=" + labels[k])
+		}
+		return b.String()
+	}
+	for _, sm := range sc.Samples {
+		fam, hist := obs.FamilyOf(sm.Name)
+		if !hist {
+			continue
+		}
+		if sc.Type[fam] != "histogram" {
+			t.Errorf("%s has histogram suffixes but TYPE %q", fam, sc.Type[fam])
+			continue
+		}
+		key := seriesKey(fam, sm.LabelMap)
+		switch {
+		case strings.HasSuffix(sm.Name, "_bucket"):
+			g := groups[key]
+			if g == nil {
+				g = &group{}
+				groups[key] = g
+			}
+			g.les = append(g.les, sm.LabelMap["le"])
+			g.cums = append(g.cums, sm.Value)
+		case strings.HasSuffix(sm.Name, "_count"):
+			counts[key] = sm.Value
+		case strings.HasSuffix(sm.Name, "_sum"):
+			sums[key] = true
+			if sm.Value < 0 {
+				t.Errorf("%s _sum negative: %v", key, sm.Value)
+			}
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no histogram series found")
+	}
+	for key, g := range groups {
+		last := len(g.les) - 1
+		if g.les[last] != "+Inf" {
+			t.Errorf("%s: last bucket le=%q, want +Inf", key, g.les[last])
+		}
+		prev := math.Inf(-1)
+		for i, cum := range g.cums {
+			if cum < prev {
+				t.Errorf("%s: cumulative decreased at le=%s (%v after %v)", key, g.les[i], cum, prev)
+			}
+			prev = cum
+		}
+		if c, ok := counts[key]; !ok || c != g.cums[last] {
+			t.Errorf("%s: _count %v != +Inf cumulative %v (present=%v)", key, c, g.cums[last], ok)
+		}
+		if !sums[key] {
+			t.Errorf("%s: missing _sum", key)
+		}
+	}
+
+	// The families this PR exists for must be present with live counts:
+	// every stage on every shard (zero-count series still expose their
+	// buckets), the end-to-end family, and the runtime telemetry.
+	names := map[string]bool{}
+	for _, sm := range sc.Samples {
+		names[sm.Name] = true
+	}
+	for _, want := range []string{"tkcm_tick_stage_seconds_bucket", "tkcm_ack_seconds_bucket", "tkcm_trace_lines_total", "tkcm_go_goroutines", "tkcm_wal_appends_total"} {
+		if !names[want] {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	stageSeen := map[string]bool{}
+	var ackTotal float64
+	for _, sm := range sc.Samples {
+		if sm.Name == "tkcm_tick_stage_seconds_bucket" {
+			stageSeen[sm.LabelMap["stage"]] = true
+		}
+		if sm.Name == "tkcm_ack_seconds_count" {
+			ackTotal += sm.Value
+		}
+	}
+	for st := 0; st < obs.NumStages; st++ {
+		if !stageSeen[obs.Stage(st).String()] {
+			t.Errorf("no tkcm_tick_stage_seconds series for stage %q", obs.Stage(st))
+		}
+	}
+	// 5 single rows + 1 batched line = 6 observed tick lines, all acked
+	// before their streams closed; the observations land shortly after.
+	if ackTotal < 1 {
+		t.Errorf("tkcm_ack_seconds recorded %v lines, want ≥ 1", ackTotal)
+	}
+}

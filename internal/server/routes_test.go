@@ -22,7 +22,10 @@ func TestAPIDocsCoverEveryRoute(t *testing.T) {
 		t.Fatalf("docs/API.md must exist and document the full API: %v", err)
 	}
 	doc := string(raw)
-	routes := s.Routes()
+	// The manifest is the union of the public tree and the opt-in debug
+	// tree: both must be documented, and nothing else may claim to be a
+	// route.
+	routes := append(s.Routes(), s.DebugRoutes()...)
 	if len(routes) == 0 {
 		t.Fatal("server registered no routes")
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tkcm/internal/core"
+	"tkcm/internal/obs"
 	"tkcm/internal/shard"
 	"tkcm/internal/wal"
 	"tkcm/internal/wire"
@@ -58,6 +59,18 @@ type Options struct {
 	FollowInterval time.Duration
 	// Log receives request and checkpoint events (default slog.Default()).
 	Log *slog.Logger
+	// SlowTickThreshold, when positive, logs one structured trace line (full
+	// stage breakdown: decode, queue, engine, wal_commit, ack) for every tick
+	// line whose end-to-end ack latency breaches it. Zero disables slow-tick
+	// logging. The stage histograms are always on regardless.
+	SlowTickThreshold time.Duration
+	// TraceSampleEvery, when positive, additionally traces a deterministic
+	// 1-in-N sample of all tick lines (N = this value), independent of the
+	// threshold. Zero disables sampling.
+	TraceSampleEvery int
+	// TraceSampleSeed fixes the sampler's phase, making the selection
+	// reproducible across runs with the same tick count.
+	TraceSampleSeed uint64
 }
 
 // Server is the HTTP face of the sharded imputation service. Create with
@@ -133,6 +146,28 @@ type Server struct {
 	// local change detection (follower side), keyed by checkpoint file name.
 	ckHashMu sync.Mutex
 	ckHashes map[string]ckHashEntry
+
+	// Stage-latency instrumentation: one fixed set of zero-allocation
+	// histograms per shard (allocated once in New; Observe is atomics only),
+	// the Go runtime telemetry sampler, and the slow/sampled trace recorder.
+	// lastAck maps tenant id → *atomic.Int64 end-to-end nanos of the
+	// tenant's most recent ack (surfaced by /v1/debug/tenants).
+	latency    []shardLatency
+	rt         *obs.RuntimeCollector
+	sampler    *obs.Sampler
+	slowNanos  int64
+	traceLines atomic.Uint64
+	lastAck    sync.Map
+}
+
+// shardLatency is one shard's latency surface: a histogram per tick stage
+// plus the end-to-end ack histogram, with the Prometheus label strings
+// prerendered so the scrape path never rebuilds them.
+type shardLatency struct {
+	stages      [obs.NumStages]obs.Histogram
+	ack         obs.Histogram
+	stageLabels [obs.NumStages]string
+	ackLabel    string
 }
 
 // batchSizeBuckets are the upper bounds of the rows-per-batch histogram on
@@ -193,6 +228,19 @@ func New(opts Options) *Server {
 		replicas:    make(map[string]*wal.Replica),
 		stopFollow:  make(chan struct{}),
 		ckHashes:    make(map[string]ckHashEntry),
+		rt:          obs.NewRuntimeCollector(),
+		slowNanos:   opts.SlowTickThreshold.Nanoseconds(),
+	}
+	if opts.TraceSampleEvery > 0 {
+		s.sampler = obs.NewSampler(opts.TraceSampleEvery, opts.TraceSampleSeed)
+	}
+	s.latency = make([]shardLatency, opts.Manager.Shards())
+	for i := range s.latency {
+		sl := &s.latency[i]
+		for st := 0; st < obs.NumStages; st++ {
+			sl.stageLabels[st] = fmt.Sprintf("stage=%q,shard=\"%d\"", obs.Stage(st).String(), i)
+		}
+		sl.ackLabel = fmt.Sprintf("shard=\"%d\"", i)
 	}
 	if s.wal != nil && s.dir == "" {
 		panic("server: Options.WAL requires Options.CheckpointDir (the log replays on top of checkpoints)")
@@ -304,14 +352,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status, code = "follower", http.StatusServiceUnavailable
 		body["primary"] = s.followURL
 		body["replication_lag_seconds"] = s.replLagSeconds()
-	} else if s.wal != nil {
-		if failed := s.wal.FailedTenants(); len(failed) > 0 {
-			status, code = "degraded", http.StatusServiceUnavailable
-			body["failed_wal_tenants"] = failed
-		}
+	} else if failed := s.failedWALTenants(); len(failed) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+		body["failed_wal_tenants"] = failed
 	}
 	body["status"] = status
 	writeJSON(w, code, body)
+}
+
+// failedWALTenants lists the tenants whose write-ahead log has latched
+// fail-stopped (nil without a WAL). Non-empty means the data plane is
+// degraded: /healthz, /metrics, and /v1/debug/tenants all answer 503 so
+// every consumer — health checker, scraper, dashboard — sees the same world.
+func (s *Server) failedWALTenants() []string {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.FailedTenants()
 }
 
 // replLagSeconds is time since the last fully-applied manifest was generated
@@ -495,6 +552,7 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 			"tenant %q deleted, but removing its checkpoint failed (it would resurrect on restart): %v", id, err)
 		return
 	}
+	s.lastAck.Delete(id)
 	s.log.Info("tenant deleted", "tenant", id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
@@ -539,6 +597,18 @@ type ackMsg struct {
 	errText string // terminal NDJSON error when non-empty
 	status  int    // HTTP status for the error if nothing streamed yet
 	retry   bool   // the client should reconnect and replay
+
+	// Stage-clock payload, observed by the writer once per input line. A
+	// batch line carries it on its LAST row only (the row whose ack
+	// completes the line): batchN > 0 marks that row and holds the line's
+	// row count; the other rows of the batch leave batchN 0.
+	t0          int64 // obs.Now at line receipt
+	decNanos    int64 // NDJSON decode
+	queueNanos  int64 // shard-queue wait (shard.TickResponse.QueueNanos)
+	engineNanos int64 // engine compute
+	appliedAt   int64 // shard op completion; anchors the wal_commit wait
+	shard       int   // histogram attribution
+	batchN      int
 }
 
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
@@ -566,6 +636,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	acks := make(chan *ackMsg, tickInFlight)
 	free := make(chan *ackMsg, tickInFlight)
 	writerGone := make(chan struct{})
+	ackCell := s.ackCell(id)
 	go func() {
 		defer close(writerGone)
 		enc := json.NewEncoder(w)
@@ -585,13 +656,30 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 				if !streamed {
 					// Keep the retry marker even pre-stream: a durability
 					// hiccup on the first row is as recoverable as on any
-					// later one, and the client replays on it.
+					// later one, and the client replays on it. Flush
+					// explicitly — the handler goroutine is still blocked
+					// reading the request body (full duplex), so nothing
+					// else pushes the buffered response out until the
+					// client gives up.
 					writeJSON(w, msg.status, apiError{Error: msg.errText, Retry: msg.retry})
+					rc.Flush()
 				} else {
 					enc.Encode(apiError{Error: msg.errText, Retry: msg.retry})
 					rc.Flush()
 				}
 				return
+			}
+			// The durability wait ends here; what follows is the ack write.
+			// Under pipelining the measured wal_commit also absorbs time the
+			// ack spent queued behind its predecessors — time the client
+			// experienced waiting for durability, so the attribution holds.
+			var walNanos, ackStart int64
+			if msg.batchN > 0 {
+				now := obs.Now()
+				if walNanos = now - msg.appliedAt; walNanos < 0 {
+					walNanos = 0
+				}
+				ackStart = now
 			}
 			if !streamed {
 				streamed = true
@@ -615,6 +703,9 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 			// coalesce into one write.
 			if len(acks) == 0 {
 				rc.Flush()
+			}
+			if msg.batchN > 0 {
+				s.observeTick(id, msg, walNanos, ackStart, ackCell)
 			}
 			select {
 			case free <- msg:
@@ -660,6 +751,7 @@ reading:
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
+		t0 := obs.Now()
 		// Hot path: the strict single-pass parser handles the plain shapes
 		// the client emits, reusing in's scratch with zero allocations.
 		// Anything unusual — escapes, unknown keys, malformed numbers —
@@ -697,6 +789,8 @@ reading:
 				in.Rows = append(in.Rows, dst)
 			}
 		}
+		decNanos := obs.Now() - t0
+		shardIdx := s.m.ShardOf(id)
 		// A drain (graceful shutdown) terminates the stream before the next
 		// row is applied, so every row acked below is covered by the final
 		// checkpoint; the client replays from its last acked tick.
@@ -735,6 +829,19 @@ reading:
 				msg.out.Duplicate = res.Duplicate
 				msg.out.Values = append(msg.out.Values[:0], res.Row...)
 				msg.out.Imputed = append(msg.out.Imputed[:0], res.Imputed...)
+				// The batch's last row carries the line's stage clocks: its
+				// ack completes the line, so the end-to-end measurement ends
+				// with it.
+				msg.batchN = 0
+				if i == len(brsp.Rows)-1 {
+					msg.t0 = t0
+					msg.decNanos = decNanos
+					msg.queueNanos = brsp.QueueNanos
+					msg.engineNanos = brsp.EngineNanos
+					msg.appliedAt = brsp.AppliedAt
+					msg.shard = shardIdx
+					msg.batchN = len(in.Rows)
+				}
 				if !send(msg) {
 					break reading
 				}
@@ -759,12 +866,75 @@ reading:
 		msg.out.Duplicate = rsp.Duplicate
 		msg.out.Values = append(msg.out.Values[:0], rsp.Row...)
 		msg.out.Imputed = append(msg.out.Imputed[:0], rsp.Imputed...)
+		msg.t0 = t0
+		msg.decNanos = decNanos
+		msg.queueNanos = rsp.QueueNanos
+		msg.engineNanos = rsp.EngineNanos
+		msg.appliedAt = rsp.AppliedAt
+		msg.shard = shardIdx
+		msg.batchN = 1
 		if !send(msg) {
 			break
 		}
 	}
 	close(acks)
 	<-writerGone
+}
+
+// ackCell returns the tenant's last-ack latency cell, creating it on first
+// use. The cell outlives connections (it is the /v1/debug/tenants source)
+// and is dropped when the tenant is deleted.
+func (s *Server) ackCell(id string) *atomic.Int64 {
+	if c, ok := s.lastAck.Load(id); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := s.lastAck.LoadOrStore(id, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// observeTick records one completed tick line into the per-shard stage and
+// end-to-end histograms (always), then decides whether to emit the
+// structured trace line: the deterministic 1-in-N sample is advanced
+// unconditionally — never short-circuited behind the slow check, or the
+// sampler's call count (and with it its determinism) would depend on
+// timing — and a tick is traced when it is sampled OR breaches the
+// slow-tick threshold.
+func (s *Server) observeTick(tenant string, msg *ackMsg, walNanos, ackStart int64, cell *atomic.Int64) {
+	now := obs.Now()
+	ackNanos := now - ackStart
+	e2e := now - msg.t0
+	sl := &s.latency[msg.shard]
+	sl.stages[obs.StageDecode].Observe(msg.decNanos)
+	sl.stages[obs.StageQueue].Observe(msg.queueNanos)
+	sl.stages[obs.StageEngine].Observe(msg.engineNanos)
+	sl.stages[obs.StageWALCommit].Observe(walNanos)
+	sl.stages[obs.StageAck].Observe(ackNanos)
+	sl.ack.Observe(e2e)
+	cell.Store(e2e)
+
+	sampled := s.sampler.Hit()
+	slow := s.slowNanos > 0 && e2e >= s.slowNanos
+	if !sampled && !slow {
+		return
+	}
+	reason := "sampled"
+	if slow {
+		reason = "slow"
+	}
+	s.traceLines.Add(1)
+	s.log.Info("tick trace",
+		"reason", reason,
+		"tenant", tenant,
+		"shard", msg.shard,
+		"seq", msg.out.Seq,
+		"batch", msg.batchN,
+		"total", time.Duration(e2e),
+		"decode", time.Duration(msg.decNanos),
+		"queue", time.Duration(msg.queueNanos),
+		"engine", time.Duration(msg.engineNanos),
+		"wal_commit", time.Duration(walNanos),
+		"ack", time.Duration(ackNanos),
+	)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -817,75 +987,4 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": n})
-}
-
-// handleMetrics writes a Prometheus text exposition of the service, shard,
-// and checkpoint counters (hand-rolled: the repo takes no dependencies).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	stats := s.m.Stats()
-	var tenants int64
-	var ticks, imputations, backpressure, processed uint64
-	for _, st := range stats {
-		tenants += st.Tenants
-		ticks += st.Ticks
-		imputations += st.Imputations
-		backpressure += st.Backpressure
-		processed += st.Processed
-	}
-	fmt.Fprintf(w, "# HELP tkcm_tenants Hosted tenant engines.\n# TYPE tkcm_tenants gauge\ntkcm_tenants %d\n", tenants)
-	fmt.Fprintf(w, "# HELP tkcm_shards Engine shards.\n# TYPE tkcm_shards gauge\ntkcm_shards %d\n", len(stats))
-	fmt.Fprintf(w, "# HELP tkcm_ticks_total Rows ingested across all tenants.\n# TYPE tkcm_ticks_total counter\ntkcm_ticks_total %d\n", ticks)
-	fmt.Fprintf(w, "# HELP tkcm_imputations_total Missing values imputed.\n# TYPE tkcm_imputations_total counter\ntkcm_imputations_total %d\n", imputations)
-	fmt.Fprintf(w, "# HELP tkcm_shard_requests_total Requests processed per shard.\n# TYPE tkcm_shard_requests_total counter\n")
-	for _, st := range stats {
-		fmt.Fprintf(w, "tkcm_shard_requests_total{shard=\"%d\"} %d\n", st.Shard, st.Processed)
-	}
-	fmt.Fprintf(w, "# HELP tkcm_shard_queue_depth Instantaneous queued requests per shard.\n# TYPE tkcm_shard_queue_depth gauge\n")
-	for _, st := range stats {
-		fmt.Fprintf(w, "tkcm_shard_queue_depth{shard=\"%d\"} %d\n", st.Shard, st.QueueDepth)
-	}
-	fmt.Fprintf(w, "# HELP tkcm_shard_backpressure_total Submissions that found a full shard queue.\n# TYPE tkcm_shard_backpressure_total counter\n")
-	for _, st := range stats {
-		fmt.Fprintf(w, "tkcm_shard_backpressure_total{shard=\"%d\"} %d\n", st.Shard, st.Backpressure)
-	}
-	fmt.Fprintf(w, "# HELP tkcm_shard_migrations_total Completed live tenant migrations.\n# TYPE tkcm_shard_migrations_total counter\ntkcm_shard_migrations_total %d\n", s.m.Migrations())
-	fmt.Fprintf(w, "# HELP tkcm_shard_imbalance Hottest shard's tick rate over the mean, last rebalance sample (1 = balanced, 0 = no sample).\n# TYPE tkcm_shard_imbalance gauge\ntkcm_shard_imbalance %g\n", s.imbalanceValue())
-	fmt.Fprintf(w, "# HELP tkcm_http_requests_total HTTP requests served.\n# TYPE tkcm_http_requests_total counter\ntkcm_http_requests_total %d\n", s.requests.Load())
-	fmt.Fprintf(w, "# HELP tkcm_tick_rows_total NDJSON tick rows streamed.\n# TYPE tkcm_tick_rows_total counter\ntkcm_tick_rows_total %d\n", s.tickRows.Load())
-	fmt.Fprintf(w, "# HELP tkcm_ticks_batched_total Tick rows that arrived on batched lines.\n# TYPE tkcm_ticks_batched_total counter\ntkcm_ticks_batched_total %d\n", s.batchedRows.Load())
-	fmt.Fprintf(w, "# HELP tkcm_tick_batch_size Rows per batched tick line.\n# TYPE tkcm_tick_batch_size histogram\n")
-	cum := uint64(0)
-	for i, le := range batchSizeBuckets {
-		cum += s.batchBuckets[i].Load()
-		fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"%d\"} %d\n", le, cum)
-	}
-	cum += s.batchBuckets[len(batchSizeBuckets)].Load()
-	fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "tkcm_tick_batch_size_sum %d\n", s.batchSum.Load())
-	fmt.Fprintf(w, "tkcm_tick_batch_size_count %d\n", s.batchCount.Load())
-	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
-	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
-	if s.wal != nil {
-		ws := s.wal.Stats()
-		fmt.Fprintf(w, "# HELP tkcm_wal_appends_total Tick records appended to write-ahead logs.\n# TYPE tkcm_wal_appends_total counter\ntkcm_wal_appends_total %d\n", ws.Appends)
-		fmt.Fprintf(w, "# HELP tkcm_wal_syncs_total WAL group commits (fsync batches) completed.\n# TYPE tkcm_wal_syncs_total counter\ntkcm_wal_syncs_total %d\n", ws.Syncs)
-		fmt.Fprintf(w, "# HELP tkcm_wal_sync_errors_total WAL fsyncs that failed (their batch was never acked).\n# TYPE tkcm_wal_sync_errors_total counter\ntkcm_wal_sync_errors_total %d\n", ws.SyncErrors)
-		fmt.Fprintf(w, "# HELP tkcm_wal_bytes_total WAL bytes written, framing included.\n# TYPE tkcm_wal_bytes_total counter\ntkcm_wal_bytes_total %d\n", ws.Bytes)
-		fmt.Fprintf(w, "# HELP tkcm_wal_truncations_total WAL segment files reclaimed after checkpoints.\n# TYPE tkcm_wal_truncations_total counter\ntkcm_wal_truncations_total %d\n", ws.Truncations)
-		fmt.Fprintf(w, "# HELP tkcm_wal_open_logs Tenants with an open write-ahead log.\n# TYPE tkcm_wal_open_logs gauge\ntkcm_wal_open_logs %d\n", ws.OpenLogs)
-		fmt.Fprintf(w, "# HELP tkcm_wal_failed_logs Tenants whose write-ahead log has fail-stopped (appends refused, acks withheld).\n# TYPE tkcm_wal_failed_logs gauge\ntkcm_wal_failed_logs %d\n", len(s.wal.FailedTenants()))
-	}
-	if s.follower {
-		fmt.Fprintf(w, "# HELP tkcm_repl_lag_seconds Age of the last fully-applied replication manifest.\n# TYPE tkcm_repl_lag_seconds gauge\ntkcm_repl_lag_seconds %g\n", s.replLagSeconds())
-		fmt.Fprintf(w, "# HELP tkcm_repl_rounds_total Replication rounds completed.\n# TYPE tkcm_repl_rounds_total counter\ntkcm_repl_rounds_total %d\n", s.replRounds.Load())
-		fmt.Fprintf(w, "# HELP tkcm_repl_errors_total Replication rounds or tenant syncs that failed.\n# TYPE tkcm_repl_errors_total counter\ntkcm_repl_errors_total %d\n", s.replErrors.Load())
-		fmt.Fprintf(w, "# HELP tkcm_repl_segments_total Segment fetches applied (verified deltas).\n# TYPE tkcm_repl_segments_total counter\ntkcm_repl_segments_total %d\n", s.replSegmentsCtr.Load())
-		fmt.Fprintf(w, "# HELP tkcm_repl_bytes_total WAL bytes fetched and verified from the primary.\n# TYPE tkcm_repl_bytes_total counter\ntkcm_repl_bytes_total %d\n", s.replBytesCtr.Load())
-		promoted := 0
-		if s.promoted.Load() {
-			promoted = 1
-		}
-		fmt.Fprintf(w, "# HELP tkcm_repl_promoted Whether this follower has been promoted to primary.\n# TYPE tkcm_repl_promoted gauge\ntkcm_repl_promoted %d\n", promoted)
-	}
 }

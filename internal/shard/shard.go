@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"tkcm/internal/core"
+	"tkcm/internal/obs"
 	"tkcm/internal/wal"
 )
 
@@ -81,6 +82,18 @@ type TickResponse struct {
 	Row []float64
 	// Imputed lists the stream indices that were missing in the input.
 	Imputed []int
+
+	// Stage clocks (internal/obs), always on — capturing them is two clock
+	// reads per leg, cheap enough that sampling never gates measurement.
+	// QueueNanos is the time the operation waited between submission and
+	// running on the shard goroutine (backpressure made visible per tick);
+	// EngineNanos is the engine compute time; AppliedAt is the obs.Now
+	// timestamp at which the shard operation finished (row applied, WAL
+	// record appended) — the anchor the caller measures the group-commit
+	// durability wait from.
+	QueueNanos  int64
+	EngineNanos int64
+	AppliedAt   int64
 }
 
 // RowResult is one row's outcome inside a BatchResponse — the per-row
@@ -107,6 +120,13 @@ type BatchResponse struct {
 	Durable wal.Commit
 	// Rows holds one entry per input row, in order.
 	Rows []RowResult
+
+	// QueueNanos, EngineNanos and AppliedAt are the batch-level stage clocks,
+	// with the same meaning as TickResponse's: the whole batch shares one
+	// queue wait, one engine ingest, and one WAL record.
+	QueueNanos  int64
+	EngineNanos int64
+	AppliedAt   int64
 
 	cols core.Columns // transpose scratch, reused across calls
 }
@@ -211,6 +231,14 @@ func (m *Manager) Migrations() uint64 { return m.migrations.Load() }
 func (m *Manager) shardFor(tenantID string) *shard {
 	return m.shards[m.routing.ShardFor(tenantID)]
 }
+
+// ShardOf reports which shard tenantID currently routes to — the same
+// lock-free, allocation-free lookup the request path uses. The answer is a
+// snapshot: a live migration can move the tenant right after. Metric
+// attribution (which shard's histogram a tick lands in) is its intended
+// consumer, where a stale read mislabels at most a migration-window of
+// ticks.
+func (m *Manager) ShardOf(tenantID string) int { return m.routing.ShardFor(tenantID) }
 
 // errMisrouted reports that an operation ran on a shard the tenant had
 // already migrated away from (it was queued behind the migration's capture
@@ -434,7 +462,13 @@ func (m *Manager) Delete(ctx context.Context, tenantID string) error {
 // then applied — rsp.Durable resolves when the log record is fsynced, and
 // only then may the caller acknowledge the row.
 func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []float64, rsp *TickResponse) error {
+	enq := obs.Now()
 	return m.do(ctx, tenantID, func(sh *shard) error {
+		// Queue wait: submission to running on the shard goroutine. A
+		// misrouted retry re-enters here, so the clock accumulates the full
+		// wait across requeues — which is exactly what the tick experienced.
+		rsp.QueueNanos = obs.Now() - enq
+		rsp.EngineNanos = 0
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
 			return m.missing(sh, tenantID)
@@ -463,6 +497,7 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 				rsp.Row = rsp.Row[:0]
 				rsp.Imputed = rsp.Imputed[:0]
 				rsp.Duplicate = true
+				rsp.AppliedAt = obs.Now()
 				return nil
 			}
 			if seq != engSeq+1 {
@@ -485,10 +520,12 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 			}
 			rsp.Durable = commit
 		}
+		e0 := obs.Now()
 		out, _, err := eng.Tick(row)
 		if err != nil {
 			return err
 		}
+		rsp.EngineNanos = obs.Now() - e0
 		sh.ticks.Add(1)
 		rsp.Tick = eng.Window().Tick()
 		rsp.Seq = eng.Seq()
@@ -500,6 +537,7 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 			}
 		}
 		sh.imputed.Add(uint64(len(rsp.Imputed)))
+		rsp.AppliedAt = obs.Now()
 		return nil
 	})
 }
@@ -523,7 +561,10 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 	if len(rows) == 0 {
 		return errors.New("shard: empty batch")
 	}
+	enq := obs.Now()
 	return m.do(ctx, tenantID, func(sh *shard) error {
+		rsp.QueueNanos = obs.Now() - enq
+		rsp.EngineNanos = 0
 		eng, ok := sh.tenants[tenantID]
 		if !ok {
 			return m.missing(sh, tenantID)
@@ -566,6 +607,7 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 				}
 				rsp.Durable = l.DurableCommit(seq + uint64(len(rows)) - 1)
 			}
+			rsp.AppliedAt = obs.Now()
 			return nil
 		}
 		// Validate every live row up front so the batch is atomic — the WAL
@@ -601,10 +643,12 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 				rsp.cols[i][r] = row[i]
 			}
 		}
+		e0 := obs.Now()
 		outCols, _, err := eng.TickColumns(rsp.cols)
 		if err != nil {
 			return err // unreachable: every row was validated above
 		}
+		rsp.EngineNanos = obs.Now() - e0
 		sh.ticks.Add(uint64(len(live)))
 		baseTick := eng.Window().Tick() - len(live)
 		baseSeq := eng.Seq() - uint64(len(live))
@@ -625,6 +669,7 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 			}
 			sh.imputed.Add(uint64(len(out.Imputed)))
 		}
+		rsp.AppliedAt = obs.Now()
 		return nil
 	})
 }
@@ -655,6 +700,8 @@ type TenantInfo struct {
 	// Seq is the engine's sequence number: rows ingested over the tenant's
 	// lifetime. A sequenced client resumes sending at Seq+1.
 	Seq uint64 `json:"seq"`
+	// Imputations counts the missing values this tenant's engine has filled.
+	Imputations int `json:"imputations"`
 }
 
 // Info describes a single tenant, or ErrNoTenant.
@@ -666,11 +713,12 @@ func (m *Manager) Info(ctx context.Context, tenantID string) (TenantInfo, error)
 			return m.missing(sh, tenantID)
 		}
 		info = TenantInfo{
-			ID:      tenantID,
-			Shard:   sh.id,
-			Streams: eng.Window().Names(),
-			Ticks:   eng.Stats.Ticks,
-			Seq:     eng.Seq(),
+			ID:          tenantID,
+			Shard:       sh.id,
+			Streams:     eng.Window().Names(),
+			Ticks:       eng.Stats.Ticks,
+			Seq:         eng.Seq(),
+			Imputations: eng.Stats.Imputations,
 		}
 		return nil
 	})
@@ -693,11 +741,12 @@ func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
 		err := m.submit(ctx, sh, func(sh *shard) error {
 			for id, eng := range sh.tenants {
 				all = append(all, TenantInfo{
-					ID:      id,
-					Shard:   sh.id,
-					Streams: eng.Window().Names(),
-					Ticks:   eng.Stats.Ticks,
-					Seq:     eng.Seq(),
+					ID:          id,
+					Shard:       sh.id,
+					Streams:     eng.Window().Names(),
+					Ticks:       eng.Stats.Ticks,
+					Seq:         eng.Seq(),
+					Imputations: eng.Stats.Imputations,
 				})
 			}
 			return nil

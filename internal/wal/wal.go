@@ -99,6 +99,18 @@ type Options struct {
 	failHead   func() error       // before saving the head file
 }
 
+// WithFailSync returns a copy of o whose sync path runs fn immediately
+// before every segment fsync; a non-nil error from fn is treated as the
+// fsync failing (latching the log fail-stopped like a real I/O error).
+// This is the one fault seam exposed outside the package: callers — the
+// serving layer's slow-tick-trace and degraded-mode tests — use a sleeping
+// fn to stretch the group-commit durability window deterministically, or an
+// erroring fn to latch fail-stop, without reaching into package internals.
+func (o Options) WithFailSync(fn func() error) Options {
+	o.failSync = fn
+	return o
+}
+
 func (o Options) segmentBytes() int64 {
 	if o.SegmentBytes <= 0 {
 		return 64 << 20
