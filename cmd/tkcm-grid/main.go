@@ -1,0 +1,187 @@
+// Command tkcm-grid runs the reproducible paper grid: every dataset ×
+// missingness-scenario × pattern-length × algorithm cell of a declarative
+// spec (experiments.json), deterministically seeded, writing the
+// machine-readable summary plus human tables into a paper_runs/ directory —
+// and gates accuracy against the committed ACCURACY.json baseline the same
+// way tkcm-bench gates performance against BENCH_engine.json.
+//
+// Usage:
+//
+//	tkcm-grid -spec experiments.json -out paper_runs/            # full grid
+//	tkcm-grid -spec experiments.json -out paper_runs/ -quick \
+//	          -baseline ACCURACY.json                            # CI gate
+//	tkcm-grid -spec experiments.json -quick -rebaseline \
+//	          -baseline ACCURACY.json                            # re-pin
+//	tkcm-grid -spec experiments.json -out paper_runs/ -slo       # SLO sweeps
+//
+// The grid is a pure function of (spec, scale): -repeat 2 re-runs it and
+// fails on any byte difference between the rendered summaries, which CI uses
+// to pin determinism. The accuracy gate fails (exit 1) when any TKCM cell's
+// RMSE or SMAPE regresses by more than -regress (default 5%) against the
+// baseline. -slo runs the spec's serving sweeps instead: each drives a real
+// tkcm-serve process (shards × tenants × missing-rate × migration churn) and
+// fails on any declared ack- or stage-latency budget breach, measured from
+// the server's own /metrics histograms. TKCM_FULL=1 selects the paper-scale
+// datasets (nightly); the default is the CI-sized small scale.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tkcm/internal/experiments"
+)
+
+type options struct {
+	specPath     string
+	outDir       string
+	quick        bool
+	baselinePath string
+	regress      float64
+	rebaseline   bool
+	repeat       int
+	slo          bool
+	serveBin     string
+	listCells    bool
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tkcm-grid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tkcm-grid", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.specPath, "spec", "experiments.json", "grid spec to run")
+	fs.StringVar(&o.outDir, "out", "", "directory for summary.json / summary.md / slo.json (empty = don't write)")
+	fs.BoolVar(&o.quick, "quick", false, "run the spec's CI-sized quick view instead of the full grid")
+	fs.StringVar(&o.baselinePath, "baseline", "", "gate TKCM cells against this committed ACCURACY.json (with -rebaseline: write it)")
+	fs.Float64Var(&o.regress, "regress", 0.05, "fractional RMSE/SMAPE regression tolerance for the accuracy gate")
+	fs.BoolVar(&o.rebaseline, "rebaseline", false, "re-pin -baseline from this run instead of gating against it")
+	fs.IntVar(&o.repeat, "repeat", 1, "run the grid this many times and fail unless all renderings are byte-identical")
+	fs.BoolVar(&o.slo, "slo", false, "run the spec's serving-SLO sweeps (drives real tkcm-serve processes) instead of the accuracy grid")
+	fs.StringVar(&o.serveBin, "serve-bin", "", "tkcm-serve binary for -slo (empty = go build ./cmd/tkcm-serve into a temp dir)")
+	fs.BoolVar(&o.listCells, "list", false, "print the cell keys the grid would run, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.repeat < 1 {
+		return fmt.Errorf("-repeat must be ≥ 1")
+	}
+	if o.rebaseline && o.baselinePath == "" {
+		return fmt.Errorf("-rebaseline needs -baseline to know where to write")
+	}
+
+	spec, err := experiments.LoadGridSpec(o.specPath)
+	if err != nil {
+		return err
+	}
+	scale := experiments.ActiveScale()
+
+	if o.slo {
+		return runSLO(spec, o, out)
+	}
+	if o.listCells {
+		return listCells(scale, spec, o, out)
+	}
+
+	mode := "full"
+	if o.quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(out, "# tkcm-grid — %s grid %q, seed %d, scale %s\n", mode, spec.Name, spec.Seed, scale.Name)
+
+	res, js, md, err := runOnce(scale, spec, o, out)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < o.repeat; i++ {
+		_, js2, md2, err := runOnce(scale, spec, o, io.Discard)
+		if err != nil {
+			return fmt.Errorf("repeat %d: %w", i+1, err)
+		}
+		if !bytes.Equal(js, js2) || !bytes.Equal(md, md2) {
+			return fmt.Errorf("repeat %d rendered a different summary — the grid is not deterministic", i+1)
+		}
+		fmt.Fprintf(out, "repeat %d: byte-identical summary\n", i+1)
+	}
+
+	if o.outDir != "" {
+		if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+			return err
+		}
+		jsPath := filepath.Join(o.outDir, "summary.json")
+		mdPath := filepath.Join(o.outDir, "summary.md")
+		if err := os.WriteFile(jsPath, js, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(mdPath, md, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s and %s (%d cells)\n", jsPath, mdPath, len(res.Cells))
+	}
+	out.Write(md)
+
+	if o.baselinePath == "" {
+		return nil
+	}
+	if o.rebaseline {
+		if err := experiments.NewBaseline(res).Save(o.baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "re-pinned %s (%d cells)\n", o.baselinePath, len(res.Cells))
+		return nil
+	}
+	baseline, err := experiments.LoadBaseline(o.baselinePath)
+	if err != nil {
+		return err
+	}
+	failures := baseline.Gate(res, o.regress)
+	if len(failures) > 0 {
+		fmt.Fprintf(out, "\nACCURACY GATE FAILED (%d cells):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(out, "  %s\n", f)
+		}
+		return fmt.Errorf("accuracy regressed beyond %.0f%% on %d TKCM cells (re-pin with -rebaseline only for a justified change)", o.regress*100, len(failures))
+	}
+	fmt.Fprintf(out, "accuracy gate passed: no TKCM cell regressed beyond %.0f%% of %s\n", o.regress*100, o.baselinePath)
+	return nil
+}
+
+// runOnce executes the grid and renders both summaries.
+func runOnce(scale experiments.Scale, spec *experiments.GridSpec, o options, out io.Writer) (*experiments.GridResult, []byte, []byte, error) {
+	res, err := experiments.RunGrid(scale, spec, experiments.GridOptions{
+		Quick: o.quick,
+		Progress: func(c experiments.CellResult) {
+			fmt.Fprintf(out, "  %-40s rmse %-10.4g smape %.3g%%\n", c.Key(), float64(c.RMSE), float64(c.SMAPE))
+		},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	js, err := experiments.RenderSummaryJSON(res)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	md, err := experiments.RenderSummaryMD(res)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, js, md, nil
+}
+
+// listCells prints the cell keys the configured run would execute, without
+// running anything — a cheap way to preview a spec edit.
+func listCells(scale experiments.Scale, spec *experiments.GridSpec, o options, out io.Writer) error {
+	for _, key := range experiments.GridCellKeys(scale, spec, o.quick) {
+		fmt.Fprintln(out, key)
+	}
+	return nil
+}

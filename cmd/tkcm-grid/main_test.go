@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tkcm/internal/experiments"
+)
+
+// writeSpec writes a minimal 2-cell grid spec (SBR × block × {TKCM, Interp})
+// and returns its path.
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	spec := map[string]any{
+		"schema":     experiments.GridSchema,
+		"name":       "cli-test",
+		"seed":       5,
+		"datasets":   []string{"SBR"},
+		"algorithms": []string{"TKCM", "Interp"},
+		"scenarios":  []map[string]any{{"kind": "block"}},
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "experiments.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-repeat", "0"}, &out); err == nil {
+		t.Fatal("-repeat 0 accepted")
+	}
+	if err := run([]string{"-rebaseline"}, &out); err == nil {
+		t.Fatal("-rebaseline without -baseline accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}
+
+func TestListCells(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	listing := out.String()
+	for _, want := range []string{"SBR/block/l=72/TKCM", "SBR/block/l=72/Interp"} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("listing missing %s:\n%s", want, listing)
+		}
+	}
+	if n := strings.Count(listing, "\n"); n != 2 {
+		t.Fatalf("expected 2 cells, got %d:\n%s", n, listing)
+	}
+}
+
+func TestSLOWithoutSweeps(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var out bytes.Buffer
+	err := run([]string{"-spec", spec, "-slo"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no slo sweeps") {
+		t.Fatalf("err = %v, want no-sweeps error", err)
+	}
+}
+
+// TestGridCLIGate runs the real CLI end to end on a 2-cell grid: re-baseline,
+// gate-pass, artifact writing — then doctors the committed baseline to
+// simulate an accuracy regression and asserts the gate makes run() fail
+// (exit ≠ 0 in main), which is the CI behaviour the quick gate relies on.
+func TestGridCLIGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real SmallScale grid cell")
+	}
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	baseline := filepath.Join(dir, "ACCURACY.json")
+	outDir := filepath.Join(dir, "paper_runs")
+
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", outDir, "-rebaseline", "-baseline", baseline}, &out); err != nil {
+		t.Fatalf("rebaseline run: %v\n%s", err, out.String())
+	}
+	for _, f := range []string{"summary.json", "summary.md"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Fatalf("artifact %s not written: %v", f, err)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-spec", spec, "-baseline", baseline}, &out); err != nil {
+		t.Fatalf("gate should pass against its own baseline: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "accuracy gate passed") {
+		t.Fatalf("no pass message:\n%s", out.String())
+	}
+
+	// Doctor the baseline: pretend the pinned TKCM accuracy was 100× better,
+	// making the (unchanged) current run look like a huge regression.
+	b, err := experiments.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := false
+	for key, cell := range b.Cells {
+		if strings.HasSuffix(key, "/TKCM") && !math.IsNaN(float64(cell.RMSE)) {
+			cell.RMSE /= 100
+			cell.SMAPE /= 100
+			b.Cells[key] = cell
+			doctored = true
+		}
+	}
+	if !doctored {
+		t.Fatal("no TKCM cell to doctor")
+	}
+	if err := b.Save(baseline); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-spec", spec, "-baseline", baseline}, &out)
+	if err == nil {
+		t.Fatalf("gate passed against a doctored baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ACCURACY GATE FAILED") {
+		t.Fatalf("no failure report:\n%s", out.String())
+	}
+}
+
+// TestGridCLIRepeatDeterminism: -repeat 2 re-runs the grid and verifies the
+// renderings match byte for byte.
+func TestGridCLIRepeatDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real SmallScale grid cell twice")
+	}
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-repeat", "2"}, &out); err != nil {
+		t.Fatalf("repeat run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "repeat 2: byte-identical summary") {
+		t.Fatalf("no determinism confirmation:\n%s", out.String())
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tkcm/internal/experiments"
+)
+
+// buildServe compiles tkcm-serve once for the SLO tests.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tkcm-serve")
+	out, err := exec.Command("go", "build", "-o", bin, "tkcm/cmd/tkcm-serve").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building tkcm-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeSLOSpec writes a spec whose only content is one short SLO sweep with
+// the given latency budgets.
+func writeSLOSpec(t *testing.T, dir string, ackBudgetMs float64, stageBudgets map[string]float64) string {
+	t.Helper()
+	spec := experiments.GridSpec{
+		Schema:     experiments.GridSchema,
+		Name:       "slo-test",
+		Seed:       1,
+		Datasets:   []string{"SBR"},
+		Algorithms: []string{"TKCM"},
+		Scenarios:  []experiments.GridScenario{{Kind: "block"}},
+	}
+	spec.SLO.Sweeps = []experiments.SLOSweep{{
+		Name: "smoke", Shards: 2, Tenants: 2, Width: 4, Batch: 16,
+		Missing: 0.1, Duration: "2s", MigrateEvery: "300ms",
+		BudgetAckP99Ms: ackBudgetMs, BudgetStageP99Ms: stageBudgets,
+	}}
+	raw, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSLOSweepEndToEnd drives a real tkcm-serve process through one sweep
+// with generous budgets and asserts the per-stage p99s were scraped from
+// /metrics and the run passes; then re-judges the same machinery against an
+// impossible ack budget and asserts the breach fails the run.
+func TestSLOSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real server process")
+	}
+	bin := buildServe(t)
+	dir := t.TempDir()
+
+	// Pass: budgets no local run should breach.
+	spec := writeSLOSpec(t, dir, 10_000, map[string]float64{"engine": 5_000, "wal_commit": 5_000})
+	outDir := filepath.Join(dir, "runs")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-slo", "-serve-bin", bin, "-out", outDir}, &out); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all 1 slo sweeps within budget") {
+		t.Fatalf("no pass confirmation:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(outDir, "slo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []sloResult
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Pass {
+		t.Fatalf("slo.json = %+v", results)
+	}
+	r := results[0]
+	if r.Ticks == 0 {
+		t.Fatal("sweep acknowledged zero ticks")
+	}
+	if r.Migrations == 0 {
+		t.Fatal("migration churn completed zero migrations")
+	}
+	// Per-stage p99s must come from the server's own histograms.
+	for _, stage := range []string{"decode", "engine", "ack"} {
+		if _, ok := r.StageP99Ms[stage]; !ok {
+			t.Fatalf("stage %q p99 missing from scrape: %+v", stage, r.StageP99Ms)
+		}
+	}
+	if float64(r.AckP99Ms) <= 0 {
+		t.Fatalf("ack p99 = %v, want > 0", r.AckP99Ms)
+	}
+
+	// Breach: an ack budget no real server can meet must fail the run with
+	// a named breach in the report.
+	spec = writeSLOSpec(t, dir, 0.000001, nil)
+	out.Reset()
+	err = run([]string{"-spec", spec, "-slo", "-serve-bin", bin, "-out", outDir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "breached") {
+		t.Fatalf("err = %v, want budget breach\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BREACH: ack p99") {
+		t.Fatalf("no breach detail:\n%s", out.String())
+	}
+}

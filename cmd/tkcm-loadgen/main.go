@@ -44,19 +44,22 @@ import (
 )
 
 type options struct {
-	addr     string
-	tenants  int
-	streams  int
-	width    int
-	duration time.Duration
-	missing  float64
-	inflight int
-	batch    int
-	window   int
-	k, l, d  int
-	migrate  time.Duration
-	jsonPath string
-	keep     bool
+	addr        string
+	tenants     int
+	streams     int
+	width       int
+	duration    time.Duration
+	missing     float64
+	missPattern string
+	missRun     int
+	zipf        float64
+	inflight    int
+	batch       int
+	window      int
+	k, l, d     int
+	migrate     time.Duration
+	jsonPath    string
+	keep        bool
 }
 
 func main() {
@@ -98,7 +101,10 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.streams, "streams", 1, "concurrent tick streams per tenant (1 = sequenced/exactly-once)")
 	fs.IntVar(&o.width, "width", 8, "streams (columns) per tenant row")
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "measurement duration")
-	fs.Float64Var(&o.missing, "missing", 0.05, "probability a value is missing (after warmup)")
+	fs.Float64Var(&o.missing, "missing", 0.05, "fraction of values missing (after warmup)")
+	fs.StringVar(&o.missPattern, "missing-pattern", "uniform", "how missing values arrive: uniform (i.i.d. per value) or bursty (geometric run lengths per stream, like a flaky sensor)")
+	fs.IntVar(&o.missRun, "missing-run", 16, "mean missing-run length in rows for -missing-pattern bursty")
+	fs.Float64Var(&o.zipf, "zipf", 0, "skew tenant load with a Zipf exponent: tenant 0 is hottest, weight ∝ 1/(rank+1)^s (0 = uniform load)")
 	fs.IntVar(&o.inflight, "inflight", 128, "max unacked rows per stream (backpressure window)")
 	fs.IntVar(&o.batch, "batch", 1, "coalesce up to this many queued rows into one batch tick line (1 = row-at-a-time)")
 	fs.IntVar(&o.window, "window", 1024, "tenant window length L")
@@ -111,6 +117,16 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if o.missPattern != "uniform" && o.missPattern != "bursty" {
+		return fmt.Errorf("unknown -missing-pattern %q (want uniform or bursty)", o.missPattern)
+	}
+	if o.missRun < 1 {
+		return fmt.Errorf("-missing-run must be ≥ 1")
+	}
+	if o.zipf < 0 {
+		return fmt.Errorf("-zipf must be ≥ 0")
+	}
+	weights := zipfWeights(o.tenants, o.zipf)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -171,16 +187,16 @@ func run(args []string, out *os.File) error {
 	for ti := range ids {
 		for si := 0; si < o.streams; si++ {
 			wg.Add(1)
-			go func(tenant string, worker int) {
+			go func(tenant string, worker int, sendProb float64) {
 				defer wg.Done()
-				lats, err := drive(runCtx, c, tenant, worker, o, deadline, &ticks, &imputes, &duplicates)
+				lats, err := drive(runCtx, c, tenant, worker, o, sendProb, deadline, &ticks, &imputes, &duplicates)
 				latMu.Lock()
 				latencies = append(latencies, lats...)
 				latMu.Unlock()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "tkcm-loadgen: %s/%d: %v\n", tenant, worker, err)
 				}
-			}(ids[ti], si)
+			}(ids[ti], si, weights[ti])
 		}
 	}
 	// Live-migration soak: while the streams pump, walk the tenants across
@@ -276,7 +292,7 @@ func run(args []string, out *os.File) error {
 // generates seasonal rows with missing values, the receiver consumes acks
 // and measures the send→ack round trip per row.
 func drive(ctx context.Context, c *client.Client, tenant string, worker int, o options,
-	deadline time.Time, ticks, imputes, duplicates *atomic.Uint64) ([]int64, error) {
+	sendProb float64, deadline time.Time, ticks, imputes, duplicates *atomic.Uint64) ([]int64, error) {
 
 	st, err := c.OpenStream(ctx, tenant, client.StreamOptions{
 		Sequenced:   o.streams == 1,
@@ -319,9 +335,20 @@ func drive(ctx context.Context, c *client.Client, tenant string, worker int, o o
 
 	rng := rand.New(rand.NewSource(int64(worker)*7919 + 17))
 	row := make([]float64, o.width)
+	miss := newMissingGen(o.missPattern, o.missing, o.missRun, o.width)
 	warmup := o.l + o.d + 4 // first rows complete so the window has history
 	var serr error
 	for n := 0; time.Now().Before(deadline); n++ {
+		// Zipf duty cycle: an unpopular tenant's driver skips most of its
+		// send slots, so tenant throughput follows the configured skew while
+		// the hottest tenant still runs flat out.
+		if sendProb < 1 && rng.Float64() >= sendProb {
+			select {
+			case <-time.After(time.Millisecond):
+			case <-ctx.Done():
+			}
+			continue
+		}
 		for i := range row {
 			base := math.Sin(2*math.Pi*float64(n)/96 + float64(i))
 			// Quantize to 0.01, like a real sensor feed: raw float64 noise
@@ -329,7 +356,7 @@ func drive(ctx context.Context, c *client.Client, tenant string, worker int, o o
 			// no instrument emits and which would make the run measure
 			// decimal-text codec throughput instead of the serving stack.
 			row[i] = math.Round(100*(20+5*base+0.1*rng.Float64())) / 100
-			if n > warmup && rng.Float64() < o.missing {
+			if n > warmup && miss.missing(rng, i) {
 				row[i] = math.NaN()
 			}
 		}
@@ -349,6 +376,78 @@ func drive(ctx context.Context, c *client.Client, tenant string, worker int, o o
 		serr = cerr
 	}
 	return lats, serr
+}
+
+// zipfWeights returns the per-tenant send probability under a Zipf skew:
+// tenant i (rank order) gets weight (i+1)^-s, normalized so the hottest
+// tenant runs at full duty cycle. s = 0 (or a single tenant) yields uniform
+// full-speed load.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+		if s > 0 {
+			w[i] = math.Pow(float64(i+1), -s)
+		}
+	}
+	// w[0] is the maximum by construction; normalize to it.
+	for i := range w {
+		w[i] /= w[0]
+	}
+	return w
+}
+
+// missingGen decides which values go missing. The uniform pattern drops each
+// value i.i.d.; the bursty pattern drops per-stream runs with geometric
+// lengths around -missing-run, holding the same long-run missing fraction —
+// the difference a real flaky sensor makes to the serving stack (imputation
+// bursts, coldFill pressure) that i.i.d. dropout never exercises.
+type missingGen struct {
+	bursty    bool
+	rate      float64
+	meanRun   int
+	remaining []int
+}
+
+func newMissingGen(pattern string, rate float64, meanRun, width int) *missingGen {
+	return &missingGen{
+		bursty:    pattern == "bursty",
+		rate:      rate,
+		meanRun:   meanRun,
+		remaining: make([]int, width),
+	}
+}
+
+// missing reports whether stream col's value in the current row is dropped.
+func (g *missingGen) missing(rng *rand.Rand, col int) bool {
+	if g.rate <= 0 {
+		return false
+	}
+	if !g.bursty {
+		return rng.Float64() < g.rate
+	}
+	if g.remaining[col] > 0 {
+		g.remaining[col]--
+		return true
+	}
+	if g.rate >= 1 {
+		g.remaining[col] = g.meanRun
+		return true
+	}
+	// A run starts with probability p at each present row; geometric run
+	// lengths with the configured mean give a long-run missing fraction of
+	// p·mean/(1+p·mean) = rate.
+	p := g.rate / ((1 - g.rate) * float64(g.meanRun))
+	if rng.Float64() >= p {
+		return false
+	}
+	run := 1
+	q := 1 - 1/float64(g.meanRun)
+	for rng.Float64() < q && run < 8*g.meanRun {
+		run++
+	}
+	g.remaining[col] = run - 1
+	return true
 }
 
 // percentiles returns p50, p99 and max in milliseconds.

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -15,6 +16,90 @@ import (
 	"tkcm/internal/shard"
 	"tkcm/internal/wal"
 )
+
+func TestZipfWeights(t *testing.T) {
+	// s = 0: uniform full duty cycle.
+	for _, w := range zipfWeights(4, 0) {
+		if w != 1 {
+			t.Fatalf("uniform weights = %v", zipfWeights(4, 0))
+		}
+	}
+	// s = 1: strictly decreasing, hottest tenant at 1, classic 1/rank decay.
+	w := zipfWeights(4, 1)
+	if w[0] != 1 {
+		t.Fatalf("w[0] = %v, want 1", w[0])
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+		want := 1 / float64(i+1)
+		if diff := w[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], want)
+		}
+	}
+}
+
+func TestMissingGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows = 200_000
+
+	// Uniform: long-run fraction ≈ rate.
+	g := newMissingGen("uniform", 0.1, 16, 1)
+	miss := 0
+	for i := 0; i < rows; i++ {
+		if g.missing(rng, 0) {
+			miss++
+		}
+	}
+	if frac := float64(miss) / rows; frac < 0.09 || frac > 0.11 {
+		t.Fatalf("uniform missing fraction %v, want ≈ 0.1", frac)
+	}
+
+	// Bursty: same long-run fraction, but arranged in runs near the mean.
+	g = newMissingGen("bursty", 0.1, 16, 1)
+	miss = 0
+	runs, runLen, inRun := 0, 0, false
+	for i := 0; i < rows; i++ {
+		m := g.missing(rng, 0)
+		if m {
+			miss++
+			runLen++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if frac := float64(miss) / rows; frac < 0.07 || frac > 0.13 {
+		t.Fatalf("bursty missing fraction %v, want ≈ 0.1", frac)
+	}
+	if mean := float64(runLen) / float64(runs); mean < 10 || mean > 24 {
+		t.Fatalf("bursty mean run length %v over %d runs, want ≈ 16", mean, runs)
+	}
+
+	// Zero rate never drops; per-column state is independent.
+	g = newMissingGen("bursty", 0, 16, 2)
+	for i := 0; i < 100; i++ {
+		if g.missing(rng, 0) || g.missing(rng, 1) {
+			t.Fatal("zero rate dropped a value")
+		}
+	}
+}
+
+func TestRunRejectsBadPatternFlags(t *testing.T) {
+	if err := run([]string{"-missing-pattern", "fancy"}, os.Stdout); err == nil {
+		t.Fatal("bad -missing-pattern accepted")
+	}
+	if err := run([]string{"-missing-run", "0"}, os.Stdout); err == nil {
+		t.Fatal("bad -missing-run accepted")
+	}
+	if err := run([]string{"-zipf", "-1"}, os.Stdout); err == nil {
+		t.Fatal("negative -zipf accepted")
+	}
+}
 
 // serveMain boots a WAL-enabled serving stack for the smoke test and tears
 // it down when ctx ends.

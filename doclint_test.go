@@ -17,11 +17,12 @@ import (
 var (
 	publicPackages   = []string{".", "client"}
 	internalPackages = []string{
-		"internal/baseline", "internal/benchfmt", "internal/cd", "internal/core",
-		"internal/dataset", "internal/dtw", "internal/experiments", "internal/fft",
-		"internal/linalg", "internal/muscles", "internal/obs", "internal/ring", "internal/server",
-		"internal/shard", "internal/spirit", "internal/stats", "internal/timeseries",
-		"internal/wal", "internal/window",
+		"internal/audit", "internal/baseline", "internal/benchcases", "internal/benchfmt",
+		"internal/cd", "internal/core", "internal/dataset", "internal/dtw",
+		"internal/experiments", "internal/fft", "internal/linalg", "internal/muscles",
+		"internal/obs", "internal/ring", "internal/server", "internal/shard",
+		"internal/spirit", "internal/stats", "internal/timeseries", "internal/wal",
+		"internal/window", "internal/wire",
 	}
 )
 

@@ -1,0 +1,416 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"tkcm/internal/timeseries"
+)
+
+// ScenarioKind names a missingness family of the paper grid. Every kind is a
+// pure seeded function over a frame: identical inputs produce bit-identical
+// scenarios (erased cells, recorded truth, and any value transforms), so
+// grid cells are reproducible and the accuracy gate can pin them.
+type ScenarioKind string
+
+// The scenario families. ScenarioBlock is the paper's protocol (one
+// contiguous sensor failure on the target); the others grow it toward the
+// failure modes real deployments see.
+const (
+	// ScenarioBlock erases one contiguous block of the target series and
+	// nothing else — the paper's Sec. 7 protocol.
+	ScenarioBlock ScenarioKind = "block"
+	// ScenarioUniform adds i.i.d. per-tick dropout on the reference streams
+	// on top of the target block.
+	ScenarioUniform ScenarioKind = "uniform"
+	// ScenarioBursty drops reference values in geometric-length runs
+	// (flaky-radio outages) on top of the target block.
+	ScenarioBursty ScenarioKind = "bursty"
+	// ScenarioCorrelated drops reference values together across streams
+	// (shared-uplink outages): a hidden outage process picks ticks, and each
+	// reference is missing at an outage tick with the configured probability.
+	ScenarioCorrelated ScenarioKind = "correlated"
+	// ScenarioRegimeShift rescales and offsets every stream from a shift
+	// tick onward (sensor recalibration / process change) before erasing the
+	// target block — history before the shift no longer matches the data the
+	// block must be imputed from.
+	ScenarioRegimeShift ScenarioKind = "regime-shift"
+	// ScenarioSeasonalDrift progressively phase-lags every reference stream
+	// (clock drift between stations) before erasing the target block, so the
+	// cross-stream alignment degrades with time.
+	ScenarioSeasonalDrift ScenarioKind = "seasonal-drift"
+	// ScenarioAdversarial erases every reference stream across the target's
+	// whole missing block — the always-missing-reference worst case. It is
+	// the only kind allowed to leave ticks with zero usable references.
+	ScenarioAdversarial ScenarioKind = "adversarial"
+)
+
+// AllScenarioKinds lists every scenario family in presentation order.
+var AllScenarioKinds = []ScenarioKind{
+	ScenarioBlock, ScenarioUniform, ScenarioBursty, ScenarioCorrelated,
+	ScenarioRegimeShift, ScenarioSeasonalDrift, ScenarioAdversarial,
+}
+
+// ScenarioConfig parameterizes one scenario instance. Target and the block
+// geometry are required; the per-kind knobs default sensibly when zero. Seed
+// is the only randomness source — scenario generation never touches a
+// global or time-seeded RNG.
+type ScenarioConfig struct {
+	Kind ScenarioKind
+	// Target is the series whose block is imputed and scored.
+	Target string
+	// BlockStart/BlockLen is the evaluated missing block on Target.
+	BlockStart, BlockLen int
+	// Refs are the reference streams eligible for extra dropout or
+	// transforms. Empty means every non-target series of the frame.
+	Refs []string
+	// RefRate is the long-run fraction of reference values dropped
+	// (uniform, bursty) or the outage-tick rate (correlated). Default 0.05.
+	RefRate float64
+	// MeanRun is the mean missing-run length in ticks (bursty). Default 12.
+	MeanRun int
+	// Corr is the probability a reference is missing at an outage tick
+	// (correlated). Default 0.8.
+	Corr float64
+	// LevelShift and ScaleShift define the regime change
+	// v' = LevelShift + ScaleShift·v (regime-shift). Defaults 0.5 and 1.25.
+	LevelShift, ScaleShift float64
+	// ShiftAt is the first transformed tick (regime-shift). Default: one
+	// quarter of the frame before the block.
+	ShiftAt int
+	// DriftPerDay is the reference phase lag added per elapsed day, as a
+	// fraction of a day (seasonal-drift). Default 0.05 (≈ 72 minutes of lag
+	// accumulated per day).
+	DriftPerDay float64
+	// Seed drives every random choice of the scenario.
+	Seed uint64
+}
+
+// ScenarioMask is the declared injection of a scenario: exactly the cells
+// erased, with their ground truth. The erased frame matches the mask cell
+// for cell — no generator erases anything it does not declare.
+type ScenarioMask struct {
+	Kind ScenarioKind
+	// Adversarial reports that the scenario intentionally leaves ticks with
+	// zero usable reference streams; every other kind guarantees at least
+	// one reference is present at every tick.
+	Adversarial bool
+	// Target is the evaluated block on the target series (truth preserved).
+	Target Block
+	// RefBlocks are the additional erased runs on reference streams, in
+	// deterministic (frame, then tick) order, truth preserved.
+	RefBlocks []Block
+}
+
+// ErasedCells returns the total number of erased values, target block
+// included.
+func (m *ScenarioMask) ErasedCells() int {
+	n := m.Target.Len()
+	for _, b := range m.RefBlocks {
+		n += b.Len()
+	}
+	return n
+}
+
+// ApplyScenario applies the configured scenario to the frame in place and
+// returns the declared mask. Value transforms (regime-shift,
+// seasonal-drift) run before any erasure, so recorded truth reflects the
+// transformed data the algorithms are scored against. Identical
+// (frame, cfg) inputs produce bit-identical frames and masks.
+func ApplyScenario(f *timeseries.Frame, cfg ScenarioConfig) (*ScenarioMask, error) {
+	target := f.ByName(cfg.Target)
+	if target == nil {
+		return nil, fmt.Errorf("dataset: unknown target series %q", cfg.Target)
+	}
+	if cfg.BlockStart < 0 || cfg.BlockLen <= 0 || cfg.BlockStart+cfg.BlockLen > target.Len() {
+		return nil, fmt.Errorf("dataset: block [%d,%d) out of range [0,%d)",
+			cfg.BlockStart, cfg.BlockStart+cfg.BlockLen, target.Len())
+	}
+	refs := cfg.Refs
+	if len(refs) == 0 {
+		for _, name := range f.Names() {
+			if name != cfg.Target {
+				refs = append(refs, name)
+			}
+		}
+	}
+	for _, name := range refs {
+		if f.ByName(name) == nil {
+			return nil, fmt.Errorf("dataset: unknown reference series %q", name)
+		}
+		if name == cfg.Target {
+			return nil, fmt.Errorf("dataset: target %q listed as its own reference", name)
+		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("dataset: scenario needs at least one reference series")
+	}
+
+	mask := &ScenarioMask{Kind: cfg.Kind}
+	switch cfg.Kind {
+	case ScenarioBlock:
+		// No extra dropout and no transform.
+	case ScenarioUniform:
+		rate := defaultF(cfg.RefRate, 0.05)
+		grid, err := refDropoutGrid(f, refs, func(r *rng, _ int) int {
+			if r.float64() < rate {
+				return 1
+			}
+			return 0
+		}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mask.RefBlocks = eraseGrid(f, refs, grid)
+	case ScenarioBursty:
+		rate := defaultF(cfg.RefRate, 0.05)
+		meanRun := cfg.MeanRun
+		if meanRun <= 0 {
+			meanRun = 12
+		}
+		// A run starts with probability p at each present tick; run lengths
+		// are geometric with the configured mean, giving a long-run missing
+		// fraction of ≈ p·meanRun/(1+p·meanRun) = rate.
+		p := rate / ((1 - rate) * float64(meanRun))
+		grid, err := refDropoutGrid(f, refs, func(r *rng, _ int) int {
+			if r.float64() >= p {
+				return 0
+			}
+			return 1 + geometric(r, meanRun)
+		}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mask.RefBlocks = eraseGrid(f, refs, grid)
+	case ScenarioCorrelated:
+		rate := defaultF(cfg.RefRate, 0.03)
+		corr := defaultF(cfg.Corr, 0.8)
+		n := f.Len()
+		outage := make([]bool, n)
+		or := newRNG(cfg.Seed ^ 0x6f757461676573) // "outages"
+		for t := 0; t < n; t++ {
+			outage[t] = or.float64() < rate
+		}
+		grid, err := refDropoutGrid(f, refs, func(r *rng, t int) int {
+			// Every stream's RNG advances at every tick so that a stream's
+			// draws do not depend on where outages fall for other ticks.
+			u := r.float64()
+			if outage[t] && u < corr {
+				return 1
+			}
+			return 0
+		}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mask.RefBlocks = eraseGrid(f, refs, grid)
+	case ScenarioRegimeShift:
+		level := cfg.LevelShift
+		scale := cfg.ScaleShift
+		if level == 0 && scale == 0 {
+			level, scale = 0.5, 1.25
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		shiftAt := cfg.ShiftAt
+		if shiftAt <= 0 {
+			shiftAt = cfg.BlockStart - (f.Len()-cfg.BlockStart)/4
+			if shiftAt < 0 {
+				shiftAt = 0
+			}
+		}
+		for _, s := range f.Series {
+			for t := shiftAt; t < s.Len(); t++ {
+				if !timeseries.IsMissing(s.Values[t]) {
+					s.Values[t] = level + scale*s.Values[t]
+				}
+			}
+		}
+	case ScenarioSeasonalDrift:
+		drift := defaultF(cfg.DriftPerDay, 0.05)
+		// Reference r'(t) = r(t − lag(t)) with lag(t) = drift·t ticks: after
+		// one day of ticks the references run drift·day behind the target's
+		// clock, after two days twice that — the cross-stream alignment
+		// degrades linearly with time. TicksPerDay only names the unit; the
+		// lag per tick is drift regardless of sampling rate.
+		for _, name := range refs {
+			s := f.ByName(name)
+			src := make([]float64, len(s.Values))
+			copy(src, s.Values)
+			for t := range s.Values {
+				s.Values[t] = sampleAt(src, float64(t)*(1-drift))
+			}
+		}
+	case ScenarioAdversarial:
+		mask.Adversarial = true
+		for _, name := range refs {
+			s := f.ByName(name)
+			lo, hi := cfg.BlockStart, cfg.BlockStart+cfg.BlockLen
+			if lo < s.Len() {
+				if hi > s.Len() {
+					hi = s.Len()
+				}
+				truth := s.EraseBlock(lo, hi-lo)
+				mask.RefBlocks = append(mask.RefBlocks, Block{Series: name, Start: lo, Truth: truth})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dataset: unknown scenario kind %q", cfg.Kind)
+	}
+
+	block, err := InjectBlock(f, cfg.Target, cfg.BlockStart, cfg.BlockLen)
+	if err != nil {
+		return nil, err
+	}
+	mask.Target = block
+	return mask, nil
+}
+
+// defaultF returns v, or def when v is zero.
+func defaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// geometric draws a geometric sample with the given mean (support 0, 1, …):
+// the number of successive heads of a coin with P(heads) = 1 − 1/mean.
+func geometric(r *rng, mean int) int {
+	if mean <= 1 {
+		return 0
+	}
+	p := 1 - 1/float64(mean)
+	n := 0
+	for r.float64() < p {
+		n++
+		if n >= 8*mean { // hard cap: keeps a pathological draw bounded
+			break
+		}
+	}
+	return n
+}
+
+// refDropoutGrid builds the per-reference missing mask: runAt is called for
+// every (stream, tick) with that stream's private seeded RNG and returns the
+// run length to start at that tick (0 = keep). The grid is then repaired so
+// no tick loses every reference — the non-adversarial invariant — by
+// keeping the first masked reference of an all-missing tick. Cells already
+// missing in the frame are never claimed by the mask.
+func refDropoutGrid(f *timeseries.Frame, refs []string, runAt func(r *rng, t int) int, seed uint64) ([][]bool, error) {
+	n := f.Len()
+	grid := make([][]bool, len(refs))
+	for i, name := range refs {
+		grid[i] = make([]bool, n)
+		r := newRNG(seed ^ fnvName(name))
+		remaining := 0
+		for t := 0; t < n; t++ {
+			if remaining > 0 {
+				remaining--
+				grid[i][t] = true
+				continue
+			}
+			if run := runAt(r, t); run > 0 {
+				grid[i][t] = true
+				remaining = run - 1
+			}
+		}
+	}
+	// Cells that are already missing in the frame are not ours to declare.
+	series := make([]*timeseries.Series, len(refs))
+	for i, name := range refs {
+		series[i] = f.ByName(name)
+		for t := 0; t < n; t++ {
+			if grid[i][t] && series[i].MissingAt(t) {
+				grid[i][t] = false
+			}
+		}
+	}
+	// Repair: a tick where the injection would leave zero present references
+	// keeps its first masked reference (deterministically), so imputation
+	// never faces zero usable references outside the adversarial scenario.
+	// (A tick where every reference was already missing in the input frame
+	// is a pre-existing condition the mask neither causes nor fixes.)
+	for t := 0; t < n; t++ {
+		anyPresent, firstMasked := false, -1
+		for i := range refs {
+			if grid[i][t] {
+				if firstMasked < 0 {
+					firstMasked = i
+				}
+				continue
+			}
+			if !series[i].MissingAt(t) {
+				anyPresent = true
+				break
+			}
+		}
+		if !anyPresent && firstMasked >= 0 {
+			grid[firstMasked][t] = false
+		}
+	}
+	return grid, nil
+}
+
+// eraseGrid erases the masked cells and returns them as maximal runs per
+// stream, in (frame order, tick order), truth preserved.
+func eraseGrid(f *timeseries.Frame, refs []string, grid [][]bool) []Block {
+	var blocks []Block
+	for i, name := range refs {
+		s := f.ByName(name)
+		t := 0
+		for t < len(grid[i]) {
+			if !grid[i][t] {
+				t++
+				continue
+			}
+			start := t
+			for t < len(grid[i]) && grid[i][t] {
+				t++
+			}
+			truth := s.EraseBlock(start, t-start)
+			blocks = append(blocks, Block{Series: name, Start: start, Truth: truth})
+		}
+	}
+	return blocks
+}
+
+// sampleAt reads src at a fractional position with linear interpolation,
+// clamping to the ends. NaN neighbours yield the nearer value.
+func sampleAt(src []float64, pos float64) float64 {
+	if len(src) == 0 {
+		return math.NaN()
+	}
+	if pos <= 0 {
+		return src[0]
+	}
+	if pos >= float64(len(src)-1) {
+		return src[len(src)-1]
+	}
+	lo := int(pos)
+	frac := pos - float64(lo)
+	a, b := src[lo], src[lo+1]
+	if math.IsNaN(a) {
+		return b
+	}
+	if math.IsNaN(b) {
+		return a
+	}
+	return a*(1-frac) + b*frac
+}
+
+// fnvName hashes a stream name (FNV-1a) to derive an independent RNG stream
+// per reference series from one scenario seed.
+func fnvName(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,365 @@
+package dataset
+
+import (
+	"go/parser"
+	"go/token"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tkcm/internal/timeseries"
+)
+
+// scenarioTestFrame builds a small complete frame with one target and three
+// reference streams carrying distinct seasonal signals.
+func scenarioTestFrame(t *testing.T, ticks int) *timeseries.Frame {
+	t.Helper()
+	mk := func(name string, phase float64) *timeseries.Series {
+		v := make([]float64, ticks)
+		for i := range v {
+			v[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/288+phase) + 0.01*float64(i%7)
+		}
+		return timeseries.New(name, v)
+	}
+	return timeseries.NewFrame(mk("s", 0), mk("r1", 0.3), mk("r2", 0.9), mk("r3", 1.7))
+}
+
+// scenarioConfigs enumerates one representative config per kind, sized for a
+// frame of the given length.
+func scenarioConfigs(ticks int) []ScenarioConfig {
+	bs, bl := ticks-600, 288
+	var cfgs []ScenarioConfig
+	for _, kind := range AllScenarioKinds {
+		cfgs = append(cfgs, ScenarioConfig{
+			Kind: kind, Target: "s", BlockStart: bs, BlockLen: bl,
+			RefRate: 0.2, MeanRun: 10, Corr: 0.9, Seed: 42,
+		})
+	}
+	return cfgs
+}
+
+// TestScenarioMaskMatchesInjection is the mask-exactness property: every
+// declared cell is missing in the frame with its truth preserved, and no
+// undeclared cell was erased.
+func TestScenarioMaskMatchesInjection(t *testing.T) {
+	const ticks = 4 * 288
+	for _, cfg := range scenarioConfigs(ticks) {
+		t.Run(string(cfg.Kind), func(t *testing.T) {
+			f := scenarioTestFrame(t, ticks)
+			before := f.Clone()
+			mask, err := ApplyScenario(f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mask.Kind != cfg.Kind {
+				t.Fatalf("mask kind = %q, want %q", mask.Kind, cfg.Kind)
+			}
+
+			// Count and verify declared cells.
+			declared := make(map[string]map[int]float64) // series → tick → truth
+			record := func(b Block) {
+				if declared[b.Series] == nil {
+					declared[b.Series] = make(map[int]float64)
+				}
+				for off, tv := range b.Truth {
+					tick := b.Start + off
+					if _, dup := declared[b.Series][tick]; dup {
+						t.Fatalf("cell %s@%d declared twice", b.Series, tick)
+					}
+					declared[b.Series][tick] = tv
+				}
+			}
+			record(mask.Target)
+			for _, b := range mask.RefBlocks {
+				record(b)
+			}
+
+			transformed := cfg.Kind == ScenarioRegimeShift || cfg.Kind == ScenarioSeasonalDrift
+			for _, s := range f.Series {
+				orig := before.ByName(s.Name)
+				for tick, v := range s.Values {
+					truth, isDeclared := declared[s.Name][tick]
+					if isDeclared {
+						if !math.IsNaN(v) {
+							t.Fatalf("%s: declared cell %s@%d not erased (= %g)", cfg.Kind, s.Name, tick, v)
+						}
+						if math.IsNaN(truth) {
+							t.Fatalf("%s: truth for %s@%d is NaN", cfg.Kind, s.Name, tick)
+						}
+						if !transformed && truth != orig.Values[tick] {
+							t.Fatalf("%s: truth for %s@%d = %g, want original %g",
+								cfg.Kind, s.Name, tick, truth, orig.Values[tick])
+						}
+						continue
+					}
+					if math.IsNaN(v) {
+						t.Fatalf("%s: undeclared cell %s@%d was erased", cfg.Kind, s.Name, tick)
+					}
+					if !transformed && v != orig.Values[tick] {
+						t.Fatalf("%s: untouched cell %s@%d changed: %g → %g",
+							cfg.Kind, s.Name, tick, orig.Values[tick], v)
+					}
+				}
+			}
+			if got := mask.Target.Len(); got != cfg.BlockLen {
+				t.Fatalf("target block length = %d, want %d", got, cfg.BlockLen)
+			}
+			if dropout := cfg.Kind == ScenarioUniform || cfg.Kind == ScenarioBursty ||
+				cfg.Kind == ScenarioCorrelated || cfg.Kind == ScenarioAdversarial; dropout && len(mask.RefBlocks) == 0 {
+				t.Fatalf("%s produced zero reference dropout at rate %g", cfg.Kind, cfg.RefRate)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism: identical seed ⇒ bit-identical frame and mask;
+// a different seed must change the dropout kinds' masks.
+func TestScenarioDeterminism(t *testing.T) {
+	const ticks = 4 * 288
+	for _, cfg := range scenarioConfigs(ticks) {
+		t.Run(string(cfg.Kind), func(t *testing.T) {
+			f1, f2 := scenarioTestFrame(t, ticks), scenarioTestFrame(t, ticks)
+			m1, err := ApplyScenario(f1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := ApplyScenario(f2, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m1.ErasedCells() != m2.ErasedCells() || len(m1.RefBlocks) != len(m2.RefBlocks) {
+				t.Fatalf("same seed, different masks: %d/%d cells, %d/%d blocks",
+					m1.ErasedCells(), m2.ErasedCells(), len(m1.RefBlocks), len(m2.RefBlocks))
+			}
+			for i := range m1.RefBlocks {
+				a, b := m1.RefBlocks[i], m2.RefBlocks[i]
+				if a.Series != b.Series || a.Start != b.Start || a.Len() != b.Len() {
+					t.Fatalf("same seed, block %d differs: %+v vs %+v", i, a, b)
+				}
+			}
+			for _, s := range f1.Series {
+				other := f2.ByName(s.Name)
+				for tick, v := range s.Values {
+					w := other.Values[tick]
+					if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+						t.Fatalf("same seed, %s@%d: %g vs %g", s.Name, tick, v, w)
+					}
+				}
+			}
+		})
+	}
+
+	// A different seed must move the random dropout (not block/adversarial,
+	// whose geometry is fully determined by the config).
+	for _, kind := range []ScenarioKind{ScenarioUniform, ScenarioBursty, ScenarioCorrelated} {
+		cfg := ScenarioConfig{Kind: kind, Target: "s", BlockStart: ticks - 600, BlockLen: 288,
+			RefRate: 0.2, MeanRun: 10, Corr: 0.9, Seed: 1}
+		f1, f2 := scenarioTestFrame(t, ticks), scenarioTestFrame(t, ticks)
+		m1, err := ApplyScenario(f1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 2
+		m2, err := ApplyScenario(f2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := len(m1.RefBlocks) == len(m2.RefBlocks)
+		if same {
+			for i := range m1.RefBlocks {
+				if m1.RefBlocks[i].Start != m2.RefBlocks[i].Start || m1.RefBlocks[i].Len() != m2.RefBlocks[i].Len() {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 1 and 2 produced identical dropout", kind)
+		}
+	}
+}
+
+// TestScenarioKeepsAReferencePresent: outside the adversarial kind, no tick
+// may end up with zero present reference streams — even at dropout rates
+// that would otherwise guarantee it.
+func TestScenarioKeepsAReferencePresent(t *testing.T) {
+	const ticks = 3 * 288
+	for _, kind := range []ScenarioKind{ScenarioUniform, ScenarioBursty, ScenarioCorrelated} {
+		t.Run(string(kind), func(t *testing.T) {
+			f := scenarioTestFrame(t, ticks)
+			cfg := ScenarioConfig{
+				Kind: kind, Target: "s", BlockStart: ticks - 400, BlockLen: 100,
+				RefRate: 0.95, MeanRun: 50, Corr: 1.0, Seed: 7,
+			}
+			mask, err := ApplyScenario(f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mask.Adversarial {
+				t.Fatalf("%s declared adversarial", kind)
+			}
+			refs := []string{"r1", "r2", "r3"}
+			for tick := 0; tick < ticks; tick++ {
+				present := 0
+				for _, name := range refs {
+					if !f.ByName(name).MissingAt(tick) {
+						present++
+					}
+				}
+				if present == 0 {
+					t.Fatalf("%s: tick %d has zero present references", kind, tick)
+				}
+			}
+		})
+	}
+
+	// The adversarial scenario, by contrast, must produce all-missing ticks
+	// across the block — and must say so via the Adversarial flag.
+	f := scenarioTestFrame(t, ticks)
+	cfg := ScenarioConfig{Kind: ScenarioAdversarial, Target: "s",
+		BlockStart: ticks - 400, BlockLen: 100, Seed: 7}
+	mask, err := ApplyScenario(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask.Adversarial {
+		t.Fatal("adversarial scenario not flagged adversarial")
+	}
+	for tick := cfg.BlockStart; tick < cfg.BlockStart+cfg.BlockLen; tick++ {
+		for _, name := range []string{"s", "r1", "r2", "r3"} {
+			if !f.ByName(name).MissingAt(tick) {
+				t.Fatalf("adversarial: %s@%d still present", name, tick)
+			}
+		}
+	}
+}
+
+// TestScenarioErrors covers the validation paths.
+func TestScenarioErrors(t *testing.T) {
+	const ticks = 600
+	cases := []ScenarioConfig{
+		{Kind: ScenarioBlock, Target: "nope", BlockStart: 10, BlockLen: 5},
+		{Kind: ScenarioBlock, Target: "s", BlockStart: -1, BlockLen: 5},
+		{Kind: ScenarioBlock, Target: "s", BlockStart: ticks - 2, BlockLen: 5},
+		{Kind: ScenarioBlock, Target: "s", BlockStart: 10, BlockLen: 0},
+		{Kind: ScenarioKind("martian"), Target: "s", BlockStart: 10, BlockLen: 5},
+		{Kind: ScenarioBursty, Target: "s", BlockStart: 10, BlockLen: 5, Refs: []string{"ghost"}},
+		{Kind: ScenarioBursty, Target: "s", BlockStart: 10, BlockLen: 5, Refs: []string{"s"}},
+	}
+	for _, cfg := range cases {
+		f := scenarioTestFrame(t, ticks)
+		if _, err := ApplyScenario(f, cfg); err == nil {
+			t.Fatalf("config %+v: expected error", cfg)
+		}
+	}
+}
+
+// TestRegimeShiftTransformsTail: the regime-shift scenario must change
+// values from the shift tick onward (on every stream) and leave the head
+// untouched, with the recorded truth matching the transformed data.
+func TestRegimeShiftTransformsTail(t *testing.T) {
+	const ticks = 4 * 288
+	f := scenarioTestFrame(t, ticks)
+	before := f.Clone()
+	cfg := ScenarioConfig{Kind: ScenarioRegimeShift, Target: "s",
+		BlockStart: ticks - 400, BlockLen: 100,
+		LevelShift: 1, ScaleShift: 1.5, ShiftAt: ticks / 2, Seed: 3}
+	mask, err := ApplyScenario(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		orig := before.ByName(s.Name)
+		for tick := 0; tick < cfg.ShiftAt; tick++ {
+			if !s.MissingAt(tick) && s.Values[tick] != orig.Values[tick] {
+				t.Fatalf("%s@%d changed before the shift", s.Name, tick)
+			}
+		}
+		for tick := cfg.ShiftAt; tick < ticks; tick++ {
+			if s.MissingAt(tick) {
+				continue
+			}
+			want := 1 + 1.5*orig.Values[tick]
+			if math.Abs(s.Values[tick]-want) > 1e-12 {
+				t.Fatalf("%s@%d = %g, want %g", s.Name, tick, s.Values[tick], want)
+			}
+		}
+	}
+	// Truth reflects the transformed values.
+	for off, tv := range mask.Target.Truth {
+		want := 1 + 1.5*before.ByName("s").Values[mask.Target.Start+off]
+		if math.Abs(tv-want) > 1e-12 {
+			t.Fatalf("truth[%d] = %g, want transformed %g", off, tv, want)
+		}
+	}
+}
+
+// TestSeasonalDriftLagsReferences: after drift, a reference's tail should
+// correlate better with its own past than with its aligned original —
+// i.e. the references genuinely lag.
+func TestSeasonalDriftLagsReferences(t *testing.T) {
+	const ticks = 6 * 288
+	f := scenarioTestFrame(t, ticks)
+	before := f.Clone()
+	cfg := ScenarioConfig{Kind: ScenarioSeasonalDrift, Target: "s",
+		BlockStart: ticks - 400, BlockLen: 100, DriftPerDay: 0.25, Seed: 3}
+	if _, err := ApplyScenario(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// At tick t the drifted reference reads the original at t·(1−0.25): the
+	// very end of r1 should match the original ~1.5 days earlier, not itself.
+	r1, o1 := f.ByName("r1"), before.ByName("r1")
+	tail := ticks - 10
+	lagged := int(float64(tail) * 0.75)
+	if math.Abs(r1.Values[tail]-o1.Values[lagged]) > 0.2 {
+		t.Fatalf("drifted r1@%d = %g, want ≈ original@%d = %g",
+			tail, r1.Values[tail], lagged, o1.Values[lagged])
+	}
+	// The target is never drifted.
+	s, os := f.ByName("s"), before.ByName("s")
+	for tick := 0; tick < cfg.BlockStart; tick++ {
+		if s.Values[tick] != os.Values[tick] {
+			t.Fatalf("target drifted at %d", tick)
+		}
+	}
+}
+
+// TestNoGlobalRNGInDataset is the seed-audit regression test: no file of
+// this package may import math/rand (whose global source is shared, mutable
+// state) or call time.Now (a time-varying seed) — every random choice must
+// flow from an explicit seed through the package-local splitmix64 RNG, or
+// scenario reproducibility (and the committed accuracy baselines) would
+// silently break. Fixed calendar constants (time.Date) remain fine.
+func TestNoGlobalRNGInDataset(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch path {
+			case "math/rand", "math/rand/v2", "crypto/rand":
+				t.Errorf("%s imports %q: dataset generators must derive all randomness from explicit seeds (internal/dataset/rng.go)", name, path)
+			}
+		}
+		src, err := os.ReadFile(filepath.Join(".", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), "time.Now") {
+			t.Errorf("%s calls time.Now: dataset generators must not derive seeds or data from wall-clock time", name)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// AccuracySchema identifies the committed ACCURACY.json baseline format.
+const AccuracySchema = "tkcm-accuracy-v1"
+
+// AccuracyCell is one pinned cell of the accuracy baseline.
+type AccuracyCell struct {
+	RMSE  JSONFloat `json:"rmse"`
+	SMAPE JSONFloat `json:"smape"`
+}
+
+// AccuracyBaseline is the committed accuracy pin (ACCURACY.json): per-cell
+// RMSE/SMAPE for every grid cell of a reference run. The CI gate compares a
+// fresh quick-grid run against it and fails on TKCM regressions.
+type AccuracyBaseline struct {
+	Schema string `json:"schema"`
+	Grid   string `json:"grid"`
+	Seed   uint64 `json:"seed"`
+	Scale  string `json:"scale"`
+	// Cells maps CellResult.Key() ("dataset/scenario/l=N/alg") to metrics.
+	Cells map[string]AccuracyCell `json:"cells"`
+}
+
+// NewBaseline pins a grid result as an accuracy baseline.
+func NewBaseline(res *GridResult) *AccuracyBaseline {
+	b := &AccuracyBaseline{
+		Schema: AccuracySchema,
+		Grid:   res.Grid,
+		Seed:   res.Seed,
+		Scale:  res.Scale,
+		Cells:  make(map[string]AccuracyCell, len(res.Cells)),
+	}
+	for _, c := range res.Cells {
+		b.Cells[c.Key()] = AccuracyCell{RMSE: c.RMSE, SMAPE: c.SMAPE}
+	}
+	return b
+}
+
+// LoadBaseline reads a committed ACCURACY.json.
+func LoadBaseline(path string) (*AccuracyBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b AccuracyBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("experiments: bad accuracy baseline: %w", err)
+	}
+	if b.Schema != AccuracySchema {
+		return nil, fmt.Errorf("experiments: accuracy baseline schema %q, want %q", b.Schema, AccuracySchema)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline with stable key order, trailing newline included,
+// so re-baselining produces minimal diffs.
+func (b *AccuracyBaseline) Save(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Gate compares a fresh grid run against the pinned baseline and returns one
+// failure line per regressed TKCM cell. Only TKCM cells gate — the baselines
+// are comparison context, not a contract this repo maintains — and a cell
+// regresses when RMSE or SMAPE exceeds the pinned value by more than tol
+// (fractional, e.g. 0.05) plus a small absolute epsilon for near-zero pins.
+// A baseline TKCM cell missing from the run fails too: silently dropping a
+// cell must not pass the gate. Cells present in the run but absent from the
+// baseline are ignored (a grown grid gates only what is pinned until the
+// baseline is refreshed).
+func (b *AccuracyBaseline) Gate(res *GridResult, tol float64) []string {
+	const eps = 1e-9
+	current := make(map[string]CellResult, len(res.Cells))
+	for _, c := range res.Cells {
+		current[c.Key()] = c
+	}
+	keys := make([]string, 0, len(b.Cells))
+	for k := range b.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var failures []string
+	for _, key := range keys {
+		pin := b.Cells[key]
+		cell, ok := current[key]
+		if !ok {
+			if isTKCMKey(key) {
+				failures = append(failures, fmt.Sprintf("%s: pinned cell missing from this run (re-baseline ACCURACY.json if the grid legitimately changed)", key))
+			}
+			continue
+		}
+		if !isTKCMKey(key) {
+			continue
+		}
+		check := func(metric string, pinned, got JSONFloat) {
+			p, g := float64(pinned), float64(got)
+			if math.IsNaN(p) {
+				return // nothing pinned to regress against
+			}
+			if math.IsNaN(g) {
+				failures = append(failures, fmt.Sprintf("%s: %s is NaN (baseline %.6g)", key, metric, p))
+				return
+			}
+			if g > p*(1+tol)+eps {
+				failures = append(failures, fmt.Sprintf("%s: %s %.6g exceeds baseline %.6g by more than %.0f%%", key, metric, g, p, tol*100))
+			}
+		}
+		check("RMSE", pin.RMSE, cell.RMSE)
+		check("SMAPE", pin.SMAPE, cell.SMAPE)
+	}
+	return failures
+}
+
+// isTKCMKey reports whether a baseline cell key names a TKCM cell.
+func isTKCMKey(key string) bool {
+	suffix := "/" + AlgTKCM
+	return len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix
+}

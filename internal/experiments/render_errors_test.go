@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"tkcm/internal/core"
+	"tkcm/internal/dataset"
+	"tkcm/internal/timeseries"
+)
+
+// failWriter fails after n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestTableWriteToError(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2.5)
+	if _, err := tb.WriteTo(&failWriter{n: 3}); err == nil {
+		t.Fatal("expected write error")
+	}
+	// A row shorter than the header renders without panicking.
+	tb.AddRow("only")
+	var sb strings.Builder
+	if _, err := tb.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "only") {
+		t.Fatalf("short row dropped:\n%s", sb.String())
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if s := Sparkline(nil, 10); s != "" {
+		t.Fatalf("empty input rendered %q", s)
+	}
+	// Constant input: no range, lowest glyph everywhere, no division by zero.
+	if s := Sparkline([]float64{2, 2, 2, 2}, 0); len([]rune(s)) != 4 {
+		t.Fatalf("constant input rendered %q", s)
+	}
+	// Width larger than the data clamps to the data length.
+	if s := Sparkline([]float64{1, 2}, 100); len([]rune(s)) != 2 {
+		t.Fatalf("oversized width rendered %q", s)
+	}
+}
+
+func TestRenderSummaryEmptyResults(t *testing.T) {
+	empty := &GridResult{Schema: GridSchema, Grid: "g"}
+	if _, err := RenderSummaryJSON(empty); err == nil {
+		t.Fatal("summary.json rendered with zero cells")
+	}
+	if _, err := RenderSummaryMD(empty); err == nil {
+		t.Fatal("summary.md rendered with zero cells")
+	}
+}
+
+func TestRenderSummaryMismatchedAlgorithms(t *testing.T) {
+	res := &GridResult{Schema: GridSchema, Grid: "g", Cells: []CellResult{
+		{Dataset: DSSBR, Scenario: "block", PatternLength: 24, Algorithm: AlgTKCM, RMSE: 1},
+		{Dataset: DSSBR, Scenario: "block", PatternLength: 24, Algorithm: AlgCD, RMSE: 1},
+		{Dataset: DSSBR, Scenario: "bursty", PatternLength: 24, Algorithm: AlgTKCM, RMSE: 1},
+	}}
+	_, err := RenderSummaryMD(res)
+	if err == nil || !strings.Contains(err.Error(), "mismatched algorithm sets") {
+		t.Fatalf("err = %v, want mismatched algorithm sets", err)
+	}
+	// A duplicate cell is rejected too.
+	dup := &GridResult{Schema: GridSchema, Grid: "g", Cells: []CellResult{
+		{Dataset: DSSBR, Scenario: "block", PatternLength: 24, Algorithm: AlgTKCM, RMSE: 1},
+		{Dataset: DSSBR, Scenario: "block", PatternLength: 24, Algorithm: AlgTKCM, RMSE: 2},
+	}}
+	if _, err := RenderSummaryMD(dup); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("err = %v, want duplicate cell", err)
+	}
+}
+
+func TestRenderSummaryNaNMetrics(t *testing.T) {
+	nan := JSONFloat(math.NaN())
+	res := &GridResult{Schema: GridSchema, Grid: "g", Cells: []CellResult{
+		{Dataset: DSSBR, Scenario: "adversarial", PatternLength: 24, Algorithm: AlgTKCM,
+			RMSE: nan, SMAPE: nan, MAE: nan},
+		{Dataset: DSSBR, Scenario: "adversarial", PatternLength: 24, Algorithm: AlgCD,
+			RMSE: 1.25, SMAPE: nan, MAE: nan},
+	}}
+	md, err := RenderSummaryMD(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "| — |") {
+		t.Fatalf("all-NaN cell not rendered as —:\n%s", md)
+	}
+	if !strings.Contains(string(md), "1.25 (—)") {
+		t.Fatalf("partial-NaN cell mis-rendered:\n%s", md)
+	}
+	// And the JSON form encodes the NaNs as null rather than erroring.
+	js, err := RenderSummaryJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"rmse": null`) {
+		t.Fatalf("NaN metric not null in JSON:\n%s", js)
+	}
+}
+
+func TestStripSummaryMeta(t *testing.T) {
+	md := []byte(SummaryMetaBegin + "\nstamp\n" + SummaryMetaEnd + "\nbody\n")
+	if got := string(StripSummaryMeta(md)); got != "\nbody\n" {
+		t.Fatalf("stripped = %q", got)
+	}
+	// No markers: unchanged.
+	if got := string(StripSummaryMeta([]byte("plain"))); got != "plain" {
+		t.Fatalf("marker-free input mangled: %q", got)
+	}
+}
+
+// brokenScale returns a Scale whose single spec fails scenario construction
+// (block out of range), to drive the analysis error paths.
+func brokenScale(blockStart int) Scale {
+	return Scale{Name: "broken", specs: map[string]Spec{
+		DSSBR: {
+			Dataset: DSSBR,
+			Generate: func() *timeseries.Frame {
+				return dataset.SBR(dataset.SBRConfig{Stations: 4, Ticks: 600, Seed: 1, NoiseSD: 0.2})
+			},
+			Target: "s0", Targets: []string{"s0"},
+			Cfg: core.Config{K: 3, PatternLength: 24, D: 2, WindowLength: 400,
+				Norm: core.L2, Selection: core.SelectDP},
+			BlockStart: blockStart, BlockLen: 100, Width: 3, TicksPerDay: 288,
+		},
+	}}
+}
+
+// TestAblationErrorPaths: every ablation surfaces scenario-construction and
+// TKCM-run failures instead of panicking or returning partial rows.
+func TestAblationErrorPaths(t *testing.T) {
+	bad := brokenScale(10_000) // block starts beyond the data
+	if _, err := AblationSelection(bad, DSSBR); err == nil {
+		t.Fatal("AblationSelection swallowed the scenario error")
+	}
+	if _, err := AblationNorms(bad, DSSBR); err == nil {
+		t.Fatal("AblationNorms swallowed the scenario error")
+	}
+	if _, err := AblationWeighting(bad, DSSBR); err == nil {
+		t.Fatal("AblationWeighting swallowed the scenario error")
+	}
+
+	// A config the engine rejects (d exceeding the available references)
+	// propagates from RunTKCM.
+	short := brokenScale(450)
+	sp := short.specs[DSSBR]
+	sp.Cfg.D = 64
+	short.specs[DSSBR] = sp
+	if _, err := AblationNorms(short, DSSBR); err == nil {
+		t.Fatal("AblationNorms swallowed the reference-count error")
+	}
+
+	// Unknown datasets panic loudly (programming error, not input error).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale.Spec on an unknown dataset did not panic")
+		}
+	}()
+	_, _ = AblationNorms(tinyScale(), "Atlantis")
+}
+
+// TestGridCellErrors: RunGrid surfaces per-cell failures with the cell
+// identity attached.
+func TestGridCellErrors(t *testing.T) {
+	spec := tinyGridSpec("block")
+	spec.PatternLengths = []int{1 << 20} // pattern longer than any window
+	_, err := RunGrid(tinyScale(), spec, GridOptions{})
+	if err == nil || !strings.Contains(err.Error(), "cell SBR/block/") {
+		t.Fatalf("err = %v, want cell-tagged failure", err)
+	}
+}

@@ -129,6 +129,35 @@ func RMSE(truth, est []float64) float64 {
 	return math.Sqrt(sum / float64(cnt))
 }
 
+// SMAPE returns the symmetric mean absolute percentage error (in percent,
+// 0–200) between truth and estimate over positions where both are present:
+// mean of 200·|est−truth| / (|truth|+|est|). Positions where both values are
+// exactly zero contribute 0 (the estimate is perfect there). It returns NaN
+// if no comparable position exists. SMAPE complements RMSE in the accuracy
+// gate: it is scale-free, so a regression on a low-amplitude dataset cannot
+// hide behind a high-amplitude one.
+func SMAPE(truth, est []float64) float64 {
+	n := len(truth)
+	if len(est) < n {
+		n = len(est)
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		if math.IsNaN(truth[i]) || math.IsNaN(est[i]) {
+			continue
+		}
+		denom := math.Abs(truth[i]) + math.Abs(est[i])
+		if denom > 0 {
+			sum += 200 * math.Abs(est[i]-truth[i]) / denom
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}
+
 // MAE returns the mean absolute error between truth and estimate over
 // positions where both are present, or NaN if none exists.
 func MAE(truth, est []float64) float64 {
