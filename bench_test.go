@@ -549,6 +549,12 @@ func BenchmarkWALAppend(b *testing.B) { benchcases.WALAppend(b) }
 // overhead over BenchmarkEngineTickRowBaseline.
 func BenchmarkShardTick(b *testing.B) { benchcases.ShardTick(b) }
 
+// BenchmarkShardTickCold is the residency tier's worst case: every measured
+// tick hydrates a parked tenant (mmap checkpoint restore) before ticking, so
+// the delta over BenchmarkShardTick is the cost a cold tenant's first tick
+// pays.
+func BenchmarkShardTickCold(b *testing.B) { benchcases.ShardTickCold(b) }
+
 // BenchmarkEngineTickBatch measures bulk ingest through TickBatch at the
 // default (incremental) configuration.
 func BenchmarkEngineTickBatch(b *testing.B) {

@@ -91,6 +91,12 @@ type result struct {
 	// the server predates the stage histograms.
 	ServerStageP99Millis map[string]float64 `json:"server_stage_p99_ms,omitempty"`
 	ServerAckP99Millis   float64            `json:"server_ack_p99_ms,omitempty"`
+	// Residency-tier observations, present when the target runs with a
+	// resident-engine cap and the run forced hydrations: how many parked
+	// engines were rebuilt during the run and the server-observed p99 of
+	// doing so (checkpoint restore + WAL tail replay), in milliseconds.
+	Hydrations         uint64  `json:"hydrations,omitempty"`
+	HydrationP99Millis float64 `json:"hydration_p99_ms,omitempty"`
 }
 
 func run(args []string, out *os.File) error {
@@ -175,6 +181,8 @@ func run(args []string, out *os.File) error {
 		duplicates atomic.Uint64
 		latMu      sync.Mutex
 		latencies  []int64
+		driveErrs  int
+		firstDrive error
 		wg         sync.WaitGroup
 	)
 	deadline := time.Now().Add(o.duration)
@@ -192,6 +200,12 @@ func run(args []string, out *os.File) error {
 				lats, err := drive(runCtx, c, tenant, worker, o, sendProb, deadline, &ticks, &imputes, &duplicates)
 				latMu.Lock()
 				latencies = append(latencies, lats...)
+				if err != nil {
+					driveErrs++
+					if firstDrive == nil {
+						firstDrive = fmt.Errorf("%s/%d: %w", tenant, worker, err)
+					}
+				}
 				latMu.Unlock()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "tkcm-loadgen: %s/%d: %v\n", tenant, worker, err)
@@ -284,6 +298,12 @@ func run(args []string, out *os.File) error {
 	// broken, and must fail the run (and CI), not just mutter on stderr.
 	if o.migrate > 0 && health.Shards > 1 && res.Migrations == 0 {
 		return fmt.Errorf("live-migration soak completed zero migrations")
+	}
+	// A sequenced driver errors on any ack gap or mid-stream failure, so a
+	// clean run is a zero-lost-acks proof; a failed driver must fail the run
+	// (and CI), not just mutter on stderr under the summary.
+	if driveErrs > 0 {
+		return fmt.Errorf("%d of %d drivers failed; first: %v", driveErrs, o.tenants*o.streams, firstDrive)
 	}
 	return nil
 }
@@ -498,6 +518,20 @@ func scrapeStageP99(ctx context.Context, c *client.Client, res *result) string {
 	if e2e := sc.StageQuantile("tkcm_ack_seconds", 0.99, nil); !math.IsNaN(e2e) {
 		res.ServerAckP99Millis = e2e * 1e3
 		fmt.Fprintf(&line, "e2e %.3fms", e2e*1e3)
+	}
+	// Residency tier: when the run forced hydrations (resident-engine cap set
+	// and the tenant set overflowed it), record how many and their p99 — the
+	// cost a cold tenant's first tick pays.
+	for _, smp := range sc.Samples {
+		if smp.Name == "tkcm_engine_hydrations_total" && smp.Labels == "" {
+			res.Hydrations = uint64(smp.Value)
+		}
+	}
+	if res.Hydrations > 0 {
+		if h := sc.StageQuantile("tkcm_hydration_seconds", 0.99, nil); !math.IsNaN(h) {
+			res.HydrationP99Millis = h * 1e3
+			fmt.Fprintf(&line, "  hydrate %.3fms (%d hydrations)", h*1e3, res.Hydrations)
+		}
 	}
 	return strings.TrimRight(line.String(), " ")
 }

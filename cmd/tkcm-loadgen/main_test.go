@@ -102,12 +102,20 @@ func TestRunRejectsBadPatternFlags(t *testing.T) {
 }
 
 // serveMain boots a WAL-enabled serving stack for the smoke test and tears
-// it down when ctx ends.
-func serveMain(ctx context.Context, dir string, addrc chan net.Addr) error {
+// it down when ctx ends. resident > 0 additionally caps in-memory engines,
+// wiring the residency tier the way cmd/tkcm-serve does.
+func serveMain(ctx context.Context, dir string, addrc chan net.Addr, resident int) error {
+	ckDir := filepath.Join(dir, "ck")
 	walMgr := wal.NewManager(filepath.Join(dir, "wal"), wal.Options{SyncInterval: time.Millisecond})
 	defer walMgr.Close()
-	m := shard.New(shard.Options{Shards: 2, WAL: walMgr})
-	srv := server.New(server.Options{Manager: m, CheckpointDir: filepath.Join(dir, "ck"), WAL: walMgr})
+	opts := shard.Options{Shards: 2, WAL: walMgr}
+	if resident > 0 {
+		opts.Hydrate = server.CheckpointHydrator(ckDir)
+		opts.Parkable = server.CheckpointParkable(ckDir)
+		opts.ResidentEngines = resident
+	}
+	m := shard.New(opts)
+	srv := server.New(server.Options{Manager: m, CheckpointDir: ckDir, WAL: walMgr})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -132,7 +140,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	defer cancel()
 	addrc := make(chan net.Addr, 1)
 	srvErr := make(chan error, 1)
-	go func() { srvErr <- serveMain(ctx, dir, addrc) }()
+	go func() { srvErr <- serveMain(ctx, dir, addrc, 0) }()
 	var base string
 	select {
 	case a := <-addrc:
@@ -185,6 +193,73 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if res.AckP99Millis < res.AckP50Millis {
 		t.Fatalf("p99 < p50: %+v", res)
+	}
+
+	cancel()
+	select {
+	case <-srvErr:
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestLoadgenResidencySmoke drives Zipfian load against a server whose
+// resident-engine budget is far smaller than its tenant count: the run must
+// sustain load (acks flow, exactly-once holds — drive() fails on any gap),
+// force hydrations, and surface the hydration p99 in the report artifact.
+func TestLoadgenResidencySmoke(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- serveMain(ctx, dir, addrc, 2) }()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-srvErr:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	jsonPath := filepath.Join(dir, "LOADGEN.json")
+	err := run([]string{
+		"-addr", base,
+		"-tenants", "8", "-streams", "1", "-width", "4",
+		"-duration", "2s", "-missing", "0.1", "-zipf", "1",
+		"-window", "64", "-l", "4", "-k", "2",
+		"-json", jsonPath,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchfmt.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	row, err := json.Marshal(report.Rows[0].Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(row, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks == 0 {
+		t.Fatalf("no throughput under the residency cap: %+v", res)
+	}
+	if res.Hydrations == 0 {
+		t.Fatalf("8 tenants over a 2-engine budget forced no hydrations: %+v", res)
+	}
+	if res.HydrationP99Millis <= 0 {
+		t.Fatalf("hydration p99 missing from the artifact: %+v", res)
 	}
 
 	cancel()

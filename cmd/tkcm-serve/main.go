@@ -28,6 +28,13 @@
 // graceful shutdown: the HTTP server drains in-flight tick streams, a final
 // checkpoint is written, and the shards close their engines.
 //
+// -resident-engines (or -resident-bytes) enables the tiered residency
+// engine: only that many tenant engines stay in memory, and colder tenants
+// park on disk as their checkpoint plus WAL tail — eviction writes nothing —
+// until their next tick hydrates them back. This lets one process host far
+// more tenants than fit in RAM; it requires both -wal-dir and
+// -checkpoint-dir.
+//
 // -integrity-key-file keys the WAL's tamper-evident layer (Merkle roots,
 // signed commit frames and head files); audit the directories offline with
 // tkcm-verify. -follow turns the process into an asynchronous follower that
@@ -87,6 +94,8 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 		follow     = fs.String("follow", "", "base URL of a primary to follow (e.g. http://primary:8080): replicate its checkpoints and WAL instead of serving writes, until promoted via SIGHUP or POST /v1/promote; requires -wal-dir and the primary's integrity key")
 		followInt  = fs.Duration("follow-interval", 2*time.Second, "follower pull period")
 		rebalance  = fs.Duration("rebalance-interval", 0, "load-aware rebalancer period: migrate at most one tenant off the hottest shard per interval (0 = disabled)")
+		resEngines = fs.Int("resident-engines", 0, "cap on tenant engines kept in memory across all shards (0 = unlimited); cold tenants park as checkpoint + WAL tail and hydrate on their next tick; requires -wal-dir and -checkpoint-dir")
+		resBytes   = fs.Int64("resident-bytes", 0, "cap on the estimated in-memory engine footprint in bytes, same parking behavior (0 = unlimited); requires -wal-dir and -checkpoint-dir")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "graceful shutdown budget for in-flight requests")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		logFormat  = fs.String("log-format", "text", "log output format: text or json")
@@ -131,7 +140,21 @@ func run(ctx context.Context, args []string, ready func(net.Addr)) error {
 			return fmt.Errorf("opening routing table: %w", err)
 		}
 	}
-	m := shard.New(shard.Options{Shards: *shards, QueueLen: *queue, Routing: routing, WAL: walMgr})
+	shardOpts := shard.Options{Shards: *shards, QueueLen: *queue, Routing: routing, WAL: walMgr}
+	if *resEngines > 0 || *resBytes > 0 {
+		// The residency tier needs both halves of the durable state it parks
+		// tenants onto: the checkpoint the hydrator restores and the WAL tail
+		// that replays on top of it. Without the WAL, evicting a ticked
+		// tenant would discard acked rows only its in-memory engine held.
+		if walMgr == nil {
+			return errors.New("-resident-engines/-resident-bytes require -wal-dir and -checkpoint-dir (parked tenants rebuild from checkpoint + WAL tail)")
+		}
+		shardOpts.Hydrate = server.CheckpointHydrator(*ckDir)
+		shardOpts.Parkable = server.CheckpointParkable(*ckDir)
+		shardOpts.ResidentEngines = *resEngines
+		shardOpts.ResidentBytes = *resBytes
+	}
+	m := shard.New(shardOpts)
 	srv := server.New(server.Options{
 		Manager:            m,
 		CheckpointDir:      *ckDir,

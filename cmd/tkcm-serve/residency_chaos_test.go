@@ -1,0 +1,283 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"tkcm/client"
+	"tkcm/internal/audit"
+)
+
+// scrapeCounter fetches /metrics and returns the named (unlabeled) counter.
+// A degraded server answers 503 but still writes the body, so the scrape
+// reads it either way.
+func scrapeCounter(t *testing.T, addr, name string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics", name)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metric %s: parsing %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestHardKillDuringResidencyChurn is the chaos acceptance test for the
+// residency tier: 12 tenants share a server capped at 3 resident engines, so
+// a skewed (hot-head, long-tail) load keeps engines constantly parking and
+// hydrating, while a churn goroutine walks tenants between shards. The
+// process is SIGKILLed mid-storm — evictions, hydrations, and possibly a
+// migration in flight — and restarted over the same directories. Every acked
+// tick of every tenant must survive exactly once, every tenant must land on
+// exactly one shard, hydrations must be observed after the restart (the storm
+// really exercised the tier), and the offline integrity audit must prove
+// durability through every ack.
+func TestHardKillDuringResidencyChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	args := []string{
+		"-addr", addr,
+		"-shards", "2",
+		"-checkpoint-dir", dir + "/ck",
+		"-wal-dir", dir + "/wal",
+		"-wal-sync", "1ms",
+		// Recovery and every hydration must come from the base image plus the
+		// WAL alone — no periodic checkpoint narrows the replayed tail.
+		"-checkpoint-every", "1h",
+		"-resident-engines", "3",
+	}
+	proc := spawnServe(t, args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+	c := client.New("http://" + addr)
+
+	const nTenants = 12
+	const width = 4
+	cfg := &client.Config{K: 2, PatternLength: 3, D: 2, WindowLength: 64}
+	ids := make([]string, nTenants)
+	totals := make([]int, nTenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rc-%02d", i)
+		// Zipfian-ish skew: tenant 0 is hot, the tail barely ticks — cold
+		// tenants park and must hydrate when their occasional tick arrives.
+		totals[i] = 240 / (i + 1)
+		if totals[i] < 20 {
+			totals[i] = 20
+		}
+		if err := c.CreateTenant(ctx, ids[i], client.CreateTenantRequest{
+			Streams: []string{"s", "r1", "r2", "r3"},
+			Config:  cfg,
+		}); err != nil {
+			t.Fatalf("create %s: %v", ids[i], err)
+		}
+	}
+
+	// One sequenced stream per tenant; a shared ack counter triggers the kill
+	// from a dedicated goroutine so no worker ever owns process lifecycle.
+	var ackTotal atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, nTenants)
+	ackedBy := make([]map[uint64]int, nTenants)
+	for i := range ids {
+		ackedBy[i] = make(map[uint64]int)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.OpenStream(ctx, ids[i], client.StreamOptions{Sequenced: true, MaxInFlight: 8})
+			if err != nil {
+				errc <- fmt.Errorf("%s: open stream: %w", ids[i], err)
+				return
+			}
+			sendErr := make(chan error, 1)
+			go func() {
+				for n := 1; n <= totals[i]; n++ {
+					if err := st.Send(ctx, rowAt(n, width)); err != nil {
+						sendErr <- fmt.Errorf("%s: send %d: %w", ids[i], n, err)
+						return
+					}
+				}
+				sendErr <- nil
+			}()
+			for len(ackedBy[i]) < totals[i] {
+				ack, err := st.Recv(ctx)
+				if err != nil {
+					errc <- fmt.Errorf("%s: recv after %d acks: %w", ids[i], len(ackedBy[i]), err)
+					return
+				}
+				ackedBy[i][ack.Seq]++
+				ackTotal.Add(1)
+			}
+			if err := <-sendErr; err != nil {
+				errc <- err
+				return
+			}
+			if err := st.Close(); err != nil {
+				errc <- fmt.Errorf("%s: close: %w", ids[i], err)
+			}
+		}(i)
+	}
+
+	// Migration churn: walk tenants round-robin between the shards so the
+	// SIGKILL can land with a move in flight — and so migrations race
+	// evictions and hydrations the whole run. Errors (server down, tenant
+	// mid-anything) are expected; the loop just keeps going.
+	churnStop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			mctx, mcancel := context.WithTimeout(ctx, 5*time.Second)
+			// i and i/nTenants have independent parities, so every tenant
+			// alternates between both shards across rounds.
+			c.MigrateTenant(mctx, ids[i%nTenants], (i/nTenants)%2)
+			mcancel()
+		}
+	}()
+
+	// The killer: once a third of the expected acks have flowed — the cap is
+	// long since saturated and hydrations are happening — SIGKILL and
+	// restart. No drain, no final checkpoint, no handler.
+	grandTotal := 0
+	for _, n := range totals {
+		grandTotal += n
+	}
+	killAt := int64(grandTotal / 3)
+	killDone := make(chan struct{})
+	var killedAt int64
+	go func() {
+		defer close(killDone)
+		for ackTotal.Load() < killAt {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		if err := proc.Process.Kill(); err != nil {
+			t.Error(err)
+			return
+		}
+		killedAt = ackTotal.Load()
+		proc.Wait()
+		proc = spawnServe(t, args)
+	}()
+
+	wg.Wait()
+	close(churnStop)
+	<-churnDone
+	<-killDone
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if killedAt >= int64(grandTotal) {
+		t.Fatalf("SIGKILL landed after all %d acks — the crash never interrupted the storm", grandTotal)
+	}
+	for i := range ids {
+		for seq := uint64(1); seq <= uint64(totals[i]); seq++ {
+			if ackedBy[i][seq] != 1 {
+				t.Fatalf("%s seq %d acked %d times, want exactly 1", ids[i], seq, ackedBy[i][seq])
+			}
+		}
+	}
+
+	// The restart re-hosted all 12 tenants over a 3-engine budget, so the
+	// post-kill load must have hydrated — the storm provably exercised the
+	// residency tier on both sides of the crash.
+	if hyd := scrapeCounter(t, addr, "tkcm_engine_hydrations_total"); hyd == 0 {
+		t.Fatal("no hydrations after restart: the chaos run never exercised the residency tier")
+	}
+	if parked := scrapeCounter(t, addr, "tkcm_engines_parked"); parked == 0 {
+		t.Fatal("no tenants parked after the run despite 12 tenants over a 3-engine budget")
+	}
+
+	// Every tenant hosted exactly once, at the sequence its acks reached.
+	tenants, err := c.ListTenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := make(map[string]int)
+	for _, info := range tenants {
+		hosted[info.ID]++
+	}
+	for i, id := range ids {
+		if hosted[id] != 1 {
+			t.Fatalf("tenant %s hosted %d times after recovery, want exactly 1", id, hosted[id])
+		}
+		info, err := c.GetTenant(ctx, id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if info.Seq != uint64(totals[i]) {
+			t.Fatalf("%s seq after recovery = %d, want %d", id, info.Seq, totals[i])
+		}
+	}
+
+	// Graceful goodbye, then the offline audit must prove durability through
+	// every tenant's last ack — same proof tkcm-verify prints.
+	proc.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		proc.Process.Kill()
+		t.Fatal("restarted server did not shut down on SIGTERM")
+	}
+	results, err := audit.All(dir+"/ck", dir+"/wal", nil)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	byTenant := make(map[string]audit.Result, len(results))
+	for _, res := range results {
+		byTenant[res.Tenant] = res
+	}
+	for i, id := range ids {
+		res, ok := byTenant[id]
+		if !ok {
+			t.Fatalf("audit found no tenant %q", id)
+		}
+		if res.Err != nil {
+			t.Fatalf("audit of %s after hard kill: %v", id, res.Err)
+		}
+		if res.Report.DurableThrough < uint64(totals[i]) {
+			t.Fatalf("%s: audit proves durable through %d, want >= %d", id, res.Report.DurableThrough, totals[i])
+		}
+	}
+}

@@ -11,13 +11,17 @@
 package benchcases
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"tkcm"
+	"tkcm/internal/core"
 	"tkcm/internal/shard"
 	"tkcm/internal/wal"
 )
@@ -42,6 +46,7 @@ func Cases() []Case {
 		{Name: "wal-append", Batch: 1, Fn: WALAppend},
 		{Name: "wal-append-batch-64", Batch: 64, Fn: func(b *testing.B) { WALAppendBatch(b, 64) }},
 		{Name: "shard-tick", Batch: 1, Fn: ShardTick},
+		{Name: "shard-tick-cold", Batch: 1, Fn: ShardTickCold},
 	}
 }
 
@@ -263,5 +268,83 @@ func ShardTick(b *testing.B) {
 		if err := m.Tick(ctx, "bench", 0, row, &rsp); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ShardTickCold measures the residency tier's worst case against ShardTick's
+// warm baseline: every measured tick lands on a PARKED tenant, so ns/op is
+// hydration (memory-mapped checkpoint restore + residency bookkeeping) plus
+// the tick itself. Two tenants alternate under a one-engine budget — each
+// tick hydrates its tenant and parks the other — and the re-checkpoint that
+// keeps hydration valid for the next round happens off the clock, via temp
+// file + rename so the live engine's mapped window is never overwritten in
+// place.
+func ShardTickCold(b *testing.B) {
+	dir, err := os.MkdirTemp("", "tkcm-coldbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := func(id string) string { return filepath.Join(dir, id+".ckpt") }
+	m := shard.New(shard.Options{
+		Shards: 1, QueueLen: 64, ResidentEngines: 1,
+		Hydrate: func(id string) (*core.Engine, error) { return core.RestoreEngineFile(ckpt(id)) },
+	})
+	defer m.Close()
+	ctx := context.Background()
+
+	// One warm image seeds both tenants; attaching the second parks the
+	// first, so the loop below starts with a parked tenant on deck.
+	seed := newWarmEngine(b)
+	var img bytes.Buffer
+	if err := seed.Snapshot(&img); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	ids := []string{"cold-a", "cold-b"}
+	for _, id := range ids {
+		if err := os.WriteFile(ckpt(id), img.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.RestoreEngineFile(ckpt(id))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Attach(ctx, id, eng); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// recheckpoint refreshes id's on-disk image (off the clock) so its next
+	// eviction/hydration round-trips to the sequence it just reached.
+	recheckpoint := func(id string) {
+		f, err := os.CreateTemp(dir, "ck-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Snapshot(ctx, id, f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.Rename(f.Name(), ckpt(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	row := make([]float64, benchWidth)
+	var rsp shard.TickResponse
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%2]
+		fillTick(benchWindow+i, row)
+		if err := m.Tick(ctx, id, 0, row, &rsp); err != nil {
+			b.Fatal(fmt.Errorf("cold tick %d (%s): %w", i, id, err))
+		}
+		b.StopTimer()
+		recheckpoint(id)
+		b.StartTimer()
 	}
 }

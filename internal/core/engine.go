@@ -139,6 +139,19 @@ func (e *Engine) Profiler() Profiler { return e.prof }
 // precisely where a checkpoint ends.
 func (e *Engine) Seq() uint64 { return uint64(e.tick) }
 
+// MemoryBytes estimates the engine's resident heap footprint: the window
+// rings (width × WindowLength floats) plus, under the incremental profiler,
+// its per-stream histories (2L floats each) and derived aggregates (on the
+// order of another window). It is a sizing estimate for residency budgeting
+// (shard.Options.ResidentBytes), not an exact accounting.
+func (e *Engine) MemoryBytes() int64 {
+	win := int64(e.w.Width()) * int64(e.cfg.WindowLength) * 8
+	if e.inc != nil {
+		return 4 * win
+	}
+	return win
+}
+
 // ValidateRow checks row against the engine's stream width and value domain
 // (NaN marks a missing value and is legal; ±Inf never is) without mutating
 // any state. It is exactly the precondition Tick enforces before touching

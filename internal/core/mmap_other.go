@@ -1,0 +1,14 @@
+//go:build !unix
+
+package core
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile reports that memory mapping is unavailable on this platform;
+// RestoreEngineFile then falls back to reading the file into memory.
+func mapFile(*os.File, int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("core: mmap unsupported on this platform")
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only. The returned release
+// function unmaps the data, which must not be touched afterwards. An error
+// (empty file, implausible size, mmap failure) sends the caller to the
+// read-into-memory fallback.
+func mapFile(f *os.File, size int64) ([]byte, func(), error) {
+	if size <= 0 || size > maxSnapSection {
+		return nil, nil, fmt.Errorf("core: unmappable image size %d", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

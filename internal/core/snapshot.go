@@ -10,37 +10,56 @@ import (
 	"sort"
 )
 
-// Snapshot format v2 — a self-describing binary image of one engine:
+// Snapshot format v3 — a self-describing binary image of one engine, laid
+// out so the bulky part (the retained windows) restores by slicing a
+// page-aligned region out of a memory-mapped file, without a full decode:
 //
 //	"TKCMSNAP"          8-byte magic
-//	version             uint32 LE (currently 2)
-//	payloadLen          uint64 LE
-//	payload             payloadLen bytes (layout below)
-//	crc                 uint32 LE, IEEE CRC-32 of the payload
+//	version             uint32 LE (currently 3)
+//	metaLen             uint64 LE
+//	meta                metaLen bytes (layout below)
+//	metaCRC             uint32 LE, IEEE CRC-32 of meta
+//	zero padding        up to windowOff, the smallest multiple of 4096
+//	                    past the metaCRC
+//	window region       width × filled IEEE-754 float64 LE, stream-major:
+//	                    stream i's retained values (oldest first) start at
+//	                    windowOff + i×filled×8
+//	windowCRC           uint32 LE, IEEE CRC-32 of the window region
 //
-// Version 2 appends the Config.Float32Profiles flag to the encoded Config;
-// version 1 images (which predate the flag) still restore, with the flag
-// defaulting to false.
-//
-// The payload encodes, in order: the Config, the stream names, the
+// The meta section encodes, in order: the Config, the stream names, the
 // (possibly lazily ranked) reference sets, the engine and window tick
 // counters, the Stats counters, the per-stream cold-start fallback values,
-// and finally the retained window of every stream (oldest first). Integers
-// are varints, floats are IEEE-754 bits LE, strings are uvarint-length
-// prefixed UTF-8.
+// the retained tick count (filled), and finally windowOff as a fixed-width
+// uint64 LE. Integers are varints, floats are IEEE-754 bits LE, strings are
+// uvarint-length prefixed UTF-8.
+//
+// Version 1 and 2 images — a single varint payload with the window values
+// inlined after the retained count, under one trailing CRC; v1 additionally
+// predates Config.Float32Profiles — still restore through the legacy path.
 //
 // The incremental profiler's aggregates are deliberately NOT serialized:
 // they are demand-driven derived state (see IncrementalProfiler), exactly
-// reconstructible from the retained windows, so RestoreEngine replays the
-// windows through the profiler and lets the first consult rebuild the
+// reconstructible from the retained windows, so restore bulk-loads the
+// windows into the profiler and lets the first consult rebuild the
 // aggregates. This keeps the format independent of profiler internals —
 // a snapshot taken with one Config.Profiler restores under any other.
 const (
 	snapMagic   = "TKCMSNAP"
-	snapVersion = 2
-	// snapVersionMin is the oldest image version RestoreEngine still accepts.
+	snapVersion = 3
+	// snapVersionMin is the oldest image version restore still accepts.
 	snapVersionMin = 1
+	// snapAlign is the v3 window region's alignment: one page, so a
+	// memory-mapped image hands the region straight to the bulk loads.
+	snapAlign = 4096
+	// snapHeaderLen is the fixed prefix before the payload/meta section.
+	snapHeaderLen = 20
+	// maxSnapSection (64 GiB) bounds every length decoded from an image
+	// before memory proportional to it is allocated.
+	maxSnapSection = 1 << 36
 )
+
+// snapAlignUp rounds n up to the next multiple of snapAlign.
+func snapAlignUp(n int) int { return (n + snapAlign - 1) &^ (snapAlign - 1) }
 
 // Snapshot writes a versioned binary image of the engine's state — config,
 // reference sets, retained windows, counters — to w, restorable with
@@ -49,6 +68,51 @@ const (
 // satisfies this for free).
 func (e *Engine) Snapshot(w io.Writer) error {
 	enc := &snapEncoder{}
+	e.encodeSnapMeta(enc)
+	metaLen := enc.buf.Len() + 8 // plus the fixed-width windowOff below
+	windowOff := snapAlignUp(snapHeaderLen + metaLen + 4)
+	enc.fixed64(uint64(windowOff))
+	meta := enc.buf.Bytes()
+
+	var hdr [snapHeaderLen]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(meta)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(meta))
+	pad := make([]byte, windowOff-snapHeaderLen-len(meta)-4)
+	for _, blk := range [][]byte{hdr[:], meta, crc[:], pad} {
+		if _, err := w.Write(blk); err != nil {
+			return fmt.Errorf("core: snapshot: %w", err)
+		}
+	}
+
+	filled := e.w.Filled()
+	hist := make([]float64, filled)
+	buf := make([]byte, filled*8)
+	sum := uint32(0)
+	for i := 0; i < e.w.Width(); i++ {
+		vals := e.w.SnapshotInto(i, hist)
+		for j, v := range vals {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
+		}
+		sum = crc32.Update(sum, crc32.IEEETable, buf[:len(vals)*8])
+		if _, err := w.Write(buf[:len(vals)*8]); err != nil {
+			return fmt.Errorf("core: snapshot: %w", err)
+		}
+	}
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	return nil
+}
+
+// encodeSnapMeta writes the meta section — everything except the window
+// values and the trailing windowOff field — into enc. The v1/v2 payload is
+// this same prefix with the window values inlined after it, which is what
+// lets both decoders share decodeSnapMeta.
+func (e *Engine) encodeSnapMeta(enc *snapEncoder) {
 	enc.encodeConfig(e.cfg)
 
 	names := e.w.Names()
@@ -87,32 +151,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		enc.float(v)
 	}
 
-	filled := e.w.Filled()
-	enc.uint(uint64(filled))
-	hist := make([]float64, filled)
-	for i := 0; i < e.w.Width(); i++ {
-		for _, v := range e.w.SnapshotInto(i, hist) {
-			enc.float(v)
-		}
-	}
-
-	payload := enc.buf.Bytes()
-	var hdr [20]byte
-	copy(hdr[:8], snapMagic)
-	binary.LittleEndian.PutUint32(hdr[8:12], snapVersion)
-	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("core: snapshot: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("core: snapshot: %w", err)
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(crc[:]); err != nil {
-		return fmt.Errorf("core: snapshot: %w", err)
-	}
-	return nil
+	enc.uint(uint64(e.w.Filled()))
 }
 
 // RestoreEngine reconstructs an engine from a Snapshot image. The restored
@@ -137,7 +176,7 @@ func RestoreEngineWithConfig(r io.Reader, want Config) (*Engine, error) {
 }
 
 func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
-	var hdr [20]byte
+	var hdr [snapHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("core: restore: reading header: %w", err)
 	}
@@ -149,10 +188,14 @@ func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d (want %d..%d)", version, snapVersionMin, snapVersion)
 	}
 	n := binary.LittleEndian.Uint64(hdr[12:20])
-	const maxPayload = 1 << 36 // 64 GiB: generous sanity bound against corrupt lengths
-	if n > maxPayload {
+	if n > maxSnapSection {
 		return nil, fmt.Errorf("core: restore: implausible payload length %d", n)
 	}
+	if version >= 3 {
+		return restoreV3Stream(r, int(n), expect)
+	}
+
+	// Legacy v1/v2: one varint payload, window values inlined, one CRC.
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("core: restore: reading payload: %w", err)
@@ -166,24 +209,211 @@ func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 	}
 
 	dec := &snapDecoder{b: payload}
-	cfg := dec.decodeConfig(version)
-	if expect != nil && dec.err == nil && cfg.Float32Profiles != expect.Float32Profiles {
+	m, err := decodeSnapMeta(dec, version, expect)
+	if err != nil {
+		return nil, err
+	}
+	// A valid payload must still contain 8 bytes per retained value, so the
+	// remaining length bounds the allocation (and rules out width*filled
+	// overflowing, since both factors were bounded in decodeSnapMeta).
+	if rem := len(dec.b) - dec.off; m.filled > 0 && m.filled > rem/(8*len(m.names)) {
+		return nil, fmt.Errorf("core: restore: retained window (%d streams × %d ticks) exceeds the %d payload bytes", len(m.names), m.filled, rem)
+	}
+	hist := make([]float64, len(m.names)*m.filled)
+	for i := range hist {
+		hist[i] = dec.float()
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: restore: %w", dec.err)
+	}
+	if dec.off != len(dec.b) {
+		return nil, fmt.Errorf("core: restore: %d trailing bytes after payload", len(dec.b)-dec.off)
+	}
+	return m.finish(hist)
+}
+
+// restoreV3Stream reads a v3 image section by section from r — meta, its
+// CRC, the alignment padding, then the window region — with every read
+// bounded by a validated length before its buffer is allocated.
+func restoreV3Stream(r io.Reader, metaLen int, expect *Config) (*Engine, error) {
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return nil, fmt.Errorf("core: restore: reading meta: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, fmt.Errorf("core: restore: reading meta checksum: %w", err)
+	}
+	if want, got := binary.LittleEndian.Uint32(crc[:]), crc32.ChecksumIEEE(meta); want != got {
+		return nil, fmt.Errorf("core: restore: meta checksum mismatch (snapshot corrupt)")
+	}
+	m, windowOff, err := parseV3Meta(meta, expect)
+	if err != nil {
+		return nil, err
+	}
+	pad := make([]byte, windowOff-snapHeaderLen-metaLen-4)
+	if _, err := io.ReadFull(r, pad); err != nil {
+		return nil, fmt.Errorf("core: restore: reading padding: %w", err)
+	}
+	for _, b := range pad {
+		if b != 0 {
+			return nil, fmt.Errorf("core: restore: nonzero padding before the window region")
+		}
+	}
+	windowBytes := int64(len(m.names)) * int64(m.filled) * 8
+	if windowBytes > maxSnapSection {
+		return nil, fmt.Errorf("core: restore: implausible window region size %d", windowBytes)
+	}
+	region := make([]byte, windowBytes)
+	if _, err := io.ReadFull(r, region); err != nil {
+		return nil, fmt.Errorf("core: restore: reading window region: %w", err)
+	}
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, fmt.Errorf("core: restore: reading window checksum: %w", err)
+	}
+	if want, got := binary.LittleEndian.Uint32(crc[:]), crc32.ChecksumIEEE(region); want != got {
+		return nil, fmt.Errorf("core: restore: window checksum mismatch (snapshot corrupt)")
+	}
+	return m.finish(decodeWindowRegion(region))
+}
+
+// RestoreEngineBytes restores a Snapshot image held fully in memory (or
+// memory-mapped — see RestoreEngineFile). For v3 images the window region is
+// sliced straight out of data without an intermediate copy of the image,
+// which is what makes hydrating a parked engine from a mapped checkpoint
+// cheap; data is not retained after the call returns. Older images go
+// through the streaming path.
+func RestoreEngineBytes(data []byte) (*Engine, error) {
+	return restoreEngineBytes(data, nil)
+}
+
+func restoreEngineBytes(data []byte, expect *Config) (*Engine, error) {
+	if len(data) < snapHeaderLen+4 {
+		return nil, fmt.Errorf("core: restore: image too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("core: restore: bad magic %q (not a TKCM snapshot)", data[:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version < snapVersionMin || version > snapVersion {
+		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d (want %d..%d)", version, snapVersionMin, snapVersion)
+	}
+	if version < 3 {
+		return restoreEngine(bytes.NewReader(data), expect)
+	}
+	metaLen := binary.LittleEndian.Uint64(data[12:20])
+	if metaLen > uint64(len(data)-snapHeaderLen-4) {
+		return nil, fmt.Errorf("core: restore: meta length %d exceeds the %d-byte image", metaLen, len(data))
+	}
+	meta := data[snapHeaderLen : snapHeaderLen+int(metaLen)]
+	crcOff := snapHeaderLen + int(metaLen)
+	if want, got := binary.LittleEndian.Uint32(data[crcOff:]), crc32.ChecksumIEEE(meta); want != got {
+		return nil, fmt.Errorf("core: restore: meta checksum mismatch (snapshot corrupt)")
+	}
+	m, windowOff, err := parseV3Meta(meta, expect)
+	if err != nil {
+		return nil, err
+	}
+	windowBytes := int64(len(m.names)) * int64(m.filled) * 8
+	if windowBytes > maxSnapSection {
+		return nil, fmt.Errorf("core: restore: implausible window region size %d", windowBytes)
+	}
+	total := int64(windowOff) + windowBytes + 4
+	if int64(len(data)) < total {
+		return nil, fmt.Errorf("core: restore: window region truncated (image is %d bytes, layout needs %d)", len(data), total)
+	}
+	if int64(len(data)) > total {
+		return nil, fmt.Errorf("core: restore: %d trailing bytes after the window region", int64(len(data))-total)
+	}
+	for _, b := range data[crcOff+4 : windowOff] {
+		if b != 0 {
+			return nil, fmt.Errorf("core: restore: nonzero padding before the window region")
+		}
+	}
+	region := data[windowOff : int64(windowOff)+windowBytes]
+	if want, got := binary.LittleEndian.Uint32(data[total-4:]), crc32.ChecksumIEEE(region); want != got {
+		return nil, fmt.Errorf("core: restore: window checksum mismatch (snapshot corrupt)")
+	}
+	return m.finish(decodeWindowRegion(region))
+}
+
+// parseV3Meta decodes a v3 meta section and its trailing windowOff field,
+// then validates the image geometry: the window region must start
+// page-aligned, strictly after the metaCRC, with less than one page of
+// padding — so regions cannot overlap the meta section, and a region offset
+// cannot be inflated to smuggle unchecked bytes into the image.
+func parseV3Meta(meta []byte, expect *Config) (*snapMeta, int, error) {
+	dec := &snapDecoder{b: meta}
+	m, err := decodeSnapMeta(dec, snapVersion, expect)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := dec.fixed64()
+	if dec.err != nil {
+		return nil, 0, fmt.Errorf("core: restore: %w", dec.err)
+	}
+	if dec.off != len(dec.b) {
+		return nil, 0, fmt.Errorf("core: restore: %d trailing bytes in meta section", len(dec.b)-dec.off)
+	}
+	minOff := uint64(snapHeaderLen + len(meta) + 4)
+	switch {
+	case off%snapAlign != 0:
+		return nil, 0, fmt.Errorf("core: restore: window offset %d is not %d-byte aligned", off, snapAlign)
+	case off < minOff:
+		return nil, 0, fmt.Errorf("core: restore: window offset %d overlaps the meta section (which ends at %d)", off, minOff)
+	case off-minOff >= snapAlign:
+		return nil, 0, fmt.Errorf("core: restore: window offset %d leaves more than one page of padding", off)
+	}
+	return m, int(off), nil
+}
+
+// decodeWindowRegion converts the raw stream-major window region into its
+// float64 values.
+func decodeWindowRegion(region []byte) []float64 {
+	vals := make([]float64, len(region)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(region[i*8:]))
+	}
+	return vals
+}
+
+// snapMeta is the decoded meta section of an image: everything the restore
+// needs except the window values themselves.
+type snapMeta struct {
+	cfg    Config
+	names  []string
+	refs   map[string]ReferenceSet
+	tick   int
+	wTick  int
+	stats  EngineStats
+	last   []float64
+	filled int
+}
+
+// decodeSnapMeta parses the meta fields shared by every format version
+// (config through the retained tick count), with every count and length
+// bounded by the bytes actually present, so a crafted image cannot allocate
+// beyond its own size. The CRC only catches accidental corruption, never
+// crafted images, and the public restore API must return errors — never
+// panic or OOM.
+func decodeSnapMeta(dec *snapDecoder, version uint32, expect *Config) (*snapMeta, error) {
+	m := &snapMeta{}
+	m.cfg = dec.decodeConfig(version)
+	if expect != nil && dec.err == nil && m.cfg.Float32Profiles != expect.Float32Profiles {
 		return nil, fmt.Errorf("core: restore: snapshot uses %s profile aggregates but the target config expects %s (set Config.Float32Profiles to match the image, or re-snapshot in the new precision)",
-			profilePrecision(cfg.Float32Profiles), profilePrecision(expect.Float32Profiles))
+			profilePrecision(m.cfg.Float32Profiles), profilePrecision(expect.Float32Profiles))
 	}
 	// Bound the decoded dimensions before any size computed from them is
-	// allocated or handed to the window constructor: the CRC only catches
-	// accidental corruption, not crafted images, and the public restore API
-	// must return errors, never panic or OOM.
-	// The window's rings are allocated eagerly (WindowLength floats per
-	// stream) and Workers sizes the tick pool's scratch, so both are checked
-	// before NewEngine can allocate from them. The caps are the same ones
-	// Validate enforces, so every engine that could be snapshotted restores.
-	if dec.err == nil && (cfg.WindowLength < 0 || cfg.WindowLength > MaxWindowLength) {
-		dec.fail(fmt.Errorf("implausible window length %d", cfg.WindowLength))
+	// allocated or handed to the window constructor. The window's rings are
+	// allocated eagerly (WindowLength floats per stream) and Workers sizes
+	// the tick pool's scratch, so both are checked before NewEngine can
+	// allocate from them. The caps are the same ones Validate enforces, so
+	// every engine that could be snapshotted restores.
+	if dec.err == nil && (m.cfg.WindowLength < 0 || m.cfg.WindowLength > MaxWindowLength) {
+		dec.fail(fmt.Errorf("implausible window length %d", m.cfg.WindowLength))
 	}
-	if dec.err == nil && (cfg.Workers < 0 || cfg.Workers > MaxWorkers) {
-		dec.fail(fmt.Errorf("implausible worker count %d", cfg.Workers))
+	if dec.err == nil && (m.cfg.Workers < 0 || m.cfg.Workers > MaxWorkers) {
+		dec.fail(fmt.Errorf("implausible worker count %d", m.cfg.Workers))
 	}
 
 	// Count fields are bounded by the bytes actually present — every name
@@ -197,16 +427,16 @@ func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: restore: %w", dec.err)
 	}
-	names := make([]string, nNames)
+	m.names = make([]string, nNames)
 	seen := make(map[string]struct{}, nNames)
-	for i := range names {
-		names[i] = dec.str()
+	for i := range m.names {
+		m.names[i] = dec.str()
 		// window.New panics on duplicate names; a crafted image must surface
 		// as an error here instead.
-		if _, dup := seen[names[i]]; dup && dec.err == nil {
-			dec.fail(fmt.Errorf("duplicate stream name %q", names[i]))
+		if _, dup := seen[m.names[i]]; dup && dec.err == nil {
+			dec.fail(fmt.Errorf("duplicate stream name %q", m.names[i]))
 		}
-		seen[names[i]] = struct{}{}
+		seen[m.names[i]] = struct{}{}
 	}
 
 	nRefs := int(dec.uint())
@@ -216,7 +446,7 @@ func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: restore: %w", dec.err)
 	}
-	refs := make(map[string]ReferenceSet, nRefs)
+	m.refs = make(map[string]ReferenceSet, nRefs)
 	for i := 0; i < nRefs && dec.err == nil; i++ {
 		key := dec.str()
 		rs := ReferenceSet{Stream: dec.str()}
@@ -224,74 +454,63 @@ func restoreEngine(r io.Reader, expect *Config) (*Engine, error) {
 		for j := 0; j < nc && dec.err == nil; j++ {
 			rs.Candidates = append(rs.Candidates, dec.str())
 		}
-		refs[key] = rs
+		m.refs[key] = rs
 	}
 
-	tick := int(dec.int())
-	wTick := int(dec.int())
-	var stats EngineStats
-	stats.Ticks = int(dec.int())
-	stats.Imputations = int(dec.int())
-	stats.ColdStartFills = int(dec.int())
-	stats.ReferenceErrors = int(dec.int())
-	stats.InsufficientHist = int(dec.int())
+	m.tick = int(dec.int())
+	m.wTick = int(dec.int())
+	m.stats.Ticks = int(dec.int())
+	m.stats.Imputations = int(dec.int())
+	m.stats.ColdStartFills = int(dec.int())
+	m.stats.ReferenceErrors = int(dec.int())
+	m.stats.InsufficientHist = int(dec.int())
 
-	last := make([]float64, nNames)
-	for i := range last {
-		last[i] = dec.float()
+	m.last = make([]float64, nNames)
+	for i := range m.last {
+		m.last[i] = dec.float()
 	}
 
-	filled := int(dec.uint())
-	if dec.err == nil && (filled < 0 || filled > cfg.WindowLength) {
-		dec.fail(fmt.Errorf("retained length %d exceeds window length %d", filled, cfg.WindowLength))
-	}
-	// A valid payload must still contain 8 bytes per retained value, so the
-	// remaining length bounds the allocation (and rules out nNames*filled
-	// overflowing, since both factors were bounded above).
-	if rem := len(dec.b) - dec.off; dec.err == nil && filled > 0 && filled > rem/(8*nNames) {
-		dec.fail(fmt.Errorf("retained window (%d streams × %d ticks) exceeds the %d payload bytes", nNames, filled, rem))
+	m.filled = int(dec.uint())
+	if dec.err == nil && (m.filled < 0 || m.filled > m.cfg.WindowLength) {
+		dec.fail(fmt.Errorf("retained length %d exceeds window length %d", m.filled, m.cfg.WindowLength))
 	}
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: restore: %w", dec.err)
 	}
-	hist := make([]float64, nNames*filled)
-	for i := range hist {
-		hist[i] = dec.float()
-	}
-	if dec.err != nil {
-		return nil, fmt.Errorf("core: restore: %w", dec.err)
-	}
-	if dec.off != len(dec.b) {
-		return nil, fmt.Errorf("core: restore: %d trailing bytes after payload", len(dec.b)-dec.off)
-	}
-	if wTick < filled-1 || tick < filled {
-		return nil, fmt.Errorf("core: restore: tick counters (%d, %d) predate the %d retained values", tick, wTick, filled)
-	}
+	return m, nil
+}
 
-	e, err := NewEngine(cfg, names, refs)
+// finish validates the tick counters against the decoded window values
+// (stream-major, filled values per stream) and assembles the engine. The
+// retained values are already imputed (complete), so bulk-loading them
+// through the columnar append path rebuilds exactly the state a live engine
+// would hold — bit-identical to replaying them row by row, the TickColumns
+// equivalence — with the profiler aggregates left to the demand-driven
+// catch-up.
+func (m *snapMeta) finish(hist []float64) (*Engine, error) {
+	if m.wTick < m.filled-1 || m.tick < m.filled {
+		return nil, fmt.Errorf("core: restore: tick counters (%d, %d) predate the %d retained values", m.tick, m.wTick, m.filled)
+	}
+	e, err := NewEngine(m.cfg, m.names, m.refs)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
-	// Replay the retained ticks through the window and the incremental
-	// profiler: the values are already imputed, so this rebuilds exactly the
-	// state a live engine would hold, with the aggregates left to the
-	// demand-driven catch-up.
-	row := make([]float64, nNames)
-	for t := 0; t < filled; t++ {
-		for i := range row {
-			row[i] = hist[i*filled+t]
+	if m.filled > 0 {
+		cols := make([][]float64, len(m.names))
+		for i := range cols {
+			cols[i] = hist[i*m.filled : (i+1)*m.filled]
 		}
-		e.w.Advance(row)
+		e.w.AdvanceColumns(cols, 0, m.filled)
 		if e.inc != nil {
-			for i, v := range row {
-				e.inc.Advance(i, v)
+			for i := range cols {
+				e.inc.AdvanceBulk(i, cols[i])
 			}
 		}
 	}
-	e.tick = tick
-	e.w.SetTick(wTick)
-	e.Stats = stats
-	copy(e.last, last)
+	e.tick = m.tick
+	e.w.SetTick(m.wTick)
+	e.Stats = m.stats
+	copy(e.last, m.last)
 	return e, nil
 }
 
@@ -324,6 +543,11 @@ func (e *snapEncoder) float(v float64) {
 	e.buf.Write(e.scratch[:8])
 }
 
+func (e *snapEncoder) fixed64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	e.buf.Write(e.scratch[:8])
+}
+
 func (e *snapEncoder) str(s string) {
 	e.uint(uint64(len(s)))
 	e.buf.WriteString(s)
@@ -342,7 +566,7 @@ func (e *snapEncoder) encodeConfig(c Config) {
 	e.bool(c.EagerProfiler)
 	e.bool(c.SkipDiagnostics)
 	e.bool(c.FastExtraction)
-	e.bool(c.Float32Profiles) // v2
+	e.bool(c.Float32Profiles) // v2+
 }
 
 // profilePrecision names a profile-aggregate precision for error messages.
@@ -415,6 +639,19 @@ func (d *snapDecoder) float() float64 {
 		return 0
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *snapDecoder) fixed64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail(fmt.Errorf("truncated uint64 at offset %d", d.off))
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
 	d.off += 8
 	return v
 }

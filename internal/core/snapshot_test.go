@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -200,6 +201,78 @@ func TestRestoreRejectsPrecisionMismatch(t *testing.T) {
 	}
 }
 
+// encodeLegacyImage hand-encodes the given engine as a version 1 or 2 image
+// (the pre-v3 single-payload layout: config, names, refs, counters, last
+// values, then the window values inlined, under one trailing CRC). It pins
+// the legacy byte layout independently of the current encoder, so format
+// drift that would orphan old checkpoints fails here.
+func encodeLegacyImage(t testing.TB, e *Engine, version uint32) []byte {
+	t.Helper()
+	enc := &snapEncoder{}
+	cfg := e.Config()
+	enc.int(int64(cfg.K))
+	enc.int(int64(cfg.PatternLength))
+	enc.int(int64(cfg.D))
+	enc.int(int64(cfg.WindowLength))
+	enc.int(int64(cfg.Norm))
+	enc.int(int64(cfg.Selection))
+	enc.int(int64(cfg.Profiler))
+	enc.int(int64(cfg.Workers))
+	enc.bool(cfg.WeightedMean)
+	enc.bool(cfg.EagerProfiler)
+	enc.bool(cfg.SkipDiagnostics)
+	enc.bool(cfg.FastExtraction)
+	if version >= 2 {
+		enc.bool(cfg.Float32Profiles)
+	}
+	names := e.Window().Names()
+	enc.uint(uint64(len(names)))
+	for _, n := range names {
+		enc.str(n)
+	}
+	keys := make([]string, 0, len(e.refs))
+	for k := range e.refs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.uint(uint64(len(keys)))
+	for _, k := range keys {
+		rs := e.refs[k]
+		enc.str(k)
+		enc.str(rs.Stream)
+		enc.uint(uint64(len(rs.Candidates)))
+		for _, c := range rs.Candidates {
+			enc.str(c)
+		}
+	}
+	enc.int(int64(e.tick))
+	enc.int(int64(e.w.Tick()))
+	enc.int(int64(e.Stats.Ticks))
+	enc.int(int64(e.Stats.Imputations))
+	enc.int(int64(e.Stats.ColdStartFills))
+	enc.int(int64(e.Stats.ReferenceErrors))
+	enc.int(int64(e.Stats.InsufficientHist))
+	for _, v := range e.last {
+		enc.float(v)
+	}
+	filled := e.w.Filled()
+	enc.uint(uint64(filled))
+	hist := make([]float64, filled)
+	for i := 0; i < e.w.Width(); i++ {
+		for _, v := range e.w.SnapshotInto(i, hist) {
+			enc.float(v)
+		}
+	}
+	payload := enc.buf.Bytes()
+	img := make([]byte, 0, len(payload)+24)
+	img = append(img, snapMagic...)
+	img = binary.LittleEndian.AppendUint32(img, version)
+	img = binary.LittleEndian.AppendUint64(img, uint64(len(payload)))
+	img = append(img, payload...)
+	img = binary.LittleEndian.AppendUint32(img, crc32.ChecksumIEEE(payload))
+	return img
+}
+
 // TestRestoreAcceptsV1Image: a version-1 image (predating Float32Profiles)
 // must still restore, with the flag defaulting to float64 precision.
 func TestRestoreAcceptsV1Image(t *testing.T) {
@@ -216,23 +289,7 @@ func TestRestoreAcceptsV1Image(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var buf bytes.Buffer
-	if err := e.Snapshot(&buf); err != nil {
-		t.Fatal(err)
-	}
-	img := buf.Bytes()
-	// Rewrite the image as v1: drop the trailing Float32Profiles byte from
-	// the encoded config (the last of the 13 config fields, all preceding the
-	// name count) and re-frame with version 1. The config prefix is 8 varints
-	// (all < 128 here, one byte each) plus 5 bools.
-	payload := append([]byte(nil), img[20:len(img)-4]...)
-	v1payload := append(append([]byte(nil), payload[:12]...), payload[13:]...)
-	v1 := make([]byte, 0, len(v1payload)+24)
-	v1 = append(v1, snapMagic...)
-	v1 = binary.LittleEndian.AppendUint32(v1, 1)
-	v1 = binary.LittleEndian.AppendUint64(v1, uint64(len(v1payload)))
-	v1 = append(v1, v1payload...)
-	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1payload))
+	v1 := encodeLegacyImage(t, e, 1)
 	r, err := RestoreEngine(bytes.NewReader(v1))
 	if err != nil {
 		t.Fatalf("v1 image rejected: %v", err)
@@ -333,12 +390,14 @@ func TestRestoreRejectsCorruption(t *testing.T) {
 	}
 }
 
-// wrapSnapImage frames a raw payload the way Snapshot does (magic, version,
-// length, CRC), for crafting hostile-but-checksum-valid images.
+// wrapSnapImage frames a raw payload as a version-2 image (magic, version,
+// length, CRC), for crafting hostile-but-checksum-valid images against the
+// shared meta decoder; the v3-specific geometry attacks live in
+// snapshot_v3_test.go.
 func wrapSnapImage(payload []byte) []byte {
 	img := make([]byte, 0, len(payload)+24)
 	img = append(img, snapMagic...)
-	img = binary.LittleEndian.AppendUint32(img, snapVersion)
+	img = binary.LittleEndian.AppendUint32(img, 2)
 	img = binary.LittleEndian.AppendUint64(img, uint64(len(payload)))
 	img = append(img, payload...)
 	img = binary.LittleEndian.AppendUint32(img, crc32.ChecksumIEEE(payload))

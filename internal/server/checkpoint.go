@@ -36,6 +36,14 @@ func (s *Server) CheckpointAll(ctx context.Context) (int, error) {
 	var firstErr error
 	n := 0
 	for _, info := range infos {
+		// A parked tenant's engine was evicted: its checkpoint plus WAL tail
+		// already hold everything it has ever acked, frozen at the sequence it
+		// parked with. Snapshotting it would force a hydration just to rewrite
+		// bytes that cannot have changed — skip it (prune below still sees it
+		// as hosted, so its files stay).
+		if !info.Resident {
+			continue
+		}
 		if err := s.checkpointTenant(ctx, info.ID); err != nil {
 			s.checkpointErrs.Add(1)
 			s.log.Error("checkpoint failed", "tenant", info.ID, "err", err)
@@ -288,6 +296,34 @@ func (s *Server) restoreOne(path string) (*core.Engine, error) {
 	}
 	defer f.Close()
 	return core.RestoreEngine(f)
+}
+
+// CheckpointHydrator adapts a checkpoint directory into the restore hook the
+// residency tier needs (shard.Options.Hydrate): it rebuilds a parked tenant's
+// engine from <dir>/<id>.tkcm, memory-mapping the window region where the
+// platform and snapshot layout allow so hydration cost is page faults, not an
+// up-front read of the whole image. The shard manager replays the WAL tail on
+// top and enforces the parked sequence number itself.
+//
+// It is a free function, not a method: the hook must exist before the shard
+// manager does, and the manager before the Server — pass the same directory
+// here and in Options.CheckpointDir.
+func CheckpointHydrator(dir string) func(id string) (*core.Engine, error) {
+	return func(id string) (*core.Engine, error) {
+		return core.RestoreEngineFile(filepath.Join(dir, id+checkpointExt))
+	}
+}
+
+// CheckpointParkable is the eviction veto that pairs with CheckpointHydrator
+// (shard.Options.Parkable): a tenant may only park once its checkpoint file
+// exists. It closes the create-time race — a tenant is hosted the moment
+// Manager.Create returns, but its base image lands on disk a beat later; an
+// eviction in that window would park a tenant hydration cannot rebuild.
+func CheckpointParkable(dir string) func(id string) bool {
+	return func(id string) bool {
+		_, err := os.Stat(filepath.Join(dir, id+checkpointExt))
+		return err == nil
+	}
 }
 
 // StartCheckpointLoop launches the periodic checkpointer (no-op without a

@@ -15,6 +15,12 @@ type debugTenant struct {
 	Ticks       int    `json:"ticks"`
 	Seq         uint64 `json:"seq"`
 	Imputations int    `json:"imputations"`
+	// Resident reports whether the tenant's engine is live in memory; false
+	// means it is parked on disk (checkpoint + WAL tail) awaiting hydration.
+	Resident bool `json:"resident"`
+	// Failed marks a tenant latched fail-stopped by a hydration failure;
+	// every operation on it errors until it is deleted.
+	Failed bool `json:"failed,omitempty"`
 	// LastAckSeconds is the wire-decode-to-ack latency of the tenant's most
 	// recent acked tick line, 0 until the tenant has been ticked through
 	// this process.
@@ -66,6 +72,8 @@ func (s *Server) handleDebugTenants(w http.ResponseWriter, r *http.Request) {
 			Ticks:       info.Ticks,
 			Seq:         info.Seq,
 			Imputations: info.Imputations,
+			Resident:    info.Resident,
+			Failed:      info.Failed,
 		}
 		if cell, ok := s.lastAck.Load(info.ID); ok {
 			dt.LastAckSeconds = time.Duration(cell.(*atomic.Int64).Load()).Seconds()

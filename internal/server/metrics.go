@@ -90,6 +90,14 @@ func (s *Server) writeCoreMetrics(w io.Writer) {
 	fmt.Fprintf(w, "tkcm_tick_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "tkcm_tick_batch_size_sum %d\n", s.batchSum.Load())
 	fmt.Fprintf(w, "tkcm_tick_batch_size_count %d\n", s.batchCount.Load())
+	res := s.m.Residency()
+	fmt.Fprintf(w, "# HELP tkcm_engines_resident Tenants with a live in-memory engine.\n# TYPE tkcm_engines_resident gauge\ntkcm_engines_resident %d\n", res.Resident)
+	fmt.Fprintf(w, "# HELP tkcm_engines_parked Tenants evicted to durable state (checkpoint + WAL tail).\n# TYPE tkcm_engines_parked gauge\ntkcm_engines_parked %d\n", res.Parked)
+	fmt.Fprintf(w, "# HELP tkcm_engines_failed Tenants latched fail-stopped by hydration failures.\n# TYPE tkcm_engines_failed gauge\ntkcm_engines_failed %d\n", res.Failed)
+	fmt.Fprintf(w, "# HELP tkcm_engine_evictions_total Engines parked to disk by the residency budget.\n# TYPE tkcm_engine_evictions_total counter\ntkcm_engine_evictions_total %d\n", res.Evictions)
+	fmt.Fprintf(w, "# HELP tkcm_engine_hydrations_total Parked engines rebuilt from checkpoint + WAL tail.\n# TYPE tkcm_engine_hydrations_total counter\ntkcm_engine_hydrations_total %d\n", res.Hydrations)
+	fmt.Fprintf(w, "# HELP tkcm_hydration_seconds Latency of hydrating a parked engine (restore + tail replay).\n# TYPE tkcm_hydration_seconds histogram\n")
+	s.m.HydrationHist().WriteProm(w, "tkcm_hydration_seconds", "")
 	fmt.Fprintf(w, "# HELP tkcm_checkpoints_total Tenant snapshots written to disk.\n# TYPE tkcm_checkpoints_total counter\ntkcm_checkpoints_total %d\n", s.checkpoints.Load())
 	fmt.Fprintf(w, "# HELP tkcm_checkpoint_errors_total Failed tenant snapshot writes.\n# TYPE tkcm_checkpoint_errors_total counter\ntkcm_checkpoint_errors_total %d\n", s.checkpointErrs.Load())
 	if s.wal != nil {

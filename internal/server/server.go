@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -360,15 +361,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, body)
 }
 
-// failedWALTenants lists the tenants whose write-ahead log has latched
-// fail-stopped (nil without a WAL). Non-empty means the data plane is
-// degraded: /healthz, /metrics, and /v1/debug/tenants all answer 503 so
-// every consumer — health checker, scraper, dashboard — sees the same world.
+// failedWALTenants lists the tenants latched fail-stopped, from either
+// direction of the durability contract: a write-ahead log that can no longer
+// accept appends (nothing more is acknowledged for the tenant), or a
+// hydration that could not rebuild the engine a parked tenant was evicted
+// with (acked ticks would be lost by serving the rewound engine). Non-empty
+// means the data plane is degraded: /healthz, /metrics, and /v1/debug/tenants
+// all answer 503 so every consumer — health checker, scraper, dashboard —
+// sees the same world.
 func (s *Server) failedWALTenants() []string {
-	if s.wal == nil {
-		return nil
+	var failed []string
+	if s.wal != nil {
+		failed = s.wal.FailedTenants()
 	}
-	return s.wal.FailedTenants()
+	hyd := s.m.FailedTenants()
+	if len(hyd) == 0 {
+		return failed
+	}
+	seen := make(map[string]bool, len(failed))
+	for _, id := range failed {
+		seen[id] = true
+	}
+	for _, id := range hyd {
+		if !seen[id] {
+			failed = append(failed, id)
+		}
+	}
+	sort.Strings(failed)
+	return failed
 }
 
 // replLagSeconds is time since the last fully-applied manifest was generated

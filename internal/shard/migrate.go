@@ -81,14 +81,20 @@ func (m *Manager) Migrate(ctx context.Context, tenantID string, dst int) (int, e
 		moved *core.Engine
 	)
 	err := m.submit(ctx, m.shards[src], func(sh *shard) error {
-		eng, ok := sh.tenants[tenantID]
+		// A parked tenant migrates too: hydrate it first — the image that
+		// travels must be the full engine, not the footprint. A fail-stopped
+		// tenant refuses here with its latched error, same as every other op.
+		eng, ok, rerr := m.resolveResident(sh, tenantID)
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrNoTenant, tenantID)
+		}
+		if rerr != nil {
+			return rerr
 		}
 		if err := eng.Snapshot(&img); err != nil {
 			return fmt.Errorf("shard: snapshotting %q for migration: %w", tenantID, err)
 		}
-		delete(sh.tenants, tenantID)
+		sh.detach(tenantID)
 		sh.ntenants.Add(-1)
 		moved = eng
 		return nil
@@ -115,6 +121,9 @@ func (m *Manager) Migrate(ctx context.Context, tenantID string, dst int) (int, e
 		if _, ok := sh.tenants[tenantID]; ok {
 			return fmt.Errorf("%w: %q (already on destination shard %d)", ErrTenantExists, tenantID, dst)
 		}
+		if _, ok := sh.parked[tenantID]; ok {
+			return fmt.Errorf("%w: %q (already parked on destination shard %d)", ErrTenantExists, tenantID, dst)
+		}
 		if m.wal != nil {
 			l, err := m.wal.Open(tenantID)
 			if err != nil {
@@ -124,8 +133,9 @@ func (m *Manager) Migrate(ctx context.Context, tenantID string, dst int) (int, e
 				return err
 			}
 		}
-		sh.tenants[tenantID] = restored
+		sh.install(tenantID, restored)
 		sh.ntenants.Add(1)
+		m.maybeEvict(sh)
 		return nil
 	})
 	if err != nil {
@@ -139,7 +149,7 @@ func (m *Manager) Migrate(ctx context.Context, tenantID string, dst int) (int, e
 	// destination — wholly on one shard either way.
 	if err := m.routing.Assign(tenantID, dst); err != nil {
 		derr := m.submit(context.WithoutCancel(ctx), m.shards[dst], func(sh *shard) error {
-			delete(sh.tenants, tenantID)
+			sh.detach(tenantID)
 			sh.ntenants.Add(-1)
 			return nil
 		})
@@ -167,8 +177,9 @@ func (m *Manager) rollback(ctx context.Context, tenantID string, src int, moved,
 		restored.Close()
 	}
 	err := m.submit(context.WithoutCancel(ctx), m.shards[src], func(sh *shard) error {
-		sh.tenants[tenantID] = moved
+		sh.install(tenantID, moved)
 		sh.ntenants.Add(1)
+		m.maybeEvict(sh)
 		return nil
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -57,6 +58,28 @@ type Options struct {
 	// appends the raw row and hands back the group-commit handle in
 	// TickResponse.Durable. The caller acks only after Durable.Wait().
 	WAL *wal.Manager
+	// Hydrate rebuilds an evicted tenant's engine from its newest durable
+	// checkpoint (the WAL tail is replayed on top by the shard). Setting it
+	// enables the residency tier: without a hydrator no tenant is ever
+	// evicted, whatever the caps say. The hook runs on a shard goroutine, so
+	// it must not call back into the Manager.
+	Hydrate func(tenantID string) (*core.Engine, error)
+	// ResidentEngines caps how many tenant engines stay in memory across the
+	// manager (0 = unlimited). The budget splits evenly across shards
+	// (rounded up, at least 1 each); a shard over its share parks its
+	// least-recently-used tenants. Requires Hydrate — and, to not lose ticks
+	// appended since the base checkpoint, a WAL.
+	ResidentEngines int
+	// ResidentBytes caps the estimated in-memory engine footprint
+	// (core.Engine.MemoryBytes) the same way (0 = unlimited). Both caps may
+	// be set; either one over budget triggers eviction.
+	ResidentBytes int64
+	// Parkable, when set, vetoes eviction of tenants it returns false for.
+	// The serving layer uses it to keep a tenant resident until its base
+	// checkpoint exists on disk — evicting earlier would park a tenant that
+	// hydration cannot rebuild. Runs on a shard goroutine; keep it cheap
+	// (a stat, not a read).
+	Parkable func(tenantID string) bool
 }
 
 // TickResponse receives the outcome of one Manager.Tick. Its slices are
@@ -146,7 +169,17 @@ type shard struct {
 	reqs    chan *request
 	tenants map[string]*core.Engine
 
+	// Residency tier (shard-goroutine only): parked holds evicted tenants'
+	// footprints, lru/lruAt order the resident tenants by recency (front =
+	// hottest), resBytes sums their estimated engine memory.
+	parked   map[string]*parked
+	lru      *list.List
+	lruAt    map[string]*list.Element
+	resBytes int64
+
 	ntenants  atomic.Int64
+	nresident atomic.Int64
+	nparked   atomic.Int64
 	processed atomic.Uint64
 	ticks     atomic.Uint64
 	imputed   atomic.Uint64
@@ -163,6 +196,18 @@ type Manager struct {
 	closed  atomic.Bool
 	closing sync.Once
 	wg      sync.WaitGroup
+
+	// Residency tier: per-shard budgets (0 = unlimited), the hydration hook,
+	// transition counters, and the fail-stop registry the health path reads.
+	residentCap      int
+	residentBytesCap int64
+	hydrate          func(string) (*core.Engine, error)
+	parkable         func(string) bool
+	evictions        atomic.Uint64
+	hydrations       atomic.Uint64
+	hydrationHist    obs.Histogram
+	failedMu         sync.Mutex
+	failedTenants    map[string]error
 
 	// Live-migration state: at most one tenant is in transit at a time
 	// (migrateMu), and the hot path discovers it with one atomic load.
@@ -192,9 +237,20 @@ func New(opts Options) *Manager {
 	if h <= 0 {
 		h = 256
 	}
-	m := &Manager{routing: rt, handoff: h, wal: opts.WAL}
+	m := &Manager{routing: rt, handoff: h, wal: opts.WAL, failedTenants: make(map[string]error)}
+	if opts.Hydrate != nil {
+		m.hydrate = opts.Hydrate
+		m.parkable = opts.Parkable
+		if opts.ResidentEngines > 0 {
+			m.residentCap = (opts.ResidentEngines + n - 1) / n
+		}
+		if opts.ResidentBytes > 0 {
+			m.residentBytesCap = (opts.ResidentBytes + int64(n) - 1) / int64(n)
+		}
+	}
 	for i := 0; i < n; i++ {
-		sh := &shard{id: i, reqs: make(chan *request, q), tenants: make(map[string]*core.Engine)}
+		sh := &shard{id: i, reqs: make(chan *request, q), tenants: make(map[string]*core.Engine), parked: make(map[string]*parked)}
+		sh.lru, sh.lruAt = newLRU()
 		m.shards = append(m.shards, sh)
 		m.wg.Add(1)
 		go func() {
@@ -357,6 +413,11 @@ func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, 
 		if _, ok := sh.tenants[tenantID]; ok {
 			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
 		}
+		if _, ok := sh.parked[tenantID]; ok {
+			// A parked tenant exists exactly like a resident one — and a
+			// fail-stopped one must never be silently re-created over.
+			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		}
 		if m.misrouted(sh, tenantID) {
 			// The id migrated away while this create was queued: creating
 			// here would host a second engine under an id that lives on
@@ -383,8 +444,9 @@ func (m *Manager) Create(ctx context.Context, tenantID string, cfg core.Config, 
 				return err
 			}
 		}
-		sh.tenants[tenantID] = eng
+		sh.install(tenantID, eng)
 		sh.ntenants.Add(1)
+		m.maybeEvict(sh)
 		return nil
 	})
 }
@@ -399,6 +461,9 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 		if _, ok := sh.tenants[tenantID]; ok {
 			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
 		}
+		if _, ok := sh.parked[tenantID]; ok {
+			return fmt.Errorf("%w: %q", ErrTenantExists, tenantID)
+		}
 		if m.misrouted(sh, tenantID) {
 			return errMisrouted
 		}
@@ -411,8 +476,9 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 				return err
 			}
 		}
-		sh.tenants[tenantID] = eng
+		sh.install(tenantID, eng)
 		sh.ntenants.Add(1)
+		m.maybeEvict(sh)
 		return nil
 	})
 }
@@ -432,13 +498,20 @@ func (m *Manager) Attach(ctx context.Context, tenantID string, eng *core.Engine)
 func (m *Manager) Delete(ctx context.Context, tenantID string) error {
 	flipped := false
 	err := m.do(ctx, tenantID, func(sh *shard) error {
-		eng, ok := sh.tenants[tenantID]
-		if !ok {
+		if _, ok := sh.tenants[tenantID]; ok {
+			sh.detach(tenantID).Close()
+		} else if _, ok := sh.parked[tenantID]; ok {
+			// A parked tenant deletes without hydrating — there is no engine
+			// state to tear down, only the footprint, the durable files, and
+			// (for a fail-stopped tenant) the latched error. Delete is the
+			// one operation that clears a fail-stop.
+			delete(sh.parked, tenantID)
+			sh.nparked.Add(-1)
+			m.clearFailed(tenantID)
+		} else {
 			return m.missing(sh, tenantID)
 		}
-		delete(sh.tenants, tenantID)
 		sh.ntenants.Add(-1)
-		eng.Close()
 		flipped = m.routing.UnassignMem(tenantID)
 		if m.wal != nil {
 			return m.wal.Remove(tenantID)
@@ -469,9 +542,9 @@ func (m *Manager) Tick(ctx context.Context, tenantID string, seq uint64, row []f
 		// wait across requeues — which is exactly what the tick experienced.
 		rsp.QueueNanos = obs.Now() - enq
 		rsp.EngineNanos = 0
-		eng, ok := sh.tenants[tenantID]
-		if !ok {
-			return m.missing(sh, tenantID)
+		eng, err := m.resident(sh, tenantID)
+		if err != nil {
+			return err
 		}
 		engSeq := eng.Seq()
 		rsp.Duplicate = false
@@ -565,9 +638,9 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 	return m.do(ctx, tenantID, func(sh *shard) error {
 		rsp.QueueNanos = obs.Now() - enq
 		rsp.EngineNanos = 0
-		eng, ok := sh.tenants[tenantID]
-		if !ok {
-			return m.missing(sh, tenantID)
+		eng, err := m.resident(sh, tenantID)
+		if err != nil {
+			return err
 		}
 		engSeq := eng.Seq()
 		rsp.Durable = wal.Commit{}
@@ -681,9 +754,12 @@ func (m *Manager) TickBatch(ctx context.Context, tenantID string, seq uint64, ro
 func (m *Manager) Snapshot(ctx context.Context, tenantID string, w io.Writer) (uint64, error) {
 	var seq uint64
 	err := m.do(ctx, tenantID, func(sh *shard) error {
-		eng, ok := sh.tenants[tenantID]
-		if !ok {
-			return m.missing(sh, tenantID)
+		// An explicit snapshot download hydrates a parked tenant: the caller
+		// wants the full image, and the disk already holds everything needed
+		// to rebuild it.
+		eng, err := m.resident(sh, tenantID)
+		if err != nil {
+			return err
 		}
 		seq = eng.Seq()
 		return eng.Snapshot(w)
@@ -702,25 +778,53 @@ type TenantInfo struct {
 	Seq uint64 `json:"seq"`
 	// Imputations counts the missing values this tenant's engine has filled.
 	Imputations int `json:"imputations"`
+	// Resident reports whether the tenant's engine is in memory; a parked
+	// tenant serves this listing from its footprint without hydrating.
+	Resident bool `json:"resident"`
+	// Failed reports a tenant latched fail-stopped by a hydration failure.
+	Failed bool `json:"failed,omitempty"`
 }
 
-// Info describes a single tenant, or ErrNoTenant.
+// infoFor builds the TenantInfo of a resident engine. Shard-goroutine only.
+func infoFor(sh *shard, id string, eng *core.Engine) TenantInfo {
+	return TenantInfo{
+		ID:          id,
+		Shard:       sh.id,
+		Streams:     eng.Window().Names(),
+		Ticks:       eng.Stats.Ticks,
+		Seq:         eng.Seq(),
+		Imputations: eng.Stats.Imputations,
+		Resident:    true,
+	}
+}
+
+// infoForParked builds the TenantInfo of a parked tenant from its footprint.
+func infoForParked(sh *shard, id string, p *parked) TenantInfo {
+	return TenantInfo{
+		ID:          id,
+		Shard:       sh.id,
+		Streams:     p.streams,
+		Ticks:       p.ticks,
+		Seq:         p.seq,
+		Imputations: p.imputations,
+		Failed:      p.failed != nil,
+	}
+}
+
+// Info describes a single tenant, or ErrNoTenant. A parked tenant answers
+// from its footprint — metadata queries must not churn the residency tier.
 func (m *Manager) Info(ctx context.Context, tenantID string) (TenantInfo, error) {
 	var info TenantInfo
 	err := m.do(ctx, tenantID, func(sh *shard) error {
-		eng, ok := sh.tenants[tenantID]
-		if !ok {
-			return m.missing(sh, tenantID)
+		if eng, ok := sh.tenants[tenantID]; ok {
+			info = infoFor(sh, tenantID, eng)
+			return nil
 		}
-		info = TenantInfo{
-			ID:          tenantID,
-			Shard:       sh.id,
-			Streams:     eng.Window().Names(),
-			Ticks:       eng.Stats.Ticks,
-			Seq:         eng.Seq(),
-			Imputations: eng.Stats.Imputations,
+		if p, ok := sh.parked[tenantID]; ok {
+			info = infoForParked(sh, tenantID, p)
+			return nil
 		}
-		return nil
+		return m.missing(sh, tenantID)
 	})
 	return info, err
 }
@@ -740,14 +844,10 @@ func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
 	for _, sh := range m.shards {
 		err := m.submit(ctx, sh, func(sh *shard) error {
 			for id, eng := range sh.tenants {
-				all = append(all, TenantInfo{
-					ID:          id,
-					Shard:       sh.id,
-					Streams:     eng.Window().Names(),
-					Ticks:       eng.Stats.Ticks,
-					Seq:         eng.Seq(),
-					Imputations: eng.Stats.Imputations,
-				})
+				all = append(all, infoFor(sh, id, eng))
+			}
+			for id, p := range sh.parked {
+				all = append(all, infoForParked(sh, id, p))
 			}
 			return nil
 		})
@@ -763,6 +863,8 @@ func (m *Manager) Tenants(ctx context.Context) ([]TenantInfo, error) {
 type ShardStats struct {
 	Shard        int    `json:"shard"`
 	Tenants      int64  `json:"tenants"`
+	Resident     int64  `json:"resident"`
+	Parked       int64  `json:"parked"`
 	QueueDepth   int    `json:"queue_depth"`
 	QueueCap     int    `json:"queue_cap"`
 	Processed    uint64 `json:"processed"`
@@ -779,6 +881,8 @@ func (m *Manager) Stats() []ShardStats {
 		out[i] = ShardStats{
 			Shard:        sh.id,
 			Tenants:      sh.ntenants.Load(),
+			Resident:     sh.nresident.Load(),
+			Parked:       sh.nparked.Load(),
 			QueueDepth:   len(sh.reqs),
 			QueueCap:     cap(sh.reqs),
 			Processed:    sh.processed.Load(),

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// ReplayTail streams every commit-covered record with sequence number ≥
+// fromSeq from the OPEN log to fn, in order, and returns the last sequence
+// number delivered (0 if none). It is the hydration fast path: where Replay
+// re-loads the head, re-lists the directory and re-proves every sealed
+// segment against its pinned Merkle root, ReplayTail trusts the in-memory
+// inventory that Open already verified and this log has maintained since —
+// one pass over only the segments that can hold records ≥ fromSeq, with the
+// active segment's commit boundary known up front instead of re-discovered
+// by a structure pass.
+//
+// Durability first: the pending group-commit batch is synced before the scan,
+// so every record whose ack a caller may have observed is on stable storage
+// and therefore delivered — without this, an eviction racing a not-yet-synced
+// batch could hydrate an engine missing acked ticks.
+//
+// The scan runs under the sync lock, pausing group commits of THIS log only.
+// The intended caller hydrates a parked tenant, which has no engine and so
+// cannot be appending concurrently; other tenants' logs are untouched.
+func (l *Log) ReplayTail(fromSeq uint64, fn func(seq uint64, values []float64) error) (uint64, error) {
+	// Sync outside syncMu (Sync takes it itself); it also surfaces a latched
+	// fail-stop error before we bother scanning.
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if f := l.failed; f != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: log failed, refusing replay: %w", f)
+	}
+	l.mu.Unlock()
+
+	var last uint64
+	// next tracks contiguity across segments, restarting (0) after a segment
+	// skip — the skipped range is covered by the checkpoint replay starts from.
+	var next uint64
+	deliver := func(seq uint64, values []float64) error {
+		if next != 0 && seq != next {
+			return fmt.Errorf("%w: %s: records %d..%d missing", ErrCorrupt, l.identity, next, seq-1)
+		}
+		next = seq + 1
+		if seq < fromSeq {
+			return nil
+		}
+		if err := fn(seq, values); err != nil {
+			return err
+		}
+		last = seq
+		return nil
+	}
+
+	for _, s := range l.head.sealed {
+		if s.lastSeq < fromSeq {
+			next = 0
+			continue
+		}
+		path := filepath.Join(l.dir, segmentName(s.firstSeq))
+		lastInSeg, _, err := scanSegment(path, s.firstSeq, deliver, nil)
+		if err != nil {
+			var torn *tornError
+			if errors.As(err, &torn) {
+				return last, fmt.Errorf("%w: %s: %v", ErrCorrupt, segmentName(s.firstSeq), torn.cause)
+			}
+			return last, err
+		}
+		if lastInSeg != s.lastSeq {
+			return last, fmt.Errorf("%w: %s: content does not match its sealed head entry", ErrCorrupt, segmentName(s.firstSeq))
+		}
+	}
+
+	// Active segment: the in-memory scan state already knows its last commit
+	// boundary — deliver up to it and stop, skipping the structure pass
+	// Replay needs on an unverified directory.
+	if !l.cs.sawCommit || l.cs.lastCommitSeq < fromSeq {
+		return last, nil
+	}
+	stop := l.cs.lastCommitSeq
+	path := filepath.Join(l.dir, segmentName(l.segStart))
+	_, _, err := scanSegment(path, l.segStart, func(seq uint64, values []float64) error {
+		if seq > stop {
+			return errStopScan
+		}
+		return deliver(seq, values)
+	}, nil)
+	if err != nil && !errors.Is(err, errStopScan) {
+		var torn *tornError
+		if errors.As(err, &torn) {
+			// Everything through the commit boundary was fsynced; an
+			// unreadable frame below it is corruption, not a healable tail.
+			if torn.off < l.cs.lastCommitOff {
+				return last, fmt.Errorf("%w: %s: %v", ErrCorrupt, segmentName(l.segStart), torn.cause)
+			}
+			return last, nil
+		}
+		return last, err
+	}
+	return last, nil
+}
+
+// ReplayTenantTail replays tenant's OPEN log from fromSeq via Log.ReplayTail
+// — the hydration fast path. A tenant whose log is not open falls back to the
+// full offline Replay over its directory.
+func (m *Manager) ReplayTenantTail(tenant string, fromSeq uint64, fn func(seq uint64, values []float64) error) (uint64, error) {
+	l := m.Get(tenant)
+	if l == nil {
+		return Replay(m.dir(tenant), fromSeq, fn)
+	}
+	return l.ReplayTail(fromSeq, fn)
+}
